@@ -1,0 +1,200 @@
+package mdgan_test
+
+// One benchmark per table and figure of the paper's evaluation section
+// (DESIGN.md §4 maps each artifact to its modules), plus
+// micro-benchmarks of the kernels the system is built on. The
+// experiment benchmarks print their series once, so
+// `go test -bench=. -benchmem` regenerates the same rows the paper
+// reports; absolute values come from the synthetic substitutes, shapes
+// are the reproduction target (EXPERIMENTS.md records both).
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mdgan"
+)
+
+// benchScale trims the quick scale further so the full -bench=. suite
+// stays in the minutes range. cmd/mdgan-bench runs bigger scales.
+var benchScale = mdgan.Scale{
+	TrainSamples: 1000,
+	Iters:        200,
+	EvalEvery:    100,
+	EvalSamples:  150,
+	Workers:      8,
+	ImgSize:      16,
+	MLPHidden:    48,
+}
+
+var printOnce sync.Map
+
+func printEach(key, s string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Print(s)
+	}
+}
+
+// BenchmarkTableII regenerates the computation/memory complexity table.
+func BenchmarkTableII(b *testing.B) {
+	p := mdgan.PaperMNISTComplexity()
+	p.B, p.I = 10, 50000
+	var t mdgan.TableII
+	for i := 0; i < b.N; i++ {
+		t = mdgan.ComputeTableII(p)
+	}
+	_ = t
+	printEach("table2", mdgan.FormatTableII("MNIST MLP", p)+
+		mdgan.FormatTableII("CIFAR10 CNN", mdgan.PaperCIFARComplexity()))
+}
+
+// BenchmarkTableIII regenerates the symbolic communication table.
+func BenchmarkTableIII(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = mdgan.TableIIIFormulas()
+	}
+	printEach("table3", s)
+}
+
+// BenchmarkTableIV regenerates the instantiated CIFAR10 costs.
+func BenchmarkTableIV(b *testing.B) {
+	p := mdgan.PaperCIFARComplexity()
+	var rows []mdgan.TableIVRow
+	for i := 0; i < b.N; i++ {
+		rows = mdgan.ComputeTableIV(p, []int{10, 100})
+	}
+	printEach("table4", mdgan.FormatTableIV(rows))
+}
+
+// BenchmarkFig2 regenerates the ingress-traffic sweep of Figure 2.
+func BenchmarkFig2(b *testing.B) {
+	batches := []int{1, 10, 100, 1000, 10000}
+	mnist := mdgan.PaperMNISTComplexity()
+	cifar := mdgan.PaperCIFARComplexity()
+	var s mdgan.Fig2Series
+	for i := 0; i < b.N; i++ {
+		s = mdgan.ComputeFig2(mnist, batches)
+	}
+	printEach("fig2",
+		mdgan.FormatFig2("MNIST", mnist, s)+
+			mdgan.FormatFig2("CIFAR10", cifar, mdgan.ComputeFig2(cifar, batches)))
+}
+
+// BenchmarkFig3 regenerates the score/FID trajectories of Figure 3 —
+// one sub-benchmark per panel (MNIST-MLP, MNIST-CNN, CIFAR10-CNN), six
+// competitors each.
+func BenchmarkFig3(b *testing.B) {
+	for _, panel := range []mdgan.Fig3Panel{mdgan.Fig3MNISTMLP, mdgan.Fig3MNISTCNN, mdgan.Fig3CIFARCNN} {
+		b.Run(string(panel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				curves, err := mdgan.RunFig3(panel, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				printEach("fig3-"+string(panel),
+					mdgan.FormatCurves(fmt.Sprintf("Figure 3 / %s", panel), curves))
+			}
+		})
+	}
+}
+
+// BenchmarkFig4 regenerates the scalability sweep of Figure 4.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := mdgan.RunFig4([]int{1, 4, 8}, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("fig4", mdgan.FormatFig4(rows))
+	}
+}
+
+// BenchmarkFig5 regenerates the fault-tolerance curves of Figure 5.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := mdgan.RunFig5(mdgan.Fig3MNISTMLP, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("fig5", mdgan.FormatCurves("Figure 5: crashes every I/N iterations", curves))
+	}
+}
+
+// BenchmarkFig6 regenerates the larger-dataset validation of Figure 6.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := mdgan.RunFig6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("fig6", mdgan.FormatCurves("Figure 6: faces (CelebA stand-in)", curves))
+	}
+}
+
+// --- kernel micro-benchmarks ---------------------------------------
+
+// BenchmarkMDGANIteration measures one full synchronous global
+// iteration (generate, distribute, L disc steps on 8 workers, feedback,
+// merge, Adam) on the scaled MLP.
+func BenchmarkMDGANIteration(b *testing.B) {
+	train := mdgan.SynthDigits(800, 1)
+	o := mdgan.Options{
+		Algorithm: mdgan.MDGAN, Workers: 8, Batch: 10, Iters: b.N, Seed: 2, K: 2,
+	}
+	b.ResetTimer()
+	if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFLGANRound measures FL-GAN at the same per-iteration scale.
+func BenchmarkFLGANRound(b *testing.B) {
+	train := mdgan.SynthDigits(800, 1)
+	o := mdgan.Options{
+		Algorithm: mdgan.FLGAN, Workers: 8, Batch: 10, Iters: b.N, Seed: 2,
+	}
+	b.ResetTimer()
+	if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStandaloneIteration is the single-node reference.
+func BenchmarkStandaloneIteration(b *testing.B) {
+	train := mdgan.SynthDigits(800, 1)
+	o := mdgan.Options{
+		Algorithm: mdgan.Standalone, Batch: 10, Iters: b.N, Seed: 2,
+	}
+	b.ResetTimer()
+	if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGeneratorForward measures raw generator throughput.
+func BenchmarkGeneratorForward(b *testing.B) {
+	g := mdgan.MLPArch(128).NewGAN(1, 0, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.G.Generate(32, rng, true)
+	}
+}
+
+// BenchmarkScorerFID measures one FID evaluation (features + cov +
+// matrix sqrt) at the paper's 500-sample setting.
+func BenchmarkScorerFID(b *testing.B) {
+	test := mdgan.SynthDigits(1200, 3)
+	scorer := mdgan.TrainScorer(test, 3)
+	gen := mdgan.SynthDigits(500, 4)
+	real := mdgan.SynthDigits(500, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scorer.FID(real.X, gen.X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

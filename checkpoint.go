@@ -1,0 +1,43 @@
+package mdgan
+
+import (
+	"fmt"
+	"os"
+
+	"mdgan/internal/render"
+)
+
+// SaveGenerator checkpoints a trained generator's parameters to a file.
+// The architecture is not stored: reload into a generator built from
+// the same Arch and seed-independent shape.
+func SaveGenerator(g *Generator, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mdgan: save generator: %w", err)
+	}
+	defer f.Close()
+	if _, err := g.WriteParams(f); err != nil {
+		return fmt.Errorf("mdgan: save generator: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadGenerator restores parameters saved with SaveGenerator into g,
+// which must have the same architecture.
+func LoadGenerator(g *Generator, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("mdgan: load generator: %w", err)
+	}
+	defer f.Close()
+	if _, err := g.ReadParams(f); err != nil {
+		return fmt.Errorf("mdgan: load generator: %w", err)
+	}
+	return nil
+}
+
+// SaveSampleGrid renders an image tensor (N, C, H, W) as a PNG grid —
+// qualitative inspection to complement the MS/FID numbers.
+func SaveSampleGrid(path string, x *Tensor, cols int) error {
+	return render.SavePNG(path, x, cols)
+}

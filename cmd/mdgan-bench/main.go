@@ -1,0 +1,109 @@
+// Command mdgan-bench regenerates every table and figure of the
+// paper's evaluation section (the per-experiment index is DESIGN.md §4)
+// and writes the series to stdout and, optionally, CSV files.
+//
+//	mdgan-bench                 # quick scale, all experiments
+//	mdgan-bench -only fig3      # one experiment
+//	mdgan-bench -scale full     # paper-closer scale (hours on CPU)
+//	mdgan-bench -csv results/   # also write CSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mdgan"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mdgan-bench: ")
+	var (
+		only   = flag.String("only", "", "run one experiment: table2|table3|table4|fig2|fig3|fig4|fig5|fig6")
+		scale  = flag.String("scale", "quick", "experiment scale: quick | full")
+		csvDir = flag.String("csv", "", "directory to write CSV series into")
+	)
+	flag.Parse()
+
+	sc := mdgan.QuickScale
+	if *scale == "full" {
+		sc = mdgan.FullScale
+	}
+	want := func(name string) bool { return *only == "" || *only == name }
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+
+	if want("table2") {
+		mnist, cifar := mdgan.PaperMNISTComplexity(), mdgan.PaperCIFARComplexity()
+		mnist.B, mnist.I = 10, 50000
+		cifar.B, cifar.I = 10, 50000
+		fmt.Print(mdgan.FormatTableII("MNIST MLP (paper counts)", mnist))
+		fmt.Print(mdgan.FormatTableII("CIFAR10 CNN (paper counts)", cifar))
+	}
+	if want("table3") {
+		fmt.Print(mdgan.TableIIIFormulas())
+	}
+	if want("table4") {
+		fmt.Print(mdgan.FormatTableIV(mdgan.ComputeTableIV(mdgan.PaperCIFARComplexity(), []int{10, 100})))
+	}
+	if want("fig2") {
+		batches := []int{1, 10, 100, 1000, 10000}
+		for name, p := range map[string]mdgan.ComplexityParams{
+			"mnist": mdgan.PaperMNISTComplexity(),
+			"cifar": mdgan.PaperCIFARComplexity(),
+		} {
+			fmt.Print(mdgan.FormatFig2(name, p, mdgan.ComputeFig2(p, batches)))
+		}
+	}
+	if want("fig3") {
+		for _, panel := range []mdgan.Fig3Panel{mdgan.Fig3MNISTMLP, mdgan.Fig3MNISTCNN, mdgan.Fig3CIFARCNN} {
+			start := time.Now()
+			curves, err := mdgan.RunFig3(panel, sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			title := fmt.Sprintf("Figure 3 panel %s (%v)", panel, time.Since(start).Round(time.Second))
+			fmt.Print(mdgan.FormatCurves(title, curves))
+			writeCSV("fig3-"+strings.ReplaceAll(string(panel), "/", "-"), mdgan.FormatCurvesCSV(curves))
+		}
+	}
+	if want("fig4") {
+		rows, err := mdgan.RunFig4([]int{1, 5, 10}, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(mdgan.FormatFig4(rows))
+	}
+	if want("fig5") {
+		curves, err := mdgan.RunFig5(mdgan.Fig3MNISTMLP, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(mdgan.FormatCurves("Figure 5: fault tolerance (MNIST MLP)", curves))
+		writeCSV("fig5", mdgan.FormatCurvesCSV(curves))
+	}
+	if want("fig6") {
+		curves, err := mdgan.RunFig6(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(mdgan.FormatCurves("Figure 6: faces (CelebA stand-in)", curves))
+		writeCSV("fig6", mdgan.FormatCurvesCSV(curves))
+	}
+}

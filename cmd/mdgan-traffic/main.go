@@ -1,0 +1,50 @@
+// Command mdgan-traffic prints the paper's communication artefacts:
+// Table II (computation/memory complexity), Table III (symbolic
+// communication complexities), Table IV (instantiated costs for the
+// CIFAR10 deployment) and the Figure 2 ingress-traffic sweep, for both
+// the paper's published parameter counts and the counts of the
+// architectures implemented in this repository.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mdgan"
+)
+
+func main() {
+	var (
+		workers = flag.Int("workers", 10, "number of workers N")
+		iters   = flag.Int("iters", 50000, "iterations I")
+		ourArch = flag.Bool("our-arch", false, "use this repo's architecture parameter counts instead of the paper's published ones")
+	)
+	flag.Parse()
+
+	mnist := mdgan.PaperMNISTComplexity()
+	cifar := mdgan.PaperCIFARComplexity()
+	mnist.N, cifar.N = *workers, *workers
+	mnist.I, cifar.I = *iters, *iters
+	mnist.B, cifar.B = 10, 10
+
+	if *ourArch {
+		w, th := mdgan.ArchParams(mdgan.PaperMLPArch(), 1)
+		mnist.W, mnist.Theta = w, th
+		w, th = mdgan.ArchParams(mdgan.PaperCNNCIFARArch(), 1)
+		cifar.W, cifar.Theta = w, th
+		fmt.Println("(using this repository's architecture parameter counts)")
+	}
+
+	fmt.Print(mdgan.FormatTableII("MNIST MLP", mnist))
+	fmt.Println()
+	fmt.Print(mdgan.FormatTableII("CIFAR10 CNN", cifar))
+	fmt.Println()
+	fmt.Print(mdgan.TableIIIFormulas())
+	fmt.Println()
+	fmt.Print(mdgan.FormatTableIV(mdgan.ComputeTableIV(cifar, []int{10, 100})))
+	fmt.Println()
+	batches := []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+	fmt.Print(mdgan.FormatFig2("MNIST", mnist, mdgan.ComputeFig2(mnist, batches)))
+	fmt.Println()
+	fmt.Print(mdgan.FormatFig2("CIFAR10", cifar, mdgan.ComputeFig2(cifar, batches)))
+}

@@ -1,0 +1,59 @@
+// Fault tolerance: the Figure 5 experiment in miniature — a worker
+// crashes (fail-stop, taking its data shard with it) every I/N
+// iterations until none remain, and we compare against the crash-free
+// run.
+//
+//	go run ./examples/fault_tolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdgan"
+)
+
+func main() {
+	const (
+		seed    = 3
+		workers = 8
+		iters   = 800
+	)
+	train := mdgan.SynthDigits(2000, seed)
+	test := mdgan.SynthDigits(1000, seed+1)
+	scorer := mdgan.TrainScorer(test, seed)
+	ev := mdgan.NewEvaluator(scorer, test, 300)
+
+	// Crash worker i at iteration (i+1)·I/N — by the end, every worker
+	// (and every data shard) is gone.
+	crashes := make(map[int][]int)
+	for i := 0; i < workers; i++ {
+		crashes[(i+1)*iters/workers] = append(crashes[(i+1)*iters/workers], i)
+	}
+
+	base := mdgan.Options{
+		Algorithm: mdgan.MDGAN, Workers: workers, Batch: 10,
+		Iters: iters, EvalEvery: 200, Seed: seed, K: 2,
+	}
+
+	var curves []mdgan.Curve
+	for _, cfg := range []struct {
+		name    string
+		crashAt map[int][]int
+	}{
+		{"md-gan (crash every I/N)", crashes},
+		{"md-gan (no crashes)", nil},
+	} {
+		o := base
+		o.CrashAt = cfg.crashAt
+		log.Printf("running %s ...", cfg.name)
+		res, err := mdgan.Run(train, mdgan.MLPArch(64), o, ev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Curve.Name = cfg.name
+		curves = append(curves, res.Curve)
+		log.Printf("  survivors: %d of %d, %d generator updates applied", len(res.Live), workers, res.Iters)
+	}
+	fmt.Print(mdgan.FormatCurves("fault tolerance (Fig. 5 in miniature)", curves))
+}

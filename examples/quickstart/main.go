@@ -1,0 +1,50 @@
+// Quickstart: train MD-GAN on the 2-D Gaussian-ring toy dataset with
+// four workers and watch generated samples land on the ring.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"mdgan"
+)
+
+func main() {
+	// A ring of 8 Gaussians with radius 2 — the classic GAN toy set.
+	train := mdgan.GaussianRing(4000, 8, 2.0, 0.05, 1)
+
+	res, err := mdgan.Run(train, mdgan.RingArch(), mdgan.Options{
+		Algorithm: mdgan.MDGAN,
+		Workers:   4,
+		Batch:     32,
+		Iters:     600,
+		K:         2, // two generated batches per iteration
+		Seed:      42,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample the trained generator and summarise where points landed.
+	rng := rand.New(rand.NewSource(7))
+	x, _ := res.G.Generate(512, rng, false)
+	var sum, within float64
+	for i := 0; i < x.Dim(0); i++ {
+		r := math.Hypot(x.At(i, 0), x.At(i, 1))
+		sum += r
+		if r > 1.5 && r < 2.5 {
+			within++
+		}
+	}
+	fmt.Printf("trained MD-GAN on %d samples across 4 workers\n", train.Len())
+	fmt.Printf("mean generated radius: %.2f (target 2.00)\n", sum/float64(x.Dim(0)))
+	fmt.Printf("samples within the ring band: %.0f%%\n", 100*within/float64(x.Dim(0)))
+	fmt.Printf("mode coverage: %.0f%% of 8 modes (collapse detector)\n",
+		100*mdgan.ModeCoverage(x, 8, 2.0, 0.5))
+	fmt.Printf("traffic: %d bytes total across %d worker-server links\n",
+		res.Traffic.Total(), len(res.Traffic.IngressByNode))
+}

@@ -1,0 +1,54 @@
+// Sample gallery: train MD-GAN briefly on the digits stand-in, write
+// PNG grids of real vs generated samples, and checkpoint the generator.
+//
+//	go run ./examples/sample_gallery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mdgan"
+)
+
+func main() {
+	const seed = 6
+	train := mdgan.SynthDigits(2000, seed)
+
+	log.Println("training MD-GAN on digits (this takes ~10s) ...")
+	res, err := mdgan.Run(train, mdgan.MLPArch(64), mdgan.Options{
+		Algorithm: mdgan.MDGAN, Workers: 8, Batch: 10, Iters: 800, K: 2, Seed: seed,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	gen, _ := res.G.Generate(64, rng, false)
+
+	if err := mdgan.SaveSampleGrid("real.png", train.X.SliceRows(0, 64), 8); err != nil {
+		log.Fatal(err)
+	}
+	if err := mdgan.SaveSampleGrid("generated.png", gen, 8); err != nil {
+		log.Fatal(err)
+	}
+	if err := mdgan.SaveGenerator(res.G, "generator.ckpt"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Round-trip the checkpoint into a fresh generator and verify it
+	// reproduces the same samples.
+	fresh := mdgan.MLPArch(64).NewGAN(999, 0, 1) // different init
+	if err := mdgan.LoadGenerator(fresh.G, "generator.ckpt"); err != nil {
+		log.Fatal(err)
+	}
+	rng2 := rand.New(rand.NewSource(1))
+	gen2, _ := fresh.G.Generate(64, rng2, false)
+	if gen.Equal(gen2, 0) {
+		fmt.Println("checkpoint round-trip: bit-exact")
+	} else {
+		fmt.Println("WARNING: checkpoint round-trip mismatch")
+	}
+	fmt.Println("wrote real.png, generated.png, generator.ckpt")
+}

@@ -1,0 +1,34 @@
+// Traffic planner: dimension the network for an MD-GAN or FL-GAN
+// deployment (the Figure 2 / Table IV analysis) — given a model and a
+// cluster size, print per-link traffic and find the batch size at which
+// FL-GAN becomes cheaper than MD-GAN.
+//
+//	go run ./examples/traffic_planner
+package main
+
+import (
+	"fmt"
+
+	"mdgan"
+)
+
+func main() {
+	// Plan for the paper's CIFAR10 deployment on 10 workers...
+	p := mdgan.PaperCIFARComplexity()
+	fmt.Print(mdgan.FormatTableIV(mdgan.ComputeTableIV(p, []int{10, 100})))
+	fmt.Println()
+
+	// ...and sweep the batch size to find the protocol crossover.
+	batches := []int{1, 10, 100, 1000, 10000}
+	fmt.Print(mdgan.FormatFig2("CIFAR10", p, mdgan.ComputeFig2(p, batches)))
+	fmt.Println()
+
+	// The same analysis with the parameter counts of THIS repository's
+	// paper-shaped CNN, instead of the paper's published counts.
+	w, theta := mdgan.ArchParams(mdgan.PaperCNNCIFARArch(), 1)
+	q := p
+	q.W, q.Theta = w, theta
+	fmt.Printf("this repo's paper-shaped CIFAR CNN: |w|=%d |θ|=%d\n", w, theta)
+	fmt.Printf("protocol crossover with these sizes: b ≈ %.0f\n", mdgan.CrossoverBatch(q))
+	fmt.Printf("per-worker compute reduction vs FL-GAN: %.2f×\n", mdgan.WorkerReduction(q))
+}

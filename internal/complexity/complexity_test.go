@@ -1,0 +1,130 @@
+package complexity
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Abs(want) {
+		t.Fatalf("%s = %g, want %g (±%g%%)", what, got, want, tol*100)
+	}
+}
+
+// TestTableIVReproducesPaperNumbers checks our byte conventions against
+// the paper's published Table IV values for the CIFAR10 deployment with
+// 10 workers.
+func TestTableIVReproducesPaperNumbers(t *testing.T) {
+	rows := ComputeTableIV(PaperCIFARParams(), []int{10, 100})
+	b10, b100 := rows[0], rows[1]
+
+	// FL-GAN: 175 MB at server, 17.5 MB at worker, both batch sizes.
+	approx(t, MB(b10.FLCtoWServer), 175, 0.05, "FL C→W (C) b=10")
+	approx(t, MB(b10.FLCtoWWorker), 17.5, 0.05, "FL C→W (W) b=10")
+	approx(t, MB(b100.FLWtoCWorker), 17.5, 0.05, "FL W→C (W) b=100")
+	approx(t, MB(b100.FLWtoCServer), 175, 0.05, "FL W→C (C) b=100")
+
+	// FL-GAN round counts: 100 and 1,000.
+	approx(t, b10.FLTotalComms, 100, 0.001, "FL rounds b=10")
+	approx(t, b100.FLTotalComms, 1000, 0.001, "FL rounds b=100")
+
+	// MD-GAN: 2.30 MB / 0.23 MB at b=10; ×10 at b=100.
+	approx(t, MB(b10.MDCtoWServer), 2.30, 0.05, "MD C→W (C) b=10")
+	approx(t, MB(b10.MDCtoWWorker), 0.23, 0.05, "MD C→W (W) b=10")
+	approx(t, MB(b100.MDCtoWServer), 23.0, 0.05, "MD C→W (C) b=100")
+	approx(t, MB(b100.MDWtoCWorker), 2.30, 0.05, "MD W→C (W) b=100")
+
+	// MD-GAN communication counts: 50,000 iterations; 100/1,000 swaps.
+	approx(t, b10.MDTotalComms, 50000, 0.001, "MD comms")
+	approx(t, b10.MDTotalSwaps, 100, 0.001, "MD swaps b=10")
+	approx(t, b100.MDTotalSwaps, 1000, 0.001, "MD swaps b=100")
+}
+
+// TestTableIIShape checks the structural claims of Table II: the
+// per-worker compute/memory reduction of MD-GAN is (|w|+|θ|)/|θ| — a
+// factor ≈ 2 when generator and discriminator are similar.
+func TestTableIIShape(t *testing.T) {
+	p := PaperMNISTParams()
+	p.B, p.K, p.I = 10, 1, 50000
+	tab := ComputeTableII(p)
+	if tab.MDComputeWorker >= tab.FLComputeWorker {
+		t.Fatal("MD-GAN worker compute must be below FL-GAN")
+	}
+	if tab.MDMemoryWorker >= tab.FLMemoryWorker {
+		t.Fatal("MD-GAN worker memory must be below FL-GAN")
+	}
+	red := WorkerReduction(p)
+	if red < 1.9 || red > 2.2 {
+		t.Fatalf("worker reduction factor %g, want ≈ 2 (MLP: G and D similar)", red)
+	}
+	// Ratios must equal the reduction factor exactly.
+	approx(t, tab.FLComputeWorker/tab.MDComputeWorker, red, 1e-9, "compute ratio")
+	approx(t, tab.FLMemoryWorker/tab.MDMemoryWorker, red, 1e-9, "memory ratio")
+}
+
+// TestFig2Shape checks the qualitative claims of Figure 2: FL-GAN lines
+// are flat in b, MD-GAN lines grow linearly, and they cross at a batch
+// size of a few hundred images for the paper's model sizes.
+func TestFig2Shape(t *testing.T) {
+	batches := []int{1, 10, 100, 1000, 10000}
+	for name, p := range map[string]Params{
+		"mnist": PaperMNISTParams(),
+		"cifar": PaperCIFARParams(),
+	} {
+		s := ComputeFig2(p, batches)
+		for i := 1; i < len(batches); i++ {
+			if s.FLWorker[i] != s.FLWorker[0] {
+				t.Fatalf("%s: FL worker line not flat", name)
+			}
+			if s.MDServer[i] <= s.MDServer[i-1] {
+				t.Fatalf("%s: MD server line not increasing", name)
+			}
+		}
+		// MD cheaper than FL at b=10, more expensive at b=10,000.
+		if s.MDWorker[1] >= s.FLWorker[1] {
+			t.Fatalf("%s: MD-GAN must win at b=10", name)
+		}
+		if s.MDWorker[4] <= s.FLWorker[4] {
+			t.Fatalf("%s: FL-GAN must win at b=10000", name)
+		}
+		// The absolute crossover depends on byte conventions the paper
+		// does not state (see EXPERIMENTS.md); what must hold is that it
+		// exists, is positive, and sits between the plotted extremes.
+		cross := CrossoverBatch(p)
+		if cross < 10 || cross > 10000 {
+			t.Fatalf("%s: crossover %g outside plotted range", name, cross)
+		}
+	}
+}
+
+// TestCrossoverOrdering: the paper finds the MNIST crossover above the
+// CIFAR10 one (≈550 vs ≈400) because CIFAR images are larger relative
+// to the model. Our conventions must preserve that ordering.
+func TestCrossoverOrdering(t *testing.T) {
+	mnist := CrossoverBatch(PaperMNISTParams())
+	cifar := CrossoverBatch(PaperCIFARParams())
+	if mnist <= cifar {
+		t.Fatalf("crossover(MNIST)=%g must exceed crossover(CIFAR10)=%g", mnist, cifar)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Params{W: 1, Theta: 1, D: 1, N: 1, M: 1, I: 1}.withDefaults()
+	if p.BytesPerValue != 8 || p.OptStateFactor != 3 || p.BatchesPerTransfer != 1 || p.E != 1 || p.K != 1 {
+		t.Fatalf("defaults = %+v", p)
+	}
+}
+
+func TestSwapTrafficScalesWithTheta(t *testing.T) {
+	p := PaperCIFARParams()
+	p.B = 10
+	a := ComputeTableIII(p)
+	p.Theta *= 2
+	b := ComputeTableIII(p)
+	approx(t, b.MDWtoWWorker/a.MDWtoWWorker, 2, 1e-9, "swap bytes vs θ")
+	// Feedback traffic must NOT depend on θ (it is bd).
+	if a.MDWtoCWorker != b.MDWtoCWorker {
+		t.Fatal("feedback size must be independent of θ")
+	}
+}

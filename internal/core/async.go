@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"mdgan/internal/simnet"
+	"mdgan/internal/tensor"
+)
+
+// runAsync implements the asynchronous variant the paper sketches in
+// §VII.1: "the server may compute a gradient Δw and apply it each time
+// it receives a single F_n. Fresh batches of data can be generated
+// frequently, so that they can be sent to idle workers."
+//
+// Differences from the synchronous Algorithm 1:
+//   - one generator update per arriving feedback (no barrier);
+//   - every worker gets its own freshly-generated batch pair, so
+//     effectively k = N;
+//   - swaps use the paper's literal GETRANDOMWORKER (uniform random
+//     peer) with lazy application at the receiver instead of the
+//     coordinated rendezvous, since no global round exists to anchor a
+//     permutation.
+//
+// As the paper notes, a feedback may be computed against stale
+// generator parameters; the update is applied regardless, which is the
+// standard asynchronous parameter-server trade-off.
+func (s *server) runAsync(iters int) (int, error) {
+	type genBatch struct {
+		z    *tensor.Tensor
+		labs []int
+	}
+	cache := make(map[string]genBatch)  // worker → latents behind its X^(g)
+	workerIters := make(map[string]int) // worker → iterations completed
+
+	send := func(name string) error {
+		zg, lg := s.g.SampleZ(s.batch, s.rng)
+		xg := s.g.Forward(zg, lg, true)
+		zd, ld := s.g.SampleZ(s.batch, s.rng)
+		xd := s.g.Forward(zd, ld, true)
+		cache[name] = genBatch{z: zg, labs: lg}
+		workerIters[name]++
+		swapTo := ""
+		if s.swapInterval > 0 && workerIters[name]%s.swapInterval == 0 {
+			if peer := s.randomPeer(name); peer != "" {
+				swapTo = peer
+			}
+		}
+		payload := encodeBatches(batchesMsg{Xd: xd, Ld: ld, Xg: xg, Lg: lg, SwapTo: swapTo})
+		return s.net.Send(simnet.Message{
+			From: serverName, To: name, Type: msgBatches,
+			Kind: simnet.CtoW, Payload: payload,
+		})
+	}
+
+	for _, name := range s.liveWorkers() {
+		if err := send(name); err != nil {
+			return 0, fmt.Errorf("core: async prime %s: %w", name, err)
+		}
+	}
+
+	updates := 0
+	inbox := s.net.Inbox(serverName)
+	for updates < iters {
+		if len(s.liveWorkers()) == 0 {
+			return updates, nil
+		}
+		msg, ok := <-inbox
+		if !ok {
+			return updates, fmt.Errorf("core: server inbox closed")
+		}
+		if msg.Type != msgFeedback || !s.live[msg.From] {
+			continue
+		}
+		f, err := decodeFeedbackAny(msg.Payload)
+		if err != nil {
+			return updates, err
+		}
+		gb, okc := cache[msg.From]
+		if !okc {
+			continue
+		}
+		// Apply Δw from this single feedback (stale-gradient update).
+		s.g.ZeroGrads()
+		s.g.Forward(gb.z, gb.labs, true)
+		s.g.Backward(f)
+		s.optG.Step(s.g.Params())
+		updates++
+
+		s.applyCrashes(updates)
+		if s.eval != nil && s.evalEvery > 0 && updates%s.evalEvery == 0 {
+			s.eval(updates, s.g)
+		}
+		if updates >= iters {
+			break
+		}
+		if s.live[msg.From] {
+			if err := send(msg.From); err != nil {
+				// The worker crashed between our liveness check and the
+				// send; treat as fail-stop and continue.
+				continue
+			}
+		}
+	}
+	return updates, nil
+}
+
+// randomPeer picks a uniform random live worker different from name
+// (the paper's GETRANDOMWORKER).
+func (s *server) randomPeer(name string) string {
+	var candidates []string
+	for _, w := range s.liveWorkers() {
+		if w != name {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		return ""
+	}
+	return candidates[s.rng.Intn(len(candidates))]
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mdgan/internal/tensor"
+)
+
+// Adversaries in generative adversarial networks (paper §VII.3): "the
+// learning process is most likely prone to workers having their
+// discriminator lie to the server's generator (by sending erroneous or
+// manipulated feedback)". This file implements both sides of that
+// arms race: Byzantine feedback corruption at workers, and robust
+// aggregation rules at the server in the spirit of Byzantine-tolerant
+// gradient descent (Blanchard et al., cited by the paper as [46]).
+
+// ByzantineMode describes how a compromised worker corrupts its error
+// feedback before sending it.
+type ByzantineMode int
+
+// Attack modes.
+const (
+	// ByzantineNone is an honest worker.
+	ByzantineNone ByzantineMode = iota
+	// ByzantineRandom replaces the feedback with Gaussian noise.
+	ByzantineRandom
+	// ByzantineInvert negates the feedback (gradient-ascent attack:
+	// pushes the generator AWAY from fooling the discriminator).
+	ByzantineInvert
+	// ByzantineScale multiplies the feedback by a large factor
+	// (magnitude attack: dominates a mean aggregation).
+	ByzantineScale
+)
+
+// String implements fmt.Stringer.
+func (m ByzantineMode) String() string {
+	switch m {
+	case ByzantineNone:
+		return "none"
+	case ByzantineRandom:
+		return "random"
+	case ByzantineInvert:
+		return "invert"
+	case ByzantineScale:
+		return "scale"
+	default:
+		return fmt.Sprintf("ByzantineMode(%d)", int(m))
+	}
+}
+
+// byzantineScaleFactor is the magnitude of the ByzantineScale attack.
+const byzantineScaleFactor = 100.0
+
+// corruptFeedback applies the attack in place.
+func corruptFeedback(f *tensor.Tensor, mode ByzantineMode, rng *rand.Rand) {
+	switch mode {
+	case ByzantineNone:
+	case ByzantineRandom:
+		for i := range f.Data {
+			f.Data[i] = rng.NormFloat64()
+		}
+	case ByzantineInvert:
+		f.ScaleInPlace(-1)
+	case ByzantineScale:
+		f.ScaleInPlace(byzantineScaleFactor)
+	default:
+		panic(fmt.Sprintf("core: unknown byzantine mode %d", mode))
+	}
+}
+
+// Aggregation selects the server-side rule for merging the feedbacks
+// of workers that share a generated batch.
+type Aggregation int
+
+// Aggregation rules.
+const (
+	// AggMean is the paper's plain averaging (§IV-B2) — not
+	// Byzantine-tolerant.
+	AggMean Aggregation = iota
+	// AggMedian takes the coordinate-wise median across workers —
+	// tolerant to a minority of arbitrary feedbacks.
+	AggMedian
+	// AggTrimmedMean drops the ⌊n/4⌋ smallest and largest values per
+	// coordinate before averaging.
+	AggTrimmedMean
+)
+
+// String implements fmt.Stringer.
+func (a Aggregation) String() string {
+	switch a {
+	case AggMean:
+		return "mean"
+	case AggMedian:
+		return "median"
+	case AggTrimmedMean:
+		return "trimmed-mean"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// aggregateFeedbacks merges the feedback tensors of the workers that
+// shared one generated batch into a single per-sample gradient. The
+// result plays the role of the group's "mean feedback"; the caller
+// weights it by groupSize/N to recover the paper's global scaling.
+func aggregateFeedbacks(fs []*tensor.Tensor, mode Aggregation) *tensor.Tensor {
+	if len(fs) == 0 {
+		return nil
+	}
+	if len(fs) == 1 {
+		return fs[0].Clone()
+	}
+	out := tensor.New(fs[0].Shape()...)
+	switch mode {
+	case AggMean:
+		inv := 1 / float64(len(fs))
+		for _, f := range fs {
+			out.AxpyInPlace(inv, f)
+		}
+	case AggMedian:
+		vals := make([]float64, len(fs))
+		for i := range out.Data {
+			for j, f := range fs {
+				vals[j] = f.Data[i]
+			}
+			out.Data[i] = median(vals)
+		}
+	case AggTrimmedMean:
+		trim := len(fs) / 4
+		vals := make([]float64, len(fs))
+		for i := range out.Data {
+			for j, f := range fs {
+				vals[j] = f.Data[i]
+			}
+			sort.Float64s(vals)
+			kept := vals[trim : len(vals)-trim]
+			s := 0.0
+			for _, v := range kept {
+				s += v
+			}
+			out.Data[i] = s / float64(len(kept))
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown aggregation %d", mode))
+	}
+	return out
+}
+
+// median returns the middle value (average of the two middle values for
+// even counts). It sorts its argument in place.
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/gan"
+	"mdgan/internal/tensor"
+)
+
+func TestMedianAndTrimmedMean(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("median even = %v", m)
+	}
+	fs := []*tensor.Tensor{
+		tensor.FromSlice([]float64{1, 10}, 2),
+		tensor.FromSlice([]float64{2, 20}, 2),
+		tensor.FromSlice([]float64{3, 30}, 2),
+		tensor.FromSlice([]float64{1000, -1000}, 2), // outlier
+	}
+	med := aggregateFeedbacks(fs, AggMedian)
+	if med.Data[0] != 2.5 || med.Data[1] != 15 {
+		t.Fatalf("median agg = %v", med.Data)
+	}
+	tr := aggregateFeedbacks(fs, AggTrimmedMean) // trims 1 each side
+	if tr.Data[0] != 2.5 || tr.Data[1] != 15 {
+		t.Fatalf("trimmed agg = %v", tr.Data)
+	}
+	mean := aggregateFeedbacks(fs, AggMean)
+	if math.Abs(mean.Data[0]-251.5) > 1e-12 {
+		t.Fatalf("mean agg = %v", mean.Data)
+	}
+}
+
+func TestAggregateSingleFeedbackIsIdentity(t *testing.T) {
+	f := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	for _, mode := range []Aggregation{AggMean, AggMedian, AggTrimmedMean} {
+		got := aggregateFeedbacks([]*tensor.Tensor{f}, mode)
+		if !got.Equal(f, 0) {
+			t.Fatalf("%v on singleton not identity", mode)
+		}
+	}
+}
+
+func TestCorruptFeedbackModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := tensor.FromSlice([]float64{1, -2, 3}, 3)
+
+	inv := base.Clone()
+	corruptFeedback(inv, ByzantineInvert, rng)
+	if inv.Data[0] != -1 || inv.Data[1] != 2 {
+		t.Fatalf("invert = %v", inv.Data)
+	}
+	sc := base.Clone()
+	corruptFeedback(sc, ByzantineScale, rng)
+	if sc.Data[2] != 300 {
+		t.Fatalf("scale = %v", sc.Data)
+	}
+	rd := base.Clone()
+	corruptFeedback(rd, ByzantineRandom, rng)
+	if rd.Equal(base, 1e-9) {
+		t.Fatal("random attack left feedback unchanged")
+	}
+	hon := base.Clone()
+	corruptFeedback(hon, ByzantineNone, rng)
+	if !hon.Equal(base, 0) {
+		t.Fatal("honest mode must not modify feedback")
+	}
+}
+
+// TestMedianNeutralisesByzantineExactly: with k = 1, no disc updates and
+// no swaps, all honest workers compute IDENTICAL feedback (same batch,
+// same discriminator), so the coordinate-wise median across 2 honest +
+// 1 Byzantine worker equals the honest value exactly — the run must be
+// bit-identical to a fully honest run. Under mean aggregation the same
+// attack must change the generator.
+func TestMedianNeutralisesByzantineExactly(t *testing.T) {
+	run := func(byz map[int]ByzantineMode, agg Aggregation) []float64 {
+		shards := ringShards(3, 100, 51)
+		cfg := baseConfig()
+		cfg.Iters = 5
+		cfg.DiscSteps = -1
+		cfg.K = 1
+		cfg.SwapEvery = -1
+		cfg.Byzantine = byz
+		cfg.Aggregate = agg
+		res, err := Train(shards, gan.RingMLP(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.G.Net.ParamVector()
+	}
+	for _, attack := range []ByzantineMode{ByzantineScale, ByzantineInvert, ByzantineRandom} {
+		honest := run(nil, AggMedian)
+		attacked := run(map[int]ByzantineMode{1: attack}, AggMedian)
+		for i := range honest {
+			if honest[i] != attacked[i] {
+				t.Fatalf("attack %v: median aggregation failed to neutralise (param %d)", attack, i)
+			}
+		}
+	}
+	// Control: under mean aggregation the scale attack must leak into
+	// the generator.
+	honestMean := run(nil, AggMean)
+	attackedMean := run(map[int]ByzantineMode{1: ByzantineScale}, AggMean)
+	same := true
+	for i := range honestMean {
+		if honestMean[i] != attackedMean[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("mean aggregation absorbed a 100× attack — test is vacuous")
+	}
+}
+
+// TestMedianTrainingSurvivesAttack: end-to-end, MD-GAN with one
+// compromised worker out of five still learns the ring under median
+// aggregation.
+func TestMedianTrainingSurvivesAttack(t *testing.T) {
+	shards := ringShards(5, 300, 53)
+	cfg := baseConfig()
+	cfg.Iters = 400
+	cfg.Batch = 32
+	cfg.K = 1
+	cfg.Byzantine = map[int]ByzantineMode{2: ByzantineInvert}
+	cfg.Aggregate = AggMedian
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	x, _ := res.G.Generate(256, rng, false)
+	sum := 0.0
+	for i := 0; i < x.Dim(0); i++ {
+		sum += math.Hypot(x.At(i, 0), x.At(i, 1))
+	}
+	if mean := sum / 256; mean < 1.0 || mean > 3.0 {
+		t.Fatalf("median-aggregated training diverged under attack: radius %v", mean)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ByzantineInvert.String() != "invert" || AggMedian.String() != "median" {
+		t.Fatal("stringers broken")
+	}
+	if ByzantineMode(99).String() == "" || Aggregation(99).String() == "" {
+		t.Fatal("unknown values must render")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"mdgan/internal/tensor"
+)
+
+// Compression of the W→C error feedback, the extension the paper
+// sketches in §VII.2: "methods such as Adacomp propose to communicate
+// updates based on gradient staleness, which constitutes a form of data
+// compression … those methods may be applied … to the error feedback
+// messages sent by workers to the server."
+//
+// Two schemes are implemented:
+//
+//   - CompressFP32 — cast the float64 feedback to float32 on the wire
+//     (2× reduction, negligible accuracy impact: feedbacks are consumed
+//     by one Adam step);
+//   - CompressTopK — transmit only the q highest-magnitude entries as
+//     sparse (index, float32) pairs, zeros elsewhere (Adacomp-style
+//     selective update; large reduction for peaked gradients).
+//
+// The wire format prefixes one mode byte so the server can decode
+// whatever each worker sends.
+
+// Compression selects the feedback wire encoding.
+type Compression int
+
+// Available feedback compression modes.
+const (
+	CompressNone Compression = iota
+	CompressFP32
+	CompressTopK
+)
+
+// String implements fmt.Stringer.
+func (c Compression) String() string {
+	switch c {
+	case CompressNone:
+		return "none"
+	case CompressFP32:
+		return "fp32"
+	case CompressTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("Compression(%d)", int(c))
+	}
+}
+
+// topKFraction is the fraction of entries CompressTopK keeps.
+const topKFraction = 0.1
+
+// encodeFeedbackCompressed frames F_n under the given mode.
+func encodeFeedbackCompressed(f *tensor.Tensor, mode Compression) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(mode))
+	switch mode {
+	case CompressNone:
+		if _, err := f.WriteTo(&buf); err != nil {
+			panic(err)
+		}
+	case CompressFP32:
+		writeShape(&buf, f.Shape())
+		var tmp [4]byte
+		for _, v := range f.Data {
+			binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(float32(v)))
+			buf.Write(tmp[:])
+		}
+	case CompressTopK:
+		writeShape(&buf, f.Shape())
+		k := int(float64(f.Size()) * topKFraction)
+		if k < 1 {
+			k = 1
+		}
+		idx := topKIndices(f.Data, k)
+		var tmp [8]byte
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(idx)))
+		buf.Write(tmp[:4])
+		for _, i := range idx {
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(i))
+			binary.LittleEndian.PutUint32(tmp[4:], math.Float32bits(float32(f.Data[i])))
+			buf.Write(tmp[:])
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown compression %d", mode))
+	}
+	return buf.Bytes()
+}
+
+// decodeFeedbackAny decodes a feedback regardless of its mode.
+func decodeFeedbackAny(p []byte) (*tensor.Tensor, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("core: empty feedback")
+	}
+	mode := Compression(p[0])
+	r := bytes.NewReader(p[1:])
+	switch mode {
+	case CompressNone:
+		f := new(tensor.Tensor)
+		if _, err := f.ReadFrom(r); err != nil {
+			return nil, fmt.Errorf("core: decode feedback: %w", err)
+		}
+		return f, nil
+	case CompressFP32:
+		shape, err := readShape(r)
+		if err != nil {
+			return nil, err
+		}
+		f := tensor.New(shape...)
+		var tmp [4]byte
+		for i := range f.Data {
+			if _, err := r.Read(tmp[:]); err != nil {
+				return nil, fmt.Errorf("core: decode fp32 feedback: %w", err)
+			}
+			f.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(tmp[:])))
+		}
+		return f, nil
+	case CompressTopK:
+		shape, err := readShape(r)
+		if err != nil {
+			return nil, err
+		}
+		f := tensor.New(shape...)
+		var tmp [8]byte
+		if _, err := r.Read(tmp[:4]); err != nil {
+			return nil, fmt.Errorf("core: decode topk count: %w", err)
+		}
+		n := int(binary.LittleEndian.Uint32(tmp[:4]))
+		for j := 0; j < n; j++ {
+			if _, err := r.Read(tmp[:]); err != nil {
+				return nil, fmt.Errorf("core: decode topk entry: %w", err)
+			}
+			i := int(binary.LittleEndian.Uint32(tmp[:4]))
+			if i < 0 || i >= f.Size() {
+				return nil, fmt.Errorf("core: topk index %d out of range", i)
+			}
+			f.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(tmp[4:])))
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("core: unknown feedback compression byte %d", p[0])
+	}
+}
+
+func writeShape(buf *bytes.Buffer, shape []int) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(shape)))
+	buf.Write(tmp[:])
+	for _, d := range shape {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(d))
+		buf.Write(tmp[:])
+	}
+}
+
+func readShape(r *bytes.Reader) ([]int, error) {
+	var tmp [4]byte
+	if _, err := r.Read(tmp[:]); err != nil {
+		return nil, fmt.Errorf("core: read shape rank: %w", err)
+	}
+	rank := int(binary.LittleEndian.Uint32(tmp[:]))
+	if rank <= 0 || rank > 8 {
+		return nil, fmt.Errorf("core: implausible shape rank %d", rank)
+	}
+	shape := make([]int, rank)
+	for i := range shape {
+		if _, err := r.Read(tmp[:]); err != nil {
+			return nil, fmt.Errorf("core: read shape dim: %w", err)
+		}
+		shape[i] = int(binary.LittleEndian.Uint32(tmp[:]))
+		if shape[i] <= 0 {
+			return nil, fmt.Errorf("core: non-positive shape dim")
+		}
+	}
+	return shape, nil
+}
+
+// topKIndices returns the indices of the k largest-magnitude entries.
+func topKIndices(data []float64, k int) []int {
+	if k >= len(data) {
+		out := make([]int, len(data))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(data[idx[a]]) > math.Abs(data[idx[b]])
+	})
+	out := idx[:k]
+	sort.Ints(out) // ascending indices compress better and decode cache-friendly
+	return out
+}

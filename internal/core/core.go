@@ -1,0 +1,428 @@
+// Package core implements MD-GAN (Algorithm 1 of the paper): a single
+// generator hosted on a central server trained against N discriminators
+// living on workers that hold immovable data shards. Each global
+// iteration the server generates k ≤ N batches, distributes two per
+// worker (SPLIT, §IV-B1), workers run L discriminator steps and return
+// error feedbacks F_n (§IV-B2), the server merges the feedbacks into a
+// generator gradient and applies Adam. Every E epochs discriminators
+// swap between workers in a gossip fashion (SWAP, §IV-C1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/gan"
+	"mdgan/internal/opt"
+	"mdgan/internal/simnet"
+	"mdgan/internal/tensor"
+)
+
+// Config configures an MD-GAN run. It embeds the hyper-parameters
+// shared with the baselines (gan.TrainConfig).
+type Config struct {
+	gan.TrainConfig
+	// K is the number of generated batches per global iteration
+	// (k ≤ N). 0 selects the paper's default k = max(1, ⌊ln N⌋).
+	K int
+	// SwapEvery is E, the number of local epochs between discriminator
+	// swaps. 0 selects E = 1; a negative value disables swapping
+	// entirely (the Fig. 4 "no swap" ablation).
+	SwapEvery int
+	// CrashAt schedules fail-stop worker crashes: iteration → indices
+	// of workers to kill at the start of that iteration. Crashed
+	// workers' shards disappear with them (Fig. 5).
+	CrashAt map[int][]int
+	// JoinAt schedules dynamic worker joins (§IV-A): iteration → data
+	// shards, one new worker per shard, each entering with a copy of a
+	// random live worker's discriminator. Synchronous mode only.
+	JoinAt map[int][]*dataset.Dataset
+	// Net supplies the transport; nil selects an in-process ChannelNet.
+	Net simnet.Net
+	// Async enables the asynchronous variant sketched in §VII.1: the
+	// server applies a generator update per arriving feedback instead
+	// of waiting for all workers.
+	Async bool
+	// Compress selects the error-feedback wire encoding (§VII.2
+	// extension): CompressNone (default), CompressFP32 or CompressTopK.
+	Compress Compression
+	// ActivePerRound, when in (0, N), activates only a uniform random
+	// subset of workers each iteration (the §VII.4 adaptation of
+	// federated learning's client sampling: fewer active
+	// discriminators than workers, the whole dataset still covered
+	// over time). 0 activates everyone.
+	ActivePerRound int
+	// Byzantine marks compromised workers (§VII.3): worker index →
+	// attack mode. Compromised workers corrupt their error feedback.
+	Byzantine map[int]ByzantineMode
+	// Aggregate selects the server's feedback-merge rule: AggMean
+	// (the paper's averaging) or a Byzantine-tolerant alternative.
+	Aggregate Aggregation
+}
+
+// EvalFunc observes the server's generator during training.
+type EvalFunc func(iter int, g *gan.Generator)
+
+// Result is the outcome of an MD-GAN run.
+type Result struct {
+	G *gan.Generator
+	// Discs are the final discriminators of workers still alive, keyed
+	// by worker name.
+	Discs map[string]*gan.Discriminator
+	// Traffic is the byte/message accounting snapshot (Tables III/IV).
+	Traffic simnet.Traffic
+	// Live lists the workers that survived the run.
+	Live []string
+	// Iters is the number of generator updates performed.
+	Iters int
+}
+
+// DefaultK returns the paper's k = max(1, ⌊ln N⌋) (§IV-B4 chooses
+// k = 1 or k = ⌊log N⌋).
+func DefaultK(n int) int {
+	k := int(math.Floor(math.Log(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// workerName formats the canonical node name of worker i.
+func workerName(i int) string { return fmt.Sprintf("worker%d", i) }
+
+const serverName = "server"
+
+// Train runs MD-GAN over the given shards (one per worker; len(shards)
+// is N). The caller provides shards explicitly so scalability
+// experiments control the data-vs-worker scaling (Fig. 4).
+func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) (*Result, error) {
+	cfg.TrainConfig = cfg.TrainConfig.Defaults()
+	n := len(shards)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no shards")
+	}
+	k := cfg.K
+	if k == 0 {
+		k = DefaultK(n)
+	}
+	if k > n {
+		return nil, fmt.Errorf("core: k=%d exceeds N=%d", k, n)
+	}
+	swapE := cfg.SwapEvery
+	if swapE == 0 {
+		swapE = 1
+	}
+
+	if cfg.Async && len(cfg.JoinAt) > 0 {
+		return nil, fmt.Errorf("core: dynamic worker join requires synchronous mode")
+	}
+
+	net := cfg.Net
+	if net == nil {
+		net = simnet.NewChannelNet(0)
+		defer net.Close()
+	}
+	if err := net.Register(serverName); err != nil {
+		return nil, err
+	}
+
+	// Build the GAN couple once; every worker starts from the same
+	// discriminator parameters (§IV-A "for simplicity, we assume that
+	// they are the same").
+	couple := arch.NewGAN(cfg.Seed, cfg.GenLoss, cfg.ClsWeight)
+	g := couple.G
+	lc := couple.LossConfig
+
+	// Swap cadence in iterations: every worker passes its m local
+	// samples once per m/b iterations, so E epochs = m·E/b iterations
+	// (Algorithm 1 line 11). Shard sizes can differ by one after
+	// splitting; use the minimum as the paper's m.
+	m := shards[0].Len()
+	for _, sh := range shards {
+		if sh.Len() < m {
+			m = sh.Len()
+		}
+	}
+	swapInterval := 0
+	if swapE > 0 {
+		swapInterval = m * swapE / cfg.Batch
+		if swapInterval < 1 {
+			swapInterval = 1
+		}
+	}
+
+	// Spawn workers.
+	workers := make([]*worker, n)
+	for i := range workers {
+		name := workerName(i)
+		if err := net.Register(name); err != nil {
+			return nil, err
+		}
+		workers[i] = &worker{
+			name:      name,
+			d:         couple.D.Clone(),
+			lc:        lc,
+			optD:      opt.NewAdam(cfg.OptD),
+			sampler:   dataset.NewSampler(shards[i], cfg.Seed+7919*int64(i+1)),
+			batch:     cfg.Batch,
+			discL:     cfg.DiscSteps,
+			net:       net,
+			lazySwap:  cfg.Async,
+			compress:  cfg.Compress,
+			byzantine: cfg.Byzantine[i],
+			rng:       rand.New(rand.NewSource(cfg.Seed + 15485863*int64(i+1))),
+			done:      make(chan struct{}),
+		}
+		go workers[i].run()
+	}
+
+	srv := &server{
+		g:              g,
+		optG:           opt.NewAdam(cfg.OptG),
+		net:            net,
+		rng:            rand.New(rand.NewSource(cfg.Seed + 31)),
+		batch:          cfg.Batch,
+		k:              k,
+		live:           make(map[string]bool, n),
+		order:          make([]string, n),
+		swapInterval:   swapInterval,
+		crashAt:        cfg.CrashAt,
+		eval:           eval,
+		evalEvery:      cfg.EvalEvery,
+		activePerRound: cfg.ActivePerRound,
+		aggregate:      cfg.Aggregate,
+		joinAt:         cfg.JoinAt,
+	}
+	for i := range workers {
+		srv.order[i] = workers[i].name
+		srv.live[workers[i].name] = true
+	}
+	nextIdx := n
+	srv.spawn = spawnJoiner(cfg, net, lc, couple.D, &workers, &nextIdx)
+
+	var iters int
+	var err error
+	if cfg.Async {
+		iters, err = srv.runAsync(cfg.Iters)
+	} else {
+		iters, err = srv.runSync(cfg.Iters)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Stop surviving workers and collect their discriminators.
+	discs := make(map[string]*gan.Discriminator)
+	var liveNames []string
+	for _, w := range workers {
+		if !srv.live[w.name] {
+			continue
+		}
+		_ = net.Send(simnet.Message{From: serverName, To: w.name, Type: msgStop, Kind: simnet.CtoW})
+	}
+	for _, w := range workers {
+		w.wait()
+		if srv.live[w.name] {
+			discs[w.name] = w.d
+			liveNames = append(liveNames, w.name)
+		}
+	}
+	sort.Strings(liveNames)
+
+	return &Result{
+		G:       g,
+		Discs:   discs,
+		Traffic: net.Snapshot(),
+		Live:    liveNames,
+		Iters:   iters,
+	}, nil
+}
+
+// server drives the global iterations.
+type server struct {
+	g              *gan.Generator
+	optG           *opt.Adam
+	net            simnet.Net
+	rng            *rand.Rand
+	batch          int
+	k              int
+	live           map[string]bool
+	order          []string // worker names in index order (for determinism)
+	swapInterval   int
+	crashAt        map[int][]int
+	eval           EvalFunc
+	evalEvery      int
+	activePerRound int
+	aggregate      Aggregation
+	joinAt         map[int][]*dataset.Dataset
+	spawn          func(*dataset.Dataset) (*worker, error)
+}
+
+// liveWorkers returns the alive worker names in index order.
+func (s *server) liveWorkers() []string {
+	out := make([]string, 0, len(s.order))
+	for _, name := range s.order {
+		if s.live[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// applyCrashes executes the fail-stop schedule for iteration it.
+func (s *server) applyCrashes(it int) {
+	for _, idx := range s.crashAt[it] {
+		if idx < 0 || idx >= len(s.order) {
+			continue
+		}
+		name := s.order[idx]
+		if s.live[name] {
+			s.live[name] = false
+			s.net.Crash(name)
+		}
+	}
+}
+
+// runSync executes the synchronous Algorithm 1 for I iterations and
+// returns the number of generator updates applied.
+func (s *server) runSync(iters int) (int, error) {
+	updates := 0
+	for it := 1; it <= iters; it++ {
+		s.applyCrashes(it)
+		if err := s.processJoins(it, s.spawn); err != nil {
+			return updates, err
+		}
+		alive := s.liveWorkers()
+		if len(alive) == 0 {
+			return updates, nil // every worker crashed: training ends
+		}
+		// §VII.4 extension: activate only a random subset of workers
+		// this round (client sampling). The rest stay idle and keep
+		// their discriminators.
+		if s.activePerRound > 0 && s.activePerRound < len(alive) {
+			s.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+			alive = alive[:s.activePerRound]
+			sort.Strings(alive) // deterministic merge order
+		}
+		k := s.k
+		if k > len(alive) {
+			k = len(alive)
+		}
+
+		// Step 1: generate k batches from G, keeping the latent inputs
+		// for the later backward pass.
+		zs := make([]*tensor.Tensor, k)
+		labs := make([][]int, k)
+		xs := make([]*tensor.Tensor, k)
+		for j := 0; j < k; j++ {
+			zs[j], labs[j] = s.g.SampleZ(s.batch, s.rng)
+			xs[j] = s.g.Forward(zs[j], labs[j], true)
+		}
+
+		// Swap command for this iteration: a uniform random cyclic
+		// permutation (fixed-point-free) over live workers realises the
+		// paper's random gossip SWAP deterministically.
+		swapTo := map[string]string{}
+		if s.swapInterval > 0 && it%s.swapInterval == 0 && len(alive) > 1 {
+			swapTo = sattolo(alive, s.rng)
+		}
+
+		// Step 1 (cont.): SPLIT — worker n gets X^(g) = X^(n mod k),
+		// X^(d) = X^((n+1) mod k) (§IV-B1), indices over live workers.
+		gIdx := make(map[string]int, len(alive))
+		for i, name := range alive {
+			gi := i % k
+			di := (i + 1) % k
+			gIdx[name] = gi
+			payload := encodeBatches(batchesMsg{
+				Xd: xs[di], Ld: labs[di],
+				Xg: xs[gi], Lg: labs[gi],
+				SwapTo: swapTo[name],
+			})
+			if err := s.net.Send(simnet.Message{
+				From: serverName, To: name, Type: msgBatches,
+				Kind: simnet.CtoW, Payload: payload,
+			}); err != nil {
+				return updates, fmt.Errorf("core: send batches to %s: %w", name, err)
+			}
+		}
+
+		// Step 3: collect one feedback per live worker.
+		feedbacks := make(map[string]*tensor.Tensor, len(alive))
+		inbox := s.net.Inbox(serverName)
+		for len(feedbacks) < len(alive) {
+			msg, ok := <-inbox
+			if !ok {
+				return updates, fmt.Errorf("core: server inbox closed")
+			}
+			if msg.Type != msgFeedback {
+				continue
+			}
+			if _, expected := gIdx[msg.From]; !expected {
+				continue // stale feedback from an inactive round
+			}
+			f, err := decodeFeedbackAny(msg.Payload)
+			if err != nil {
+				return updates, err
+			}
+			feedbacks[msg.From] = f
+		}
+
+		// Step 4: merge feedbacks per generated batch and backpropagate
+		// through G. Grouping follows worker index order so the result
+		// is independent of message arrival order. The per-group merge
+		// applies the configured aggregation rule (mean = the paper's
+		// §IV-B2 averaging; median/trimmed = §VII.3 robustness); the
+		// group result is weighted by groupSize/N to keep the global
+		// 1/N scaling.
+		groups := make([][]*tensor.Tensor, k)
+		for _, name := range alive {
+			j := gIdx[name]
+			groups[j] = append(groups[j], feedbacks[name])
+		}
+		outGrads := make([]*tensor.Tensor, k)
+		for j, fs := range groups {
+			if len(fs) == 0 {
+				continue
+			}
+			agg := aggregateFeedbacks(fs, s.aggregate)
+			outGrads[j] = agg.ScaleInPlace(float64(len(fs)) / float64(len(alive)))
+		}
+		s.g.ZeroGrads()
+		for j := 0; j < k; j++ {
+			if outGrads[j] == nil {
+				continue
+			}
+			// Re-forward to restore layer caches for batch j (they were
+			// clobbered when batch j+1.. were generated).
+			s.g.Forward(zs[j], labs[j], true)
+			s.g.Backward(outGrads[j])
+		}
+		s.optG.Step(s.g.Params())
+		updates++
+
+		if s.eval != nil && s.evalEvery > 0 && it%s.evalEvery == 0 {
+			s.eval(it, s.g)
+		}
+	}
+	return updates, nil
+}
+
+// sattolo returns a uniform random cyclic permutation of names as a
+// map name → successor. Cyclic permutations have no fixed points, so no
+// worker ever "swaps with itself" (which would defeat §IV-C1).
+func sattolo(names []string, rng *rand.Rand) map[string]string {
+	p := append([]string(nil), names...)
+	for i := len(p) - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		p[i], p[j] = p[j], p[i]
+	}
+	out := make(map[string]string, len(p))
+	for i, name := range p {
+		out[name] = p[(i+1)%len(p)]
+	}
+	return out
+}

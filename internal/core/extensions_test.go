@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdgan/internal/gan"
+	"mdgan/internal/simnet"
+	"mdgan/internal/tensor"
+)
+
+func randFeedback(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	f := tensor.New(shape...)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func TestCompressNoneRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := randFeedback(rng, 4, 7)
+	got, err := decodeFeedbackAny(encodeFeedbackCompressed(f, CompressNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f, 0) {
+		t.Fatal("CompressNone must be lossless")
+	}
+}
+
+func TestCompressFP32HalvesPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := randFeedback(rng, 16, 784)
+	full := encodeFeedbackCompressed(f, CompressNone)
+	half := encodeFeedbackCompressed(f, CompressFP32)
+	if len(half) >= len(full)*6/10 {
+		t.Fatalf("fp32 payload %d not ~half of %d", len(half), len(full))
+	}
+	got, err := decodeFeedbackAny(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameShape(f) {
+		t.Fatal("shape lost")
+	}
+	for i := range f.Data {
+		if math.Abs(got.Data[i]-f.Data[i]) > 1e-6*(1+math.Abs(f.Data[i])) {
+			t.Fatalf("fp32 error too large at %d: %g vs %g", i, got.Data[i], f.Data[i])
+		}
+	}
+}
+
+func TestCompressTopKKeepsLargestEntries(t *testing.T) {
+	f := tensor.New(1, 100)
+	for i := range f.Data {
+		f.Data[i] = 0.001
+	}
+	f.Data[7] = 5
+	f.Data[42] = -9
+	f.Data[99] = 3
+	got, err := decodeFeedbackAny(encodeFeedbackCompressed(f, CompressTopK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three spikes survive (k = 10% of 100 = 10 entries).
+	for _, i := range []int{7, 42, 99} {
+		if math.Abs(got.Data[i]-f.Data[i]) > 1e-4 {
+			t.Fatalf("spike at %d lost: %g", i, got.Data[i])
+		}
+	}
+	// Payload far below the dense encoding.
+	dense := encodeFeedbackCompressed(f, CompressNone)
+	sparse := encodeFeedbackCompressed(f, CompressTopK)
+	if len(sparse) >= len(dense)/4 {
+		t.Fatalf("topk payload %d not well below dense %d", len(sparse), len(dense))
+	}
+}
+
+// Property: every compression mode decodes to the original shape, and
+// fp32 stays within float32 rounding of the original values.
+func TestCompressionRoundTripProperty(t *testing.T) {
+	f := func(seed int64, modeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mode := Compression(modeRaw % 3)
+		x := randFeedback(rng, 1+rng.Intn(5), 1+rng.Intn(40))
+		got, err := decodeFeedbackAny(encodeFeedbackCompressed(x, mode))
+		if err != nil || !got.SameShape(x) {
+			return false
+		}
+		if mode == CompressTopK {
+			return true // lossy by design
+		}
+		for i := range x.Data {
+			if math.Abs(got.Data[i]-x.Data[i]) > 1e-6*(1+math.Abs(x.Data[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFeedbackRejectsGarbage(t *testing.T) {
+	if _, err := decodeFeedbackAny(nil); err == nil {
+		t.Fatal("empty payload must error")
+	}
+	if _, err := decodeFeedbackAny([]byte{200, 1, 2, 3}); err == nil {
+		t.Fatal("unknown mode byte must error")
+	}
+}
+
+// TestCompressedTrainingReducesTraffic runs MD-GAN with fp32 feedback
+// and verifies (a) W→C traffic is roughly halved, (b) training still
+// converges on the ring.
+func TestCompressedTrainingReducesTraffic(t *testing.T) {
+	run := func(mode Compression) (int64, *Result) {
+		shards := ringShards(3, 200, 41)
+		cfg := baseConfig()
+		cfg.Iters = 150
+		cfg.Compress = mode
+		res, err := Train(shards, gan.RingMLP(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Traffic.Bytes[simnet.WtoC], res
+	}
+	full, _ := run(CompressNone)
+	half, res := run(CompressFP32)
+	if half >= full*6/10 {
+		t.Fatalf("fp32 W→C traffic %d not ~half of %d", half, full)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x, _ := res.G.Generate(128, rng, false)
+	sum := 0.0
+	for i := 0; i < x.Dim(0); i++ {
+		sum += math.Hypot(x.At(i, 0), x.At(i, 1))
+	}
+	if mean := sum / 128; mean < 0.8 || mean > 3.2 {
+		t.Fatalf("compressed training diverged: mean radius %v", mean)
+	}
+}
+
+// TestActivePerRoundSubsetsWorkers checks the §VII.4 client-sampling
+// extension: per-iteration traffic drops proportionally and all workers
+// still participate over time.
+func TestActivePerRoundSubsetsWorkers(t *testing.T) {
+	const n = 6
+	shards := ringShards(n, 120, 43)
+	cfg := baseConfig()
+	cfg.Iters = 30
+	cfg.K = 1
+	cfg.SwapEvery = -1
+	cfg.ActivePerRound = 2
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly ActivePerRound batch messages per iteration (+ stop msgs).
+	wantMsgs := int64(cfg.Iters*2 + n)
+	if got := res.Traffic.Msgs[simnet.CtoW]; got != wantMsgs {
+		t.Fatalf("C→W msgs = %d, want %d", got, wantMsgs)
+	}
+	if got := res.Traffic.Msgs[simnet.WtoC]; got != int64(cfg.Iters*2) {
+		t.Fatalf("W→C msgs = %d, want %d", got, cfg.Iters*2)
+	}
+	// Over 30 iterations of 2-of-6 sampling, every worker should have
+	// been activated at least once (probability of missing one worker
+	// is (4/6)^30 ≈ 5e-6).
+	for name, egress := range res.Traffic.EgressByNode {
+		if name == serverName {
+			continue
+		}
+		if egress == 0 {
+			t.Fatalf("worker %s never activated", name)
+		}
+	}
+	if len(res.Live) != n {
+		t.Fatalf("live = %v", res.Live)
+	}
+}
+
+func TestActivePerRoundStillLearns(t *testing.T) {
+	shards := ringShards(4, 400, 45)
+	cfg := baseConfig()
+	cfg.Iters = 400
+	cfg.Batch = 32
+	cfg.ActivePerRound = 2
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	x, _ := res.G.Generate(256, rng, false)
+	sum := 0.0
+	for i := 0; i < x.Dim(0); i++ {
+		sum += math.Hypot(x.At(i, 0), x.At(i, 1))
+	}
+	if mean := sum / 256; mean < 1.0 || mean > 3.0 {
+		t.Fatalf("subset training diverged: mean radius %v", mean)
+	}
+}
+
+func TestTopKIndices(t *testing.T) {
+	data := []float64{1, -10, 3, 0.5, -2}
+	idx := topKIndices(data, 2) // largest magnitudes: |-10| at 1, |3| at 2
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 2 {
+		t.Fatalf("topKIndices = %v, want [1 2]", idx)
+	}
+	all := topKIndices(data, 99)
+	if len(all) != len(data) {
+		t.Fatalf("k >= len must return all, got %v", all)
+	}
+}
+
+func TestCompressionString(t *testing.T) {
+	if CompressNone.String() != "none" || CompressFP32.String() != "fp32" || CompressTopK.String() != "topk" {
+		t.Fatal("Compression.String broken")
+	}
+}

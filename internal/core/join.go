@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/gan"
+	"mdgan/internal/opt"
+	"mdgan/internal/simnet"
+)
+
+// Dynamic worker join (paper §IV-A): "extra workers can enter the
+// learning task if they enter with a pre-trained discriminator (e.g., a
+// copy of another worker discriminator)".
+//
+// The join protocol is server-mediated so it stays deterministic:
+//
+//  1. at the end of iteration i the server registers the new node and
+//     spawns its goroutine (with a fresh data shard supplied by the
+//     caller);
+//  2. the server asks a uniformly-chosen live donor for its
+//     discriminator (msgClone → msgDParams);
+//  3. the server forwards the parameters to the joiner (msgSwap — the
+//     worker loop already adopts stray swap payloads), then marks it
+//     live, so the joiner's first batches arrive strictly after its
+//     pre-trained discriminator.
+//
+// A join therefore costs 2·|θ| of traffic (donor→server→joiner).
+
+// Message types used by the join protocol.
+const (
+	msgClone   = "clone"   // C→W: please send me your discriminator
+	msgDParams = "dparams" // W→C: discriminator parameters (clone reply)
+)
+
+// processJoins spawns and initialises the workers scheduled to join at
+// iteration it. Called by the server between iterations.
+func (s *server) processJoins(it int, spawn func(shard *dataset.Dataset) (*worker, error)) error {
+	shards := s.joinAt[it]
+	if len(shards) == 0 {
+		return nil
+	}
+	for _, shard := range shards {
+		donors := s.liveWorkers()
+		if len(donors) == 0 {
+			return fmt.Errorf("core: worker join at iteration %d with no live donor", it)
+		}
+		donor := donors[s.rng.Intn(len(donors))]
+		w, err := spawn(shard)
+		if err != nil {
+			return fmt.Errorf("core: join spawn: %w", err)
+		}
+		// Ask the donor for its discriminator.
+		if err := s.net.Send(simnet.Message{
+			From: serverName, To: donor, Type: msgClone,
+			Kind: simnet.CtoW, Payload: []byte(serverName),
+		}); err != nil {
+			return fmt.Errorf("core: clone request to %s: %w", donor, err)
+		}
+		// Wait for the reply, ignoring any unrelated stragglers.
+		var params []byte
+		inbox := s.net.Inbox(serverName)
+		for params == nil {
+			msg, ok := <-inbox
+			if !ok {
+				return fmt.Errorf("core: server inbox closed during join")
+			}
+			if msg.Type == msgDParams && msg.From == donor {
+				params = msg.Payload
+			}
+		}
+		// Hand the pre-trained discriminator to the joiner before it
+		// can see any batches.
+		if err := s.net.Send(simnet.Message{
+			From: serverName, To: w.name, Type: msgSwap,
+			Kind: simnet.CtoW, Payload: params,
+		}); err != nil {
+			return fmt.Errorf("core: forward clone to %s: %w", w.name, err)
+		}
+		s.order = append(s.order, w.name)
+		s.live[w.name] = true
+	}
+	return nil
+}
+
+// spawnJoiner builds the worker-spawning closure Train hands to the
+// server for dynamic joins.
+func spawnJoiner(cfg Config, net simnet.Net, lc gan.LossConfig, template *gan.Discriminator,
+	workers *[]*worker, nextIdx *int) func(*dataset.Dataset) (*worker, error) {
+	return func(shard *dataset.Dataset) (*worker, error) {
+		i := *nextIdx
+		*nextIdx++
+		name := workerName(i)
+		if err := net.Register(name); err != nil {
+			return nil, err
+		}
+		w := &worker{
+			name: name,
+			// Architecture template; overwritten by the donor's
+			// parameters before the first batch arrives.
+			d:         template.Clone(),
+			lc:        lc,
+			optD:      opt.NewAdam(cfg.OptD),
+			sampler:   dataset.NewSampler(shard, cfg.Seed+7919*int64(i+1)),
+			batch:     cfg.Batch,
+			discL:     cfg.DiscSteps,
+			net:       net,
+			lazySwap:  cfg.Async,
+			compress:  cfg.Compress,
+			byzantine: cfg.Byzantine[i],
+			rng:       rand.New(rand.NewSource(cfg.Seed + 15485863*int64(i+1))),
+			done:      make(chan struct{}),
+		}
+		*workers = append(*workers, w)
+		go w.run()
+		return w, nil
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/gan"
+	"mdgan/internal/simnet"
+)
+
+func TestWorkerJoinAddsParticipant(t *testing.T) {
+	shards := ringShards(3, 100, 61) // shards for workers 0..2 + spare
+	spare := dataset.GaussianRing(100, 8, 2.0, 0.05, 62)
+	cfg := baseConfig()
+	cfg.Iters = 20
+	cfg.SwapEvery = -1
+	cfg.JoinAt = map[int][]*dataset.Dataset{8: {spare}}
+	res, err := Train(shards[:2], gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Live) != 3 {
+		t.Fatalf("live = %v, want original 2 + 1 joiner", res.Live)
+	}
+	if _, ok := res.Discs[workerName(2)]; !ok {
+		t.Fatal("joined worker's discriminator missing from result")
+	}
+	// After the join, every iteration carries 3 feedbacks instead of 2:
+	// 7 iterations × 2 + 13 × 3 = 53, plus the one dparams clone reply.
+	wantWtoC := int64(7*2 + 13*3 + 1)
+	if got := res.Traffic.Msgs[simnet.WtoC]; got != wantWtoC {
+		t.Fatalf("W→C msgs = %d, want %d", got, wantWtoC)
+	}
+}
+
+// TestJoinerAdoptsDonorDiscriminator: with discriminator training
+// disabled, every worker's D stays at its adopted value, so the joiner
+// must end bit-identical to its donor — proving it entered with a
+// pre-trained copy rather than a fresh initialisation.
+func TestJoinerAdoptsDonorDiscriminator(t *testing.T) {
+	shards := ringShards(2, 100, 63)
+	spare := dataset.GaussianRing(100, 8, 2.0, 0.05, 64)
+	cfg := baseConfig()
+	cfg.Iters = 10
+	cfg.DiscSteps = -1
+	cfg.SwapEvery = -1
+	cfg.JoinAt = map[int][]*dataset.Dataset{5: {spare}}
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := res.Discs[workerName(2)]
+	if joined == nil {
+		t.Fatal("no joiner discriminator")
+	}
+	// All discriminators started identical and never trained, so the
+	// joiner must match worker 0 exactly.
+	a := joined.Trunk.ParamVector()
+	b := res.Discs[workerName(0)].Trunk.ParamVector()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("joiner did not adopt the donor's discriminator")
+		}
+	}
+}
+
+func TestJoinTrafficCost(t *testing.T) {
+	shards := ringShards(2, 100, 65)
+	spare := dataset.GaussianRing(100, 8, 2.0, 0.05, 66)
+	cfg := baseConfig()
+	cfg.Iters = 6
+	cfg.SwapEvery = -1
+	run := func(join bool) simnet.Traffic {
+		c := cfg
+		if join {
+			c.JoinAt = map[int][]*dataset.Dataset{3: {spare}}
+		}
+		res, err := Train(ringShards(2, 100, 65), gan.RingMLP(), c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Traffic
+	}
+	_ = shards
+	without := run(false)
+	with := run(true)
+	// The join adds one |θ| upload (donor→server) beyond the extra
+	// worker's ordinary feedback traffic.
+	d := gan.RingMLP().NewGAN(1, cfg.GenLoss, 0).D
+	extraUp := with.Bytes[simnet.WtoC] - without.Bytes[simnet.WtoC]
+	feedbackBytes := int64(4+4*2+8*cfg.Batch*2) + 1
+	wantExtra := d.EncodedParamSize() + 4*feedbackBytes // 4 post-join iterations
+	if extraUp != wantExtra {
+		t.Fatalf("extra W→C bytes = %d, want %d", extraUp, wantExtra)
+	}
+}
+
+func TestJoinDeterminism(t *testing.T) {
+	run := func() []float64 {
+		spare := dataset.GaussianRing(100, 8, 2.0, 0.05, 68)
+		cfg := baseConfig()
+		cfg.Iters = 12
+		cfg.JoinAt = map[int][]*dataset.Dataset{6: {spare}}
+		res, err := Train(ringShards(2, 100, 67), gan.RingMLP(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.G.Net.ParamVector()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("join run not deterministic at param %d", i)
+		}
+	}
+}
+
+func TestJoinRejectedInAsyncMode(t *testing.T) {
+	spare := dataset.GaussianRing(50, 8, 2.0, 0.05, 69)
+	cfg := baseConfig()
+	cfg.Async = true
+	cfg.JoinAt = map[int][]*dataset.Dataset{2: {spare}}
+	if _, err := Train(ringShards(2, 50, 70), gan.RingMLP(), cfg, nil); err == nil {
+		t.Fatal("join in async mode must be rejected")
+	}
+}
+
+func TestJoinThenLearn(t *testing.T) {
+	// Start with one worker, join three more early, and verify the
+	// grown cluster still learns the ring.
+	base := ringShards(1, 500, 71)
+	joins := map[int][]*dataset.Dataset{
+		20: {dataset.GaussianRing(500, 8, 2.0, 0.05, 72)},
+		40: {dataset.GaussianRing(500, 8, 2.0, 0.05, 73), dataset.GaussianRing(500, 8, 2.0, 0.05, 74)},
+	}
+	cfg := baseConfig()
+	cfg.Iters = 400
+	cfg.Batch = 32
+	cfg.K = 1 // initial cluster is a single worker
+	cfg.JoinAt = joins
+	res, err := Train(base, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Live) != 4 {
+		t.Fatalf("live = %v", res.Live)
+	}
+	rng := rand.New(rand.NewSource(7))
+	x, _ := res.G.Generate(256, rng, false)
+	sum := 0.0
+	for i := 0; i < x.Dim(0); i++ {
+		sum += math.Hypot(x.At(i, 0), x.At(i, 1))
+	}
+	if mean := sum / 256; mean < 1.0 || mean > 3.0 {
+		t.Fatalf("grown cluster diverged: mean radius %v", mean)
+	}
+}

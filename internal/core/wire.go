@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"mdgan/internal/gan"
+	"mdgan/internal/tensor"
+)
+
+// Wire encodings for the three MD-GAN message types. The formats are
+// explicit binary (tensor framing from internal/tensor plus
+// little-endian label/flag fields) so payload sizes are deterministic —
+// the byte accounting behind Tables III/IV counts these payloads.
+
+// Message type tags.
+const (
+	msgBatches  = "batches"  // C→W: the two generated batches
+	msgFeedback = "feedback" // W→C: error feedback F_n
+	msgSwap     = "swap"     // W→W: discriminator parameters
+	msgStop     = "stop"     // C→W: terminate
+)
+
+// batchesMsg carries the per-worker payload of step 1 (§IV-A): the
+// discriminator-training batch X^(d) and the feedback batch X^(g) with
+// their intended labels, plus the swap command for this iteration
+// (empty SwapTo = no swap).
+type batchesMsg struct {
+	Xd, Xg *tensor.Tensor
+	Ld, Lg []int
+	SwapTo string
+}
+
+func writeLabels(buf *bytes.Buffer, labels []int) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(labels)))
+	buf.Write(tmp[:])
+	for _, l := range labels {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(l))
+		buf.Write(tmp[:])
+	}
+}
+
+func readLabels(r *bytes.Reader) ([]int, error) {
+	var tmp [4]byte
+	if _, err := r.Read(tmp[:]); err != nil {
+		return nil, fmt.Errorf("core: read label count: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(tmp[:]))
+	if n == 0 {
+		return nil, nil
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		if _, err := r.Read(tmp[:]); err != nil {
+			return nil, fmt.Errorf("core: read label %d: %w", i, err)
+		}
+		labels[i] = int(binary.LittleEndian.Uint32(tmp[:]))
+	}
+	return labels, nil
+}
+
+func encodeBatches(m batchesMsg) []byte {
+	var buf bytes.Buffer
+	if _, err := m.Xd.WriteTo(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	writeLabels(&buf, m.Ld)
+	if _, err := m.Xg.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	writeLabels(&buf, m.Lg)
+	writeString(&buf, m.SwapTo)
+	return buf.Bytes()
+}
+
+func decodeBatches(p []byte) (batchesMsg, error) {
+	var m batchesMsg
+	r := bytes.NewReader(p)
+	m.Xd = new(tensor.Tensor)
+	if _, err := m.Xd.ReadFrom(r); err != nil {
+		return m, fmt.Errorf("core: decode X(d): %w", err)
+	}
+	var err error
+	if m.Ld, err = readLabels(r); err != nil {
+		return m, err
+	}
+	m.Xg = new(tensor.Tensor)
+	if _, err := m.Xg.ReadFrom(r); err != nil {
+		return m, fmt.Errorf("core: decode X(g): %w", err)
+	}
+	if m.Lg, err = readLabels(r); err != nil {
+		return m, err
+	}
+	if m.SwapTo, err = readString(r); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
+	buf.Write(tmp[:])
+	buf.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	var tmp [4]byte
+	if _, err := r.Read(tmp[:]); err != nil {
+		return "", fmt.Errorf("core: read string length: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(tmp[:]))
+	if n == 0 {
+		return "", nil
+	}
+	b := make([]byte, n)
+	if _, err := r.Read(b); err != nil {
+		return "", fmt.Errorf("core: read string: %w", err)
+	}
+	return string(b), nil
+}
+
+// Feedback framing lives in compress.go: F_n is b·d floats (the W→C
+// entry of Table III) under CompressNone, or a reduced encoding under
+// the §VII.2 compression extensions.
+
+// encodeDiscParams frames a discriminator's parameters for a swap.
+// Size is the |θ| payload of Table III's W→W row.
+func encodeDiscParams(d *gan.Discriminator) []byte {
+	var buf bytes.Buffer
+	if _, err := d.WriteParams(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeDiscParamsInto(d *gan.Discriminator, p []byte) error {
+	if _, err := d.ReadParams(bytes.NewReader(p)); err != nil {
+		return fmt.Errorf("core: decode swap params: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/gan"
+	"mdgan/internal/opt"
+	"mdgan/internal/simnet"
+)
+
+// worker is one MD-GAN participant: it hosts a discriminator D_n and a
+// local data shard B_n, and runs the WORKER procedure of Algorithm 1 in
+// its own goroutine, driven entirely by messages.
+type worker struct {
+	name    string
+	d       *gan.Discriminator
+	lc      gan.LossConfig
+	optD    *opt.Adam
+	sampler *dataset.Sampler
+	batch   int
+	discL   int
+	net     simnet.Net
+	// lazySwap applies incoming swap parameters whenever they arrive
+	// instead of blocking for them (used in async mode, where strict
+	// rendezvous could stall the pipeline).
+	lazySwap bool
+	// compress selects the feedback wire encoding (§VII.2 extension).
+	compress Compression
+	// byzantine, when non-zero, corrupts the feedback before sending
+	// (§VII.3 adversary model).
+	byzantine ByzantineMode
+	// rng drives the ByzantineRandom attack.
+	rng *rand.Rand
+
+	// pending buffers messages that arrive while the worker is blocked
+	// waiting for a swap (e.g. the next iteration's batches racing the
+	// peer's swap message on TCP transports).
+	pending []simnet.Message
+
+	done chan struct{}
+	once sync.Once
+}
+
+// run processes messages until stopped or crashed (inbox closed).
+// w.done must be initialised before the goroutine starts.
+func (w *worker) run() {
+	defer w.once.Do(func() { close(w.done) })
+	inbox := w.net.Inbox(w.name)
+	for {
+		msg, ok := w.next(inbox)
+		if !ok {
+			return // crashed: inbox closed under us (fail-stop)
+		}
+		switch msg.Type {
+		case msgStop:
+			return
+		case msgSwap:
+			// A swap that arrived outside a rendezvous (lazy mode,
+			// late delivery, or the join protocol's initial clone):
+			// adopt the incoming discriminator.
+			if err := decodeDiscParamsInto(w.d, msg.Payload); err != nil {
+				return
+			}
+		case msgClone:
+			// The server asked for a copy of our discriminator to
+			// bootstrap a joining worker (§IV-A).
+			if err := w.net.Send(simnet.Message{
+				From: w.name, To: serverName, Type: msgDParams,
+				Kind: simnet.WtoC, Payload: encodeDiscParams(w.d),
+			}); err != nil {
+				return
+			}
+		case msgBatches:
+			if !w.handleBatches(msg) {
+				return
+			}
+		}
+	}
+}
+
+// next pops a buffered message first, then reads the inbox.
+func (w *worker) next(inbox <-chan simnet.Message) (simnet.Message, bool) {
+	if len(w.pending) > 0 {
+		msg := w.pending[0]
+		w.pending = w.pending[1:]
+		return msg, true
+	}
+	msg, ok := <-inbox
+	return msg, ok
+}
+
+// handleBatches runs one global iteration at the worker: L local
+// discriminator steps on (X^(r), X^(d)), the error feedback on X^(g),
+// and the swap when commanded. Returns false when the worker must stop.
+func (w *worker) handleBatches(msg simnet.Message) bool {
+	bm, err := decodeBatches(msg.Payload)
+	if err != nil {
+		return false
+	}
+	// Step 2 (§IV-A): L discriminator learning steps against the local
+	// shard. X^(r) is drawn once per global iteration (Algorithm 1
+	// line 4) and reused across the L steps.
+	xr, lr := w.sampler.Sample(w.batch)
+	for l := 0; l < w.discL; l++ {
+		gan.DiscStep(w.d, w.lc, w.optD, xr, lr, bm.Xd, bm.Ld)
+	}
+	// Step 3: error feedback on X^(g). A compromised worker lies here.
+	fn, _ := gan.Feedback(w.d, w.lc, bm.Xg, bm.Lg)
+	if w.byzantine != ByzantineNone {
+		corruptFeedback(fn, w.byzantine, w.rng)
+	}
+
+	// SWAP (§IV-C1): send D_n before the feedback so that once the
+	// server has every feedback, every swap is already in flight —
+	// the receiving rendezvous below can then never deadlock.
+	if bm.SwapTo != "" {
+		if err := w.net.Send(simnet.Message{
+			From: w.name, To: bm.SwapTo, Type: msgSwap,
+			Kind: simnet.WtoW, Payload: encodeDiscParams(w.d),
+		}); err != nil {
+			// Receiver crashed mid-round: keep our discriminator.
+			_ = err
+		}
+	}
+	if err := w.net.Send(simnet.Message{
+		From: w.name, To: serverName, Type: msgFeedback,
+		Kind: simnet.WtoC, Payload: encodeFeedbackCompressed(fn, w.compress),
+	}); err != nil {
+		return false
+	}
+	if bm.SwapTo != "" && !w.lazySwap {
+		return w.awaitSwap()
+	}
+	return true
+}
+
+// awaitSwap blocks until the replacement discriminator arrives,
+// buffering any other traffic for later processing.
+func (w *worker) awaitSwap() bool {
+	inbox := w.net.Inbox(w.name)
+	for {
+		msg, ok := <-inbox
+		if !ok {
+			return false
+		}
+		if msg.Type == msgSwap {
+			return decodeDiscParamsInto(w.d, msg.Payload) == nil
+		}
+		if msg.Type == msgStop {
+			// Shutdown beats the swap: requeue so run() sees it next.
+			w.pending = append(w.pending, msg)
+			return true
+		}
+		w.pending = append(w.pending, msg)
+	}
+}
+
+// wait blocks until the worker goroutine has exited.
+func (w *worker) wait() {
+	if w.done != nil {
+		<-w.done
+	}
+}

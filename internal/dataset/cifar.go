@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Class palettes for the CIFAR10 stand-in: each class owns a base colour
+// and a texture family, so classes are separable yet overlapping enough
+// to be non-trivial (colour channels correlate, textures share phases).
+var cifarPalette = [10][3]float64{
+	{0.9, -0.4, -0.4}, // 0: red-ish
+	{-0.4, 0.9, -0.4}, // 1: green-ish
+	{-0.4, -0.4, 0.9}, // 2: blue-ish
+	{0.9, 0.9, -0.5},  // 3: yellow
+	{0.9, -0.5, 0.9},  // 4: magenta
+	{-0.5, 0.9, 0.9},  // 5: cyan
+	{0.8, 0.4, -0.2},  // 6: orange
+	{-0.2, 0.4, 0.8},  // 7: sky
+	{0.5, 0.5, 0.5},   // 8: light grey
+	{-0.6, 0.1, -0.6}, // 9: dark green
+}
+
+// SynthCIFAR generates n procedural 32×32×3 images in 10 classes, the
+// CIFAR10 stand-in. Each class combines its palette colour with one of
+// five texture families (stripes at class-dependent angles, checkers,
+// radial rings), plus random phase and noise.
+func SynthCIFAR(n int, seed int64) *Dataset { return SynthCIFARSize(n, seed, 32) }
+
+// SynthCIFARSize generates the same patterns at an arbitrary square size
+// (scaled-down variants keep test runtimes short).
+func SynthCIFARSize(n int, seed int64, size int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	s := size
+	ds := &Dataset{Name: "synthcifar", Classes: 10, C: 3, H: s, W: s}
+	ds.X = newImageTensor(n, 3, s, s)
+	ds.Labels = make([]int, n)
+	vol := 3 * s * s
+	for i := 0; i < n; i++ {
+		label := rng.Intn(10)
+		ds.Labels[i] = label
+		drawPattern(ds.X.Data[i*vol:(i+1)*vol], label, s, rng)
+	}
+	return ds
+}
+
+func drawPattern(data []float64, label, s int, rng *rand.Rand) {
+	base := cifarPalette[label]
+	family := label % 5
+	freq := 2 + float64(label%3)         // spatial frequency
+	phase := rng.Float64() * 2 * math.Pi // random phase: intra-class variety
+	amp := 0.6 + 0.3*rng.Float64()
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			fy := float64(y) / float64(s)
+			fx := float64(x) / float64(s)
+			var t float64
+			switch family {
+			case 0: // horizontal stripes
+				t = math.Sin(2*math.Pi*freq*fy + phase)
+			case 1: // vertical stripes
+				t = math.Sin(2*math.Pi*freq*fx + phase)
+			case 2: // diagonal stripes
+				t = math.Sin(2*math.Pi*freq*(fx+fy) + phase)
+			case 3: // checkers
+				t = math.Sin(2*math.Pi*freq*fx+phase) * math.Sin(2*math.Pi*freq*fy+phase)
+			default: // radial rings
+				r := math.Hypot(fx-0.5, fy-0.5)
+				t = math.Sin(2*math.Pi*2*freq*r + phase)
+			}
+			for c := 0; c < 3; c++ {
+				v := base[c] * (0.4 + amp*0.5*(t+1)/2)
+				if v > 1 {
+					v = 1
+				} else if v < -1 {
+					v = -1
+				}
+				data[(c*s+y)*s+x] = v
+			}
+		}
+	}
+	addNoise(data, 0.1, rng)
+}

@@ -1,0 +1,204 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSynthDigitsBasics(t *testing.T) {
+	ds := SynthDigits(200, 1)
+	if ds.Len() != 200 || ds.Classes != 10 {
+		t.Fatalf("len %d classes %d", ds.Len(), ds.Classes)
+	}
+	if ds.SampleDim() != 28*28 {
+		t.Fatalf("sample dim %d", ds.SampleDim())
+	}
+	seen := make(map[int]bool)
+	for _, l := range ds.Labels {
+		if l < 0 || l > 9 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d classes present in 200 samples", len(seen))
+	}
+	for _, v := range ds.X.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("pixel %v outside [-1,1]", v)
+		}
+	}
+}
+
+func TestSynthDigitsDeterministic(t *testing.T) {
+	a := SynthDigits(50, 7)
+	b := SynthDigits(50, 7)
+	if !a.X.Equal(b.X, 0) {
+		t.Fatal("same seed must give identical data")
+	}
+	c := SynthDigits(50, 8)
+	if a.X.Equal(c.X, 0) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestDigitsClassesAreDistinguishable(t *testing.T) {
+	// Nearest-centroid classification on noiseless-ish data should beat
+	// chance by a wide margin; this is what makes MS/FID meaningful.
+	train := SynthDigits(500, 1)
+	test := SynthDigits(200, 2)
+	d := train.SampleDim()
+	centroids := make([][]float64, 10)
+	counts := make([]int, 10)
+	for i := range centroids {
+		centroids[i] = make([]float64, d)
+	}
+	for i := 0; i < train.Len(); i++ {
+		l := train.Labels[i]
+		counts[l]++
+		for j := 0; j < d; j++ {
+			centroids[l][j] += train.X.Data[i*d+j]
+		}
+	}
+	for l := range centroids {
+		for j := range centroids[l] {
+			centroids[l][j] /= float64(counts[l])
+		}
+	}
+	hit := 0
+	for i := 0; i < test.Len(); i++ {
+		best, bl := math.Inf(1), -1
+		for l := range centroids {
+			s := 0.0
+			for j := 0; j < d; j++ {
+				diff := test.X.Data[i*d+j] - centroids[l][j]
+				s += diff * diff
+			}
+			if s < best {
+				best, bl = s, l
+			}
+		}
+		if bl == test.Labels[i] {
+			hit++
+		}
+	}
+	acc := float64(hit) / float64(test.Len())
+	if acc < 0.8 {
+		t.Fatalf("nearest-centroid accuracy %.2f, want >= 0.8", acc)
+	}
+}
+
+func TestSynthCIFARBasics(t *testing.T) {
+	ds := SynthCIFAR(100, 3)
+	if ds.C != 3 || ds.H != 32 || ds.W != 32 || ds.SampleDim() != 3072 {
+		t.Fatalf("geometry %d %d %d dim %d", ds.C, ds.H, ds.W, ds.SampleDim())
+	}
+	for _, v := range ds.X.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("pixel %v outside [-1,1]", v)
+		}
+	}
+}
+
+func TestSynthFacesBasics(t *testing.T) {
+	ds := SynthFaces(64, 4)
+	if ds.Classes != 8 {
+		t.Fatalf("classes %d", ds.Classes)
+	}
+	seen := map[int]bool{}
+	for _, l := range ds.Labels {
+		if l < 0 || l > 7 {
+			t.Fatalf("label %d", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("only %d attribute classes present in 64 samples", len(seen))
+	}
+}
+
+func TestGaussianRingGeometry(t *testing.T) {
+	ds := GaussianRing(1000, 8, 2.0, 0.05, 5)
+	if ds.SampleDim() != 2 {
+		t.Fatalf("dim %d", ds.SampleDim())
+	}
+	// Every point should be near radius 2.
+	for i := 0; i < ds.Len(); i++ {
+		r := math.Hypot(ds.X.Data[2*i], ds.X.Data[2*i+1])
+		if r < 1.5 || r > 2.5 {
+			t.Fatalf("point %d at radius %v", i, r)
+		}
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	ds := SynthDigits(103, 6)
+	shards := Split(ds, 4, 1)
+	total := 0
+	for _, sh := range shards {
+		total += sh.Len()
+		if sh.Classes != 10 || sh.C != 1 {
+			t.Fatal("shard metadata lost")
+		}
+	}
+	if total != 103 {
+		t.Fatalf("shards cover %d of 103 samples", total)
+	}
+	// Sizes near-equal: ceil/floor of 103/4.
+	for _, sh := range shards {
+		if sh.Len() < 25 || sh.Len() > 26 {
+			t.Fatalf("shard size %d", sh.Len())
+		}
+	}
+}
+
+// Property: Split covers the dataset exactly — total mass (sum of all
+// pixels) is preserved for any shard count.
+func TestSplitMassConservationProperty(t *testing.T) {
+	ds := SynthDigits(60, 9)
+	want := ds.X.Sum()
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		shards := Split(ds, n, 42)
+		got := 0.0
+		for _, sh := range shards {
+			got += sh.X.Sum()
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerDeterministicAndInRange(t *testing.T) {
+	ds := SynthDigits(40, 10)
+	a, la := NewSampler(ds, 3).Sample(16)
+	b, lb := NewSampler(ds, 3).Sample(16)
+	if !a.Equal(b, 0) {
+		t.Fatal("same-seed samplers must agree")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("label streams must agree")
+		}
+	}
+	if a.Dim(0) != 16 {
+		t.Fatalf("batch rows %d", a.Dim(0))
+	}
+}
+
+func TestBatchGather(t *testing.T) {
+	ds := GaussianRing(10, 4, 1, 0.01, 11)
+	x, labels := ds.Batch([]int{3, 3, 7})
+	if x.Dim(0) != 3 || len(labels) != 3 {
+		t.Fatal("bad batch shape")
+	}
+	if x.At(0, 0) != x.At(1, 0) || labels[0] != labels[1] {
+		t.Fatal("repeated index must repeat the sample")
+	}
+	if x.At(2, 0) != ds.X.At(7, 0) || labels[2] != ds.Labels[7] {
+		t.Fatal("gather mismatch")
+	}
+}

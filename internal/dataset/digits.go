@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"math/rand"
+)
+
+// Seven-segment encodings: segments are numbered
+//
+//	 _0_
+//	1|   |2
+//	 |_3_|
+//	4|   |5
+//	 |_6_|
+//
+// which is enough glyph variety for ten visually distinct classes.
+var segDigits = [10][7]bool{
+	{true, true, true, false, true, true, true},     // 0
+	{false, false, true, false, false, true, false}, // 1
+	{true, false, true, true, true, false, true},    // 2
+	{true, false, true, true, false, true, true},    // 3
+	{false, true, true, true, false, true, false},   // 4
+	{true, true, false, true, false, true, true},    // 5
+	{true, true, false, true, true, true, true},     // 6
+	{true, false, true, false, false, true, false},  // 7
+	{true, true, true, true, true, true, true},      // 8
+	{true, true, true, true, false, true, true},     // 9
+}
+
+// DigitsOpts tunes the SynthDigits generator.
+type DigitsOpts struct {
+	Size   int     // image side (default 28)
+	Jitter int     // max absolute translation in pixels (default 1, -1 disables)
+	Noise  float64 // additive Gaussian sigma (default 0.08)
+}
+
+// SynthDigits generates n procedural digit images of shape
+// (n, 1, size, size) with labels 0..9, the MNIST stand-in.
+func SynthDigits(n int, seed int64) *Dataset { return SynthDigitsWith(n, seed, DigitsOpts{}) }
+
+// SynthDigitsWith generates digits with explicit options.
+func SynthDigitsWith(n int, seed int64, o DigitsOpts) *Dataset {
+	if o.Size == 0 {
+		o.Size = 28
+	}
+	switch {
+	case o.Jitter == 0:
+		o.Jitter = 1
+	case o.Jitter < 0:
+		o.Jitter = 0
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.08
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := o.Size
+	ds := &Dataset{Name: "synthdigits", Classes: 10, C: 1, H: s, W: s}
+	ds.X = newImageTensor(n, 1, s, s)
+	ds.Labels = make([]int, n)
+	vol := s * s
+	for i := 0; i < n; i++ {
+		label := rng.Intn(10)
+		ds.Labels[i] = label
+		im := newImg(ds.X.Data[i*vol:(i+1)*vol], 1, s, s)
+		drawDigit(im, label, rng, o)
+		addNoise(im.data, o.Noise, rng)
+	}
+	return ds
+}
+
+func drawDigit(im *img, d int, rng *rand.Rand, o DigitsOpts) {
+	s := o.Size
+	// Glyph box: roughly centred, height ~60% of the image.
+	gh := s * 3 / 5
+	gw := s * 2 / 5
+	th := max(2, s/9) // stroke thickness
+	oy := (s-gh)/2 + rng.Intn(2*o.Jitter+1) - o.Jitter
+	ox := (s-gw)/2 + rng.Intn(2*o.Jitter+1) - o.Jitter
+	ink := 0.75 + 0.25*rng.Float64()
+	segs := segDigits[d]
+	half := gh / 2
+	// 0: top bar
+	if segs[0] {
+		im.fillRect(0, oy, ox, oy+th, ox+gw, ink)
+	}
+	// 1: upper-left
+	if segs[1] {
+		im.fillRect(0, oy, ox, oy+half, ox+th, ink)
+	}
+	// 2: upper-right
+	if segs[2] {
+		im.fillRect(0, oy, ox+gw-th, oy+half, ox+gw, ink)
+	}
+	// 3: middle bar
+	if segs[3] {
+		im.fillRect(0, oy+half-th/2, ox, oy+half+th-th/2, ox+gw, ink)
+	}
+	// 4: lower-left
+	if segs[4] {
+		im.fillRect(0, oy+half, ox, oy+gh, ox+th, ink)
+	}
+	// 5: lower-right
+	if segs[5] {
+		im.fillRect(0, oy+half, ox+gw-th, oy+gh, ox+gw, ink)
+	}
+	// 6: bottom bar
+	if segs[6] {
+		im.fillRect(0, oy+gh-th, ox, oy+gh, ox+gw, ink)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,26 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GaussianRing generates the classic 2-D GAN toy problem: n points drawn
+// from a mixture of `modes` Gaussians placed uniformly on a circle of
+// the given radius, each with standard deviation std. Labels identify
+// the mode. Mode collapse — the failure the minibatch-discrimination
+// layer exists to catch — is directly visible on this set.
+func GaussianRing(n, modes int, radius, std float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{Name: "gaussianring", Classes: modes, C: 0, H: 0, W: 2}
+	ds.X = newVecTensor(n, 2)
+	ds.Labels = make([]int, n)
+	for i := 0; i < n; i++ {
+		m := rng.Intn(modes)
+		ds.Labels[i] = m
+		angle := 2 * math.Pi * float64(m) / float64(modes)
+		ds.X.Data[2*i] = radius*math.Cos(angle) + std*rng.NormFloat64()
+		ds.X.Data[2*i+1] = radius*math.Sin(angle) + std*rng.NormFloat64()
+	}
+	return ds
+}

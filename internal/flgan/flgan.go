@@ -1,0 +1,326 @@
+// Package flgan implements FL-GAN, the paper's adaptation of federated
+// learning (McMahan et al.) to GANs (§III-c): every worker holds a full
+// (G, D) couple treated as one atomic object, trains locally on its
+// shard for E epochs, then sends both parameter sets to the server,
+// which averages them (FedAvg) and broadcasts the result at the start
+// of the next round. It is the communication-efficient baseline MD-GAN
+// is compared against in Figs. 3–6 and Tables II–IV.
+package flgan
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/gan"
+	"mdgan/internal/nn"
+	"mdgan/internal/opt"
+	"mdgan/internal/simnet"
+)
+
+// Config configures an FL-GAN run.
+type Config struct {
+	gan.TrainConfig
+	// Epochs is E: local epochs per round (default 1).
+	Epochs int
+	// Net supplies the transport; nil selects an in-process ChannelNet.
+	Net simnet.Net
+}
+
+// EvalFunc observes the server's averaged generator after each round.
+type EvalFunc func(iter int, g *gan.Generator)
+
+// Result is the outcome of an FL-GAN run.
+type Result struct {
+	// Model is the final averaged couple held by the server.
+	Model *gan.GAN
+	// Traffic is the byte/message accounting snapshot.
+	Traffic simnet.Traffic
+	// Rounds is the number of synchronisation rounds performed.
+	Rounds int
+	// Iters is the number of local generator iterations each worker
+	// performed in total.
+	Iters int
+}
+
+const serverName = "server"
+
+func workerName(i int) string { return fmt.Sprintf("flworker%d", i) }
+
+// Message types.
+const (
+	msgModel = "model" // C→W: averaged (G, D) parameters; W→C: local ones
+	msgStop  = "stop"
+)
+
+// encodeCouple serialises G then D parameters (w and θ — the paper's
+// N(θ+w) per-round traffic).
+func encodeCouple(m *gan.GAN) []byte {
+	var buf bytes.Buffer
+	if _, err := m.G.Net.WriteParams(&buf); err != nil {
+		panic(err)
+	}
+	if m.G.Embed != nil {
+		if _, err := m.G.Embed.W.WriteTo(&buf); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := m.D.WriteParams(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeCoupleInto(m *gan.GAN, p []byte) error {
+	r := bytes.NewReader(p)
+	if _, err := m.G.Net.ReadParams(r); err != nil {
+		return fmt.Errorf("flgan: decode G: %w", err)
+	}
+	if m.G.Embed != nil {
+		if _, err := m.G.Embed.W.ReadFrom(r); err != nil {
+			return fmt.Errorf("flgan: decode embed: %w", err)
+		}
+	}
+	if _, err := m.D.ReadParams(r); err != nil {
+		return fmt.Errorf("flgan: decode D: %w", err)
+	}
+	return nil
+}
+
+// fullVector flattens every (G, D) parameter — generator network,
+// conditioning embedding, discriminator trunk and both heads — in the
+// fixed order setFullVector expects.
+func fullVector(m *gan.GAN) []float64 {
+	v := m.G.Net.ParamVector()
+	if m.G.Embed != nil {
+		v = append(v, m.G.Embed.W.Data...)
+	}
+	v = append(v, m.D.Trunk.ParamVector()...)
+	v = append(v, m.D.Src.ParamVector()...)
+	if m.D.Cls != nil {
+		v = append(v, m.D.Cls.ParamVector()...)
+	}
+	return v
+}
+
+// Train runs FL-GAN over the shards. Iters counts LOCAL generator
+// iterations per worker (matching the x-axes of Fig. 3, where FL-GAN
+// scores are plotted against worker iterations); a synchronisation
+// round happens every E·m/b local iterations.
+func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) (*Result, error) {
+	cfg.TrainConfig = cfg.TrainConfig.Defaults()
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 1
+	}
+	n := len(shards)
+	if n == 0 {
+		return nil, fmt.Errorf("flgan: no shards")
+	}
+
+	net := cfg.Net
+	if net == nil {
+		net = simnet.NewChannelNet(0)
+		defer net.Close()
+	}
+	if err := net.Register(serverName); err != nil {
+		return nil, err
+	}
+
+	// Server model; every worker starts from the same parameters
+	// (federated learning synchronises at the start of each round).
+	global := arch.NewGAN(cfg.Seed, cfg.GenLoss, cfg.ClsWeight)
+
+	m := shards[0].Len()
+	for _, sh := range shards {
+		if sh.Len() < m {
+			m = sh.Len()
+		}
+	}
+	roundIters := cfg.Epochs * m / cfg.Batch
+	if roundIters < 1 {
+		roundIters = 1
+	}
+	rounds := cfg.Iters / roundIters
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	// Workers.
+	type flWorker struct {
+		name    string
+		model   *gan.GAN
+		optG    *opt.Adam
+		optD    *opt.Adam
+		sampler *dataset.Sampler
+		rng     *rand.Rand
+		done    chan struct{}
+	}
+	workers := make([]*flWorker, n)
+	for i := range workers {
+		name := workerName(i)
+		if err := net.Register(name); err != nil {
+			return nil, err
+		}
+		w := &flWorker{
+			name:    name,
+			model:   global.Clone(),
+			optG:    opt.NewAdam(cfg.OptG),
+			optD:    opt.NewAdam(cfg.OptD),
+			sampler: dataset.NewSampler(shards[i], cfg.Seed+104729*int64(i+1)),
+			rng:     rand.New(rand.NewSource(cfg.Seed + 1299709*int64(i+1))),
+			done:    make(chan struct{}),
+		}
+		workers[i] = w
+		go func() {
+			defer close(w.done)
+			inbox := net.Inbox(w.name)
+			for msg := range inbox {
+				switch msg.Type {
+				case msgStop:
+					return
+				case msgModel:
+					// Synchronise with the server's averaged couple,
+					// then run E local epochs (§III-c).
+					if err := decodeCoupleInto(w.model, msg.Payload); err != nil {
+						return
+					}
+					for it := 0; it < roundIters; it++ {
+						xr, lr := w.sampler.Sample(cfg.Batch)
+						xg, lg := w.model.G.Generate(cfg.Batch, w.rng, true)
+						for l := 0; l < cfg.DiscSteps; l++ {
+							gan.DiscStep(w.model.D, w.model.LossConfig, w.optD, xr, lr, xg, lg)
+						}
+						gan.GenStepLocal(w.model, w.optG, cfg.Batch, w.rng)
+					}
+					if err := net.Send(simnet.Message{
+						From: w.name, To: serverName, Type: msgModel,
+						Kind: simnet.WtoC, Payload: encodeCouple(w.model),
+					}); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Server rounds.
+	shadow := global.Clone() // decode buffer for incoming worker models
+	inbox := net.Inbox(serverName)
+	nextEval := cfg.EvalEvery
+	for r := 1; r <= rounds; r++ {
+		payload := encodeCouple(global)
+		for _, w := range workers {
+			if err := net.Send(simnet.Message{
+				From: serverName, To: w.name, Type: msgModel,
+				Kind: simnet.CtoW, Payload: payload,
+			}); err != nil {
+				return nil, fmt.Errorf("flgan: broadcast to %s: %w", w.name, err)
+			}
+		}
+		// Average the returned parameter vectors. Sum in worker order
+		// for determinism.
+		vectors := make(map[string][]float64, n)
+		for len(vectors) < n {
+			msg, ok := <-inbox
+			if !ok {
+				return nil, fmt.Errorf("flgan: server inbox closed")
+			}
+			if msg.Type != msgModel {
+				continue
+			}
+			if err := decodeCoupleInto(shadow, msg.Payload); err != nil {
+				return nil, err
+			}
+			vectors[msg.From] = fullVector(shadow)
+		}
+		names := make([]string, 0, n)
+		for name := range vectors {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		avg := make([]float64, len(vectors[names[0]]))
+		for _, name := range names {
+			v := vectors[name]
+			for i := range avg {
+				avg[i] += v[i]
+			}
+		}
+		inv := 1 / float64(n)
+		for i := range avg {
+			avg[i] *= inv
+		}
+		if err := setFullVector(global, avg); err != nil {
+			return nil, err
+		}
+		if eval != nil && cfg.EvalEvery > 0 {
+			// Report at the equivalent local-iteration count so curves
+			// are comparable with MD-GAN and standalone; rounds rarely
+			// align with EvalEvery exactly, so fire on every crossing.
+			it := r * roundIters
+			if it >= nextEval {
+				eval(it, global.G)
+				for nextEval <= it {
+					nextEval += cfg.EvalEvery
+				}
+			}
+		}
+	}
+	for _, w := range workers {
+		_ = net.Send(simnet.Message{From: serverName, To: w.name, Type: msgStop, Kind: simnet.CtoW})
+	}
+	for _, w := range workers {
+		<-w.done
+	}
+	return &Result{
+		Model:   global,
+		Traffic: net.Snapshot(),
+		Rounds:  rounds,
+		Iters:   rounds * roundIters,
+	}, nil
+}
+
+// setFullVector loads the averaged full-couple vector back into the
+// model, in the same order coupleVector (+ heads) produced it.
+func setFullVector(m *gan.GAN, v []float64) error {
+	gLen := m.G.Net.NumParams()
+	if err := m.G.Net.SetParamVector(v[:gLen]); err != nil {
+		return err
+	}
+	off := gLen
+	if m.G.Embed != nil {
+		e := m.G.Embed.W.Size()
+		copy(m.G.Embed.W.Data, v[off:off+e])
+		off += e
+	}
+	tLen := m.D.Trunk.NumParams()
+	if err := m.D.Trunk.SetParamVector(v[off : off+tLen]); err != nil {
+		return err
+	}
+	off += tLen
+	sLen := m.D.Src.NumParams()
+	if err := m.D.Src.SetParamVector(v[off : off+sLen]); err != nil {
+		return err
+	}
+	off += sLen
+	if m.D.Cls != nil {
+		cLen := m.D.Cls.NumParams()
+		if err := m.D.Cls.SetParamVector(v[off : off+cLen]); err != nil {
+			return err
+		}
+		off += cLen
+	}
+	if off != len(v) {
+		return fmt.Errorf("flgan: vector length %d, consumed %d", len(v), off)
+	}
+	return nil
+}
+
+// RoundTripBytes returns the per-round traffic of one worker in each
+// direction: the serialised couple size (the paper's θ+w entry in
+// Table III).
+func RoundTripBytes(arch gan.Arch, seed int64, mode nn.GenLossMode, clsWeight float64) int64 {
+	m := arch.NewGAN(seed, mode, clsWeight)
+	return int64(len(encodeCouple(m)))
+}

@@ -1,0 +1,190 @@
+package flgan
+
+import (
+	"math"
+	mathrand "math/rand"
+	"testing"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/gan"
+	"mdgan/internal/nn"
+	"mdgan/internal/opt"
+	"mdgan/internal/simnet"
+)
+
+func ringShards(n, perShard int, seed int64) []*dataset.Dataset {
+	ds := dataset.GaussianRing(n*perShard, 8, 2.0, 0.05, seed)
+	return dataset.Split(ds, n, seed+1)
+}
+
+func baseConfig() Config {
+	return Config{
+		TrainConfig: gan.TrainConfig{
+			Batch: 16, Iters: 20, DiscSteps: 1,
+			GenLoss: nn.GenLossNonSaturating,
+			OptG:    opt.AdamConfig{LR: 1e-3}, OptD: opt.AdamConfig{LR: 4e-3},
+			Seed: 7,
+		},
+		Epochs: 1,
+	}
+}
+
+func TestTrainRunsAndRounds(t *testing.T) {
+	shards := ringShards(3, 64, 1) // m=64, b=16 → 4 iters/round
+	cfg := baseConfig()
+	cfg.Iters = 20
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("rounds = %d, want 20/4 = 5", res.Rounds)
+	}
+	if res.Iters != 20 {
+		t.Fatalf("iters = %d", res.Iters)
+	}
+}
+
+// TestTrafficIsModelSized verifies the Table III structure: every round
+// moves exactly θ+w per worker in each direction, independent of batch
+// size — the defining property that separates FL-GAN from MD-GAN.
+func TestTrafficIsModelSized(t *testing.T) {
+	shards := ringShards(2, 64, 3)
+	cfg := baseConfig()
+	cfg.Iters = 8 // 2 rounds
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	couple := RoundTripBytes(gan.RingMLP(), 1, cfg.GenLoss, cfg.ClsWeight)
+	wantPerDirection := int64(2) /*workers*/ * int64(res.Rounds) * couple
+	if got := res.Traffic.Bytes[simnet.CtoW]; got != wantPerDirection {
+		t.Fatalf("C→W = %d, want %d", got, wantPerDirection)
+	}
+	if got := res.Traffic.Bytes[simnet.WtoC]; got != wantPerDirection {
+		t.Fatalf("W→C = %d, want %d", got, wantPerDirection)
+	}
+	if got := res.Traffic.Bytes[simnet.WtoW]; got != 0 {
+		t.Fatalf("FL-GAN has no W→W traffic, got %d", got)
+	}
+	// Traffic must not depend on batch size.
+	cfg2 := cfg
+	cfg2.Batch = 32
+	cfg2.Iters = 4 // keep 2 rounds (m/b = 2)
+	res2, err := Train(ringShards(2, 64, 3), gan.RingMLP(), cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Traffic.Bytes[simnet.CtoW] != res.Traffic.Bytes[simnet.CtoW] {
+		t.Fatalf("FL-GAN traffic changed with batch size: %d vs %d",
+			res2.Traffic.Bytes[simnet.CtoW], res.Traffic.Bytes[simnet.CtoW])
+	}
+}
+
+// TestAveragingIsExact runs one round with DiscSteps=-1 and Iters so
+// small that local models only drift via generator updates, then checks
+// the global model equals the element-wise mean of the (identically
+// seeded) worker results by construction: with identical RNG streams
+// and shards of identical data the workers produce identical models, so
+// the average must equal any one of them. Here we use one worker, where
+// FedAvg must be the identity on that worker's result.
+func TestAveragingSingleWorkerIsIdentity(t *testing.T) {
+	shards := ringShards(1, 64, 5)
+	cfg := baseConfig()
+	cfg.Iters = 4 // one round
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: standalone training with matching seeds/streams.
+	// (Worker 0 uses sampler seed Seed+104729 and rng seed Seed+1299709;
+	// replicate through the exported knobs by running FL again — the
+	// run must be deterministic.)
+	res2, err := Train(ringShards(1, 64, 5), gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fullVector(res.Model)
+	b := fullVector(res2.Model)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("FL-GAN run not deterministic")
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	m := gan.ScaledMLP(32).NewGAN(11, nn.GenLossNonSaturating, 1)
+	v := fullVector(m)
+	m2 := gan.ScaledMLP(32).NewGAN(12, nn.GenLossNonSaturating, 1)
+	if err := setFullVector(m2, v); err != nil {
+		t.Fatal(err)
+	}
+	v2 := fullVector(m2)
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatalf("vector round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestEncodeDecodeCouple(t *testing.T) {
+	a := gan.ScaledMLP(32).NewGAN(13, nn.GenLossNonSaturating, 1)
+	b := gan.ScaledMLP(32).NewGAN(14, nn.GenLossNonSaturating, 1)
+	if err := decodeCoupleInto(b, encodeCouple(a)); err != nil {
+		t.Fatal(err)
+	}
+	va, vb := fullVector(a), fullVector(b)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("couple transfer mismatch at %d", i)
+		}
+	}
+}
+
+// TestFLGANLearnsRing: end-to-end federated learning moves generated
+// samples onto the ring.
+func TestFLGANLearnsRing(t *testing.T) {
+	shards := ringShards(3, 300, 7)
+	cfg := baseConfig()
+	cfg.Batch = 32
+	cfg.Iters = 400
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sampleRadii(t, res.Model)
+	if x < 1.0 || x > 3.0 {
+		t.Fatalf("mean generated radius %v, want ~2", x)
+	}
+}
+
+func sampleRadii(t *testing.T, m *gan.GAN) float64 {
+	t.Helper()
+	rng := newTestRand()
+	x, _ := m.G.Generate(256, rng, false)
+	sum := 0.0
+	for i := 0; i < x.Dim(0); i++ {
+		sum += math.Hypot(x.At(i, 0), x.At(i, 1))
+	}
+	return sum / float64(x.Dim(0))
+}
+
+func TestEvalHook(t *testing.T) {
+	shards := ringShards(2, 64, 9)
+	cfg := baseConfig()
+	cfg.Iters = 12 // 3 rounds of 4 iters
+	cfg.EvalEvery = 4
+	var calls []int
+	_, err := Train(shards, gan.RingMLP(), cfg, func(it int, g *gan.Generator) {
+		calls = append(calls, it)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 3 {
+		t.Fatalf("eval calls = %v, want one per round", calls)
+	}
+}
+
+func newTestRand() *mathrand.Rand { return mathrand.New(mathrand.NewSource(77)) }

@@ -1,0 +1,391 @@
+// Package gan implements the GAN models and training primitives shared
+// by the standalone baseline, FL-GAN and MD-GAN: a class-conditional
+// generator, a two-headed (source + auxiliary class) discriminator in
+// the ACGAN style the paper trains (§V-A(b)), the discriminator and
+// generator learning steps of §II, and — central to MD-GAN — the error
+// feedback F_n = ∂B̃(X^(g))/∂x computed by backpropagating the generator
+// objective through the discriminator down to its *input*.
+package gan
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mdgan/internal/nn"
+	"mdgan/internal/opt"
+	"mdgan/internal/tensor"
+)
+
+// Generator wraps the generator network Gw with latent sampling and
+// optional class conditioning. Conditioning multiplies the latent
+// vector element-wise with a learned per-class embedding (the Keras
+// ACGAN construction), which keeps the core network input at ZDim so
+// the paper's parameter counts are preserved exactly.
+type Generator struct {
+	Net     *nn.Sequential
+	Embed   *nn.Param // (Classes, ZDim); nil when unconditional
+	ZDim    int
+	Classes int
+
+	zCache   *tensor.Tensor
+	labCache []int
+}
+
+// NewGenerator builds a generator. classes == 0 yields an unconditional
+// generator.
+func NewGenerator(net *nn.Sequential, zdim, classes int, rng *rand.Rand) *Generator {
+	g := &Generator{Net: net, ZDim: zdim, Classes: classes}
+	if classes > 0 {
+		w := tensor.New(classes, zdim)
+		// Near-identity init: conditioning starts as a gentle per-class
+		// modulation and sharpens as training progresses.
+		for i := range w.Data {
+			w.Data[i] = 1 + 0.1*rng.NormFloat64()
+		}
+		g.Embed = &nn.Param{Name: "gen.embed", W: w, Grad: tensor.New(classes, zdim)}
+	}
+	return g
+}
+
+// SampleZ draws b latent vectors z ~ N(0,1)^ZDim and, when conditional,
+// uniform class labels.
+func (g *Generator) SampleZ(b int, rng *rand.Rand) (*tensor.Tensor, []int) {
+	z := tensor.New(b, g.ZDim)
+	for i := range z.Data {
+		z.Data[i] = rng.NormFloat64()
+	}
+	var labels []int
+	if g.Classes > 0 {
+		labels = make([]int, b)
+		for i := range labels {
+			labels[i] = rng.Intn(g.Classes)
+		}
+	}
+	return z, labels
+}
+
+// Forward maps latents (and labels, when conditional) to samples,
+// caching what Backward needs.
+func (g *Generator) Forward(z *tensor.Tensor, labels []int, train bool) *tensor.Tensor {
+	g.zCache, g.labCache = z, labels
+	in := z
+	if g.Embed != nil {
+		if len(labels) != z.Dim(0) {
+			panic(fmt.Sprintf("gan: %d labels for %d latents", len(labels), z.Dim(0)))
+		}
+		in = tensor.New(z.Shape()...)
+		for i := 0; i < z.Dim(0); i++ {
+			e := g.Embed.W.Data[labels[i]*g.ZDim : (labels[i]+1)*g.ZDim]
+			zi := z.Data[i*g.ZDim : (i+1)*g.ZDim]
+			out := in.Data[i*g.ZDim : (i+1)*g.ZDim]
+			for j := range zi {
+				out[j] = zi[j] * e[j]
+			}
+		}
+	}
+	return g.Net.Forward(in, train)
+}
+
+// Generate is the convenience path: sample latents and run Forward.
+func (g *Generator) Generate(b int, rng *rand.Rand, train bool) (*tensor.Tensor, []int) {
+	z, labels := g.SampleZ(b, rng)
+	return g.Forward(z, labels, train), labels
+}
+
+// Backward accumulates parameter gradients given ∂L/∂output — this is
+// exactly what the MD-GAN server does with the merged worker feedbacks.
+func (g *Generator) Backward(grad *tensor.Tensor) {
+	din := g.Net.Backward(grad)
+	if g.Embed != nil {
+		din = din.Reshape(din.Dim(0), din.Size()/din.Dim(0))
+		for i, lab := range g.labCache {
+			zi := g.zCache.Data[i*g.ZDim : (i+1)*g.ZDim]
+			gi := din.Data[i*g.ZDim : (i+1)*g.ZDim]
+			eg := g.Embed.Grad.Data[lab*g.ZDim : (lab+1)*g.ZDim]
+			for j := range zi {
+				eg[j] += gi[j] * zi[j]
+			}
+		}
+	}
+}
+
+// Params returns all learnable parameters (network + embedding).
+func (g *Generator) Params() []*nn.Param {
+	ps := g.Net.Params()
+	if g.Embed != nil {
+		ps = append(ps, g.Embed)
+	}
+	return ps
+}
+
+// ZeroGrads clears all parameter gradients.
+func (g *Generator) ZeroGrads() {
+	for _, p := range g.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams counts scalar parameters of the core network (the paper's
+// |w|; the conditioning embedding is reported separately by EmbedParams).
+func (g *Generator) NumParams() int { return g.Net.NumParams() }
+
+// EmbedParams counts the conditioning embedding parameters (0 when
+// unconditional).
+func (g *Generator) EmbedParams() int {
+	if g.Embed == nil {
+		return 0
+	}
+	return g.Embed.W.Size()
+}
+
+// WriteParams serialises the generator's full learnable state (network
+// parameters plus the conditioning embedding) — the checkpoint format.
+func (g *Generator) WriteParams(w io.Writer) (int64, error) {
+	n, err := g.Net.WriteParams(w)
+	if err != nil {
+		return n, err
+	}
+	if g.Embed != nil {
+		n2, err := g.Embed.W.WriteTo(w)
+		n += n2
+		if err != nil {
+			return n, fmt.Errorf("gan: write embedding: %w", err)
+		}
+	}
+	return n, nil
+}
+
+// ReadParams restores state previously written by WriteParams on an
+// identically-shaped generator.
+func (g *Generator) ReadParams(r io.Reader) (int64, error) {
+	n, err := g.Net.ReadParams(r)
+	if err != nil {
+		return n, err
+	}
+	if g.Embed != nil {
+		var t tensor.Tensor
+		n2, err := t.ReadFrom(r)
+		n += n2
+		if err != nil {
+			return n, fmt.Errorf("gan: read embedding: %w", err)
+		}
+		if !t.SameShape(g.Embed.W) {
+			return n, fmt.Errorf("gan: embedding shape %v, want %v", t.Shape(), g.Embed.W.Shape())
+		}
+		g.Embed.W.CopyFrom(&t)
+	}
+	return n, nil
+}
+
+// Clone deep-copies the generator.
+func (g *Generator) Clone() *Generator {
+	out := &Generator{Net: g.Net.Clone(), ZDim: g.ZDim, Classes: g.Classes}
+	if g.Embed != nil {
+		out.Embed = &nn.Param{Name: g.Embed.Name, W: g.Embed.W.Clone(), Grad: tensor.New(g.Embed.W.Shape()...)}
+	}
+	return out
+}
+
+// Discriminator is the two-headed ACGAN discriminator: a shared trunk
+// producing features, a source head (1 logit: real vs generated) and an
+// optional class head (K logits). With a nil class head it degrades to
+// the vanilla GAN discriminator of §II.
+type Discriminator struct {
+	Trunk *nn.Sequential
+	Src   *nn.Sequential
+	Cls   *nn.Sequential // nil for unconditional GANs
+}
+
+// Forward returns source logits (N, 1) and class logits (N, K) or nil.
+func (d *Discriminator) Forward(x *tensor.Tensor, train bool) (src, cls *tensor.Tensor) {
+	feat := d.Trunk.Forward(x, train)
+	src = d.Src.Forward(feat, train)
+	if d.Cls != nil {
+		cls = d.Cls.Forward(feat, train)
+	}
+	return src, cls
+}
+
+// Backward merges head gradients into the trunk and returns ∂L/∂input —
+// the error-feedback path of MD-GAN. clsGrad may be nil.
+func (d *Discriminator) Backward(srcGrad, clsGrad *tensor.Tensor) *tensor.Tensor {
+	featGrad := d.Src.Backward(srcGrad)
+	if clsGrad != nil {
+		if d.Cls == nil {
+			panic("gan: class gradient without class head")
+		}
+		featGrad = tensor.Add(featGrad, d.Cls.Backward(clsGrad))
+	}
+	return d.Trunk.Backward(featGrad)
+}
+
+// Params returns all learnable parameters.
+func (d *Discriminator) Params() []*nn.Param {
+	ps := append(d.Trunk.Params(), d.Src.Params()...)
+	if d.Cls != nil {
+		ps = append(ps, d.Cls.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears all parameter gradients.
+func (d *Discriminator) ZeroGrads() {
+	for _, p := range d.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams counts scalar parameters (the paper's |θ|).
+func (d *Discriminator) NumParams() int {
+	n := d.Trunk.NumParams() + d.Src.NumParams()
+	if d.Cls != nil {
+		n += d.Cls.NumParams()
+	}
+	return n
+}
+
+// Clone deep-copies the discriminator.
+func (d *Discriminator) Clone() *Discriminator {
+	out := &Discriminator{Trunk: d.Trunk.Clone(), Src: d.Src.Clone()}
+	if d.Cls != nil {
+		out.Cls = d.Cls.Clone()
+	}
+	return out
+}
+
+// EncodedParamSize is the byte size of WriteParams output (the |θ|
+// payload of a swap message).
+func (d *Discriminator) EncodedParamSize() int64 {
+	n := d.Trunk.EncodedParamSize() + d.Src.EncodedParamSize()
+	if d.Cls != nil {
+		n += d.Cls.EncodedParamSize()
+	}
+	return n
+}
+
+// WriteParams serialises trunk, source head and class head in order.
+func (d *Discriminator) WriteParams(w io.Writer) (int64, error) {
+	n1, err := d.Trunk.WriteParams(w)
+	if err != nil {
+		return n1, err
+	}
+	n2, err := d.Src.WriteParams(w)
+	if err != nil {
+		return n1 + n2, err
+	}
+	if d.Cls == nil {
+		return n1 + n2, nil
+	}
+	n3, err := d.Cls.WriteParams(w)
+	return n1 + n2 + n3, err
+}
+
+// ReadParams loads parameters previously produced by WriteParams on an
+// identically-shaped discriminator.
+func (d *Discriminator) ReadParams(r io.Reader) (int64, error) {
+	n1, err := d.Trunk.ReadParams(r)
+	if err != nil {
+		return n1, err
+	}
+	n2, err := d.Src.ReadParams(r)
+	if err != nil {
+		return n1 + n2, err
+	}
+	if d.Cls == nil {
+		return n1 + n2, nil
+	}
+	n3, err := d.Cls.ReadParams(r)
+	return n1 + n2 + n3, err
+}
+
+// LossConfig is the loss configuration shared by workers (which hold
+// only a discriminator) and full GAN couples.
+type LossConfig struct {
+	// GenLoss selects the generator objective (paper log(1−D) or the
+	// non-saturating heuristic).
+	GenLoss nn.GenLossMode
+	// ClsWeight weighs the ACGAN auxiliary classification loss; 0
+	// disables it even when a class head exists.
+	ClsWeight float64
+}
+
+// GAN couples a generator and discriminator with the loss
+// configuration.
+type GAN struct {
+	G *Generator
+	D *Discriminator
+	LossConfig
+}
+
+// DiscStep performs one discriminator learning step (§II.1): gradient
+// of Jdisc on a real batch (xr, lr) and a generated batch (xg, lg),
+// followed by one optimiser update. Returns the discriminator loss.
+func DiscStep(d *Discriminator, lc LossConfig, optD opt.Optimizer, xr *tensor.Tensor, lr []int, xg *tensor.Tensor, lg []int) float64 {
+	d.ZeroGrads()
+	loss := 0.0
+	// Real batch, target 1.
+	src, cls := d.Forward(xr, true)
+	lSrc, gSrc := nn.BCEWithLogits(src, 1)
+	loss += lSrc
+	var gCls *tensor.Tensor
+	if cls != nil && lc.ClsWeight > 0 {
+		lCls, gc := nn.SoftmaxCrossEntropy(cls, lr)
+		loss += lc.ClsWeight * lCls
+		gCls = gc.ScaleInPlace(lc.ClsWeight)
+	}
+	d.Backward(gSrc, gCls)
+	// Generated batch, target 0; the class head also trains on the
+	// intended labels of the generated samples (ACGAN).
+	src, cls = d.Forward(xg, true)
+	lSrc, gSrc = nn.BCEWithLogits(src, 0)
+	loss += lSrc
+	gCls = nil
+	if cls != nil && lc.ClsWeight > 0 && lg != nil {
+		lCls, gc := nn.SoftmaxCrossEntropy(cls, lg)
+		loss += lc.ClsWeight * lCls
+		gCls = gc.ScaleInPlace(lc.ClsWeight)
+	}
+	d.Backward(gSrc, gCls)
+	optD.Step(d.Params())
+	return loss
+}
+
+// Feedback computes the MD-GAN error feedback F_n (§IV-B2): the
+// gradient of the generator objective with respect to the generated
+// batch xg, obtained by backpropagating through the discriminator to
+// its input. The discriminator's parameter gradients are zeroed
+// afterwards (no D update happens here). Returns (F_n, generator loss).
+func Feedback(d *Discriminator, lc LossConfig, xg *tensor.Tensor, lg []int) (*tensor.Tensor, float64) {
+	src, cls := d.Forward(xg, true)
+	loss, gSrc := nn.GeneratorLoss(src, lc.GenLoss)
+	var gCls *tensor.Tensor
+	if cls != nil && lc.ClsWeight > 0 && lg != nil {
+		lCls, gc := nn.SoftmaxCrossEntropy(cls, lg)
+		loss += lc.ClsWeight * lCls
+		gCls = gc.ScaleInPlace(lc.ClsWeight)
+	}
+	fn := d.Backward(gSrc, gCls)
+	d.ZeroGrads()
+	return fn, loss
+}
+
+// GenStepLocal performs one local generator learning step (§II.2) as a
+// standalone or FL-GAN node does: generate a batch, evaluate the
+// generator objective through the local discriminator, backpropagate
+// all the way into G and update. Returns the generator loss.
+func GenStepLocal(g *GAN, optG opt.Optimizer, b int, rng *rand.Rand) float64 {
+	z, labels := g.G.SampleZ(b, rng)
+	xg := g.G.Forward(z, labels, true)
+	fn, loss := Feedback(g.D, g.LossConfig, xg, labels)
+	g.G.ZeroGrads()
+	g.G.Backward(fn)
+	optG.Step(g.G.Params())
+	return loss
+}
+
+// Clone deep-copies the whole GAN (FL-GAN replicates the couple onto
+// every worker).
+func (g *GAN) Clone() *GAN {
+	return &GAN{G: g.G.Clone(), D: g.D.Clone(), LossConfig: g.LossConfig}
+}

@@ -1,0 +1,153 @@
+// Package metrics implements the paper's evaluation measures: the
+// classifier-based score (the "MNIST score"/Inception score of §V-A(c),
+// higher is better) and the Fréchet Inception Distance (lower is
+// better). The paper replaces the Inception network with a classifier
+// adapted to each dataset; this package does exactly that, training a
+// small classifier on the labelled synthetic data and using (a) its
+// class posterior for the score and (b) its penultimate-layer features
+// for FID.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/linalg"
+	"mdgan/internal/nn"
+	"mdgan/internal/opt"
+	"mdgan/internal/tensor"
+)
+
+// ScorerConfig configures classifier training.
+type ScorerConfig struct {
+	Hidden     int // trunk width (default 64)
+	FeatureDim int // penultimate feature dimension used by FID (default 24)
+	Epochs     int // training epochs (default 8)
+	Batch      int // batch size (default 32)
+	LR         float64
+	Seed       int64
+}
+
+func (c *ScorerConfig) defaults() {
+	if c.Hidden == 0 {
+		c.Hidden = 64
+	}
+	if c.FeatureDim == 0 {
+		c.FeatureDim = 24
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 8
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+}
+
+// Scorer scores generated samples against the distribution its
+// classifier was trained on.
+type Scorer struct {
+	trunk   *nn.Sequential // input → features
+	head    *nn.Sequential // features → class logits
+	classes int
+	dim     int
+}
+
+// TrainScorer fits the scoring classifier on the labelled dataset.
+func TrainScorer(ds *dataset.Dataset, cfg ScorerConfig) *Scorer {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	d := ds.SampleDim()
+	trunk := nn.NewSequential(
+		nn.NewFlatten(),
+		nn.NewDense(d, cfg.Hidden, rng),
+		nn.NewLeakyReLU(0.2),
+		nn.NewDense(cfg.Hidden, cfg.FeatureDim, rng),
+		nn.NewLeakyReLU(0.2),
+	)
+	head := nn.NewSequential(nn.NewDense(cfg.FeatureDim, ds.Classes, rng))
+	s := &Scorer{trunk: trunk, head: head, classes: ds.Classes, dim: d}
+
+	optim := opt.NewAdam(opt.AdamConfig{LR: cfg.LR})
+	sampler := dataset.NewSampler(ds, cfg.Seed+2)
+	steps := cfg.Epochs * (ds.Len() / cfg.Batch)
+	params := append(trunk.Params(), head.Params()...)
+	for i := 0; i < steps; i++ {
+		x, labels := sampler.Sample(cfg.Batch)
+		logits := head.Forward(trunk.Forward(x, true), true)
+		_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+		trunk.ZeroGrads()
+		head.ZeroGrads()
+		trunk.Backward(head.Backward(grad))
+		optim.Step(params)
+	}
+	return s
+}
+
+// Accuracy returns classification accuracy on the given dataset — a
+// self-check that the scorer is trustworthy before it judges a GAN.
+func (s *Scorer) Accuracy(ds *dataset.Dataset) float64 {
+	logits := s.head.Forward(s.trunk.Forward(ds.X, false), false)
+	return nn.Accuracy(logits, ds.Labels)
+}
+
+// Features maps samples to the classifier's penultimate representation.
+func (s *Scorer) Features(x *tensor.Tensor) *tensor.Tensor {
+	return s.trunk.Forward(x, false)
+}
+
+// Posteriors returns p(y|x) rows for the given samples.
+func (s *Scorer) Posteriors(x *tensor.Tensor) *tensor.Tensor {
+	return nn.Softmax(s.head.Forward(s.trunk.Forward(x, false), false))
+}
+
+// Score computes the Inception-score analogue
+// exp(E_x KL(p(y|x) ‖ p(y))) on a batch of generated samples. The value
+// lies in [1, #classes]: 1 for junk or fully collapsed output, #classes
+// for confident and perfectly diverse output.
+func (s *Scorer) Score(x *tensor.Tensor) float64 {
+	p := s.Posteriors(x)
+	n, k := p.Dim(0), p.Dim(1)
+	marginal := p.SumRows().Scale(1 / float64(n))
+	klSum := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			pij := p.At(i, j)
+			if pij <= 0 {
+				continue
+			}
+			klSum += pij * (math.Log(pij) - math.Log(math.Max(marginal.At(0, j), 1e-300)))
+		}
+	}
+	return math.Exp(klSum / float64(n))
+}
+
+// FID computes the Fréchet distance between classifier features of real
+// and generated batches.
+func (s *Scorer) FID(real, gen *tensor.Tensor) (float64, error) {
+	fr := s.Features(real)
+	fg := s.Features(gen)
+	mr, cr := linalg.MeanCov(fr)
+	mg, cg := linalg.MeanCov(fg)
+	// Regularise: tiny diagonal load keeps sqrtm stable when a feature
+	// has near-zero variance in a small sample.
+	for i := 0; i < cr.Dim(0); i++ {
+		cr.Set(cr.At(i, i)+1e-6, i, i)
+		cg.Set(cg.At(i, i)+1e-6, i, i)
+	}
+	fid, err := linalg.FrechetDistance(mr, cr, mg, cg)
+	if err != nil {
+		return 0, fmt.Errorf("metrics: FID: %w", err)
+	}
+	return fid, nil
+}
+
+// Classes returns the number of classes the scorer distinguishes.
+func (s *Scorer) Classes() int { return s.classes }
+
+// InputDim returns the flattened sample dimension the scorer expects.
+func (s *Scorer) InputDim() int { return s.dim }

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/tensor"
+)
+
+// trainTestScorer trains a small scorer once and shares it across tests
+// (classifier training dominates this package's test time).
+var sharedScorer *Scorer
+var sharedTrain *dataset.Dataset
+
+func getScorer(t *testing.T) (*Scorer, *dataset.Dataset) {
+	t.Helper()
+	if sharedScorer == nil {
+		sharedTrain = dataset.SynthDigits(1200, 1)
+		sharedScorer = TrainScorer(sharedTrain, ScorerConfig{Epochs: 10, Seed: 1})
+	}
+	return sharedScorer, sharedTrain
+}
+
+func TestScorerAccuracy(t *testing.T) {
+	s, _ := getScorer(t)
+	test := dataset.SynthDigits(400, 99)
+	if acc := s.Accuracy(test); acc < 0.9 {
+		t.Fatalf("held-out accuracy %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestScoreRealBeatsNoise(t *testing.T) {
+	s, _ := getScorer(t)
+	real := dataset.SynthDigits(300, 7)
+	noise := tensor.New(300, 1, 28, 28)
+	rng := rand.New(rand.NewSource(2))
+	for i := range noise.Data {
+		noise.Data[i] = rng.Float64()*2 - 1
+	}
+	sr := s.Score(real.X)
+	sn := s.Score(noise)
+	if sr <= sn {
+		t.Fatalf("score(real)=%.3f must beat score(noise)=%.3f", sr, sn)
+	}
+	if sr < 3 {
+		t.Fatalf("score(real)=%.3f too low for 10-class data", sr)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	s, _ := getScorer(t)
+	for _, mk := range []func() *tensor.Tensor{
+		func() *tensor.Tensor { return dataset.SynthDigits(200, 3).X },
+		func() *tensor.Tensor {
+			x := tensor.New(200, 1, 28, 28)
+			rng := rand.New(rand.NewSource(4))
+			for i := range x.Data {
+				x.Data[i] = rng.Float64()*2 - 1
+			}
+			return x
+		},
+	} {
+		v := s.Score(mk())
+		if v < 1-1e-9 || v > float64(s.Classes())+1e-9 {
+			t.Fatalf("score %v outside [1, %d]", v, s.Classes())
+		}
+	}
+}
+
+func TestScoreDetectsModeCollapse(t *testing.T) {
+	s, _ := getScorer(t)
+	// A "generator" that only emits one digit class: low diversity.
+	all := dataset.SynthDigits(2000, 5)
+	var idx []int
+	for i, l := range all.Labels {
+		if l == 3 {
+			idx = append(idx, i)
+		}
+	}
+	collapsed, _ := all.Batch(idx)
+	diverse := dataset.SynthDigits(len(idx), 6)
+	sc := s.Score(collapsed)
+	sd := s.Score(diverse.X)
+	if sc >= sd/2 {
+		t.Fatalf("collapsed score %.3f should be far below diverse score %.3f", sc, sd)
+	}
+}
+
+func TestFIDRealVsRealSmall(t *testing.T) {
+	s, _ := getScorer(t)
+	a := dataset.SynthDigits(500, 11)
+	b := dataset.SynthDigits(500, 12)
+	fidSame, err := s.FID(a.X, b.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := tensor.New(500, 1, 28, 28)
+	rng := rand.New(rand.NewSource(13))
+	for i := range noise.Data {
+		noise.Data[i] = rng.Float64()*2 - 1
+	}
+	fidNoise, err := s.FID(a.X, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fidSame >= fidNoise/5 {
+		t.Fatalf("FID(real, real')=%.3f should be far below FID(real, noise)=%.3f", fidSame, fidNoise)
+	}
+}
+
+func TestFIDSelfIsTiny(t *testing.T) {
+	s, _ := getScorer(t)
+	a := dataset.SynthDigits(400, 21)
+	fid, err := s.FID(a.X, a.X.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid > 1e-3 {
+		t.Fatalf("FID(x, x) = %v, want ~0", fid)
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	s, _ := getScorer(t)
+	x := dataset.SynthDigits(10, 31).X
+	f := s.Features(x)
+	if f.Dim(0) != 10 || f.Dim(1) != 24 {
+		t.Fatalf("feature shape %v", f.Shape())
+	}
+}
+
+func TestScorerDeterminism(t *testing.T) {
+	ds := dataset.SynthDigits(300, 41)
+	a := TrainScorer(ds, ScorerConfig{Epochs: 2, Seed: 5})
+	b := TrainScorer(ds, ScorerConfig{Epochs: 2, Seed: 5})
+	x := dataset.SynthDigits(50, 42).X
+	if a.Score(x) != b.Score(x) {
+		t.Fatal("same seed must give identical scorer")
+	}
+}

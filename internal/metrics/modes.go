@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"math"
+
+	"mdgan/internal/tensor"
+)
+
+// ModeCoverage measures mode collapse on the Gaussian-ring toy set —
+// the failure mode the discriminators' minibatch-discrimination layer
+// exists to catch. Given generated 2-D points and the ring geometry, it
+// reports the fraction of the mixture's modes that received at least
+// one sample within tol of the mode centre. 1.0 = all modes covered;
+// 1/modes ≈ a fully collapsed generator.
+func ModeCoverage(x *tensor.Tensor, modes int, radius, tol float64) float64 {
+	if x.Rank() != 2 || x.Dim(1) != 2 {
+		panic("metrics: ModeCoverage expects (N, 2) points")
+	}
+	hit := make([]bool, modes)
+	for i := 0; i < x.Dim(0); i++ {
+		px, py := x.At(i, 0), x.At(i, 1)
+		for m := 0; m < modes; m++ {
+			angle := 2 * math.Pi * float64(m) / float64(modes)
+			cx, cy := radius*math.Cos(angle), radius*math.Sin(angle)
+			if math.Hypot(px-cx, py-cy) <= tol {
+				hit[m] = true
+			}
+		}
+	}
+	covered := 0
+	for _, h := range hit {
+		if h {
+			covered++
+		}
+	}
+	return float64(covered) / float64(modes)
+}
+
+// HighQualityFraction reports the share of generated 2-D points lying
+// within tol of ANY mode centre — the "sample quality" companion to
+// ModeCoverage's "sample diversity".
+func HighQualityFraction(x *tensor.Tensor, modes int, radius, tol float64) float64 {
+	if x.Rank() != 2 || x.Dim(1) != 2 {
+		panic("metrics: HighQualityFraction expects (N, 2) points")
+	}
+	good := 0
+	for i := 0; i < x.Dim(0); i++ {
+		px, py := x.At(i, 0), x.At(i, 1)
+		for m := 0; m < modes; m++ {
+			angle := 2 * math.Pi * float64(m) / float64(modes)
+			if math.Hypot(px-radius*math.Cos(angle), py-radius*math.Sin(angle)) <= tol {
+				good++
+				break
+			}
+		}
+	}
+	return float64(good) / float64(x.Dim(0))
+}

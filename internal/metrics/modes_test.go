@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/tensor"
+)
+
+func TestModeCoverageOnRealRing(t *testing.T) {
+	ds := dataset.GaussianRing(800, 8, 2.0, 0.05, 1)
+	if c := ModeCoverage(ds.X, 8, 2.0, 0.3); c != 1 {
+		t.Fatalf("real ring coverage = %v, want 1", c)
+	}
+	if q := HighQualityFraction(ds.X, 8, 2.0, 0.3); q < 0.99 {
+		t.Fatalf("real ring quality = %v, want ~1", q)
+	}
+}
+
+func TestModeCoverageDetectsCollapse(t *testing.T) {
+	// A "generator" stuck on one mode.
+	x := tensor.New(100, 2)
+	for i := 0; i < 100; i++ {
+		x.Set(2.0, i, 0) // mode at angle 0: (2, 0)
+		x.Set(0.0, i, 1)
+	}
+	if c := ModeCoverage(x, 8, 2.0, 0.3); c != 0.125 {
+		t.Fatalf("collapsed coverage = %v, want 1/8", c)
+	}
+	if q := HighQualityFraction(x, 8, 2.0, 0.3); q != 1 {
+		t.Fatalf("collapsed quality = %v (points are on a mode)", q)
+	}
+}
+
+func TestModeCoverageJunk(t *testing.T) {
+	x := tensor.New(50, 2) // all points at the origin, off the ring
+	if c := ModeCoverage(x, 8, 2.0, 0.3); c != 0 {
+		t.Fatalf("junk coverage = %v, want 0", c)
+	}
+	if q := HighQualityFraction(x, 8, 2.0, 0.3); q != 0 {
+		t.Fatalf("junk quality = %v, want 0", q)
+	}
+}
+
+func TestModeCoverageRejectsBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-2D input")
+		}
+	}()
+	ModeCoverage(tensor.New(3, 5), 8, 2.0, 0.3)
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+
+	"mdgan/internal/tensor"
+)
+
+// LeakyReLU applies max(x, alpha*x) element-wise. Alpha = 0 gives plain
+// ReLU.
+type LeakyReLU struct {
+	Alpha float64
+	x     *tensor.Tensor
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// NewReLU returns a plain ReLU.
+func NewReLU() *LeakyReLU { return &LeakyReLU{} }
+
+// Forward applies the activation.
+func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.x = x
+	a := l.Alpha
+	return x.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return a * v
+	})
+}
+
+// Backward gates the incoming gradient by the activation derivative.
+func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	a := l.Alpha
+	for i, v := range l.x.Data {
+		if v > 0 {
+			out.Data[i] = grad.Data[i]
+		} else {
+			out.Data[i] = a * grad.Data[i]
+		}
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Clone returns a copy.
+func (l *LeakyReLU) Clone() Layer { return &LeakyReLU{Alpha: l.Alpha} }
+
+// Sigmoid applies 1/(1+exp(−x)) element-wise.
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s.y = x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return s.y
+}
+
+// Backward multiplies by y(1−y).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	for i, y := range s.y.Data {
+		out.Data[i] = grad.Data[i] * y * (1 - y)
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Clone returns a copy.
+func (s *Sigmoid) Clone() Layer { return &Sigmoid{} }
+
+// Tanh applies the hyperbolic tangent element-wise; the conventional
+// output activation of image generators (pixels in [−1, 1]).
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	t.y = x.Apply(math.Tanh)
+	return t.y
+}
+
+// Backward multiplies by 1−y².
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	for i, y := range t.y.Data {
+		out.Data[i] = grad.Data[i] * (1 - y*y)
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Clone returns a copy.
+func (t *Tanh) Clone() Layer { return &Tanh{} }

@@ -1,0 +1,355 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mdgan/internal/parallel"
+	"mdgan/internal/tensor"
+)
+
+// convGeom describes a convolution geometry shared by Conv2D (as its
+// forward map) and ConvTranspose2D (as its backward map).
+type convGeom struct {
+	inC, inH, inW int
+	kh, kw        int
+	stride, pad   int
+	outH, outW    int
+}
+
+func newConvGeom(inC, inH, inW, kh, kw, stride, pad int) convGeom {
+	g := convGeom{inC: inC, inH: inH, inW: inW, kh: kh, kw: kw, stride: stride, pad: pad}
+	g.outH = (inH+2*pad-kh)/stride + 1
+	g.outW = (inW+2*pad-kw)/stride + 1
+	if g.outH <= 0 || g.outW <= 0 {
+		panic(fmt.Sprintf("nn: conv geometry collapses: in %dx%d k %dx%d s %d p %d", inH, inW, kh, kw, stride, pad))
+	}
+	return g
+}
+
+// im2col unrolls a single image x (C*H*W flat) into a matrix col of
+// shape (C*KH*KW, outH*outW) so the convolution becomes one MatMul.
+func (g convGeom) im2col(x []float64, col []float64) {
+	oHW := g.outH * g.outW
+	idx := 0
+	for c := 0; c < g.inC; c++ {
+		for ki := 0; ki < g.kh; ki++ {
+			for kj := 0; kj < g.kw; kj++ {
+				row := col[idx*oHW : (idx+1)*oHW]
+				idx++
+				o := 0
+				for oy := 0; oy < g.outH; oy++ {
+					iy := oy*g.stride + ki - g.pad
+					if iy < 0 || iy >= g.inH {
+						for ox := 0; ox < g.outW; ox++ {
+							row[o] = 0
+							o++
+						}
+						continue
+					}
+					base := (c*g.inH + iy) * g.inW
+					for ox := 0; ox < g.outW; ox++ {
+						ix := ox*g.stride + kj - g.pad
+						if ix < 0 || ix >= g.inW {
+							row[o] = 0
+						} else {
+							row[o] = x[base+ix]
+						}
+						o++
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters a col matrix back into an image, accumulating
+// overlapping contributions — the adjoint of im2col.
+func (g convGeom) col2im(col []float64, x []float64) {
+	oHW := g.outH * g.outW
+	idx := 0
+	for c := 0; c < g.inC; c++ {
+		for ki := 0; ki < g.kh; ki++ {
+			for kj := 0; kj < g.kw; kj++ {
+				row := col[idx*oHW : (idx+1)*oHW]
+				idx++
+				o := 0
+				for oy := 0; oy < g.outH; oy++ {
+					iy := oy*g.stride + ki - g.pad
+					if iy < 0 || iy >= g.inH {
+						o += g.outW
+						continue
+					}
+					base := (c*g.inH + iy) * g.inW
+					for ox := 0; ox < g.outW; ox++ {
+						ix := ox*g.stride + kj - g.pad
+						if ix >= 0 && ix < g.inW {
+							x[base+ix] += row[o]
+						}
+						o++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2D is a standard 2-D convolution over NCHW tensors.
+type Conv2D struct {
+	geom convGeom
+	OutC int
+	W, B *Param // W: (OutC, InC*KH*KW), B: (1, OutC)
+	x    *tensor.Tensor
+	cols []*tensor.Tensor // cached per-image col matrices
+}
+
+// NewConv2D builds a convolution mapping (N, inC, inH, inW) to
+// (N, outC, outH, outW) with He-uniform initial weights.
+func NewConv2D(inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	g := newConvGeom(inC, inH, inW, k, k, stride, pad)
+	w := tensor.New(outC, inC*k*k)
+	fanIn := inC * k * k
+	heUniform(w, fanIn, rng)
+	return &Conv2D{
+		geom: g, OutC: outC,
+		W: newParam(fmt.Sprintf("conv%dx%d.W", inC, outC), w),
+		B: newParam(fmt.Sprintf("conv%dx%d.b", inC, outC), tensor.New(1, outC)),
+	}
+}
+
+func heUniform(w *tensor.Tensor, fanIn int, rng *rand.Rand) {
+	a := math.Sqrt(6.0 / float64(fanIn))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// OutShape returns the per-image output dimensions (C, H, W).
+func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.geom.outH, c.geom.outW }
+
+// Forward applies the convolution to x (N, inC, inH, inW).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.geom
+	n := x.Dim(0)
+	if x.Size()/n != g.inC*g.inH*g.inW {
+		panic(fmt.Sprintf("nn: Conv2D input %v, want per-image volume %d", x.Shape(), g.inC*g.inH*g.inW))
+	}
+	c.x = x
+	if len(c.cols) < n {
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	oHW := g.outH * g.outW
+	out := tensor.New(n, c.OutC, g.outH, g.outW)
+	inVol := g.inC * g.inH * g.inW
+	outVol := c.OutC * oHW
+	parallel.ForceFor(n, func(s, e int) {
+		for i := s; i < e; i++ {
+			col := c.cols[i]
+			if col == nil {
+				col = tensor.New(g.inC*g.kh*g.kw, oHW)
+				c.cols[i] = col
+			}
+			g.im2col(x.Data[i*inVol:(i+1)*inVol], col.Data)
+			y := tensor.MatMul(c.W.W, col) // (OutC, oHW)
+			dst := out.Data[i*outVol : (i+1)*outVol]
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.B.W.Data[oc]
+				row := y.Data[oc*oHW : (oc+1)*oHW]
+				for j, v := range row {
+					dst[oc*oHW+j] = v + b
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input
+// gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := c.geom
+	n := c.x.Dim(0)
+	oHW := g.outH * g.outW
+	inVol := g.inC * g.inH * g.inW
+	outVol := c.OutC * oHW
+	dx := tensor.New(c.x.Shape()...)
+	// Parallelise over images, with per-shard weight-grad accumulators
+	// merged at the end to avoid contention.
+	type shard struct {
+		dW *tensor.Tensor
+		dB *tensor.Tensor
+	}
+	shards := make([]shard, n)
+	parallel.ForceFor(n, func(s, e int) {
+		dW := tensor.New(c.W.W.Shape()...)
+		dB := tensor.New(c.B.W.Shape()...)
+		for i := s; i < e; i++ {
+			gi := tensor.FromSlice(grad.Data[i*outVol:(i+1)*outVol], c.OutC, oHW)
+			tensor.MatMulAdd(dW, gi, c.cols[i].Transpose())
+			for oc := 0; oc < c.OutC; oc++ {
+				sum := 0.0
+				for _, v := range gi.Data[oc*oHW : (oc+1)*oHW] {
+					sum += v
+				}
+				dB.Data[oc] += sum
+			}
+			dcol := tensor.MatMulT1(c.W.W, gi) // (inC*k*k, oHW)
+			g.col2im(dcol.Data, dx.Data[i*inVol:(i+1)*inVol])
+		}
+		shards[s] = shard{dW, dB}
+	})
+	for _, sh := range shards {
+		if sh.dW != nil {
+			c.W.Grad.AddInPlace(sh.dW)
+			c.B.Grad.AddInPlace(sh.dB)
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Clone returns a deep copy.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{
+		geom: c.geom, OutC: c.OutC,
+		W: newParam(c.W.Name, c.W.W.Clone()),
+		B: newParam(c.B.Name, c.B.W.Clone()),
+	}
+}
+
+// ConvTranspose2D is the transposed (fractionally-strided) convolution
+// used by the paper's generators to upsample. Its forward pass is the
+// adjoint of a Conv2D whose *forward* direction maps the ConvTranspose
+// output geometry back to its input geometry.
+type ConvTranspose2D struct {
+	geom      convGeom // geometry of the adjoint conv: in = our OUTPUT
+	InC, OutC int
+	inH, inW  int
+	W, B      *Param // W: (InC, OutC*KH*KW), B: (1, OutC)
+	x         *tensor.Tensor
+}
+
+// NewConvTranspose2D maps (N, inC, inH, inW) to (N, outC, outH, outW)
+// with outH = (inH−1)*stride − 2*pad + k + outPad. outPad (0 ≤ outPad <
+// stride) grows the output by rows/columns that receive only the bias,
+// matching the output_padding used by 'same'-padded stride-2 transposed
+// convolutions (e.g. 7→14 with k=5, pad=2, outPad=1).
+func NewConvTranspose2D(inC, inH, inW, outC, k, stride, pad, outPad int, rng *rand.Rand) *ConvTranspose2D {
+	if outPad < 0 || outPad >= stride {
+		panic("nn: ConvTranspose2D needs 0 <= outPad < stride")
+	}
+	outH := (inH-1)*stride - 2*pad + k + outPad
+	outW := (inW-1)*stride - 2*pad + k + outPad
+	if outH <= 0 || outW <= 0 {
+		panic("nn: ConvTranspose2D geometry collapses")
+	}
+	// The adjoint conv consumes our output (outC, outH, outW) and must
+	// produce exactly (inH, inW) spatial positions.
+	g := newConvGeom(outC, outH, outW, k, k, stride, pad)
+	if g.outH != inH || g.outW != inW {
+		panic(fmt.Sprintf("nn: ConvTranspose2D inconsistent geometry: adjoint yields %dx%d, want %dx%d", g.outH, g.outW, inH, inW))
+	}
+	w := tensor.New(inC, outC*k*k)
+	heUniform(w, inC*k*k, rng)
+	return &ConvTranspose2D{
+		geom: g, InC: inC, OutC: outC, inH: inH, inW: inW,
+		W: newParam(fmt.Sprintf("convT%dx%d.W", inC, outC), w),
+		B: newParam(fmt.Sprintf("convT%dx%d.b", inC, outC), tensor.New(1, outC)),
+	}
+}
+
+// OutShape returns the per-image output dimensions (C, H, W).
+func (c *ConvTranspose2D) OutShape() (int, int, int) { return c.OutC, c.geom.inH, c.geom.inW }
+
+// Forward computes y = col2im(Wᵀ·x̂) + b: each input pixel paints a
+// k×k kernel patch into the upsampled output.
+func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.geom
+	n := x.Dim(0)
+	inVol := c.InC * c.inH * c.inW
+	if x.Size()/n != inVol {
+		panic(fmt.Sprintf("nn: ConvTranspose2D input %v, want per-image volume %d", x.Shape(), inVol))
+	}
+	c.x = x
+	outVol := c.OutC * g.inH * g.inW
+	out := tensor.New(n, c.OutC, g.inH, g.inW)
+	hw := c.inH * c.inW
+	parallel.ForceFor(n, func(s, e int) {
+		for i := s; i < e; i++ {
+			xi := tensor.FromSlice(x.Data[i*inVol:(i+1)*inVol], c.InC, hw)
+			col := tensor.MatMulT1(c.W.W, xi) // (OutC*k*k, hw)
+			dst := out.Data[i*outVol : (i+1)*outVol]
+			g.col2im(col.Data, dst)
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.B.W.Data[oc]
+				if b == 0 {
+					continue
+				}
+				plane := dst[oc*g.inH*g.inW : (oc+1)*g.inH*g.inW]
+				for j := range plane {
+					plane[j] += b
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward: dx = W·im2col(grad); dW += x̂·im2col(grad)ᵀ; db sums grad
+// per channel.
+func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := c.geom
+	n := c.x.Dim(0)
+	inVol := c.InC * c.inH * c.inW
+	outVol := c.OutC * g.inH * g.inW
+	hw := c.inH * c.inW
+	oPlane := g.inH * g.inW
+	dx := tensor.New(c.x.Shape()...)
+	type shard struct{ dW, dB *tensor.Tensor }
+	shards := make([]shard, n)
+	parallel.ForceFor(n, func(s, e int) {
+		dW := tensor.New(c.W.W.Shape()...)
+		dB := tensor.New(c.B.W.Shape()...)
+		col := tensor.New(c.OutC*g.kh*g.kw, hw)
+		for i := s; i < e; i++ {
+			gi := grad.Data[i*outVol : (i+1)*outVol]
+			g.im2col(gi, col.Data)
+			xi := tensor.FromSlice(c.x.Data[i*inVol:(i+1)*inVol], c.InC, hw)
+			// dx̂ = W·col with W (InC, OutC*k*k), col (OutC*k*k, hw).
+			dxm := tensor.MatMul(c.W.W, col)
+			copy(dx.Data[i*inVol:(i+1)*inVol], dxm.Data)
+			// dW += x̂ · colᵀ → (InC, OutC*k*k)
+			tensor.MatMulAdd(dW, xi, col.Transpose())
+			for oc := 0; oc < c.OutC; oc++ {
+				sum := 0.0
+				for _, v := range gi[oc*oPlane : (oc+1)*oPlane] {
+					sum += v
+				}
+				dB.Data[oc] += sum
+			}
+		}
+		shards[s] = shard{dW, dB}
+	})
+	for _, sh := range shards {
+		if sh.dW != nil {
+			c.W.Grad.AddInPlace(sh.dW)
+			c.B.Grad.AddInPlace(sh.dB)
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel and bias.
+func (c *ConvTranspose2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Clone returns a deep copy.
+func (c *ConvTranspose2D) Clone() Layer {
+	return &ConvTranspose2D{
+		geom: c.geom, InC: c.InC, OutC: c.OutC, inH: c.inH, inW: c.inW,
+		W: newParam(c.W.Name, c.W.W.Clone()),
+		B: newParam(c.B.Name, c.B.W.Clone()),
+	}
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mdgan/internal/tensor"
+)
+
+// Dense is a fully-connected layer: y = x·W + b with x (N, in),
+// W (in, out), b (1, out).
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	x       *tensor.Tensor // cached input
+}
+
+// NewDense creates a Dense layer with Glorot-uniform weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	w := tensor.New(in, out)
+	glorotUniform(w, in, out, rng)
+	return &Dense{
+		In: in, Out: out,
+		W: newParam(fmt.Sprintf("dense%dx%d.W", in, out), w),
+		B: newParam(fmt.Sprintf("dense%dx%d.b", in, out), tensor.New(1, out)),
+	}
+}
+
+// glorotUniform fills w with U(−a, a), a = sqrt(6/(fanIn+fanOut)).
+func glorotUniform(w *tensor.Tensor, fanIn, fanOut int, rng *rand.Rand) {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 {
+		x = x.Reshape(x.Dim(0), x.Size()/x.Dim(0))
+	}
+	if x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: Dense expects %d features, got shape %v", d.In, x.Shape()))
+	}
+	d.x = x
+	return tensor.AddRowVec(tensor.MatMul(x, d.W.W), d.B.W)
+}
+
+// Backward accumulates dW = xᵀ·g, db = Σ_rows g and returns g·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if grad.Rank() != 2 {
+		grad = grad.Reshape(grad.Dim(0), grad.Size()/grad.Dim(0))
+	}
+	d.W.Grad.AddInPlace(tensor.MatMulT1(d.x, grad))
+	d.B.Grad.AddInPlace(grad.SumRows())
+	return tensor.MatMulT2(grad, d.W.W)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Clone returns a deep copy of the layer.
+func (d *Dense) Clone() Layer {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		W: newParam(d.W.Name, d.W.W.Clone()),
+		B: newParam(d.B.Name, d.B.W.Clone()),
+	}
+}

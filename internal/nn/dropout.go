@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+
+	"mdgan/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// rescales survivors by 1/(1−P) (inverted dropout), so evaluation mode
+// is the identity.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout builds a Dropout layer with drop probability p using the
+// given random source (each worker owns its own source; rand.Rand is not
+// safe for concurrent use).
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies the mask in training mode, identity otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]float64, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			out.Data[i] = v / keep
+		} else {
+			d.mask[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the stored mask.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data {
+		out.Data[i] = g * d.mask[i]
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Clone returns a copy sharing the drop rate but with its own RNG state
+// position (the source is reused; clones are expected to be re-seeded by
+// the caller when determinism matters).
+func (d *Dropout) Clone() Layer { return &Dropout{P: d.P, rng: d.rng} }

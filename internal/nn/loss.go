@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mdgan/internal/tensor"
+)
+
+// Losses return both the scalar loss value and the gradient with respect
+// to the logits, ready to feed Sequential.Backward. All losses average
+// over the batch, matching the 1/b factors of the paper's Jdisc/Jgen.
+// Natural logarithms are used throughout; the paper writes log₂, which
+// differs by a constant factor absorbed into the learning rate.
+
+// BCEWithLogits computes the binary cross-entropy between sigmoid(logits)
+// and a constant target (1 = real, 0 = generated), in the numerically
+// stable formulation max(s,0) − s·y + log(1+e^{−|s|}).
+func BCEWithLogits(logits *tensor.Tensor, target float64) (float64, *tensor.Tensor) {
+	n := float64(logits.Size())
+	grad := tensor.New(logits.Shape()...)
+	loss := 0.0
+	for i, s := range logits.Data {
+		loss += math.Max(s, 0) - s*target + math.Log1p(math.Exp(-math.Abs(s)))
+		grad.Data[i] = (sigmoid(s) - target) / n
+	}
+	return loss / n, grad
+}
+
+func sigmoid(s float64) float64 { return 1 / (1 + math.Exp(-s)) }
+
+// GenLossMode selects the generator objective.
+type GenLossMode int
+
+const (
+	// GenLossPaper minimises B̃ = E log(1−D(G(z))), the original
+	// objective written in the paper (§II.2).
+	GenLossPaper GenLossMode = iota
+	// GenLossNonSaturating minimises −E log D(G(z)), the heuristic of
+	// Goodfellow et al. that avoids vanishing gradients early in
+	// training. Same fixed points, healthier dynamics.
+	GenLossNonSaturating
+)
+
+// GeneratorLoss evaluates the generator objective on the discriminator's
+// source logits for generated samples and returns (loss, ∂loss/∂logits).
+// Backpropagating the returned gradient through D and then G yields
+// exactly the Δw of paper §IV-B2; stopping at D's input yields the error
+// feedback F_n.
+func GeneratorLoss(srcLogits *tensor.Tensor, mode GenLossMode) (float64, *tensor.Tensor) {
+	n := float64(srcLogits.Size())
+	grad := tensor.New(srcLogits.Shape()...)
+	loss := 0.0
+	switch mode {
+	case GenLossPaper:
+		// B̃ = (1/b) Σ log(1−σ(s));  d/ds = −σ(s).
+		for i, s := range srcLogits.Data {
+			// log(1−σ(s)) = −s − log(1+e^{−s}) = −max(s,0) − log(1+e^{−|s|})
+			loss += -math.Max(s, 0) - math.Log1p(math.Exp(-math.Abs(s)))
+			grad.Data[i] = -sigmoid(s) / n
+		}
+	case GenLossNonSaturating:
+		// −(1/b) Σ log σ(s);  d/ds = σ(s) − 1.
+		for i, s := range srcLogits.Data {
+			loss += math.Max(-s, 0) + math.Log1p(math.Exp(-math.Abs(s)))
+			grad.Data[i] = (sigmoid(s) - 1) / n
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown GenLossMode %d", mode))
+	}
+	return loss / n, grad
+}
+
+// Softmax returns row-wise softmax probabilities of logits (N, K),
+// computed with the max-subtraction trick.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		orow := out.Data[i*k : (i+1)*k]
+		for j, v := range row {
+			e := math.Exp(v - m)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between the row
+// softmax of logits (N, K) and integer labels, returning the loss and
+// ∂loss/∂logits = (softmax − onehot)/N.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d logit rows", len(labels), n))
+	}
+	probs := Softmax(logits)
+	grad := probs.Scale(1 / float64(n))
+	loss := 0.0
+	for i, y := range labels {
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
+		}
+		p := probs.At(i, y)
+		loss -= math.Log(math.Max(p, 1e-300))
+		grad.Data[i*k+y] -= 1 / float64(n)
+	}
+	return loss / float64(n), grad
+}
+
+// Accuracy returns the fraction of rows whose arg-max matches the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	pred := logits.ArgMaxRows()
+	hit := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(labels))
+}

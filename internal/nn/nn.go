@@ -1,0 +1,209 @@
+// Package nn implements the neural-network layers, containers and loss
+// functions used by the GAN models. Every layer provides exact analytic
+// backpropagation for both its parameters and its input; the *input*
+// gradients matter as much as the parameter gradients here, because the
+// MD-GAN error feedback F_n is precisely the gradient of the generator
+// loss with respect to the generated data (paper §IV-B2).
+package nn
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mdgan/internal/tensor"
+)
+
+// Param is one learnable tensor with its accumulated gradient.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+func newParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape()...)}
+}
+
+// Layer is a differentiable module. Forward caches whatever Backward
+// needs; Backward consumes the gradient with respect to the layer output
+// and returns the gradient with respect to the layer input, accumulating
+// parameter gradients as a side effect.
+type Layer interface {
+	// Forward computes the layer output. train selects training
+	// behaviour (batch statistics, dropout masks).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates grad (∂L/∂out) and returns ∂L/∂in.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable parameters (possibly none).
+	Params() []*Param
+	// Clone returns a deep copy with identical parameters and fresh
+	// gradient/cache state.
+	Clone() Layer
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs the layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the layers in reverse, returning the gradient with
+// respect to the network input.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all learnable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Clone deep-copies the network (parameters included, gradients fresh).
+func (s *Sequential) Clone() *Sequential {
+	out := &Sequential{Layers: make([]Layer, len(s.Layers))}
+	for i, l := range s.Layers {
+		out.Layers[i] = l.Clone()
+	}
+	return out
+}
+
+// ZeroGrads clears every accumulated parameter gradient.
+func (s *Sequential) ZeroGrads() {
+	for _, p := range s.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters (the |w| and
+// |θ| quantities of the paper's complexity analysis).
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.W.Size()
+	}
+	return n
+}
+
+// ParamVector flattens all parameters into a single []float64 in layer
+// order. The result is a copy.
+func (s *Sequential) ParamVector() []float64 {
+	out := make([]float64, 0, s.NumParams())
+	for _, p := range s.Params() {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}
+
+// SetParamVector loads parameters from a flat vector previously produced
+// by ParamVector on an identically-shaped network.
+func (s *Sequential) SetParamVector(v []float64) error {
+	off := 0
+	for _, p := range s.Params() {
+		n := p.W.Size()
+		if off+n > len(v) {
+			return fmt.Errorf("nn: param vector too short: have %d, need >= %d", len(v), off+n)
+		}
+		copy(p.W.Data, v[off:off+n])
+		off += n
+	}
+	if off != len(v) {
+		return fmt.Errorf("nn: param vector length %d does not match network size %d", len(v), off)
+	}
+	return nil
+}
+
+// GradVector flattens all parameter gradients into a single []float64.
+func (s *Sequential) GradVector() []float64 {
+	out := make([]float64, 0, s.NumParams())
+	for _, p := range s.Params() {
+		out = append(out, p.Grad.Data...)
+	}
+	return out
+}
+
+// CopyParamsFrom copies parameter values from src, which must have the
+// same architecture.
+func (s *Sequential) CopyParamsFrom(src *Sequential) error {
+	sp, dp := src.Params(), s.Params()
+	if len(sp) != len(dp) {
+		return fmt.Errorf("nn: param count mismatch %d vs %d", len(sp), len(dp))
+	}
+	for i := range sp {
+		if !sp[i].W.SameShape(dp[i].W) {
+			return fmt.Errorf("nn: param %d shape mismatch", i)
+		}
+		dp[i].W.CopyFrom(sp[i].W)
+	}
+	return nil
+}
+
+// EncodedParamSize returns the number of bytes WriteParams produces —
+// used by the communication accounting of Tables III/IV.
+func (s *Sequential) EncodedParamSize() int64 {
+	var n int64
+	for _, p := range s.Params() {
+		n += p.W.EncodedSize()
+	}
+	return n
+}
+
+// WriteParams serialises all parameters to w (for swap / FedAvg traffic).
+func (s *Sequential) WriteParams(w io.Writer) (int64, error) {
+	var total int64
+	for _, p := range s.Params() {
+		n, err := p.W.WriteTo(w)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("nn: write %s: %w", p.Name, err)
+		}
+	}
+	return total, nil
+}
+
+// ReadParams deserialises parameters from r into the network.
+func (s *Sequential) ReadParams(r io.Reader) (int64, error) {
+	var total int64
+	for _, p := range s.Params() {
+		var t tensor.Tensor
+		n, err := t.ReadFrom(r)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("nn: read %s: %w", p.Name, err)
+		}
+		if !t.SameShape(p.W) {
+			return total, fmt.Errorf("nn: read %s: shape %v, want %v", p.Name, t.Shape(), p.W.Shape())
+		}
+		p.W.CopyFrom(&t)
+	}
+	return total, nil
+}
+
+// GradNorm returns the Euclidean norm of the concatenated parameter
+// gradients — handy for divergence diagnostics.
+func (s *Sequential) GradNorm() float64 {
+	sum := 0.0
+	for _, p := range s.Params() {
+		for _, v := range p.Grad.Data {
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/tensor"
+)
+
+func smallNet(rng *rand.Rand) *Sequential {
+	return NewSequential(
+		NewDense(4, 6, rng),
+		NewBatchNorm(6),
+		NewLeakyReLU(0.2),
+		NewDense(6, 3, rng),
+	)
+}
+
+func TestParamVectorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := smallNet(rng)
+	b := smallNet(rng)
+	v := a.ParamVector()
+	if len(v) != a.NumParams() {
+		t.Fatalf("vector length %d != NumParams %d", len(v), a.NumParams())
+	}
+	if err := b.SetParamVector(v); err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 3, 4)
+	ya := a.Forward(x, false)
+	yb := b.Forward(x, false)
+	if !ya.Equal(yb, 0) {
+		t.Fatal("networks with identical parameters must agree")
+	}
+}
+
+func TestSetParamVectorRejectsWrongLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := smallNet(rng)
+	if err := n.SetParamVector(make([]float64, 3)); err == nil {
+		t.Fatal("expected error for short vector")
+	}
+	if err := n.SetParamVector(make([]float64, n.NumParams()+1)); err == nil {
+		t.Fatal("expected error for long vector")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := smallNet(rng)
+	b := a.Clone()
+	x := randInput(rng, 2, 4)
+	if !a.Forward(x, false).Equal(b.Forward(x, false), 0) {
+		t.Fatal("clone must start identical")
+	}
+	// Mutate the clone; original must not change.
+	b.Params()[0].W.Data[0] += 1
+	if a.Forward(x, false).Equal(b.Forward(x, false), 0) {
+		t.Fatal("clone must not share parameter storage")
+	}
+}
+
+func TestParamSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := smallNet(rng)
+	b := smallNet(rng)
+	var buf bytes.Buffer
+	n, err := a.WriteParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != a.EncodedParamSize() {
+		t.Fatalf("wrote %d bytes, EncodedParamSize says %d", n, a.EncodedParamSize())
+	}
+	if _, err := b.ReadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 2, 4)
+	if !a.Forward(x, false).Equal(b.Forward(x, false), 0) {
+		t.Fatal("serialisation round trip must preserve behaviour")
+	}
+}
+
+func TestReadParamsRejectsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := smallNet(rng)
+	other := NewSequential(NewDense(9, 9, rng))
+	var buf bytes.Buffer
+	if _, err := other.WriteParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadParams(&buf); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestZeroGradsAndGradNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := smallNet(rng)
+	x := randInput(rng, 3, 4)
+	out := n.Forward(x, true)
+	n.Backward(tensor.Ones(out.Shape()...))
+	if n.GradNorm() == 0 {
+		t.Fatal("expected non-zero gradients after backward")
+	}
+	n.ZeroGrads()
+	if n.GradNorm() != 0 {
+		t.Fatal("ZeroGrads must clear all gradients")
+	}
+}
+
+func TestGradientAccumulationIsAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := smallNet(rng)
+	x := randInput(rng, 3, 4)
+	g := tensor.Ones(3, 3)
+
+	n.ZeroGrads()
+	n.Forward(x, true)
+	n.Backward(g)
+	once := n.GradVector()
+
+	n.ZeroGrads()
+	n.Forward(x, true)
+	n.Backward(g)
+	n.Forward(x, true)
+	n.Backward(g)
+	twice := n.GradVector()
+
+	for i := range once {
+		if relErr(2*once[i], twice[i]) > 1e-9 {
+			t.Fatalf("gradient accumulation not additive at %d: %g vs %g", i, 2*once[i], twice[i])
+		}
+	}
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDropout(0.5, rng)
+	x := tensor.Ones(1, 1000)
+	yTrain := d.Forward(x, true)
+	zeros := 0
+	for _, v := range yTrain.Data {
+		if v == 0 {
+			zeros++
+		} else if v != 2 { // inverted dropout rescale 1/(1-0.5)
+			t.Fatalf("surviving activation = %v, want 2", v)
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Fatalf("dropped %d of 1000, want ~500", zeros)
+	}
+	yEval := d.Forward(x, false)
+	if !yEval.Equal(x, 0) {
+		t.Fatal("eval mode must be identity")
+	}
+}
+
+func TestBatchNormRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bn := NewBatchNorm(4)
+	// Feed many training batches with mean 5, var 4.
+	for i := 0; i < 200; i++ {
+		x := tensor.New(16, 4)
+		for j := range x.Data {
+			x.Data[j] = 5 + 2*rng.NormFloat64()
+		}
+		bn.Forward(x, true)
+	}
+	for c := 0; c < 4; c++ {
+		if m := bn.RunMean.W.Data[c]; m < 4.5 || m > 5.5 {
+			t.Fatalf("running mean[%d] = %v, want ~5", c, m)
+		}
+		if v := bn.RunVar.W.Data[c]; v < 3 || v > 5 {
+			t.Fatalf("running var[%d] = %v, want ~4", c, v)
+		}
+	}
+	// Eval mode on data with those stats should be ~standardised.
+	x := tensor.New(64, 4)
+	for j := range x.Data {
+		x.Data[j] = 5 + 2*rng.NormFloat64()
+	}
+	y := bn.Forward(x, false)
+	if m := y.Mean(); m < -0.2 || m > 0.2 {
+		t.Fatalf("eval output mean %v, want ~0", m)
+	}
+}
+
+func TestMinibatchDiscriminationShapesAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	l := NewMinibatchDiscrimination(5, 4, 3, rng)
+	x := randInput(rng, 6, 5)
+	y := l.Forward(x, true)
+	if y.Dim(0) != 6 || y.Dim(1) != 9 {
+		t.Fatalf("output shape %v, want (6, 9)", y.Shape())
+	}
+	// Pass-through part intact.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			if y.At(i, j) != x.At(i, j) {
+				t.Fatal("pass-through features altered")
+			}
+		}
+	}
+	// Similarity features in (0, N−1].
+	for i := 0; i < 6; i++ {
+		for j := 5; j < 9; j++ {
+			v := y.At(i, j)
+			if v <= 0 || v > 5 {
+				t.Fatalf("similarity feature %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestConvShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewConv2D(3, 32, 32, 16, 3, 2, 1, rng)
+	oc, oh, ow := c.OutShape()
+	if oc != 16 || oh != 16 || ow != 16 {
+		t.Fatalf("conv out shape (%d,%d,%d), want (16,16,16)", oc, oh, ow)
+	}
+	ct := NewConvTranspose2D(16, 16, 16, 3, 4, 2, 1, 0, rng)
+	tc, th, tw := ct.OutShape()
+	if tc != 3 || th != 32 || tw != 32 {
+		t.Fatalf("convT out shape (%d,%d,%d), want (3,32,32)", tc, th, tw)
+	}
+	x := randInput(rng, 2, 3, 32, 32)
+	y := c.Forward(x, true)
+	if y.Dim(1) != 16 || y.Dim(2) != 16 || y.Dim(3) != 16 {
+		t.Fatalf("forward shape %v", y.Shape())
+	}
+	z := ct.Forward(y, true)
+	if z.Dim(1) != 3 || z.Dim(2) != 32 || z.Dim(3) != 32 {
+		t.Fatalf("transpose forward shape %v", z.Shape())
+	}
+}

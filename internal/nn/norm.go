@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mdgan/internal/tensor"
+)
+
+// BatchNorm normalises each of C features over the batch (and any
+// spatial extent): given input (N, C) or (N, C, H, W) it computes
+// y = γ·(x−μ)/√(σ²+ε) + β per channel, maintaining running statistics
+// for evaluation mode. Generators in the paper's ACGAN architectures use
+// batch normalisation between up-sampling layers.
+type BatchNorm struct {
+	C        int
+	Eps      float64
+	Momentum float64
+	Gamma    *Param
+	Beta     *Param
+	// Running statistics (not learned, but part of the transferable
+	// state — they are serialised with the parameters so a swapped
+	// discriminator behaves identically on its new worker).
+	RunMean *Param
+	RunVar  *Param
+
+	// caches
+	xhat    *tensor.Tensor
+	std     []float64 // per-channel 1/sqrt(var+eps)
+	shape   []int
+	spatial int
+}
+
+// NewBatchNorm builds a BatchNorm over c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	bn := &BatchNorm{
+		C: c, Eps: 1e-5, Momentum: 0.9,
+		Gamma:   newParam(fmt.Sprintf("bn%d.gamma", c), tensor.Ones(1, c)),
+		Beta:    newParam(fmt.Sprintf("bn%d.beta", c), tensor.New(1, c)),
+		RunMean: newParam(fmt.Sprintf("bn%d.rmean", c), tensor.New(1, c)),
+		RunVar:  newParam(fmt.Sprintf("bn%d.rvar", c), tensor.Ones(1, c)),
+	}
+	return bn
+}
+
+// split interprets the input as (N, C, S) where S is the flattened
+// spatial extent.
+func (bn *BatchNorm) split(x *tensor.Tensor) (n, s int) {
+	n = x.Dim(0)
+	vol := x.Size() / n
+	if vol%bn.C != 0 {
+		panic(fmt.Sprintf("nn: BatchNorm(%d) got per-sample volume %d", bn.C, vol))
+	}
+	return n, vol / bn.C
+}
+
+// Forward normalises x.
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, s := bn.split(x)
+	bn.shape = x.Shape()
+	bn.spatial = s
+	out := tensor.New(x.Shape()...)
+	bn.xhat = tensor.New(x.Shape()...)
+	if bn.std == nil || len(bn.std) != bn.C {
+		bn.std = make([]float64, bn.C)
+	}
+	cnt := float64(n * s)
+	for c := 0; c < bn.C; c++ {
+		var mean, variance float64
+		if train {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * s
+				for j := 0; j < s; j++ {
+					sum += x.Data[base+j]
+				}
+			}
+			mean = sum / cnt
+			sq := 0.0
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * s
+				for j := 0; j < s; j++ {
+					d := x.Data[base+j] - mean
+					sq += d * d
+				}
+			}
+			variance = sq / cnt
+			m := bn.Momentum
+			bn.RunMean.W.Data[c] = m*bn.RunMean.W.Data[c] + (1-m)*mean
+			bn.RunVar.W.Data[c] = m*bn.RunVar.W.Data[c] + (1-m)*variance
+		} else {
+			mean = bn.RunMean.W.Data[c]
+			variance = bn.RunVar.W.Data[c]
+		}
+		inv := 1 / sqrt(variance+bn.Eps)
+		bn.std[c] = inv
+		g, b := bn.Gamma.W.Data[c], bn.Beta.W.Data[c]
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * s
+			for j := 0; j < s; j++ {
+				xh := (x.Data[base+j] - mean) * inv
+				bn.xhat.Data[base+j] = xh
+				out.Data[base+j] = g*xh + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient (training-mode
+// statistics).
+func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := bn.shape[0]
+	s := bn.spatial
+	cnt := float64(n * s)
+	dx := tensor.New(bn.shape...)
+	for c := 0; c < bn.C; c++ {
+		g := bn.Gamma.W.Data[c]
+		inv := bn.std[c]
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * s
+			for j := 0; j < s; j++ {
+				dy := grad.Data[base+j]
+				sumDy += dy
+				sumDyXhat += dy * bn.xhat.Data[base+j]
+			}
+		}
+		bn.Beta.Grad.Data[c] += sumDy
+		bn.Gamma.Grad.Data[c] += sumDyXhat
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * s
+			for j := 0; j < s; j++ {
+				dy := grad.Data[base+j]
+				xh := bn.xhat.Data[base+j]
+				dx.Data[base+j] = g * inv * (dy - sumDy/cnt - xh*sumDyXhat/cnt)
+			}
+		}
+	}
+	return dx
+}
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+// Params returns γ, β and the running statistics. The running stats have
+// zero gradient always but riding in Params keeps them inside the
+// parameter (de)serialisation path, which matters for discriminator
+// swaps (paper §IV-C1): a swap must carry the full behavioural state.
+func (bn *BatchNorm) Params() []*Param {
+	return []*Param{bn.Gamma, bn.Beta, bn.RunMean, bn.RunVar}
+}
+
+// Clone returns a deep copy.
+func (bn *BatchNorm) Clone() Layer {
+	out := NewBatchNorm(bn.C)
+	out.Eps, out.Momentum = bn.Eps, bn.Momentum
+	out.Gamma.W.CopyFrom(bn.Gamma.W)
+	out.Beta.W.CopyFrom(bn.Beta.W)
+	out.RunMean.W.CopyFrom(bn.RunMean.W)
+	out.RunVar.W.CopyFrom(bn.RunVar.W)
+	return out
+}

@@ -1,0 +1,59 @@
+package nn
+
+import "mdgan/internal/tensor"
+
+// Reshape reinterprets the per-sample volume with a new trailing shape,
+// keeping the batch dimension. Use it to bridge Dense and Conv blocks
+// (e.g. the paper's generators reshape a fully-connected output into a
+// (C, H, W) feature map before transposed convolutions).
+type Reshape struct {
+	To      []int // per-sample shape
+	inShape []int
+}
+
+// NewReshape builds a Reshape to the given per-sample shape.
+func NewReshape(to ...int) *Reshape { return &Reshape{To: append([]int(nil), to...)} }
+
+// Forward reshapes (N, ...) to (N, To...).
+func (r *Reshape) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.inShape = x.Shape()
+	shape := append([]int{x.Dim(0)}, r.To...)
+	return x.Reshape(shape...)
+}
+
+// Backward restores the original shape.
+func (r *Reshape) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(r.inShape...)
+}
+
+// Params reports no learnables.
+func (r *Reshape) Params() []*Param { return nil }
+
+// Clone returns a copy.
+func (r *Reshape) Clone() Layer { return NewReshape(r.To...) }
+
+// Flatten collapses each sample to a vector: (N, ...) → (N, V).
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten builds a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens the trailing dimensions.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = x.Shape()
+	n := x.Dim(0)
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params reports no learnables.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Clone returns a copy.
+func (f *Flatten) Clone() Layer { return NewFlatten() }

@@ -1,0 +1,131 @@
+// Package opt implements the gradient-based optimisers used to train
+// generators and discriminators: SGD (optionally with momentum) and Adam
+// (Kingma & Ba, 2014), the optimiser the paper uses on both sides
+// (§IV-B2, wi(t) = wi(t−1) + Adam(Δwi)).
+package opt
+
+import (
+	"math"
+
+	"mdgan/internal/nn"
+)
+
+// Optimizer updates network parameters from their accumulated gradients.
+// Step consumes the current .Grad of every parameter; callers zero the
+// gradients between steps.
+type Optimizer interface {
+	// Step applies one update to all parameters.
+	Step(params []*nn.Param)
+	// Reset clears internal state (momentum/Adam moments).
+	Reset()
+}
+
+// SGD is plain stochastic gradient descent with optional classical
+// momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*nn.Param][]float64
+}
+
+// NewSGD returns an SGD optimiser.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*nn.Param][]float64)}
+}
+
+// Step applies w ← w − lr·(m·v + g).
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i, g := range p.Grad.Data {
+				p.W.Data[i] -= s.LR * g
+			}
+			continue
+		}
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float64, p.W.Size())
+			s.velocity[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = s.Momentum*v[i] + g
+			p.W.Data[i] -= s.LR * v[i]
+		}
+	}
+}
+
+// Reset drops momentum state.
+func (s *SGD) Reset() { s.velocity = make(map[*nn.Param][]float64) }
+
+// Adam implements the Adam optimiser with bias-corrected first and
+// second moment estimates.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+	m, v  map[*nn.Param][]float64
+}
+
+// AdamConfig carries the hyper-parameters; the zero value is replaced by
+// the conventional defaults (lr 1e-3, β1 0.9, β2 0.999, ε 1e-8). The
+// paper's CelebA experiment tunes these per competitor (§V-B4), which is
+// why they are all exposed.
+type AdamConfig struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+}
+
+// NewAdam returns an Adam optimiser with the given config.
+func NewAdam(cfg AdamConfig) *Adam {
+	if cfg.LR == 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.Beta1 == 0 {
+		cfg.Beta1 = 0.9
+	}
+	if cfg.Beta2 == 0 {
+		cfg.Beta2 = 0.999
+	}
+	if cfg.Eps == 0 {
+		cfg.Eps = 1e-8
+	}
+	return &Adam{
+		LR: cfg.LR, Beta1: cfg.Beta1, Beta2: cfg.Beta2, Eps: cfg.Eps,
+		m: make(map[*nn.Param][]float64), v: make(map[*nn.Param][]float64),
+	}
+}
+
+// Step applies one Adam update to all parameters.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = make([]float64, p.W.Size())
+			v = make([]float64, p.W.Size())
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			p.W.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// Reset drops moment state and the step counter.
+func (a *Adam) Reset() {
+	a.t = 0
+	a.m = make(map[*nn.Param][]float64)
+	a.v = make(map[*nn.Param][]float64)
+}

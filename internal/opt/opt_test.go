@@ -1,0 +1,120 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/nn"
+	"mdgan/internal/tensor"
+)
+
+// paramWithGrad builds a standalone parameter for unit tests.
+func paramWithGrad(w, g []float64) *nn.Param {
+	p := &nn.Param{
+		W:    tensor.FromSlice(append([]float64(nil), w...), len(w)),
+		Grad: tensor.FromSlice(append([]float64(nil), g...), len(g)),
+	}
+	return p
+}
+
+func TestSGDStep(t *testing.T) {
+	p := paramWithGrad([]float64{1, 2}, []float64{0.5, -0.5})
+	NewSGD(0.1, 0).Step([]*nn.Param{p})
+	if math.Abs(p.W.Data[0]-0.95) > 1e-12 || math.Abs(p.W.Data[1]-2.05) > 1e-12 {
+		t.Fatalf("SGD step = %v", p.W.Data)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := paramWithGrad([]float64{0}, []float64{1})
+	s := NewSGD(1, 0.5)
+	s.Step([]*nn.Param{p}) // v=1, w=-1
+	s.Step([]*nn.Param{p}) // v=1.5, w=-2.5
+	if math.Abs(p.W.Data[0]+2.5) > 1e-12 {
+		t.Fatalf("momentum w = %v, want -2.5", p.W.Data[0])
+	}
+	s.Reset()
+	s.Step([]*nn.Param{p}) // v=1 again, w=-3.5
+	if math.Abs(p.W.Data[0]+3.5) > 1e-12 {
+		t.Fatalf("after reset w = %v, want -3.5", p.W.Data[0])
+	}
+}
+
+// TestAdamReferenceSequence checks the exact element-wise Adam update
+// against a hand-computed reference for two steps.
+func TestAdamReferenceSequence(t *testing.T) {
+	p := paramWithGrad([]float64{1}, []float64{0.1})
+	a := NewAdam(AdamConfig{LR: 0.01, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8})
+
+	// Step 1: m=0.01, v=1e-5·... : m̂ = g, v̂ = g² → Δ = lr·g/(|g|+ε) ≈ lr.
+	a.Step([]*nn.Param{p})
+	w1 := 1 - 0.01*0.1/(math.Sqrt(0.1*0.1)+1e-8)
+	if math.Abs(p.W.Data[0]-w1) > 1e-12 {
+		t.Fatalf("step1 w = %.15f, want %.15f", p.W.Data[0], w1)
+	}
+
+	// Step 2 with the same gradient, computed by replaying the recurrence.
+	m := 0.9*(0.1*(1-0.9)) + (1-0.9)*0.1 // = 0.1*(1-0.9) after step1 was 0.01
+	_ = m
+	// Recompute exactly as the implementation does:
+	m1 := (1 - 0.9) * 0.1
+	v1 := (1 - 0.999) * 0.01
+	m2 := 0.9*m1 + 0.1*0.1
+	v2 := 0.999*v1 + 0.001*0.01
+	mhat := m2 / (1 - math.Pow(0.9, 2))
+	vhat := v2 / (1 - math.Pow(0.999, 2))
+	w2 := w1 - 0.01*mhat/(math.Sqrt(vhat)+1e-8)
+	a.Step([]*nn.Param{p})
+	if math.Abs(p.W.Data[0]-w2) > 1e-12 {
+		t.Fatalf("step2 w = %.15f, want %.15f", p.W.Data[0], w2)
+	}
+}
+
+func TestAdamDefaults(t *testing.T) {
+	a := NewAdam(AdamConfig{})
+	if a.LR != 1e-3 || a.Beta1 != 0.9 || a.Beta2 != 0.999 || a.Eps != 1e-8 {
+		t.Fatalf("defaults = %+v", a)
+	}
+}
+
+func TestAdamZeroGradIsNoOp(t *testing.T) {
+	p := paramWithGrad([]float64{3}, []float64{0})
+	a := NewAdam(AdamConfig{})
+	for i := 0; i < 5; i++ {
+		a.Step([]*nn.Param{p})
+	}
+	if p.W.Data[0] != 3 {
+		t.Fatalf("zero gradient moved weight to %v", p.W.Data[0])
+	}
+}
+
+// TestOptimizersMinimiseQuadratic drives both optimisers on f(w)=|w|²
+// and checks convergence toward 0 — an end-to-end sanity check of the
+// update direction and magnitude.
+func TestOptimizersMinimiseQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, mk := range map[string]func() Optimizer{
+		"sgd":      func() Optimizer { return NewSGD(0.1, 0) },
+		"momentum": func() Optimizer { return NewSGD(0.05, 0.9) },
+		"adam":     func() Optimizer { return NewAdam(AdamConfig{LR: 0.05}) },
+	} {
+		w := make([]float64, 8)
+		for i := range w {
+			w[i] = rng.NormFloat64() * 3
+		}
+		p := paramWithGrad(w, make([]float64, 8))
+		o := mk()
+		for it := 0; it < 400; it++ {
+			for i, v := range p.W.Data {
+				p.Grad.Data[i] = 2 * v
+			}
+			o.Step([]*nn.Param{p})
+		}
+		for i, v := range p.W.Data {
+			if math.Abs(v) > 1e-2 {
+				t.Fatalf("%s: w[%d] = %v did not converge", name, i, v)
+			}
+		}
+	}
+}

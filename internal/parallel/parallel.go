@@ -1,0 +1,108 @@
+// Package parallel provides small helpers to split data-parallel loops
+// across the available CPU cores. It is the only place in the code base
+// that decides how many goroutines a compute kernel may use, so the
+// policy (and its test hooks) live here.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxProcs returns the degree of parallelism to use. It is a variable so
+// tests can pin it.
+var maxProcs = func() int { return runtime.GOMAXPROCS(0) }
+
+// SetMaxProcs overrides the degree of parallelism used by For and Do.
+// n <= 0 restores the default (GOMAXPROCS). It returns the previous
+// override state for tests that want to restore it.
+func SetMaxProcs(n int) {
+	if n <= 0 {
+		maxProcs = func() int { return runtime.GOMAXPROCS(0) }
+		return
+	}
+	maxProcs = func() int { return n }
+}
+
+// For runs fn over the half-open index ranges that partition [0, n),
+// using up to GOMAXPROCS goroutines. Each invocation receives a disjoint
+// [start, end) chunk; fn must be safe to call concurrently on disjoint
+// chunks. For small n the call is executed inline to avoid goroutine
+// overhead.
+func For(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	p := maxProcs()
+	if p > n {
+		p = n
+	}
+	// Under ~4096 scalar iterations the goroutine fan-out costs more
+	// than it saves for the kernels in this repo.
+	if p == 1 || n < 4096 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForceFor behaves like For but always fans out across goroutines, even
+// for small n. It is intended for coarse-grained tasks (one unit of work
+// per index is itself expensive, e.g. a per-image convolution).
+func ForceFor(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	p := maxProcs()
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Do runs the given tasks concurrently and waits for all of them.
+func Do(tasks ...func()) {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(t)
+	}
+	wg.Wait()
+}

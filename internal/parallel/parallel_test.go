@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 4096, 10000} {
+		seen := make([]int32, n)
+		For(n, func(s, e int) {
+			for i := s; i < e; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForceForCoversRange(t *testing.T) {
+	n := 37
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	ForceFor(n, func(s, e int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := s; i < e; i++ {
+			seen[i]++
+		}
+	})
+	if len(seen) != n {
+		t.Fatalf("covered %d of %d", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestSetMaxProcsSerialises(t *testing.T) {
+	SetMaxProcs(1)
+	defer SetMaxProcs(0)
+	order := make([]int, 0, 10000)
+	For(10000, func(s, e int) {
+		for i := s; i < e; i++ {
+			order = append(order, i) // safe only because p==1
+		}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution out of order at %d", i)
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.StoreInt32(&a, 1) },
+		func() { atomic.StoreInt32(&b, 2) },
+		func() { atomic.StoreInt32(&c, 3) },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatal("Do did not run all tasks")
+	}
+}

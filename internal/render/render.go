@@ -1,0 +1,100 @@
+// Package render turns generated sample tensors into images for
+// qualitative inspection — the visual counterpart of the quantitative
+// MS/FID scores. Grayscale (C=1) and RGB (C=3) tensors in the
+// generator's [−1, 1] range are tiled into a grid and encoded as PNG
+// with the stdlib image packages.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+
+	"mdgan/internal/tensor"
+)
+
+// pixel maps a [−1, 1] value to 0..255.
+func pixel(v float64) uint8 {
+	v = (v + 1) / 2
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	return uint8(v*254 + 0.5)
+}
+
+// Grid tiles the first rows of x — an image tensor (N, C, H, W) with
+// C ∈ {1, 3} — into a grid with the given number of columns, separated
+// by 1-pixel gutters.
+func Grid(x *tensor.Tensor, cols int) (image.Image, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("render: want (N, C, H, W) tensor, got shape %v", x.Shape())
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != 1 && c != 3 {
+		return nil, fmt.Errorf("render: unsupported channel count %d", c)
+	}
+	if cols <= 0 {
+		cols = 8
+	}
+	if cols > n {
+		cols = n
+	}
+	rows := (n + cols - 1) / cols
+	const gut = 1
+	img := image.NewRGBA(image.Rect(0, 0, cols*(w+gut)+gut, rows*(h+gut)+gut))
+	// Dark background behind the gutters.
+	for i := range img.Pix {
+		img.Pix[i] = 32
+	}
+	vol := c * h * w
+	for i := 0; i < n; i++ {
+		ox := gut + (i%cols)*(w+gut)
+		oy := gut + (i/cols)*(h+gut)
+		data := x.Data[i*vol : (i+1)*vol]
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				var col color.RGBA
+				if c == 1 {
+					g := pixel(data[y*w+xx])
+					col = color.RGBA{g, g, g, 255}
+				} else {
+					col = color.RGBA{
+						pixel(data[(0*h+y)*w+xx]),
+						pixel(data[(1*h+y)*w+xx]),
+						pixel(data[(2*h+y)*w+xx]),
+						255,
+					}
+				}
+				img.SetRGBA(ox+xx, oy+y, col)
+			}
+		}
+	}
+	return img, nil
+}
+
+// EncodePNG writes the grid of x as PNG to w.
+func EncodePNG(w io.Writer, x *tensor.Tensor, cols int) error {
+	img, err := Grid(x, cols)
+	if err != nil {
+		return err
+	}
+	return png.Encode(w, img)
+}
+
+// SavePNG writes the grid of x as a PNG file.
+func SavePNG(path string, x *tensor.Tensor, cols int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	defer f.Close()
+	if err := EncodePNG(f, x, cols); err != nil {
+		return err
+	}
+	return f.Close()
+}

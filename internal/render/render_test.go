@@ -1,0 +1,79 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"path/filepath"
+	"testing"
+
+	"mdgan/internal/dataset"
+	"mdgan/internal/tensor"
+)
+
+func TestGridGeometry(t *testing.T) {
+	ds := dataset.SynthDigits(10, 1)
+	img, err := Grid(ds.X, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	// 5 cols × 2 rows of 28px + 1px gutters.
+	if b.Dx() != 5*29+1 || b.Dy() != 2*29+1 {
+		t.Fatalf("grid size %dx%d", b.Dx(), b.Dy())
+	}
+}
+
+func TestGridRGB(t *testing.T) {
+	ds := dataset.SynthCIFAR(4, 2)
+	img, err := Grid(ds.X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 2*33+1 {
+		t.Fatalf("rgb grid width %d", img.Bounds().Dx())
+	}
+}
+
+func TestGridRejectsBadShapes(t *testing.T) {
+	if _, err := Grid(tensor.New(3, 4), 2); err == nil {
+		t.Fatal("rank-2 tensor must be rejected")
+	}
+	if _, err := Grid(tensor.New(1, 2, 4, 4), 2); err == nil {
+		t.Fatal("2-channel tensor must be rejected")
+	}
+}
+
+func TestEncodePNGRoundTrip(t *testing.T) {
+	ds := dataset.SynthDigits(6, 3)
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, ds.X, 3); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("produced invalid PNG: %v", err)
+	}
+	if img.Bounds().Dx() == 0 {
+		t.Fatal("empty image")
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	ds := dataset.SynthFaces(4, 4)
+	path := filepath.Join(t.TempDir(), "faces.png")
+	if err := SavePNG(path, ds.X, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPixelClamps(t *testing.T) {
+	if pixel(-5) != 0 {
+		t.Fatal("underflow not clamped")
+	}
+	if pixel(5) != 254 {
+		t.Fatal("overflow not clamped")
+	}
+	if pixel(0) != 127 {
+		t.Fatalf("midpoint = %d", pixel(0))
+	}
+}

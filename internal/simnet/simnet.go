@@ -1,0 +1,239 @@
+// Package simnet provides the cluster substrate the distributed GAN
+// algorithms run on: named nodes exchanging messages over a pluggable
+// transport, with per-link traffic accounting. The paper evaluates
+// communication complexity by link type (server→worker, worker→server,
+// worker→worker; Tables III/IV), so every send is tagged with its link
+// kind and the byte counters reproduce those tables directly.
+//
+// Two transports are provided: ChannelNet (in-process, one goroutine per
+// node — the emulation mode the paper itself uses) and TCPNet (real
+// sockets via the stdlib net package, for running workers as separate
+// processes or across machines).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Kind labels a link for the traffic accounting of Tables III/IV.
+type Kind int
+
+const (
+	// CtoW is server → worker traffic (generated batches in MD-GAN,
+	// model parameters in FL-GAN).
+	CtoW Kind = iota
+	// WtoC is worker → server traffic (error feedback in MD-GAN,
+	// model parameters in FL-GAN).
+	WtoC
+	// WtoW is worker → worker traffic (discriminator swaps, MD-GAN
+	// only).
+	WtoW
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CtoW:
+		return "C→W"
+	case WtoC:
+		return "W→C"
+	case WtoW:
+		return "W→W"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Message is one unit of communication.
+type Message struct {
+	From, To string
+	Type     string // application-level tag ("batches", "feedback", "swap", "params", ...)
+	Kind     Kind
+	Payload  []byte
+}
+
+// ErrNodeDown is returned when sending to a crashed or unknown node.
+var ErrNodeDown = errors.New("simnet: node down")
+
+// Traffic is a snapshot of accumulated communication counters.
+type Traffic struct {
+	Bytes         map[Kind]int64
+	Msgs          map[Kind]int64
+	IngressByNode map[string]int64
+	EgressByNode  map[string]int64
+}
+
+// Total returns total bytes across all link kinds.
+func (t Traffic) Total() int64 {
+	var s int64
+	for _, v := range t.Bytes {
+		s += v
+	}
+	return s
+}
+
+// Net is a message transport between named nodes with traffic
+// accounting and fail-stop crash injection.
+type Net interface {
+	// Register creates the node's inbox. Must be called before the
+	// node sends or receives.
+	Register(node string) error
+	// Send delivers a message; it blocks only if the destination inbox
+	// is full. Sending to a crashed node returns ErrNodeDown.
+	Send(msg Message) error
+	// Inbox returns the node's receive channel.
+	Inbox(node string) <-chan Message
+	// Crash marks a node as failed (fail-stop): subsequent sends to it
+	// fail and its inbox is closed after draining.
+	Crash(node string)
+	// Snapshot returns a copy of the traffic counters.
+	Snapshot() Traffic
+	// Close releases transport resources.
+	Close() error
+}
+
+// accounting is shared by the transports.
+type accounting struct {
+	mu      sync.Mutex
+	bytes   map[Kind]int64
+	msgs    map[Kind]int64
+	ingress map[string]int64
+	egress  map[string]int64
+}
+
+func newAccounting() *accounting {
+	return &accounting{
+		bytes:   make(map[Kind]int64),
+		msgs:    make(map[Kind]int64),
+		ingress: make(map[string]int64),
+		egress:  make(map[string]int64),
+	}
+}
+
+func (a *accounting) record(msg *Message) {
+	n := int64(len(msg.Payload))
+	a.mu.Lock()
+	a.bytes[msg.Kind] += n
+	a.msgs[msg.Kind]++
+	a.ingress[msg.To] += n
+	a.egress[msg.From] += n
+	a.mu.Unlock()
+}
+
+func (a *accounting) snapshot() Traffic {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := Traffic{
+		Bytes:         make(map[Kind]int64, len(a.bytes)),
+		Msgs:          make(map[Kind]int64, len(a.msgs)),
+		IngressByNode: make(map[string]int64, len(a.ingress)),
+		EgressByNode:  make(map[string]int64, len(a.egress)),
+	}
+	for k, v := range a.bytes {
+		t.Bytes[k] = v
+	}
+	for k, v := range a.msgs {
+		t.Msgs[k] = v
+	}
+	for k, v := range a.ingress {
+		t.IngressByNode[k] = v
+	}
+	for k, v := range a.egress {
+		t.EgressByNode[k] = v
+	}
+	return t
+}
+
+// ChannelNet is the in-process transport: one buffered channel per node.
+type ChannelNet struct {
+	mu      sync.Mutex
+	inboxes map[string]chan Message
+	down    map[string]bool
+	acct    *accounting
+	buf     int
+}
+
+// NewChannelNet creates an in-process network. buf is the inbox buffer
+// depth per node (0 selects a generous default so synchronous rounds
+// never deadlock).
+func NewChannelNet(buf int) *ChannelNet {
+	if buf <= 0 {
+		buf = 1024
+	}
+	return &ChannelNet{
+		inboxes: make(map[string]chan Message),
+		down:    make(map[string]bool),
+		acct:    newAccounting(),
+		buf:     buf,
+	}
+}
+
+// Register implements Net.
+func (n *ChannelNet) Register(node string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.inboxes[node]; ok {
+		return fmt.Errorf("simnet: node %q already registered", node)
+	}
+	n.inboxes[node] = make(chan Message, n.buf)
+	return nil
+}
+
+// Send implements Net.
+func (n *ChannelNet) Send(msg Message) error {
+	n.mu.Lock()
+	ch, ok := n.inboxes[msg.To]
+	dead := n.down[msg.To]
+	n.mu.Unlock()
+	if !ok || dead {
+		return fmt.Errorf("%w: %s", ErrNodeDown, msg.To)
+	}
+	n.acct.record(&msg)
+	ch <- msg
+	return nil
+}
+
+// Inbox implements Net.
+func (n *ChannelNet) Inbox(node string) <-chan Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inboxes[node]
+}
+
+// Crash implements Net.
+func (n *ChannelNet) Crash(node string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[node] {
+		return
+	}
+	n.down[node] = true
+	if ch, ok := n.inboxes[node]; ok {
+		close(ch)
+	}
+}
+
+// Down reports whether the node has crashed.
+func (n *ChannelNet) Down(node string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[node]
+}
+
+// Snapshot implements Net.
+func (n *ChannelNet) Snapshot() Traffic { return n.acct.snapshot() }
+
+// Close implements Net.
+func (n *ChannelNet) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for name, ch := range n.inboxes {
+		if !n.down[name] {
+			n.down[name] = true
+			close(ch)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// netFactories lets every behavioural test run against both transports.
+var netFactories = map[string]func() Net{
+	"channel": func() Net { return NewChannelNet(0) },
+	"tcp":     func() Net { return NewTCPNet() },
+}
+
+func TestSendRecvAllTransports(t *testing.T) {
+	for name, mk := range netFactories {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			if err := n.Register("server"); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Register("w1"); err != nil {
+				t.Fatal(err)
+			}
+			payload := []byte("hello worker")
+			if err := n.Send(Message{From: "server", To: "w1", Type: "batches", Kind: CtoW, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case msg := <-n.Inbox("w1"):
+				if msg.From != "server" || msg.Type != "batches" || string(msg.Payload) != "hello worker" {
+					t.Fatalf("bad message %+v", msg)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("message not delivered")
+			}
+		})
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	for name, mk := range netFactories {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			for _, node := range []string{"C", "w1", "w2"} {
+				if err := n.Register(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			send := func(from, to string, kind Kind, size int) {
+				if err := n.Send(Message{From: from, To: to, Kind: kind, Payload: make([]byte, size)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			send("C", "w1", CtoW, 100)
+			send("C", "w2", CtoW, 100)
+			send("w1", "C", WtoC, 40)
+			send("w1", "w2", WtoW, 7)
+
+			// Drain so TCP readers finish delivery before snapshotting.
+			for _, node := range []string{"w1", "w2", "C"} {
+				drain(t, n, node, map[string]int{"w1": 1, "w2": 2, "C": 1}[node])
+			}
+			tr := n.Snapshot()
+			if tr.Bytes[CtoW] != 200 || tr.Msgs[CtoW] != 2 {
+				t.Fatalf("C→W = %d bytes / %d msgs", tr.Bytes[CtoW], tr.Msgs[CtoW])
+			}
+			if tr.Bytes[WtoC] != 40 || tr.Msgs[WtoC] != 1 {
+				t.Fatalf("W→C = %d bytes", tr.Bytes[WtoC])
+			}
+			if tr.Bytes[WtoW] != 7 {
+				t.Fatalf("W→W = %d bytes", tr.Bytes[WtoW])
+			}
+			if tr.IngressByNode["w2"] != 107 {
+				t.Fatalf("w2 ingress = %d, want 107", tr.IngressByNode["w2"])
+			}
+			if tr.EgressByNode["C"] != 200 {
+				t.Fatalf("C egress = %d, want 200", tr.EgressByNode["C"])
+			}
+			if tr.Total() != 247 {
+				t.Fatalf("total = %d, want 247", tr.Total())
+			}
+		})
+	}
+}
+
+func drain(t *testing.T, n Net, node string, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		select {
+		case <-n.Inbox(node):
+		case <-time.After(5 * time.Second):
+			t.Fatalf("node %s: message %d/%d not delivered", node, i+1, count)
+		}
+	}
+}
+
+func TestCrashFailStop(t *testing.T) {
+	for name, mk := range netFactories {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			if err := n.Register("C"); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Register("w1"); err != nil {
+				t.Fatal(err)
+			}
+			n.Crash("w1")
+			err := n.Send(Message{From: "C", To: "w1", Kind: CtoW, Payload: []byte("x")})
+			if !errors.Is(err, ErrNodeDown) {
+				t.Fatalf("send to crashed node: err = %v, want ErrNodeDown", err)
+			}
+			// The inbox must eventually close so the worker goroutine
+			// unblocks and terminates.
+			select {
+			case _, ok := <-n.Inbox("w1"):
+				if ok {
+					t.Fatal("unexpected message on crashed inbox")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("crashed inbox did not close")
+			}
+		})
+	}
+}
+
+func TestSendToUnknownNode(t *testing.T) {
+	n := NewChannelNet(0)
+	defer n.Close()
+	if err := n.Register("C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Message{From: "C", To: "ghost", Payload: []byte("x")}); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestDoubleRegisterRejected(t *testing.T) {
+	for name, mk := range netFactories {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			if err := n.Register("C"); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Register("C"); err == nil {
+				t.Fatal("double register must fail")
+			}
+		})
+	}
+}
+
+func TestConcurrentSendersAccounting(t *testing.T) {
+	n := NewChannelNet(0)
+	defer n.Close()
+	if err := n.Register("C"); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const msgs = 50
+	for i := 0; i < workers; i++ {
+		if err := n.Register(workerName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < msgs; j++ {
+				if err := n.Send(Message{From: workerName(w), To: "C", Kind: WtoC, Payload: make([]byte, 10)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	tr := n.Snapshot()
+	if tr.Bytes[WtoC] != workers*msgs*10 {
+		t.Fatalf("W→C bytes = %d, want %d", tr.Bytes[WtoC], workers*msgs*10)
+	}
+	if tr.Msgs[WtoC] != workers*msgs {
+		t.Fatalf("W→C msgs = %d", tr.Msgs[WtoC])
+	}
+}
+
+func TestTCPLargePayloadRoundTrip(t *testing.T) {
+	n := NewTCPNet()
+	defer n.Close()
+	if err := n.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b"); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := n.Send(Message{From: "a", To: "b", Kind: WtoW, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-n.Inbox("b"):
+		if len(msg.Payload) != len(payload) {
+			t.Fatalf("payload length %d", len(msg.Payload))
+		}
+		for i := 0; i < len(payload); i += 4097 {
+			if msg.Payload[i] != payload[i] {
+				t.Fatalf("payload corrupted at %d", i)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("large payload not delivered")
+	}
+}
+
+func workerName(i int) string { return "w" + string(rune('0'+i)) }
+
+func TestKindString(t *testing.T) {
+	if CtoW.String() != "C→W" || WtoC.String() != "W→C" || WtoW.String() != "W→W" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}

@@ -1,0 +1,189 @@
+package simnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPNet is a Net implementation over real loopback/LAN sockets using
+// the stdlib net package: every registered node owns a TCP listener and
+// senders keep one persistent connection per (from, to) pair with
+// gob-framed messages. Traffic accounting counts application payload
+// bytes (identical to ChannelNet), so the communication tables are
+// transport-independent.
+type TCPNet struct {
+	mu        sync.Mutex
+	addrs     map[string]string
+	listeners map[string]net.Listener
+	inboxes   map[string]chan Message
+	incoming  map[string][]net.Conn // accepted conns per node, closed on Crash
+	conns     map[string]*gobConn   // sender side, key: from+"→"+to
+	down      map[string]bool
+	acct      *accounting
+	wg        sync.WaitGroup
+}
+
+type gobConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCPNet creates a TCP-backed network on loopback.
+func NewTCPNet() *TCPNet {
+	return &TCPNet{
+		addrs:     make(map[string]string),
+		listeners: make(map[string]net.Listener),
+		inboxes:   make(map[string]chan Message),
+		incoming:  make(map[string][]net.Conn),
+		conns:     make(map[string]*gobConn),
+		down:      make(map[string]bool),
+		acct:      newAccounting(),
+	}
+}
+
+// Register implements Net: the node gets a listener on an ephemeral
+// loopback port and an accept loop feeding its inbox.
+func (n *TCPNet) Register(node string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.inboxes[node]; ok {
+		return fmt.Errorf("simnet: node %q already registered", node)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("simnet: listen for %s: %w", node, err)
+	}
+	inbox := make(chan Message, 1024)
+	n.listeners[node] = l
+	n.addrs[node] = l.Addr().String()
+	n.inboxes[node] = inbox
+	n.wg.Add(1)
+	go n.acceptLoop(node, l, inbox)
+	return nil
+}
+
+// acceptLoop owns the node's inbox: it is the only goroutine that closes
+// it, and only after every connection reader has exited.
+func (n *TCPNet) acceptLoop(node string, l net.Listener, inbox chan Message) {
+	defer n.wg.Done()
+	var connWG sync.WaitGroup
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			// Listener closed (Crash or Close): stop readers, then
+			// close the inbox so receivers unblock.
+			n.mu.Lock()
+			for _, ic := range n.incoming[node] {
+				ic.Close()
+			}
+			n.mu.Unlock()
+			connWG.Wait()
+			close(inbox)
+			return
+		}
+		n.mu.Lock()
+		n.incoming[node] = append(n.incoming[node], c)
+		n.mu.Unlock()
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			defer c.Close()
+			dec := gob.NewDecoder(c)
+			for {
+				var msg Message
+				if err := dec.Decode(&msg); err != nil {
+					return
+				}
+				inbox <- msg
+			}
+		}()
+	}
+}
+
+// Send implements Net.
+func (n *TCPNet) Send(msg Message) error {
+	n.mu.Lock()
+	addr, ok := n.addrs[msg.To]
+	dead := n.down[msg.To]
+	key := msg.From + "→" + msg.To
+	gc := n.conns[key]
+	n.mu.Unlock()
+	if !ok || dead {
+		return fmt.Errorf("%w: %s", ErrNodeDown, msg.To)
+	}
+	if gc == nil {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("simnet: dial %s: %w", msg.To, err)
+		}
+		gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+		n.mu.Lock()
+		n.conns[key] = gc
+		n.mu.Unlock()
+	}
+	gc.mu.Lock()
+	err := gc.enc.Encode(msg)
+	gc.mu.Unlock()
+	if err != nil {
+		n.mu.Lock()
+		delete(n.conns, key)
+		n.mu.Unlock()
+		gc.conn.Close()
+		return fmt.Errorf("simnet: send %s→%s: %w", msg.From, msg.To, err)
+	}
+	n.acct.record(&msg)
+	return nil
+}
+
+// Inbox implements Net.
+func (n *TCPNet) Inbox(node string) <-chan Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inboxes[node]
+}
+
+// Crash implements Net (fail-stop): marks the node down, closes its
+// listener and all of its established connections; the accept loop then
+// closes the inbox.
+func (n *TCPNet) Crash(node string) {
+	n.mu.Lock()
+	if n.down[node] {
+		n.mu.Unlock()
+		return
+	}
+	n.down[node] = true
+	l := n.listeners[node]
+	n.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+}
+
+// Snapshot implements Net.
+func (n *TCPNet) Snapshot() Traffic { return n.acct.snapshot() }
+
+// Close implements Net: crashes every node and waits for all accept
+// loops to finish.
+func (n *TCPNet) Close() error {
+	n.mu.Lock()
+	nodes := make([]string, 0, len(n.listeners))
+	for name := range n.listeners {
+		nodes = append(nodes, name)
+	}
+	senders := make([]*gobConn, 0, len(n.conns))
+	for _, c := range n.conns {
+		senders = append(senders, c)
+	}
+	n.mu.Unlock()
+	for _, c := range senders {
+		c.conn.Close()
+	}
+	for _, name := range nodes {
+		n.Crash(name)
+	}
+	n.wg.Wait()
+	return nil
+}

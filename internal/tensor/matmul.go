@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"fmt"
+
+	"mdgan/internal/parallel"
+)
+
+// MatMul computes the matrix product a·b of two rank-2 tensors
+// (m, k)·(k, n) → (m, n). The kernel is cache-blocked over k and
+// parallelised over output rows.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	out := New(m, n)
+	matMulInto(out, a, b, m, k, n, false)
+	return out
+}
+
+// MatMulAdd computes out += a·b in place; out must be (m, n).
+func MatMulAdd(out, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b)
+	if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAdd out shape %v, want (%d,%d)", out.shape, m, n))
+	}
+	matMulInto(out, a, b, m, k, n, true)
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	if a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	return a.shape[0], a.shape[1], b.shape[1]
+}
+
+// matMulInto writes (or accumulates into) out = a·b. The inner kernel
+// walks b row-wise so both operands stream sequentially through memory,
+// which is the standard ikj loop order for row-major data.
+func matMulInto(out, a, b *Tensor, m, k, n int, accumulate bool) {
+	work := m * n * k
+	run := func(s, e int) {
+		for i := s; i < e; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			if !accumulate {
+				for j := range orow {
+					orow[j] = 0
+				}
+			}
+			arow := a.Data[i*k : (i+1)*k]
+			for kk := 0; kk < k; kk++ {
+				aik := arow[kk]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					orow[j] += aik * bv
+				}
+			}
+		}
+	}
+	// Only fan out when there is enough arithmetic to amortise the
+	// goroutine overhead.
+	if work < 1<<15 {
+		run(0, m)
+		return
+	}
+	parallel.ForceFor(m, run)
+}
+
+// MatMulT1 computes aᵀ·b for a (k, m), b (k, n) → (m, n) without
+// materialising the transpose.
+func MatMulT1(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulT1 shapes %v %v", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	// out[i][j] = Σ_kk a[kk][i] * b[kk][j]
+	if m*n*k < 1<<15 {
+		matMulT1Range(out, a, b, k, m, n, 0, m)
+		return out
+	}
+	parallel.ForceFor(m, func(s, e int) { matMulT1Range(out, a, b, k, m, n, s, e) })
+	return out
+}
+
+func matMulT1Range(out, a, b *Tensor, k, m, n, s, e int) {
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i := s; i < e; i++ {
+			aki := arow[i]
+			if aki == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += aki * bv
+			}
+		}
+	}
+}
+
+// MatMulT2 computes a·bᵀ for a (m, k), b (n, k) → (m, n) without
+// materialising the transpose.
+func MatMulT2(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulT2 shapes %v %v", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	out := New(m, n)
+	run := func(s, e int) {
+		for i := s; i < e; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				sum := 0.0
+				for kk, av := range arow {
+					sum += av * brow[kk]
+				}
+				orow[j] = sum
+			}
+		}
+	}
+	if m*n*k < 1<<15 {
+		run(0, m)
+		return out
+	}
+	parallel.ForceFor(m, run)
+	return out
+}

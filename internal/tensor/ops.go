@@ -1,0 +1,265 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"mdgan/internal/parallel"
+)
+
+// Add returns t + u element-wise as a new tensor.
+func Add(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a + b }) }
+
+// Sub returns t - u element-wise as a new tensor.
+func Sub(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a - b }) }
+
+// Mul returns t * u element-wise as a new tensor.
+func Mul(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a * b }) }
+
+// Div returns t / u element-wise as a new tensor.
+func Div(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a / b }) }
+
+func zipNew(t, u *Tensor, f func(a, b float64) float64) *Tensor {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	out := New(t.shape...)
+	parallel.For(len(t.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.Data[i] = f(t.Data[i], u.Data[i])
+		}
+	})
+	return out
+}
+
+// AddInPlace sets t += u.
+func (t *Tensor) AddInPlace(u *Tensor) *Tensor {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AddInPlace volume mismatch")
+	}
+	parallel.For(len(t.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			t.Data[i] += u.Data[i]
+		}
+	})
+	return t
+}
+
+// SubInPlace sets t -= u.
+func (t *Tensor) SubInPlace(u *Tensor) *Tensor {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: SubInPlace volume mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] -= u.Data[i]
+	}
+	return t
+}
+
+// MulInPlace sets t *= u element-wise.
+func (t *Tensor) MulInPlace(u *Tensor) *Tensor {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: MulInPlace volume mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] *= u.Data[i]
+	}
+	return t
+}
+
+// Scale returns t * s as a new tensor.
+func (t *Tensor) Scale(s float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// ScaleInPlace sets t *= s.
+func (t *Tensor) ScaleInPlace(s float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// AxpyInPlace sets t += alpha*u (BLAS axpy).
+func (t *Tensor) AxpyInPlace(alpha float64, u *Tensor) *Tensor {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AxpyInPlace volume mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += alpha * u.Data[i]
+	}
+	return t
+}
+
+// Apply returns f applied element-wise as a new tensor.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	parallel.For(len(t.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.Data[i] = f(t.Data[i])
+		}
+	})
+	return out
+}
+
+// ApplyInPlace applies f element-wise in place.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
+	parallel.For(len(t.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			t.Data[i] = f(t.Data[i])
+		}
+	})
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.Data)) }
+
+// Max returns the maximum element.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func (t *Tensor) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range t.Data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SumRows reduces a rank-2 tensor (r, c) over its rows, returning a
+// (1, c) tensor: out[j] = Σ_i t[i,j].
+func (t *Tensor) SumRows() *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: SumRows requires rank-2 tensor")
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := New(1, c)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// SumCols reduces a rank-2 tensor (r, c) over its columns, returning a
+// (r, 1) tensor: out[i] = Σ_j t[i,j].
+func (t *Tensor) SumCols() *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: SumCols requires rank-2 tensor")
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := New(r, 1)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// AddRowVec adds a (1, c) row vector to every row of a (r, c) tensor,
+// returning a new tensor.
+func AddRowVec(t, v *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(v.shape) != 2 || v.shape[0] != 1 || v.shape[1] != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVec shapes %v %v", t.shape, v.shape))
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := New(r, c)
+	parallel.For(r, func(s, e int) {
+		for i := s; i < e; i++ {
+			row := t.Data[i*c : (i+1)*c]
+			o := out.Data[i*c : (i+1)*c]
+			for j := range row {
+				o[j] = row[j] + v.Data[j]
+			}
+		}
+	})
+	return out
+}
+
+// ArgMaxRows returns, for a (r, c) tensor, the column index of the
+// maximum entry of each row.
+func (t *Tensor) ArgMaxRows() []int {
+	if len(t.shape) != 2 {
+		panic("tensor: ArgMaxRows requires rank-2 tensor")
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		best, bi := math.Inf(-1), 0
+		for j, v := range t.Data[i*c : (i+1)*c] {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor as a new tensor.
+func (t *Tensor) Transpose() *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Transpose requires rank-2 tensor")
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := New(c, r)
+	parallel.For(r, func(s, e int) {
+		for i := s; i < e; i++ {
+			for j := 0; j < c; j++ {
+				out.Data[j*r+i] = t.Data[i*c+j]
+			}
+		}
+	})
+	return out
+}
+
+// Dot returns the inner product of two tensors of equal volume.
+func Dot(t, u *Tensor) float64 {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: Dot volume mismatch")
+	}
+	s := 0.0
+	for i, v := range t.Data {
+		s += v * u.Data[i]
+	}
+	return s
+}

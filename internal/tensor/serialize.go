@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialisation uses a small explicit binary framing (shape rank, dims,
+// then raw little-endian float64 payload) rather than gob so that the
+// wire size is predictable — the communication-complexity experiments
+// (Tables III/IV) account bytes from these encodings.
+
+// EncodedSize returns the number of bytes WriteTo will produce.
+func (t *Tensor) EncodedSize() int64 {
+	return int64(4 + 4*len(t.shape) + 8*len(t.Data))
+}
+
+// WriteTo encodes t to w. It implements io.WriterTo.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, t.EncodedSize())
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(t.shape)))
+	off := 4
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(d))
+		off += 4
+	}
+	for _, v := range t.Data {
+		binary.LittleEndian.PutUint64(buf[off:off+8], math.Float64bits(v))
+		off += 8
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadFrom decodes a tensor previously written with WriteTo, replacing
+// t's shape and data. It implements io.ReaderFrom.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("tensor: read rank: %w", err)
+	}
+	rank := int(binary.LittleEndian.Uint32(hdr[:]))
+	if rank <= 0 || rank > 8 {
+		return 4, fmt.Errorf("tensor: implausible rank %d", rank)
+	}
+	read := int64(4)
+	dims := make([]byte, 4*rank)
+	if _, err := io.ReadFull(r, dims); err != nil {
+		return read, fmt.Errorf("tensor: read dims: %w", err)
+	}
+	read += int64(len(dims))
+	shape := make([]int, rank)
+	vol := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
+		if shape[i] <= 0 {
+			return read, fmt.Errorf("tensor: non-positive dim %d", shape[i])
+		}
+		vol *= shape[i]
+	}
+	payload := make([]byte, 8*vol)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return read, fmt.Errorf("tensor: read payload: %w", err)
+	}
+	read += int64(len(payload))
+	data := make([]float64, vol)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	t.shape = shape
+	t.Data = data
+	return read, nil
+}

@@ -1,0 +1,234 @@
+// Package tensor implements the dense numerical arrays used by the
+// neural-network stack. Tensors are row-major, contiguous float64
+// buffers with an explicit shape. The package provides the element-wise
+// and linear-algebra kernels that the layers in internal/nn are built
+// from; heavy kernels (MatMul) are parallelised across CPU cores.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major, contiguous array of float64 values.
+// The zero value is not usable; construct tensors with New, FromSlice or
+// the arithmetic helpers.
+type Tensor struct {
+	shape []int
+	Data  []float64
+}
+
+// New allocates a zero-filled tensor with the given shape. All
+// dimensions must be positive.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is NOT
+// copied; the tensor aliases it. len(data) must equal the shape volume.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (volume %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of the given shape filled with 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor shape. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if u.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of the same
+// volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.Data), shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies u's data into t. Shapes must match in volume.
+func (t *Tensor) CopyFrom(u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: CopyFrom volume mismatch")
+	}
+	copy(t.Data, u.Data)
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Row returns row i of a rank-2 tensor as a view (shared data) of shape
+// (1, cols).
+func (t *Tensor) Row(i int) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Row requires rank-2 tensor")
+	}
+	cols := t.shape[1]
+	return &Tensor{shape: []int{1, cols}, Data: t.Data[i*cols : (i+1)*cols]}
+}
+
+// SliceRows returns rows [from, to) of the leading dimension as a view
+// sharing t's data.
+func (t *Tensor) SliceRows(from, to int) *Tensor {
+	if len(t.shape) < 1 {
+		panic("tensor: SliceRows on scalar")
+	}
+	if from < 0 || to > t.shape[0] || from >= to {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for dim %d", from, to, t.shape[0]))
+	}
+	rowVol := len(t.Data) / t.shape[0]
+	shape := append([]int{to - from}, t.shape[1:]...)
+	return &Tensor{shape: shape, Data: t.Data[from*rowVol : to*rowVol]}
+}
+
+// ConcatRows concatenates tensors along the leading dimension. All
+// trailing dimensions must match.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	rows := 0
+	rowVol := len(ts[0].Data) / ts[0].shape[0]
+	for _, t := range ts {
+		if len(t.Data)/t.shape[0] != rowVol {
+			panic("tensor: ConcatRows trailing shape mismatch")
+		}
+		rows += t.shape[0]
+	}
+	shape := append([]int{rows}, ts[0].shape[1:]...)
+	out := New(shape...)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+	return out
+}
+
+// Gather returns a new tensor whose leading-dimension rows are
+// t[idx[0]], t[idx[1]], ... in order.
+func (t *Tensor) Gather(idx []int) *Tensor {
+	rowVol := len(t.Data) / t.shape[0]
+	shape := append([]int{len(idx)}, t.shape[1:]...)
+	out := New(shape...)
+	for i, j := range idx {
+		if j < 0 || j >= t.shape[0] {
+			panic(fmt.Sprintf("tensor: Gather index %d out of range", j))
+		}
+		copy(out.Data[i*rowVol:(i+1)*rowVol], t.Data[j*rowVol:(j+1)*rowVol])
+	}
+	return out
+}
+
+// Equal reports whether t and u have the same shape and element-wise
+// equal data within tolerance tol.
+func (t *Tensor) Equal(u *Tensor, tol float64) bool {
+	if !t.SameShape(u) {
+		return false
+	}
+	for i, v := range t.Data {
+		if math.Abs(v-u.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description (shape plus a few leading
+// values), suitable for debugging.
+func (t *Tensor) String() string {
+	n := len(t.Data)
+	if n > 8 {
+		n = 8
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.shape, t.Data[:n])
+}

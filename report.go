@@ -1,0 +1,144 @@
+package mdgan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text renderers for the experiment artifacts — the bench harness and
+// the CLI print these so a run regenerates the same rows/series the
+// paper reports.
+
+// FormatCurves renders score/FID trajectories side by side (the data
+// behind Figs. 3, 5 and 6).
+func FormatCurves(title string, curves []Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	for _, c := range curves {
+		fmt.Fprintf(&b, "-- %s\n", c.Name)
+		fmt.Fprintf(&b, "%10s  %10s  %10s\n", "iter", "score", "FID")
+		for i := range c.Iters {
+			fmt.Fprintf(&b, "%10d  %10.3f  %10.3f\n", c.Iters[i], c.Score[i], c.FID[i])
+		}
+	}
+	return b.String()
+}
+
+// FormatCurvesCSV renders the same data as CSV (one row per point).
+func FormatCurvesCSV(curves []Curve) string {
+	var b strings.Builder
+	b.WriteString("competitor,iter,score,fid\n")
+	for _, c := range curves {
+		for i := range c.Iters {
+			fmt.Fprintf(&b, "%s,%d,%g,%g\n", c.Name, c.Iters[i], c.Score[i], c.FID[i])
+		}
+	}
+	return b.String()
+}
+
+// FormatFig4 renders the Figure 4 sweep.
+func FormatFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("== Figure 4: final score/FID vs number of workers (MLP) ==\n")
+	fmt.Fprintf(&b, "%4s  %-14s  %-5s  %10s  %10s\n", "N", "workload", "swap", "score", "FID")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d  %-14s  %-5v  %10.3f  %10.3f\n", r.N, r.Variant, r.Swap, r.Score, r.FID)
+	}
+	return b.String()
+}
+
+// FormatTableII renders the computation/memory complexity table with
+// the headline worker-reduction factor.
+func FormatTableII(name string, p ComplexityParams) string {
+	t := ComputeTableII(p)
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table II (%s): computation and memory ==\n", name)
+	fmt.Fprintf(&b, "%-22s  %14s  %14s\n", "", "FL-GAN", "MD-GAN")
+	fmt.Fprintf(&b, "%-22s  %14.3g  %14.3g\n", "Computation C", t.FLComputeServer, t.MDComputeServer)
+	fmt.Fprintf(&b, "%-22s  %14.3g  %14.3g\n", "Memory C", t.FLMemoryServer, t.MDMemoryServer)
+	fmt.Fprintf(&b, "%-22s  %14.3g  %14.3g\n", "Computation W", t.FLComputeWorker, t.MDComputeWorker)
+	fmt.Fprintf(&b, "%-22s  %14.3g  %14.3g\n", "Memory W", t.FLMemoryWorker, t.MDMemoryWorker)
+	fmt.Fprintf(&b, "worker reduction factor (|w|+|θ|)/|θ| = %.2f (≈2 when G and D are of similar size)\n", WorkerReduction(p))
+	return b.String()
+}
+
+// TableIIIFormulas returns the symbolic Table III exactly as printed in
+// the paper.
+func TableIIIFormulas() string {
+	rows := [][3]string{
+		{"Communication type", "FL-GAN", "MD-GAN"},
+		{"C→W (C)", "N(θ+w)", "bdN"},
+		{"C→W (W)", "θ+w", "bd"},
+		{"W→C (W)", "θ+w", "bd"},
+		{"W→C (C)", "N(θ+w)", "bdN"},
+		{"Total # C↔W", "Ib/(mE)", "I"},
+		{"W→W (W)", "—", "θ"},
+		{"Total # W↔W", "—", "Ib/(mE)"},
+	}
+	var b strings.Builder
+	b.WriteString("== Table III: communication complexities ==\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s  %-12s  %-10s\n", r[0], r[1], r[2])
+	}
+	return b.String()
+}
+
+// FormatTableIV renders the instantiated communication costs (CIFAR10
+// deployment) for the given batch-size columns.
+func FormatTableIV(rows []TableIVRow) string {
+	var b strings.Builder
+	b.WriteString("== Table IV: communication costs, CIFAR10, N=10 ==\n")
+	fmt.Fprintf(&b, "%-14s", "type")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %10s  %10s", fmt.Sprintf("FL b=%d", r.B), fmt.Sprintf("MD b=%d", r.B))
+	}
+	b.WriteString("\n")
+	line := func(label string, fl, md func(TableIVRow) float64, unit string) {
+		fmt.Fprintf(&b, "%-14s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %10.2f  %10.2f", fl(r), md(r))
+		}
+		fmt.Fprintf(&b, "  %s\n", unit)
+	}
+	line("C→W (C)", func(r TableIVRow) float64 { return BytesToMB(r.FLCtoWServer) },
+		func(r TableIVRow) float64 { return BytesToMB(r.MDCtoWServer) }, "MB")
+	line("C→W (W)", func(r TableIVRow) float64 { return BytesToMB(r.FLCtoWWorker) },
+		func(r TableIVRow) float64 { return BytesToMB(r.MDCtoWWorker) }, "MB")
+	line("W→C (W)", func(r TableIVRow) float64 { return BytesToMB(r.FLWtoCWorker) },
+		func(r TableIVRow) float64 { return BytesToMB(r.MDWtoCWorker) }, "MB")
+	line("W→C (C)", func(r TableIVRow) float64 { return BytesToMB(r.FLWtoCServer) },
+		func(r TableIVRow) float64 { return BytesToMB(r.MDWtoCServer) }, "MB")
+	line("Total # C↔W", func(r TableIVRow) float64 { return r.FLTotalComms },
+		func(r TableIVRow) float64 { return r.MDTotalComms }, "msgs")
+	line("W→W (W)", func(TableIVRow) float64 { return 0 },
+		func(r TableIVRow) float64 { return BytesToMB(r.MDWtoWWorker) }, "MB (FL: —)")
+	line("Total # W↔W", func(TableIVRow) float64 { return 0 },
+		func(r TableIVRow) float64 { return r.MDTotalSwaps }, "msgs (FL: —)")
+	return b.String()
+}
+
+// FormatFig2 renders the ingress-traffic sweep with the crossover
+// annotation.
+func FormatFig2(name string, p ComplexityParams, s Fig2Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Figure 2 (%s): max ingress traffic per communication ==\n", name)
+	fmt.Fprintf(&b, "%8s  %14s  %14s  %14s  %14s\n", "b", "MD worker", "MD server", "FL worker", "FL server")
+	for i, batch := range s.B {
+		fmt.Fprintf(&b, "%8d  %14.3f  %14.3f  %14.3f  %14.3f\n",
+			batch, BytesToMB(s.MDWorker[i]), BytesToMB(s.MDServer[i]),
+			BytesToMB(s.FLWorker[i]), BytesToMB(s.FLServer[i]))
+	}
+	fmt.Fprintf(&b, "worker-line crossover at b ≈ %.0f\n", CrossoverBatch(p))
+	return b.String()
+}
+
+// FormatTraffic renders a measured traffic snapshot (to compare against
+// the analytic tables).
+func FormatTraffic(t Traffic) string {
+	var b strings.Builder
+	b.WriteString("== measured traffic ==\n")
+	for kind, bytes := range t.Bytes {
+		fmt.Fprintf(&b, "%-6v  %12d bytes  %8d msgs\n", kind, bytes, t.Msgs[kind])
+	}
+	return b.String()
+}
