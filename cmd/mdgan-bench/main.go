@@ -2,33 +2,121 @@
 // paper's evaluation section (the per-experiment index is DESIGN.md §4)
 // and writes the series to stdout and, optionally, CSV files.
 //
-//	mdgan-bench                 # quick scale, all experiments
-//	mdgan-bench -only fig3      # one experiment
-//	mdgan-bench -scale full     # paper-closer scale (hours on CPU)
-//	mdgan-bench -csv results/   # also write CSV series
+//	mdgan-bench                       # quick scale, all experiments
+//	mdgan-bench -only fig3            # one experiment
+//	mdgan-bench -scale full           # paper-closer scale (hours on CPU)
+//	mdgan-bench -csv results/         # also write CSV series
+//	mdgan-bench -benchjson BENCH.json # perf-trajectory micro-benchmarks
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"mdgan"
 )
 
+// benchRow is one entry of the -benchjson report.
+type benchRow struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the schema of BENCH_<n>.json: the per-PR performance
+// trajectory of the training hot path.
+type benchReport struct {
+	Date       string     `json:"date"`
+	GoVersion  string     `json:"go_version"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+// writeBenchJSON runs the hot-path micro-benchmarks in-process (the
+// same bodies as the go-test benchmarks of the repo root) and records
+// ns/op and allocs/op.
+func writeBenchJSON(path string) {
+	run := func(name string, fn func(b *testing.B)) benchRow {
+		r := testing.Benchmark(fn)
+		log.Printf("%s: %v ns/op, %d B/op, %d allocs/op", name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		return benchRow{
+			Name:        name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	report := benchReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: []benchRow{
+			run("BenchmarkMDGANIteration", func(b *testing.B) {
+				train := mdgan.SynthDigits(800, 1)
+				o := mdgan.Options{
+					Algorithm: mdgan.MDGAN, Workers: 8, Batch: 10, Iters: b.N, Seed: 2, K: 2,
+				}
+				b.ResetTimer()
+				if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
+					b.Fatal(err)
+				}
+			}),
+			run("BenchmarkGeneratorForward", func(b *testing.B) {
+				g := mdgan.MLPArch(128).NewGAN(1, 0, 1)
+				rng := rand.New(rand.NewSource(2))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g.G.Generate(32, rng, true)
+				}
+			}),
+			run("BenchmarkTableII", func(b *testing.B) {
+				p := mdgan.PaperMNISTComplexity()
+				p.B, p.I = 10, 50000
+				var t mdgan.TableII
+				for i := 0; i < b.N; i++ {
+					t = mdgan.ComputeTableII(p)
+				}
+				_ = t
+			}),
+		},
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mdgan-bench: ")
 	var (
-		only   = flag.String("only", "", "run one experiment: table2|table3|table4|fig2|fig3|fig4|fig5|fig6")
-		scale  = flag.String("scale", "quick", "experiment scale: quick | full")
-		csvDir = flag.String("csv", "", "directory to write CSV series into")
+		only      = flag.String("only", "", "run one experiment: table2|table3|table4|fig2|fig3|fig4|fig5|fig6")
+		scale     = flag.String("scale", "quick", "experiment scale: quick | full")
+		csvDir    = flag.String("csv", "", "directory to write CSV series into")
+		benchJSON = flag.String("benchjson", "", "write hot-path micro-benchmark results to this JSON file and exit")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		writeBenchJSON(*benchJSON)
+		return
+	}
 
 	sc := mdgan.QuickScale
 	if *scale == "full" {

@@ -1,0 +1,3 @@
+module mdgan
+
+go 1.24

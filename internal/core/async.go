@@ -34,7 +34,9 @@ func (s *server) runAsync(iters int) (int, error) {
 
 	send := func(name string) error {
 		zg, lg := s.g.SampleZ(s.batch, s.rng)
-		xg := s.g.Forward(zg, lg, true)
+		// Clone: the X^(g) batch must survive the X^(d) forward below
+		// (Forward returns a network-owned buffer).
+		xg := s.g.Forward(zg, lg, true).Clone()
 		zd, ld := s.g.SampleZ(s.batch, s.rng)
 		xd := s.g.Forward(zd, ld, true)
 		cache[name] = genBatch{z: zg, labs: lg}

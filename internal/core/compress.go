@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 
@@ -57,6 +58,12 @@ const topKFraction = 0.1
 
 // encodeFeedbackCompressed frames F_n under the given mode.
 func encodeFeedbackCompressed(f *tensor.Tensor, mode Compression) []byte {
+	if mode == CompressNone {
+		// The per-iteration default: one exact-size allocation.
+		out := make([]byte, 0, 1+f.EncodedSize())
+		out = append(out, byte(CompressNone))
+		return f.AppendBinary(out)
+	}
 	var buf bytes.Buffer
 	buf.WriteByte(byte(mode))
 	switch mode {
@@ -114,7 +121,7 @@ func decodeFeedbackAny(p []byte) (*tensor.Tensor, error) {
 		f := tensor.New(shape...)
 		var tmp [4]byte
 		for i := range f.Data {
-			if _, err := r.Read(tmp[:]); err != nil {
+			if _, err := io.ReadFull(r, tmp[:]); err != nil {
 				return nil, fmt.Errorf("core: decode fp32 feedback: %w", err)
 			}
 			f.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(tmp[:])))
@@ -127,12 +134,12 @@ func decodeFeedbackAny(p []byte) (*tensor.Tensor, error) {
 		}
 		f := tensor.New(shape...)
 		var tmp [8]byte
-		if _, err := r.Read(tmp[:4]); err != nil {
+		if _, err := io.ReadFull(r, tmp[:4]); err != nil {
 			return nil, fmt.Errorf("core: decode topk count: %w", err)
 		}
 		n := int(binary.LittleEndian.Uint32(tmp[:4]))
 		for j := 0; j < n; j++ {
-			if _, err := r.Read(tmp[:]); err != nil {
+			if _, err := io.ReadFull(r, tmp[:]); err != nil {
 				return nil, fmt.Errorf("core: decode topk entry: %w", err)
 			}
 			i := int(binary.LittleEndian.Uint32(tmp[:4]))
@@ -159,7 +166,7 @@ func writeShape(buf *bytes.Buffer, shape []int) {
 
 func readShape(r *bytes.Reader) ([]int, error) {
 	var tmp [4]byte
-	if _, err := r.Read(tmp[:]); err != nil {
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
 		return nil, fmt.Errorf("core: read shape rank: %w", err)
 	}
 	rank := int(binary.LittleEndian.Uint32(tmp[:]))
@@ -168,7 +175,7 @@ func readShape(r *bytes.Reader) ([]int, error) {
 	}
 	shape := make([]int, rank)
 	for i := range shape {
-		if _, err := r.Read(tmp[:]); err != nil {
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
 			return nil, fmt.Errorf("core: read shape dim: %w", err)
 		}
 		shape[i] = int(binary.LittleEndian.Uint32(tmp[:]))

@@ -319,7 +319,9 @@ func (s *server) runSync(iters int) (int, error) {
 		xs := make([]*tensor.Tensor, k)
 		for j := 0; j < k; j++ {
 			zs[j], labs[j] = s.g.SampleZ(s.batch, s.rng)
-			xs[j] = s.g.Forward(zs[j], labs[j], true)
+			// Forward returns a network-owned buffer; clone because all
+			// k generated batches stay live until they are encoded.
+			xs[j] = s.g.Forward(zs[j], labs[j], true).Clone()
 		}
 
 		// Swap command for this iteration: a uniform random cyclic

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"mdgan/internal/gan"
 	"mdgan/internal/tensor"
@@ -42,61 +43,76 @@ func writeLabels(buf *bytes.Buffer, labels []int) {
 	}
 }
 
-func readLabels(r *bytes.Reader) ([]int, error) {
+// readLabels decodes a label list, appending into buf (pass a
+// zero-length slice with capacity to avoid allocation). An empty list
+// decodes as nil, preserving the "unconditional" convention.
+func readLabels(r *bytes.Reader, buf []int) ([]int, error) {
 	var tmp [4]byte
-	if _, err := r.Read(tmp[:]); err != nil {
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
 		return nil, fmt.Errorf("core: read label count: %w", err)
 	}
 	n := int(binary.LittleEndian.Uint32(tmp[:]))
 	if n == 0 {
 		return nil, nil
 	}
-	labels := make([]int, n)
-	for i := range labels {
-		if _, err := r.Read(tmp[:]); err != nil {
+	labels := buf
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
 			return nil, fmt.Errorf("core: read label %d: %w", i, err)
 		}
-		labels[i] = int(binary.LittleEndian.Uint32(tmp[:]))
+		labels = append(labels, int(binary.LittleEndian.Uint32(tmp[:])))
 	}
 	return labels, nil
 }
 
 func encodeBatches(m batchesMsg) []byte {
-	var buf bytes.Buffer
-	if _, err := m.Xd.WriteTo(&buf); err != nil {
-		panic(err) // bytes.Buffer cannot fail
-	}
-	writeLabels(&buf, m.Ld)
-	if _, err := m.Xg.WriteTo(&buf); err != nil {
-		panic(err)
-	}
-	writeLabels(&buf, m.Lg)
-	writeString(&buf, m.SwapTo)
-	return buf.Bytes()
+	size := m.Xd.EncodedSize() + m.Xg.EncodedSize() +
+		int64(8+4*len(m.Ld)+4*len(m.Lg)) + int64(4+len(m.SwapTo))
+	buf := make([]byte, 0, size)
+	buf = m.Xd.AppendBinary(buf)
+	buf = appendLabels(buf, m.Ld)
+	buf = m.Xg.AppendBinary(buf)
+	buf = appendLabels(buf, m.Lg)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.SwapTo)))
+	buf = append(buf, m.SwapTo...)
+	return buf
 }
 
-func decodeBatches(p []byte) (batchesMsg, error) {
-	var m batchesMsg
+func appendLabels(buf []byte, labels []int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(labels)))
+	for _, l := range labels {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
+	}
+	return buf
+}
+
+// decodeBatches parses p into m, reusing m's tensors and label slices
+// so a worker's steady-state receive loop does not allocate.
+func decodeBatches(p []byte, m *batchesMsg) error {
 	r := bytes.NewReader(p)
-	m.Xd = new(tensor.Tensor)
+	if m.Xd == nil {
+		m.Xd = new(tensor.Tensor)
+	}
 	if _, err := m.Xd.ReadFrom(r); err != nil {
-		return m, fmt.Errorf("core: decode X(d): %w", err)
+		return fmt.Errorf("core: decode X(d): %w", err)
 	}
 	var err error
-	if m.Ld, err = readLabels(r); err != nil {
-		return m, err
+	if m.Ld, err = readLabels(r, m.Ld[:0]); err != nil {
+		return err
 	}
-	m.Xg = new(tensor.Tensor)
+	if m.Xg == nil {
+		m.Xg = new(tensor.Tensor)
+	}
 	if _, err := m.Xg.ReadFrom(r); err != nil {
-		return m, fmt.Errorf("core: decode X(g): %w", err)
+		return fmt.Errorf("core: decode X(g): %w", err)
 	}
-	if m.Lg, err = readLabels(r); err != nil {
-		return m, err
+	if m.Lg, err = readLabels(r, m.Lg[:0]); err != nil {
+		return err
 	}
 	if m.SwapTo, err = readString(r); err != nil {
-		return m, err
+		return err
 	}
-	return m, nil
+	return nil
 }
 
 func writeString(buf *bytes.Buffer, s string) {
@@ -108,7 +124,7 @@ func writeString(buf *bytes.Buffer, s string) {
 
 func readString(r *bytes.Reader) (string, error) {
 	var tmp [4]byte
-	if _, err := r.Read(tmp[:]); err != nil {
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
 		return "", fmt.Errorf("core: read string length: %w", err)
 	}
 	n := int(binary.LittleEndian.Uint32(tmp[:]))
@@ -116,7 +132,7 @@ func readString(r *bytes.Reader) (string, error) {
 		return "", nil
 	}
 	b := make([]byte, n)
-	if _, err := r.Read(b); err != nil {
+	if _, err := io.ReadFull(r, b); err != nil {
 		return "", fmt.Errorf("core: read string: %w", err)
 	}
 	return string(b), nil
@@ -129,11 +145,7 @@ func readString(r *bytes.Reader) (string, error) {
 // encodeDiscParams frames a discriminator's parameters for a swap.
 // Size is the |θ| payload of Table III's W→W row.
 func encodeDiscParams(d *gan.Discriminator) []byte {
-	var buf bytes.Buffer
-	if _, err := d.WriteParams(&buf); err != nil {
-		panic(err)
-	}
-	return buf.Bytes()
+	return d.AppendParams(make([]byte, 0, d.EncodedParamSize()))
 }
 
 func decodeDiscParamsInto(d *gan.Discriminator, p []byte) error {

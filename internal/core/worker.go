@@ -39,6 +39,10 @@ type worker struct {
 	// peer's swap message on TCP transports).
 	pending []simnet.Message
 
+	// bm is the reusable decode target for incoming batch messages: the
+	// tensors and label slices are overwritten in place each iteration.
+	bm batchesMsg
+
 	done chan struct{}
 	once sync.Once
 }
@@ -95,10 +99,10 @@ func (w *worker) next(inbox <-chan simnet.Message) (simnet.Message, bool) {
 // discriminator steps on (X^(r), X^(d)), the error feedback on X^(g),
 // and the swap when commanded. Returns false when the worker must stop.
 func (w *worker) handleBatches(msg simnet.Message) bool {
-	bm, err := decodeBatches(msg.Payload)
-	if err != nil {
+	if err := decodeBatches(msg.Payload, &w.bm); err != nil {
 		return false
 	}
+	bm := &w.bm
 	// Step 2 (§IV-A): L discriminator learning steps against the local
 	// shard. X^(r) is drawn once per global iteration (Algorithm 1
 	// line 4) and reused across the L steps.

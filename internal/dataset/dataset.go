@@ -54,6 +54,13 @@ func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
 type Sampler struct {
 	ds  *Dataset
 	rng *rand.Rand
+	// Reused batch storage: one training iteration draws and consumes a
+	// batch before the next draw, so Sample hands out the same buffers
+	// every call.
+	idx   []int
+	x     *tensor.Tensor
+	lab   []int
+	shape []int
 }
 
 // NewSampler returns a sampler over ds seeded with seed.
@@ -61,13 +68,31 @@ func NewSampler(ds *Dataset, seed int64) *Sampler {
 	return &Sampler{ds: ds, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Sample draws a uniform batch of size b with replacement.
+// Sample draws a uniform batch of size b with replacement. The returned
+// tensor and label slice are sampler-owned and valid until the next
+// Sample call.
 func (s *Sampler) Sample(b int) (*tensor.Tensor, []int) {
-	idx := make([]int, b)
-	for i := range idx {
-		idx[i] = s.rng.Intn(s.ds.Len())
+	if cap(s.idx) < b {
+		s.idx = make([]int, b)
 	}
-	return s.ds.Batch(idx)
+	s.idx = s.idx[:b]
+	for i := range s.idx {
+		s.idx[i] = s.rng.Intn(s.ds.Len())
+	}
+	xs := s.ds.X.Shape()
+	s.shape = append(s.shape[:0], b)
+	s.shape = append(s.shape, xs[1:]...)
+	s.x = tensor.Ensure(s.x, s.shape...)
+	rowVol := s.ds.X.Size() / xs[0]
+	if cap(s.lab) < b {
+		s.lab = make([]int, b)
+	}
+	s.lab = s.lab[:b]
+	for i, j := range s.idx {
+		copy(s.x.Data[i*rowVol:(i+1)*rowVol], s.ds.X.Data[j*rowVol:(j+1)*rowVol])
+		s.lab[i] = s.ds.Labels[j]
+	}
+	return s.x, s.lab
 }
 
 // Split partitions ds into n i.i.d. shards of near-equal size

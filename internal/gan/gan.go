@@ -30,6 +30,8 @@ type Generator struct {
 
 	zCache   *tensor.Tensor
 	labCache []int
+	inBuf    *tensor.Tensor // reusable conditioned-latent buffer
+	params   []*nn.Param    // cached combined parameter list
 }
 
 // NewGenerator builds a generator. classes == 0 yields an unconditional
@@ -66,7 +68,9 @@ func (g *Generator) SampleZ(b int, rng *rand.Rand) (*tensor.Tensor, []int) {
 }
 
 // Forward maps latents (and labels, when conditional) to samples,
-// caching what Backward needs.
+// caching what Backward needs. The returned tensor is a network-owned
+// buffer, valid until the generator's next Forward call; callers that
+// keep several generated batches alive at once must Clone them.
 func (g *Generator) Forward(z *tensor.Tensor, labels []int, train bool) *tensor.Tensor {
 	g.zCache, g.labCache = z, labels
 	in := z
@@ -74,7 +78,8 @@ func (g *Generator) Forward(z *tensor.Tensor, labels []int, train bool) *tensor.
 		if len(labels) != z.Dim(0) {
 			panic(fmt.Sprintf("gan: %d labels for %d latents", len(labels), z.Dim(0)))
 		}
-		in = tensor.New(z.Shape()...)
+		g.inBuf = tensor.Ensure(g.inBuf, z.Shape()...)
+		in = g.inBuf
 		for i := 0; i < z.Dim(0); i++ {
 			e := g.Embed.W.Data[labels[i]*g.ZDim : (labels[i]+1)*g.ZDim]
 			zi := z.Data[i*g.ZDim : (i+1)*g.ZDim]
@@ -110,13 +115,18 @@ func (g *Generator) Backward(grad *tensor.Tensor) {
 	}
 }
 
-// Params returns all learnable parameters (network + embedding).
+// Params returns all learnable parameters (network + embedding). The
+// slice is cached; it must not be appended to in place.
 func (g *Generator) Params() []*nn.Param {
-	ps := g.Net.Params()
-	if g.Embed != nil {
-		ps = append(ps, g.Embed)
+	if g.params == nil {
+		net := g.Net.Params()
+		g.params = make([]*nn.Param, 0, len(net)+1)
+		g.params = append(g.params, net...)
+		if g.Embed != nil {
+			g.params = append(g.params, g.Embed)
+		}
 	}
-	return ps
+	return g.params
 }
 
 // ZeroGrads clears all parameter gradients.
@@ -195,6 +205,8 @@ type Discriminator struct {
 	Trunk *nn.Sequential
 	Src   *nn.Sequential
 	Cls   *nn.Sequential // nil for unconditional GANs
+
+	params []*nn.Param // cached combined parameter list
 }
 
 // Forward returns source logits (N, 1) and class logits (N, K) or nil.
@@ -215,18 +227,30 @@ func (d *Discriminator) Backward(srcGrad, clsGrad *tensor.Tensor) *tensor.Tensor
 		if d.Cls == nil {
 			panic("gan: class gradient without class head")
 		}
-		featGrad = tensor.Add(featGrad, d.Cls.Backward(clsGrad))
+		// featGrad is the Src head's gradient buffer; merging in place
+		// is safe because it is consumed by the trunk before the head's
+		// next Backward.
+		featGrad.AddInPlace(d.Cls.Backward(clsGrad))
 	}
 	return d.Trunk.Backward(featGrad)
 }
 
-// Params returns all learnable parameters.
+// Params returns all learnable parameters. The slice is cached (it is
+// consulted on every ZeroGrads and optimiser step) and copied out of
+// the per-network caches so no append aliases them.
 func (d *Discriminator) Params() []*nn.Param {
-	ps := append(d.Trunk.Params(), d.Src.Params()...)
-	if d.Cls != nil {
-		ps = append(ps, d.Cls.Params()...)
+	if d.params == nil {
+		trunk, src := d.Trunk.Params(), d.Src.Params()
+		var cls []*nn.Param
+		if d.Cls != nil {
+			cls = d.Cls.Params()
+		}
+		d.params = make([]*nn.Param, 0, len(trunk)+len(src)+len(cls))
+		d.params = append(d.params, trunk...)
+		d.params = append(d.params, src...)
+		d.params = append(d.params, cls...)
 	}
-	return ps
+	return d.params
 }
 
 // ZeroGrads clears all parameter gradients.
@@ -262,6 +286,17 @@ func (d *Discriminator) EncodedParamSize() int64 {
 		n += d.Cls.EncodedParamSize()
 	}
 	return n
+}
+
+// AppendParams appends trunk, source head and class head parameters to
+// dst — the allocation-free flavour of WriteParams for swap messages.
+func (d *Discriminator) AppendParams(dst []byte) []byte {
+	dst = d.Trunk.AppendParams(dst)
+	dst = d.Src.AppendParams(dst)
+	if d.Cls != nil {
+		dst = d.Cls.AppendParams(dst)
+	}
+	return dst
 }
 
 // WriteParams serialises trunk, source head and class head in order.
@@ -356,6 +391,8 @@ func DiscStep(d *Discriminator, lc LossConfig, optD opt.Optimizer, xr *tensor.Te
 // batch xg, obtained by backpropagating through the discriminator to
 // its input. The discriminator's parameter gradients are zeroed
 // afterwards (no D update happens here). Returns (F_n, generator loss).
+// F_n aliases the discriminator's input-gradient buffer and is valid
+// until the discriminator's next Backward call.
 func Feedback(d *Discriminator, lc LossConfig, xg *tensor.Tensor, lg []int) (*tensor.Tensor, float64) {
 	src, cls := d.Forward(xg, true)
 	loss, gSrc := nn.GeneratorLoss(src, lc.GenLoss)

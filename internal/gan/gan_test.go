@@ -154,7 +154,8 @@ func TestDiscStepLearnsToSeparate(t *testing.T) {
 	if lastLoss > 0.7 {
 		t.Fatalf("disc loss after training = %v, want < 0.7", lastLoss)
 	}
-	srcReal, _ := g.D.Forward(mk(1), false)
+	srcRealBuf, _ := g.D.Forward(mk(1), false)
+	srcReal := srcRealBuf.Clone() // network-owned buffer: survives next Forward
 	srcFake, _ := g.D.Forward(mk(-1), false)
 	if srcReal.Mean() <= srcFake.Mean() {
 		t.Fatalf("real logit %v must exceed fake logit %v", srcReal.Mean(), srcFake.Mean())

@@ -75,7 +75,11 @@ func TrainScorer(ds *dataset.Dataset, cfg ScorerConfig) *Scorer {
 	optim := opt.NewAdam(opt.AdamConfig{LR: cfg.LR})
 	sampler := dataset.NewSampler(ds, cfg.Seed+2)
 	steps := cfg.Epochs * (ds.Len() / cfg.Batch)
-	params := append(trunk.Params(), head.Params()...)
+	// Copy: Sequential.Params returns a cached slice that must not be
+	// appended to in place.
+	params := make([]*nn.Param, 0, len(trunk.Params())+len(head.Params()))
+	params = append(params, trunk.Params()...)
+	params = append(params, head.Params()...)
 	for i := 0; i < steps; i++ {
 		x, labels := sampler.Sample(cfg.Batch)
 		logits := head.Forward(trunk.Forward(x, true), true)
@@ -96,6 +100,8 @@ func (s *Scorer) Accuracy(ds *dataset.Dataset) float64 {
 }
 
 // Features maps samples to the classifier's penultimate representation.
+// The result is a network-owned buffer, valid until the next Features,
+// Posteriors or Accuracy call on this scorer.
 func (s *Scorer) Features(x *tensor.Tensor) *tensor.Tensor {
 	return s.trunk.Forward(x, false)
 }
@@ -129,7 +135,7 @@ func (s *Scorer) Score(x *tensor.Tensor) float64 {
 // FID computes the Fréchet distance between classifier features of real
 // and generated batches.
 func (s *Scorer) FID(real, gen *tensor.Tensor) (float64, error) {
-	fr := s.Features(real)
+	fr := s.Features(real).Clone() // survives the second Features pass
 	fg := s.Features(gen)
 	mr, cr := linalg.MeanCov(fr)
 	mg, cg := linalg.MeanCov(fg)

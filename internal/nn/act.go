@@ -6,11 +6,17 @@ import (
 	"mdgan/internal/tensor"
 )
 
+// Activation outputs and input gradients live in layer-owned buffers
+// (valid until the layer's next Forward/Backward call), so steady-state
+// training allocates nothing here.
+
 // LeakyReLU applies max(x, alpha*x) element-wise. Alpha = 0 gives plain
 // ReLU.
 type LeakyReLU struct {
 	Alpha float64
 	x     *tensor.Tensor
+	out   *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
@@ -22,27 +28,32 @@ func NewReLU() *LeakyReLU { return &LeakyReLU{} }
 // Forward applies the activation.
 func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
+	l.out = tensor.Ensure(l.out, x.Shape()...)
 	a := l.Alpha
-	return x.Apply(func(v float64) float64 {
+	od := l.out.Data
+	for i, v := range x.Data {
 		if v > 0 {
-			return v
+			od[i] = v
+		} else {
+			od[i] = a * v
 		}
-		return a * v
-	})
+	}
+	return l.out
 }
 
 // Backward gates the incoming gradient by the activation derivative.
 func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	l.dx = tensor.Ensure(l.dx, grad.Shape()...)
 	a := l.Alpha
+	od, gd := l.dx.Data, grad.Data
 	for i, v := range l.x.Data {
 		if v > 0 {
-			out.Data[i] = grad.Data[i]
+			od[i] = gd[i]
 		} else {
-			out.Data[i] = a * grad.Data[i]
+			od[i] = a * gd[i]
 		}
 	}
-	return out
+	return l.dx
 }
 
 // Params reports no learnables.
@@ -53,7 +64,8 @@ func (l *LeakyReLU) Clone() Layer { return &LeakyReLU{Alpha: l.Alpha} }
 
 // Sigmoid applies 1/(1+exp(−x)) element-wise.
 type Sigmoid struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewSigmoid returns a Sigmoid layer.
@@ -61,17 +73,22 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies the logistic function.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	s.y = x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	s.y = tensor.Ensure(s.y, x.Shape()...)
+	yd := s.y.Data
+	for i, v := range x.Data {
+		yd[i] = 1 / (1 + math.Exp(-v))
+	}
 	return s.y
 }
 
 // Backward multiplies by y(1−y).
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	s.dx = tensor.Ensure(s.dx, grad.Shape()...)
+	od, gd := s.dx.Data, grad.Data
 	for i, y := range s.y.Data {
-		out.Data[i] = grad.Data[i] * y * (1 - y)
+		od[i] = gd[i] * y * (1 - y)
 	}
-	return out
+	return s.dx
 }
 
 // Params reports no learnables.
@@ -83,7 +100,8 @@ func (s *Sigmoid) Clone() Layer { return &Sigmoid{} }
 // Tanh applies the hyperbolic tangent element-wise; the conventional
 // output activation of image generators (pixels in [−1, 1]).
 type Tanh struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewTanh returns a Tanh layer.
@@ -91,17 +109,22 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	t.y = x.Apply(math.Tanh)
+	t.y = tensor.Ensure(t.y, x.Shape()...)
+	yd := t.y.Data
+	for i, v := range x.Data {
+		yd[i] = math.Tanh(v)
+	}
 	return t.y
 }
 
 // Backward multiplies by 1−y².
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	t.dx = tensor.Ensure(t.dx, grad.Shape()...)
+	od, gd := t.dx.Data, grad.Data
 	for i, y := range t.y.Data {
-		out.Data[i] = grad.Data[i] * (1 - y*y)
+		od[i] = gd[i] * (1 - y*y)
 	}
-	return out
+	return t.dx
 }
 
 // Params reports no learnables.

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/tensor"
+)
+
+// Steady-state allocation regressions: after warm-up, a training step
+// (forward + backward) through the layer stacks must stay under a tight
+// allocation budget — layer outputs, gradients and conv workspaces all
+// live in reused or pooled buffers. The budgets leave headroom only for
+// the worker-pool fan-out bookkeeping and reshape views.
+
+func trainStep(net *Sequential, x, grad *tensor.Tensor) {
+	net.ZeroGrads()
+	net.Forward(x, true)
+	net.Backward(grad)
+}
+
+func TestDenseStackSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	net := NewSequential(
+		NewDense(64, 48, rng),
+		NewLeakyReLU(0.2),
+		NewDense(48, 48, rng),
+		NewTanh(),
+		NewDense(48, 1, rng),
+	)
+	x := randInput(rng, 16, 64)
+	grad := randInput(rng, 16, 1)
+	for i := 0; i < 3; i++ {
+		trainStep(net, x, grad)
+	}
+	n := testing.AllocsPerRun(50, func() { trainStep(net, x, grad) })
+	// The only steady-state allocations are the fan-out closures built
+	// when a matmul crosses the parallel grain (one per large matmul).
+	if n > 16 {
+		t.Fatalf("dense stack allocates %v per step, budget 16", n)
+	}
+}
+
+func TestConvStackSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	net := NewSequential(
+		NewConv2D(1, 16, 16, 8, 3, 2, 1, rng), // -> (8, 8, 8)
+		NewLeakyReLU(0.2),
+		NewConv2D(8, 8, 8, 16, 3, 2, 1, rng), // -> (16, 4, 4)
+		NewLeakyReLU(0.2),
+		NewFlatten(),
+		NewDense(256, 1, rng),
+	)
+	x := randInput(rng, 8, 1, 16, 16)
+	grad := randInput(rng, 8, 1)
+	for i := 0; i < 3; i++ {
+		trainStep(net, x, grad)
+	}
+	n := testing.AllocsPerRun(50, func() { trainStep(net, x, grad) })
+	// Conv layers Get/Put pooled workspaces and may fan out to the
+	// worker pool (a WaitGroup + closure per parallel region), plus the
+	// Flatten reshape views.
+	if n > 32 {
+		t.Fatalf("conv stack allocates %v per step, budget 32", n)
+	}
+}
+
+func TestConvTransposeStackSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	net := NewSequential(
+		NewDense(16, 4*4*4, rng),
+		NewReLU(),
+		NewReshape(4, 4, 4),
+		NewConvTranspose2D(4, 4, 4, 2, 4, 2, 1, 0, rng), // -> (2, 8, 8)
+		NewTanh(),
+	)
+	x := randInput(rng, 8, 16)
+	grad := randInput(rng, 8, 2, 8, 8)
+	for i := 0; i < 3; i++ {
+		trainStep(net, x, grad)
+	}
+	n := testing.AllocsPerRun(50, func() { trainStep(net, x, grad) })
+	if n > 32 {
+		t.Fatalf("convT stack allocates %v per step, budget 32", n)
+	}
+}

@@ -1,0 +1,253 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/tensor"
+)
+
+// The batched conv kernels (one im2col workspace and one matmul per
+// batch) must reproduce the per-image definition exactly. The reference
+// implementations below are direct nested loops straight from the conv
+// equations — independent of im2col, matmul and the workspace pool.
+
+// refConvForward computes a Conv2D forward pass by definition.
+func refConvForward(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	g := c.geom
+	n := x.Dim(0)
+	out := tensor.New(n, c.OutC, g.outH, g.outW)
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < g.outH; oy++ {
+				for ox := 0; ox < g.outW; ox++ {
+					sum := c.B.W.Data[oc]
+					for ic := 0; ic < g.inC; ic++ {
+						for ki := 0; ki < g.kh; ki++ {
+							for kj := 0; kj < g.kw; kj++ {
+								iy := oy*g.stride + ki - g.pad
+								ix := ox*g.stride + kj - g.pad
+								if iy < 0 || iy >= g.inH || ix < 0 || ix >= g.inW {
+									continue
+								}
+								w := c.W.W.Data[oc*g.inC*g.kh*g.kw+(ic*g.kh+ki)*g.kw+kj]
+								sum += w * x.Data[((i*g.inC+ic)*g.inH+iy)*g.inW+ix]
+							}
+						}
+					}
+					out.Data[((i*c.OutC+oc)*g.outH+oy)*g.outW+ox] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// refConvBackward computes dW, dB, dx of a Conv2D by definition.
+func refConvBackward(c *Conv2D, x, grad *tensor.Tensor) (dW, dB, dx *tensor.Tensor) {
+	g := c.geom
+	n := x.Dim(0)
+	dW = tensor.New(c.W.W.Shape()...)
+	dB = tensor.New(c.B.W.Shape()...)
+	dx = tensor.New(x.Shape()...)
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < g.outH; oy++ {
+				for ox := 0; ox < g.outW; ox++ {
+					gv := grad.Data[((i*c.OutC+oc)*g.outH+oy)*g.outW+ox]
+					dB.Data[oc] += gv
+					for ic := 0; ic < g.inC; ic++ {
+						for ki := 0; ki < g.kh; ki++ {
+							for kj := 0; kj < g.kw; kj++ {
+								iy := oy*g.stride + ki - g.pad
+								ix := ox*g.stride + kj - g.pad
+								if iy < 0 || iy >= g.inH || ix < 0 || ix >= g.inW {
+									continue
+								}
+								wi := oc*g.inC*g.kh*g.kw + (ic*g.kh+ki)*g.kw + kj
+								xi := ((i*g.inC+ic)*g.inH+iy)*g.inW + ix
+								dW.Data[wi] += gv * x.Data[xi]
+								dx.Data[xi] += gv * c.W.W.Data[wi]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dW, dB, dx
+}
+
+// refConvTForward computes a ConvTranspose2D forward pass by
+// definition: every input pixel paints a k×k patch into the output.
+func refConvTForward(c *ConvTranspose2D, x *tensor.Tensor) *tensor.Tensor {
+	g := c.geom // adjoint geometry: g.inH/g.inW are OUR output dims
+	n := x.Dim(0)
+	out := tensor.New(n, c.OutC, g.inH, g.inW)
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			base := (i*c.OutC + oc) * g.inH * g.inW
+			for p := 0; p < g.inH*g.inW; p++ {
+				out.Data[base+p] = c.B.W.Data[oc]
+			}
+		}
+		for ic := 0; ic < c.InC; ic++ {
+			for iy := 0; iy < c.inH; iy++ {
+				for ix := 0; ix < c.inW; ix++ {
+					xv := x.Data[((i*c.InC+ic)*c.inH+iy)*c.inW+ix]
+					for oc := 0; oc < c.OutC; oc++ {
+						for ki := 0; ki < g.kh; ki++ {
+							for kj := 0; kj < g.kw; kj++ {
+								oy := iy*g.stride + ki - g.pad
+								ox := ix*g.stride + kj - g.pad
+								if oy < 0 || oy >= g.inH || ox < 0 || ox >= g.inW {
+									continue
+								}
+								w := c.W.W.Data[ic*c.OutC*g.kh*g.kw+(oc*g.kh+ki)*g.kw+kj]
+								out.Data[((i*c.OutC+oc)*g.inH+oy)*g.inW+ox] += w * xv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// refConvTBackward computes dW, dB, dx of a ConvTranspose2D by
+// definition (the adjoint of refConvTForward).
+func refConvTBackward(c *ConvTranspose2D, x, grad *tensor.Tensor) (dW, dB, dx *tensor.Tensor) {
+	g := c.geom
+	n := x.Dim(0)
+	dW = tensor.New(c.W.W.Shape()...)
+	dB = tensor.New(c.B.W.Shape()...)
+	dx = tensor.New(x.Shape()...)
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			base := (i*c.OutC + oc) * g.inH * g.inW
+			for p := 0; p < g.inH*g.inW; p++ {
+				dB.Data[oc] += grad.Data[base+p]
+			}
+		}
+		for ic := 0; ic < c.InC; ic++ {
+			for iy := 0; iy < c.inH; iy++ {
+				for ix := 0; ix < c.inW; ix++ {
+					xi := ((i*c.InC+ic)*c.inH+iy)*c.inW + ix
+					for oc := 0; oc < c.OutC; oc++ {
+						for ki := 0; ki < g.kh; ki++ {
+							for kj := 0; kj < g.kw; kj++ {
+								oy := iy*g.stride + ki - g.pad
+								ox := ix*g.stride + kj - g.pad
+								if oy < 0 || oy >= g.inH || ox < 0 || ox >= g.inW {
+									continue
+								}
+								wi := ic*c.OutC*g.kh*g.kw + (oc*g.kh+ki)*g.kw + kj
+								gv := grad.Data[((i*c.OutC+oc)*g.inH+oy)*g.inW+ox]
+								dW.Data[wi] += gv * x.Data[xi]
+								dx.Data[xi] += gv * c.W.W.Data[wi]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dW, dB, dx
+}
+
+func maxAbsDiff(a, b *tensor.Tensor) float64 {
+	m := 0.0
+	for i, v := range a.Data {
+		if d := math.Abs(v - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestConv2DBatchedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, cfg := range []struct{ inC, h, w, outC, k, stride, pad, n int }{
+		{1, 6, 6, 2, 3, 1, 1, 1},
+		{2, 8, 8, 4, 3, 2, 1, 3},
+		{3, 7, 5, 2, 3, 1, 0, 4},
+		{2, 9, 9, 3, 5, 2, 2, 5}, // odd batch exercises the fan-out remainder
+	} {
+		l := NewConv2D(cfg.inC, cfg.h, cfg.w, cfg.outC, cfg.k, cfg.stride, cfg.pad, rng)
+		for i := range l.B.W.Data {
+			l.B.W.Data[i] = rng.NormFloat64() * 0.1
+		}
+		x := randInput(rng, cfg.n, cfg.inC, cfg.h, cfg.w)
+		got := l.Forward(x, true)
+		want := refConvForward(l, x)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%+v: forward deviates by %g", cfg, d)
+		}
+
+		grad := randInput(rng, cfg.n, cfg.outC, l.geom.outH, l.geom.outW)
+		l.W.Grad.Zero()
+		l.B.Grad.Zero()
+		dx := l.Backward(grad)
+		wantdW, wantdB, wantdx := refConvBackward(l, x, grad)
+		if d := maxAbsDiff(l.W.Grad, wantdW); d > 1e-9 {
+			t.Fatalf("%+v: dW deviates by %g", cfg, d)
+		}
+		if d := maxAbsDiff(l.B.Grad, wantdB); d > 1e-9 {
+			t.Fatalf("%+v: dB deviates by %g", cfg, d)
+		}
+		if d := maxAbsDiff(dx, wantdx); d > 1e-9 {
+			t.Fatalf("%+v: dx deviates by %g", cfg, d)
+		}
+	}
+}
+
+func TestConvTranspose2DBatchedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cfg := range []struct{ inC, h, w, outC, k, stride, pad, outPad, n int }{
+		{3, 4, 4, 2, 4, 2, 1, 0, 1},
+		{2, 4, 4, 2, 5, 2, 2, 1, 3},
+		{4, 3, 5, 1, 3, 1, 1, 0, 4},
+	} {
+		l := NewConvTranspose2D(cfg.inC, cfg.h, cfg.w, cfg.outC, cfg.k, cfg.stride, cfg.pad, cfg.outPad, rng)
+		for i := range l.B.W.Data {
+			l.B.W.Data[i] = rng.NormFloat64() * 0.1
+		}
+		x := randInput(rng, cfg.n, cfg.inC, cfg.h, cfg.w)
+		got := l.Forward(x, true)
+		want := refConvTForward(l, x)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%+v: forward deviates by %g", cfg, d)
+		}
+
+		_, oh, ow := l.OutShape()
+		grad := randInput(rng, cfg.n, cfg.outC, oh, ow)
+		l.W.Grad.Zero()
+		l.B.Grad.Zero()
+		dx := l.Backward(grad)
+		wantdW, wantdB, wantdx := refConvTBackward(l, x, grad)
+		if d := maxAbsDiff(l.W.Grad, wantdW); d > 1e-9 {
+			t.Fatalf("%+v: dW deviates by %g", cfg, d)
+		}
+		if d := maxAbsDiff(l.B.Grad, wantdB); d > 1e-9 {
+			t.Fatalf("%+v: dB deviates by %g", cfg, d)
+		}
+		if d := maxAbsDiff(dx, wantdx); d > 1e-9 {
+			t.Fatalf("%+v: dx deviates by %g", cfg, d)
+		}
+	}
+}
+
+// TestConvForwardEvalMatchesTrain: the eval-mode forward (which releases
+// its workspace immediately) must produce identical values.
+func TestConvForwardEvalMatchesTrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	l := NewConv2D(2, 8, 8, 3, 3, 2, 1, rng)
+	x := randInput(rng, 2, 2, 8, 8)
+	train := l.Forward(x, true).Clone()
+	eval := l.Forward(x, false)
+	if d := maxAbsDiff(train, eval); d != 0 {
+		t.Fatalf("train/eval forward differ by %g", d)
+	}
+}

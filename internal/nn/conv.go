@@ -9,6 +9,16 @@ import (
 	"mdgan/internal/tensor"
 )
 
+// The convolution layers are batched end to end: one im2col workspace
+// of shape (C·KH·KW, N·outH·outW) is filled in parallel across the
+// batch (image i owns the column block [i·outH·outW, (i+1)·outH·outW)),
+// followed by a single large matmul per layer per batch. The backward
+// pass runs the transposed matmuls (MatMulT1/MatMulT2) straight into
+// preallocated gradient buffers, so no per-image col matrices,
+// transposes or gradient shards are ever materialised. Workspaces come
+// from the tensor pool and are released after Backward (or immediately,
+// for evaluation-mode forwards).
+
 // convGeom describes a convolution geometry shared by Conv2D (as its
 // forward map) and ConvTranspose2D (as its backward map).
 type convGeom struct {
@@ -28,15 +38,18 @@ func newConvGeom(inC, inH, inW, kh, kw, stride, pad int) convGeom {
 	return g
 }
 
-// im2col unrolls a single image x (C*H*W flat) into a matrix col of
-// shape (C*KH*KW, outH*outW) so the convolution becomes one MatMul.
-func (g convGeom) im2col(x []float64, col []float64) {
+// im2col unrolls a single image x (C*H*W flat) into one column block of
+// a batched col matrix: row r of the patch matrix lands at
+// dst[r*rowStride+colOff : r*rowStride+colOff+outH*outW]. With
+// rowStride = outH*outW and colOff = 0 this is the classic single-image
+// unroll.
+func (g convGeom) im2col(x []float64, dst []float64, rowStride, colOff int) {
 	oHW := g.outH * g.outW
 	idx := 0
 	for c := 0; c < g.inC; c++ {
 		for ki := 0; ki < g.kh; ki++ {
 			for kj := 0; kj < g.kw; kj++ {
-				row := col[idx*oHW : (idx+1)*oHW]
+				row := dst[idx*rowStride+colOff : idx*rowStride+colOff+oHW]
 				idx++
 				o := 0
 				for oy := 0; oy < g.outH; oy++ {
@@ -64,15 +77,15 @@ func (g convGeom) im2col(x []float64, col []float64) {
 	}
 }
 
-// col2im scatters a col matrix back into an image, accumulating
-// overlapping contributions — the adjoint of im2col.
-func (g convGeom) col2im(col []float64, x []float64) {
-	oHW := g.outH * g.outW
+// col2im scatters one column block of a batched col matrix back into an
+// image, accumulating overlapping contributions — the adjoint of
+// im2col.
+func (g convGeom) col2im(col []float64, rowStride, colOff int, x []float64) {
 	idx := 0
 	for c := 0; c < g.inC; c++ {
 		for ki := 0; ki < g.kh; ki++ {
 			for kj := 0; kj < g.kw; kj++ {
-				row := col[idx*oHW : (idx+1)*oHW]
+				row := col[idx*rowStride+colOff : idx*rowStride+colOff+g.outH*g.outW]
 				idx++
 				o := 0
 				for oy := 0; oy < g.outH; oy++ {
@@ -95,13 +108,35 @@ func (g convGeom) col2im(col []float64, x []float64) {
 	}
 }
 
+// forImages fans a per-image loop out to the worker pool when the total
+// work justifies it; tiny batches run inline.
+func forImages(n, perImageWork int, fn func(s, e int)) {
+	if n*perImageWork < 1<<14 {
+		fn(0, n)
+		return
+	}
+	parallel.ForceFor(n, fn)
+}
+
+// takeWorkspace returns a (rows, cols) workspace, reusing buf when the
+// layer still holds one from a previous pass and drawing from the pool
+// otherwise.
+func takeWorkspace(buf *tensor.Tensor, rows, cols int) *tensor.Tensor {
+	if buf != nil {
+		return tensor.Ensure(buf, rows, cols)
+	}
+	return tensor.Get(rows, cols)
+}
+
 // Conv2D is a standard 2-D convolution over NCHW tensors.
 type Conv2D struct {
 	geom convGeom
 	OutC int
 	W, B *Param // W: (OutC, InC*KH*KW), B: (1, OutC)
 	x    *tensor.Tensor
-	cols []*tensor.Tensor // cached per-image col matrices
+	cols *tensor.Tensor // batched im2col workspace, held from a training Forward until Backward
+	out  *tensor.Tensor // layer-owned output buffer
+	dx   *tensor.Tensor // layer-owned input-gradient buffer
 }
 
 // NewConv2D builds a convolution mapping (N, inC, inH, inW) to
@@ -128,84 +163,116 @@ func heUniform(w *tensor.Tensor, fanIn int, rng *rand.Rand) {
 // OutShape returns the per-image output dimensions (C, H, W).
 func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.geom.outH, c.geom.outW }
 
-// Forward applies the convolution to x (N, inC, inH, inW).
+func (c *Conv2D) releaseCols() {
+	tensor.Put(c.cols)
+	c.cols = nil
+}
+
+// Forward applies the convolution to x (N, inC, inH, inW). The returned
+// tensor is a layer-owned buffer, valid until the next Forward call.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.geom
 	n := x.Dim(0)
-	if x.Size()/n != g.inC*g.inH*g.inW {
-		panic(fmt.Sprintf("nn: Conv2D input %v, want per-image volume %d", x.Shape(), g.inC*g.inH*g.inW))
+	inVol := g.inC * g.inH * g.inW
+	if x.Size()/n != inVol {
+		panic(fmt.Sprintf("nn: Conv2D input %v, want per-image volume %d", x.Shape(), inVol))
 	}
 	c.x = x
-	if len(c.cols) < n {
-		c.cols = make([]*tensor.Tensor, n)
-	}
 	oHW := g.outH * g.outW
-	out := tensor.New(n, c.OutC, g.outH, g.outW)
-	inVol := g.inC * g.inH * g.inW
-	outVol := c.OutC * oHW
-	parallel.ForceFor(n, func(s, e int) {
+	ckk := g.inC * g.kh * g.kw
+
+	// Batched im2col: every image unrolls into its own column block.
+	c.cols = takeWorkspace(c.cols, ckk, n*oHW)
+	cols := c.cols
+	xd, cd := x.Data, cols.Data
+	forImages(n, ckk*oHW, func(s, e int) {
 		for i := s; i < e; i++ {
-			col := c.cols[i]
-			if col == nil {
-				col = tensor.New(g.inC*g.kh*g.kw, oHW)
-				c.cols[i] = col
-			}
-			g.im2col(x.Data[i*inVol:(i+1)*inVol], col.Data)
-			y := tensor.MatMul(c.W.W, col) // (OutC, oHW)
-			dst := out.Data[i*outVol : (i+1)*outVol]
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.B.W.Data[oc]
-				row := y.Data[oc*oHW : (oc+1)*oHW]
-				for j, v := range row {
-					dst[oc*oHW+j] = v + b
+			g.im2col(xd[i*inVol:(i+1)*inVol], cd, n*oHW, i*oHW)
+		}
+	})
+
+	// One matmul for the whole batch: (OutC, ckk)·(ckk, n·oHW).
+	y := tensor.Get(c.OutC, n*oHW)
+	tensor.MatMulInto(y, c.W.W, cols)
+
+	// Scatter (OutC, n·oHW) → (n, OutC, oHW), adding the bias.
+	c.out = tensor.Ensure(c.out, n, c.OutC, g.outH, g.outW)
+	outVol := c.OutC * oHW
+	od, yd, bd := c.out.Data, y.Data, c.B.W.Data
+	outC := c.OutC
+	forImages(n, outVol, func(s, e int) {
+		for i := s; i < e; i++ {
+			for oc := 0; oc < outC; oc++ {
+				src := yd[oc*n*oHW+i*oHW : oc*n*oHW+(i+1)*oHW]
+				dst := od[i*outVol+oc*oHW : i*outVol+(oc+1)*oHW]
+				b := bd[oc]
+				for j, v := range src {
+					dst[j] = v + b
 				}
 			}
 		}
 	})
-	return out
+	tensor.Put(y)
+	if !train {
+		c.releaseCols()
+	}
+	return c.out
 }
 
 // Backward accumulates weight/bias gradients and returns the input
-// gradient.
+// gradient (a layer-owned buffer, valid until the next Backward call).
+// The im2col workspace is released back to the pool.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
 	n := c.x.Dim(0)
 	oHW := g.outH * g.outW
+	ckk := g.inC * g.kh * g.kw
 	inVol := g.inC * g.inH * g.inW
 	outVol := c.OutC * oHW
-	dx := tensor.New(c.x.Shape()...)
-	// Parallelise over images, with per-shard weight-grad accumulators
-	// merged at the end to avoid contention.
-	type shard struct {
-		dW *tensor.Tensor
-		dB *tensor.Tensor
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward without a training-mode Forward")
 	}
-	shards := make([]shard, n)
-	parallel.ForceFor(n, func(s, e int) {
-		dW := tensor.New(c.W.W.Shape()...)
-		dB := tensor.New(c.B.W.Shape()...)
+
+	// Gather grad (n, OutC, oHW) → (OutC, n·oHW), mirroring the batched
+	// forward layout.
+	gy := tensor.Get(c.OutC, n*oHW)
+	gd, gyd := grad.Data, gy.Data
+	outC := c.OutC
+	forImages(n, outVol, func(s, e int) {
 		for i := s; i < e; i++ {
-			gi := tensor.FromSlice(grad.Data[i*outVol:(i+1)*outVol], c.OutC, oHW)
-			tensor.MatMulAdd(dW, gi, c.cols[i].Transpose())
-			for oc := 0; oc < c.OutC; oc++ {
-				sum := 0.0
-				for _, v := range gi.Data[oc*oHW : (oc+1)*oHW] {
-					sum += v
-				}
-				dB.Data[oc] += sum
+			for oc := 0; oc < outC; oc++ {
+				copy(gyd[oc*n*oHW+i*oHW:oc*n*oHW+(i+1)*oHW], gd[i*outVol+oc*oHW:i*outVol+(oc+1)*oHW])
 			}
-			dcol := tensor.MatMulT1(c.W.W, gi) // (inC*k*k, oHW)
-			g.col2im(dcol.Data, dx.Data[i*inVol:(i+1)*inVol])
 		}
-		shards[s] = shard{dW, dB}
 	})
-	for _, sh := range shards {
-		if sh.dW != nil {
-			c.W.Grad.AddInPlace(sh.dW)
-			c.B.Grad.AddInPlace(sh.dB)
+
+	// dW += gy·colsᵀ and dB += per-channel sums: one batched matmul, one
+	// contiguous reduction.
+	tensor.MatMulT2Add(c.W.Grad, gy, c.cols)
+	db := c.B.Grad.Data
+	for oc := 0; oc < c.OutC; oc++ {
+		sum := 0.0
+		for _, v := range gyd[oc*n*oHW : (oc+1)*n*oHW] {
+			sum += v
 		}
+		db[oc] += sum
 	}
-	return dx
+
+	// dcol = Wᵀ·gy, scattered back per image into dx.
+	dcol := tensor.Get(ckk, n*oHW)
+	tensor.MatMulT1Into(dcol, c.W.W, gy)
+	tensor.Put(gy)
+	c.dx = tensor.Ensure(c.dx, c.x.Shape()...)
+	c.dx.Zero()
+	dxd, dcd := c.dx.Data, dcol.Data
+	forImages(n, ckk*oHW, func(s, e int) {
+		for i := s; i < e; i++ {
+			g.col2im(dcd, n*oHW, i*oHW, dxd[i*inVol:(i+1)*inVol])
+		}
+	})
+	tensor.Put(dcol)
+	c.releaseCols()
+	return c.dx
 }
 
 // Params returns the kernel and bias.
@@ -230,6 +297,9 @@ type ConvTranspose2D struct {
 	inH, inW  int
 	W, B      *Param // W: (InC, OutC*KH*KW), B: (1, OutC)
 	x         *tensor.Tensor
+	xhat      *tensor.Tensor // packed input (InC, n·hw), held for Backward
+	out       *tensor.Tensor
+	dx        *tensor.Tensor
 }
 
 // NewConvTranspose2D maps (N, inC, inH, inW) to (N, outC, outH, outW)
@@ -264,82 +334,117 @@ func NewConvTranspose2D(inC, inH, inW, outC, k, stride, pad, outPad int, rng *ra
 // OutShape returns the per-image output dimensions (C, H, W).
 func (c *ConvTranspose2D) OutShape() (int, int, int) { return c.OutC, c.geom.inH, c.geom.inW }
 
-// Forward computes y = col2im(Wᵀ·x̂) + b: each input pixel paints a
-// k×k kernel patch into the upsampled output.
+// Forward computes y = col2im(Wᵀ·x̂) + b for the whole batch at once:
+// the input is packed to (InC, n·hw), one transposed matmul produces
+// every patch column, and col2im scatters them per image.
 func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.geom
 	n := x.Dim(0)
-	inVol := c.InC * c.inH * c.inW
+	hw := c.inH * c.inW
+	inVol := c.InC * hw
 	if x.Size()/n != inVol {
 		panic(fmt.Sprintf("nn: ConvTranspose2D input %v, want per-image volume %d", x.Shape(), inVol))
 	}
 	c.x = x
 	outVol := c.OutC * g.inH * g.inW
-	out := tensor.New(n, c.OutC, g.inH, g.inW)
-	hw := c.inH * c.inW
-	parallel.ForceFor(n, func(s, e int) {
+	oPlane := g.inH * g.inW
+
+	// Pack x (n, InC, hw) → x̂ (InC, n·hw).
+	c.xhat = takeWorkspace(c.xhat, c.InC, n*hw)
+	xd, xh := x.Data, c.xhat.Data
+	inC := c.InC
+	forImages(n, inVol, func(s, e int) {
 		for i := s; i < e; i++ {
-			xi := tensor.FromSlice(x.Data[i*inVol:(i+1)*inVol], c.InC, hw)
-			col := tensor.MatMulT1(c.W.W, xi) // (OutC*k*k, hw)
-			dst := out.Data[i*outVol : (i+1)*outVol]
-			g.col2im(col.Data, dst)
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.B.W.Data[oc]
-				if b == 0 {
-					continue
-				}
-				plane := dst[oc*g.inH*g.inW : (oc+1)*g.inH*g.inW]
-				for j := range plane {
-					plane[j] += b
-				}
+			for ic := 0; ic < inC; ic++ {
+				copy(xh[ic*n*hw+i*hw:ic*n*hw+(i+1)*hw], xd[i*inVol+ic*hw:i*inVol+(ic+1)*hw])
 			}
 		}
 	})
-	return out
+
+	// col = Wᵀ·x̂: (OutC·k·k, n·hw) in one matmul.
+	col := tensor.Get(c.OutC*g.kh*g.kw, n*hw)
+	tensor.MatMulT1Into(col, c.W.W, c.xhat)
+
+	// Per image: start from the bias plane, then scatter the columns.
+	c.out = tensor.Ensure(c.out, n, c.OutC, g.inH, g.inW)
+	od, cd, bd := c.out.Data, col.Data, c.B.W.Data
+	outC := c.OutC
+	forImages(n, outVol*g.kh*g.kw, func(s, e int) {
+		for i := s; i < e; i++ {
+			dst := od[i*outVol : (i+1)*outVol]
+			for oc := 0; oc < outC; oc++ {
+				plane := dst[oc*oPlane : (oc+1)*oPlane]
+				b := bd[oc]
+				for j := range plane {
+					plane[j] = b
+				}
+			}
+			g.col2im(cd, n*hw, i*hw, dst)
+		}
+	})
+	tensor.Put(col)
+	if !train {
+		tensor.Put(c.xhat)
+		c.xhat = nil
+	}
+	return c.out
 }
 
 // Backward: dx = W·im2col(grad); dW += x̂·im2col(grad)ᵀ; db sums grad
-// per channel.
+// per channel — all batched, with the packed x̂ released afterwards.
 func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
 	n := c.x.Dim(0)
-	inVol := c.InC * c.inH * c.inW
-	outVol := c.OutC * g.inH * g.inW
 	hw := c.inH * c.inW
+	inVol := c.InC * hw
+	outVol := c.OutC * g.inH * g.inW
 	oPlane := g.inH * g.inW
-	dx := tensor.New(c.x.Shape()...)
-	type shard struct{ dW, dB *tensor.Tensor }
-	shards := make([]shard, n)
-	parallel.ForceFor(n, func(s, e int) {
-		dW := tensor.New(c.W.W.Shape()...)
-		dB := tensor.New(c.B.W.Shape()...)
-		col := tensor.New(c.OutC*g.kh*g.kw, hw)
+	if c.xhat == nil {
+		panic("nn: ConvTranspose2D.Backward without a training-mode Forward")
+	}
+
+	// gcol = batched im2col of the output gradient: (OutC·k·k, n·hw).
+	gcol := tensor.Get(c.OutC*g.kh*g.kw, n*hw)
+	gd, gc := grad.Data, gcol.Data
+	forImages(n, outVol*g.kh*g.kw, func(s, e int) {
 		for i := s; i < e; i++ {
-			gi := grad.Data[i*outVol : (i+1)*outVol]
-			g.im2col(gi, col.Data)
-			xi := tensor.FromSlice(c.x.Data[i*inVol:(i+1)*inVol], c.InC, hw)
-			// dx̂ = W·col with W (InC, OutC*k*k), col (OutC*k*k, hw).
-			dxm := tensor.MatMul(c.W.W, col)
-			copy(dx.Data[i*inVol:(i+1)*inVol], dxm.Data)
-			// dW += x̂ · colᵀ → (InC, OutC*k*k)
-			tensor.MatMulAdd(dW, xi, col.Transpose())
-			for oc := 0; oc < c.OutC; oc++ {
-				sum := 0.0
-				for _, v := range gi[oc*oPlane : (oc+1)*oPlane] {
-					sum += v
-				}
-				dB.Data[oc] += sum
+			g.im2col(gd[i*outVol:(i+1)*outVol], gc, n*hw, i*hw)
+		}
+	})
+
+	// dx̂ = W·gcol (InC, n·hw), unpacked to (n, InC, hw).
+	dxhat := tensor.Get(c.InC, n*hw)
+	tensor.MatMulInto(dxhat, c.W.W, gcol)
+	c.dx = tensor.Ensure(c.dx, c.x.Shape()...)
+	dxd, dh := c.dx.Data, dxhat.Data
+	inC := c.InC
+	forImages(n, inVol, func(s, e int) {
+		for i := s; i < e; i++ {
+			for ic := 0; ic < inC; ic++ {
+				copy(dxd[i*inVol+ic*hw:i*inVol+(ic+1)*hw], dh[ic*n*hw+i*hw:ic*n*hw+(i+1)*hw])
 			}
 		}
-		shards[s] = shard{dW, dB}
 	})
-	for _, sh := range shards {
-		if sh.dW != nil {
-			c.W.Grad.AddInPlace(sh.dW)
-			c.B.Grad.AddInPlace(sh.dB)
+	tensor.Put(dxhat)
+
+	// dW += x̂·gcolᵀ in one batched matmul; dB sums the gradient per
+	// output channel.
+	tensor.MatMulT2Add(c.W.Grad, c.xhat, gcol)
+	db := c.B.Grad.Data
+	for i := 0; i < n; i++ {
+		gi := gd[i*outVol : (i+1)*outVol]
+		for oc := 0; oc < c.OutC; oc++ {
+			sum := 0.0
+			for _, v := range gi[oc*oPlane : (oc+1)*oPlane] {
+				sum += v
+			}
+			db[oc] += sum
 		}
 	}
-	return dx
+	tensor.Put(gcol)
+	tensor.Put(c.xhat)
+	c.xhat = nil
+	return c.dx
 }
 
 // Params returns the kernel and bias.

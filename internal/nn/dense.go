@@ -14,6 +14,8 @@ type Dense struct {
 	In, Out int
 	W, B    *Param
 	x       *tensor.Tensor // cached input
+	out     *tensor.Tensor // layer-owned output buffer
+	dx      *tensor.Tensor // layer-owned input-gradient buffer
 }
 
 // NewDense creates a Dense layer with Glorot-uniform weights.
@@ -35,7 +37,8 @@ func glorotUniform(w *tensor.Tensor, fanIn, fanOut int, rng *rand.Rand) {
 	}
 }
 
-// Forward computes x·W + b.
+// Forward computes x·W + b into a layer-owned buffer (valid until the
+// next Forward call).
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 {
 		x = x.Reshape(x.Dim(0), x.Size()/x.Dim(0))
@@ -44,17 +47,22 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense expects %d features, got shape %v", d.In, x.Shape()))
 	}
 	d.x = x
-	return tensor.AddRowVec(tensor.MatMul(x, d.W.W), d.B.W)
+	d.out = tensor.Ensure(d.out, x.Dim(0), d.Out)
+	tensor.MatMulInto(d.out, x, d.W.W)
+	return d.out.AddRowVecInPlace(d.B.W)
 }
 
-// Backward accumulates dW = xᵀ·g, db = Σ_rows g and returns g·Wᵀ.
+// Backward accumulates dW += xᵀ·g, db += Σ_rows g directly into the
+// parameter gradients and returns g·Wᵀ in a layer-owned buffer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Rank() != 2 {
 		grad = grad.Reshape(grad.Dim(0), grad.Size()/grad.Dim(0))
 	}
-	d.W.Grad.AddInPlace(tensor.MatMulT1(d.x, grad))
-	d.B.Grad.AddInPlace(grad.SumRows())
-	return tensor.MatMulT2(grad, d.W.W)
+	tensor.MatMulT1Add(d.W.Grad, d.x, grad)
+	grad.SumRowsAdd(d.B.Grad)
+	d.dx = tensor.Ensure(d.dx, grad.Dim(0), d.In)
+	tensor.MatMulT2Into(d.dx, grad, d.W.W)
+	return d.dx
 }
 
 // Params returns the weight and bias parameters.

@@ -13,6 +13,8 @@ type Dropout struct {
 	P    float64
 	rng  *rand.Rand
 	mask []float64
+	out  *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewDropout builds a Dropout layer with drop probability p using the
@@ -33,7 +35,8 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask = make([]float64, x.Size())
 	}
 	d.mask = d.mask[:x.Size()]
-	out := tensor.New(x.Shape()...)
+	d.out = tensor.Ensure(d.out, x.Shape()...)
+	out := d.out
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask[i] = 1 / keep
@@ -50,7 +53,8 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return grad
 	}
-	out := tensor.New(grad.Shape()...)
+	d.dx = tensor.Ensure(d.dx, grad.Shape()...)
+	out := d.dx
 	for i, g := range grad.Data {
 		out.Data[i] = g * d.mask[i]
 	}

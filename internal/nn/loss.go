@@ -107,14 +107,17 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 		panic(fmt.Sprintf("nn: %d labels for %d logit rows", len(labels), n))
 	}
 	probs := Softmax(logits)
-	grad := probs.Scale(1 / float64(n))
 	loss := 0.0
 	for i, y := range labels {
 		if y < 0 || y >= k {
 			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
 		}
-		p := probs.At(i, y)
-		loss -= math.Log(math.Max(p, 1e-300))
+		loss -= math.Log(math.Max(probs.At(i, y), 1e-300))
+	}
+	// The probabilities are no longer needed once the loss is summed, so
+	// the gradient (softmax − onehot)/N reuses their tensor in place.
+	grad := probs.ScaleInPlace(1 / float64(n))
+	for i, y := range labels {
 		grad.Data[i*k+y] -= 1 / float64(n)
 	}
 	return loss / float64(n), grad

@@ -21,6 +21,9 @@ type MinibatchDiscrimination struct {
 	T       *Param
 	x       *tensor.Tensor
 	m       *tensor.Tensor
+	out     *tensor.Tensor
+	dm      *tensor.Tensor
+	dx      *tensor.Tensor
 	cexp    []float64 // cached exp(−d) per (i, j, b)
 }
 
@@ -42,12 +45,15 @@ func (l *MinibatchDiscrimination) Forward(x *tensor.Tensor, train bool) *tensor.
 	}
 	n := x.Dim(0)
 	l.x = x
-	l.m = tensor.MatMul(x, l.T.W) // (N, B*C)
+	l.m = tensor.Ensure(l.m, n, l.B*l.C)
+	tensor.MatMulInto(l.m, x, l.T.W) // (N, B*C)
 	if cap(l.cexp) < n*n*l.B {
 		l.cexp = make([]float64, n*n*l.B)
 	}
 	l.cexp = l.cexp[:n*n*l.B]
-	out := tensor.New(n, l.A+l.B)
+	l.out = tensor.Ensure(l.out, n, l.A+l.B)
+	l.out.Zero()
+	out := l.out
 	for i := 0; i < n; i++ {
 		copy(out.Data[i*(l.A+l.B):i*(l.A+l.B)+l.A], x.Data[i*l.A:(i+1)*l.A])
 	}
@@ -75,8 +81,12 @@ func (l *MinibatchDiscrimination) Forward(x *tensor.Tensor, train bool) *tensor.
 // and the similarity features.
 func (l *MinibatchDiscrimination) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := l.x.Dim(0)
-	dm := tensor.New(n, l.B*l.C)
-	dx := tensor.New(n, l.A)
+	l.dm = tensor.Ensure(l.dm, n, l.B*l.C)
+	l.dm.Zero()
+	dm := l.dm
+	l.dx = tensor.Ensure(l.dx, n, l.A)
+	l.dx.Zero()
+	dx := l.dx
 	// Pass-through component.
 	for i := 0; i < n; i++ {
 		copy(dx.Data[i*l.A:(i+1)*l.A], grad.Data[i*(l.A+l.B):i*(l.A+l.B)+l.A])
@@ -108,8 +118,8 @@ func (l *MinibatchDiscrimination) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dT += xᵀ·dM; dx += dM·Tᵀ.
-	l.T.Grad.AddInPlace(tensor.MatMulT1(l.x, dm))
-	dx.AddInPlace(tensor.MatMulT2(dm, l.T.W))
+	tensor.MatMulT1Add(l.T.Grad, l.x, dm)
+	tensor.MatMulT2Add(dx, dm, l.T.W)
 	return dx
 }
 

@@ -4,6 +4,14 @@
 // gradients matter as much as the parameter gradients here, because the
 // MD-GAN error feedback F_n is precisely the gradient of the generator
 // loss with respect to the generated data (paper §IV-B2).
+//
+// Buffer ownership: layers reuse internal buffers across calls, so the
+// tensor returned by Forward is valid only until the layer's next
+// Forward call, and the tensor returned by Backward only until its next
+// Backward call. Callers that retain an output across another pass
+// through the same layer (e.g. to compare two forward passes) must
+// Clone it. Layer instances are not safe for concurrent use; distinct
+// instances (e.g. per MD-GAN worker) are independent.
 package nn
 
 import (
@@ -42,9 +50,15 @@ type Layer interface {
 	Clone() Layer
 }
 
-// Sequential chains layers.
+// Sequential chains layers. Layers must not be modified after the
+// first Params call (the flattened parameter list is cached — it is
+// consulted several times per training step by ZeroGrads and the
+// optimisers).
 type Sequential struct {
 	Layers []Layer
+
+	params      []*Param
+	paramsBuilt bool
 }
 
 // NewSequential builds a Sequential from the given layers.
@@ -67,16 +81,21 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns all learnable parameters in layer order.
+// Params returns all learnable parameters in layer order. The returned
+// slice is cached and shared across calls; callers must not append to
+// it in place (copy first, as Discriminator.Params does).
 func (s *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, l := range s.Layers {
-		ps = append(ps, l.Params()...)
+	if !s.paramsBuilt {
+		for _, l := range s.Layers {
+			s.params = append(s.params, l.Params()...)
+		}
+		s.paramsBuilt = true
 	}
-	return ps
+	return s.params
 }
 
 // Clone deep-copies the network (parameters included, gradients fresh).
+// The clone builds its own parameter cache on first use.
 func (s *Sequential) Clone() *Sequential {
 	out := &Sequential{Layers: make([]Layer, len(s.Layers))}
 	for i, l := range s.Layers {
@@ -178,20 +197,29 @@ func (s *Sequential) WriteParams(w io.Writer) (int64, error) {
 	return total, nil
 }
 
-// ReadParams deserialises parameters from r into the network.
+// AppendParams appends every parameter's wire framing to dst and
+// returns the extended slice — the allocation-free flavour of
+// WriteParams for the per-iteration swap traffic (size the buffer with
+// EncodedParamSize).
+func (s *Sequential) AppendParams(dst []byte) []byte {
+	for _, p := range s.Params() {
+		dst = p.W.AppendBinary(dst)
+	}
+	return dst
+}
+
+// ReadParams deserialises parameters from r into the network, streaming
+// each payload directly into the existing parameter storage (no
+// intermediate tensors). On a shape mismatch the network may be left
+// partially updated — callers treat that as fatal.
 func (s *Sequential) ReadParams(r io.Reader) (int64, error) {
 	var total int64
 	for _, p := range s.Params() {
-		var t tensor.Tensor
-		n, err := t.ReadFrom(r)
+		n, err := p.W.ReadInPlace(r)
 		total += n
 		if err != nil {
 			return total, fmt.Errorf("nn: read %s: %w", p.Name, err)
 		}
-		if !t.SameShape(p.W) {
-			return total, fmt.Errorf("nn: read %s: shape %v, want %v", p.Name, t.Shape(), p.W.Shape())
-		}
-		p.W.CopyFrom(&t)
 	}
 	return total, nil
 }

@@ -24,8 +24,10 @@ type BatchNorm struct {
 	RunMean *Param
 	RunVar  *Param
 
-	// caches
+	// caches and layer-owned buffers
 	xhat    *tensor.Tensor
+	out     *tensor.Tensor
+	dx      *tensor.Tensor
 	std     []float64 // per-channel 1/sqrt(var+eps)
 	shape   []int
 	spatial int
@@ -59,8 +61,9 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, s := bn.split(x)
 	bn.shape = x.Shape()
 	bn.spatial = s
-	out := tensor.New(x.Shape()...)
-	bn.xhat = tensor.New(x.Shape()...)
+	bn.out = tensor.Ensure(bn.out, x.Shape()...)
+	out := bn.out
+	bn.xhat = tensor.Ensure(bn.xhat, x.Shape()...)
 	if bn.std == nil || len(bn.std) != bn.C {
 		bn.std = make([]float64, bn.C)
 	}
@@ -113,7 +116,8 @@ func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := bn.shape[0]
 	s := bn.spatial
 	cnt := float64(n * s)
-	dx := tensor.New(bn.shape...)
+	bn.dx = tensor.Ensure(bn.dx, bn.shape...)
+	dx := bn.dx
 	for c := 0; c < bn.C; c++ {
 		g := bn.Gamma.W.Data[c]
 		inv := bn.std[c]

@@ -22,8 +22,10 @@ func TestDenseAffineProperty(t *testing.T) {
 		x := randInput(rng, n, in)
 		y := randInput(rng, n, in)
 		zero := tensor.New(n, in)
-		lhs := tensor.Sub(d.Forward(tensor.Add(x, y), false), d.Forward(y, false))
-		rhs := tensor.Sub(d.Forward(x, false), d.Forward(zero, false))
+		// Forward outputs are layer-owned buffers: clone the first of
+		// each pair before the second overwrites it.
+		lhs := tensor.Sub(d.Forward(tensor.Add(x, y), false).Clone(), d.Forward(y, false))
+		rhs := tensor.Sub(d.Forward(x, false).Clone(), d.Forward(zero, false))
 		return lhs.Equal(rhs, 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -39,7 +41,7 @@ func TestLeakyReLUHomogeneityProperty(t *testing.T) {
 		a := 0.1 + rng.Float64()*5
 		l := NewLeakyReLU(0.2)
 		x := randInput(rng, 2, 7)
-		lhs := l.Forward(x.Scale(a), false)
+		lhs := l.Forward(x.Scale(a), false).Clone() // layer-owned buffer
 		rhs := l.Forward(x, false).Scale(a)
 		return lhs.Equal(rhs, 1e-9)
 	}

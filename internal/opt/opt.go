@@ -8,7 +8,12 @@ import (
 	"math"
 
 	"mdgan/internal/nn"
+	"mdgan/internal/parallel"
 )
+
+// parGrain is the parameter count above which an optimiser update fans
+// out across the worker pool.
+const parGrain = 1 << 14
 
 // Optimizer updates network parameters from their accumulated gradients.
 // Step consumes the current .Grad of every parameter; callers zero the
@@ -113,13 +118,30 @@ func (a *Adam) Step(params []*nn.Param) {
 			a.m[p] = m
 			a.v[p] = v
 		}
-		for i, g := range p.Grad.Data {
-			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
-			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
-			mhat := m[i] / c1
-			vhat := v[i] / c2
-			p.W.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		w, g := p.W.Data, p.Grad.Data
+		if len(g) < parGrain {
+			a.update(w, g, m, v, c1, c2, 0, len(g))
+			continue
 		}
+		parallel.For(len(g), func(s, e int) {
+			a.update(w, g, m, v, c1, c2, s, e)
+		})
+	}
+}
+
+// update applies the Adam rule to the index range [s, e). The bias
+// corrections are applied as reciprocal multiplies; only the final
+// denominator needs a real division.
+func (a *Adam) update(w, grad, m, v []float64, c1, c2 float64, s, e int) {
+	b1, b2, lr, eps := a.Beta1, a.Beta2, a.LR, a.Eps
+	ic1, ic2 := 1/c1, 1/c2
+	for i := s; i < e; i++ {
+		g := grad[i]
+		mi := b1*m[i] + (1-b1)*g
+		vi := b2*v[i] + (1-b2)*g*g
+		m[i] = mi
+		v[i] = vi
+		w[i] -= lr * (mi * ic1) / (math.Sqrt(vi*ic2) + eps)
 	}
 }
 

@@ -2,107 +2,203 @@
 // across the available CPU cores. It is the only place in the code base
 // that decides how many goroutines a compute kernel may use, so the
 // policy (and its test hooks) live here.
+//
+// Work is executed by a persistent pool of worker goroutines started on
+// first use, so a steady-state training iteration never pays goroutine
+// spawn cost. Exactly one parallel region is active at a time: a
+// For/ForceFor/Do reached while another region is running (nested
+// kernels, or concurrent MD-GAN workers) executes inline on the calling
+// goroutine instead of fanning out. That guard is what makes nesting
+// deadlock-free and keeps the scheduler from being oversubscribed when
+// a coarse per-image loop calls a parallel matmul internally.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// maxProcs returns the degree of parallelism to use. It is a variable so
-// tests can pin it.
-var maxProcs = func() int { return runtime.GOMAXPROCS(0) }
+// serialGrain is the loop length below which For runs inline; under
+// ~4096 scalar iterations the hand-off to the pool costs more than it
+// saves for the kernels in this repo.
+const serialGrain = 4096
 
-// SetMaxProcs overrides the degree of parallelism used by For and Do.
-// n <= 0 restores the default (GOMAXPROCS). It returns the previous
-// override state for tests that want to restore it.
+// maxProcsOverride pins the degree of parallelism for tests; 0 means
+// use GOMAXPROCS.
+var maxProcsOverride atomic.Int32
+
+// procs returns the degree of parallelism to use.
+func procs() int {
+	if n := maxProcsOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetMaxProcs overrides the degree of parallelism used by For, ForceFor
+// and Do. n <= 0 restores the default (GOMAXPROCS).
 func SetMaxProcs(n int) {
 	if n <= 0 {
-		maxProcs = func() int { return runtime.GOMAXPROCS(0) }
+		maxProcsOverride.Store(0)
 		return
 	}
-	maxProcs = func() int { return n }
+	maxProcsOverride.Store(int32(n))
+}
+
+// task is one chunk of a parallel region, executed by a pool worker.
+type task struct {
+	fn         func(start, end int)
+	start, end int
+	wg         *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	taskCh   chan task
+)
+
+// pool returns the task channel, starting the persistent workers on
+// first use. The pool is sized to GOMAXPROCS at startup; SetMaxProcs
+// only narrows how many chunks a region is split into.
+func pool() chan task {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		taskCh = make(chan task, 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range taskCh {
+					t.fn(t.start, t.end)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+	return taskCh
+}
+
+// active is the single-flight guard: true while some goroutine owns the
+// pool for a parallel region. CompareAndSwap semantics mean nested or
+// concurrent regions degrade to inline execution rather than stacking
+// goroutines multiplicatively.
+var active atomic.Bool
+
+// serialDepth counts open Serial sections. While positive, every
+// region runs inline — unlike the single-flight guard, this holds even
+// if an unrelated region finishes mid-section, so Serial's guarantee
+// does not depend on who owns the guard at entry.
+var serialDepth atomic.Int32
+
+// fanOut splits [0, n) into p chunks, runs the first chunk on the
+// calling goroutine and hands the rest to the pool. The caller must
+// hold the active guard.
+func fanOut(n, p int, fn func(start, end int)) {
+	ch := pool()
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for start := chunk; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		select {
+		case ch <- task{fn: fn, start: start, end: end, wg: &wg}:
+		default:
+			// Queue full (cannot happen under the single-flight guard,
+			// but never block): run inline.
+			fn(start, end)
+			wg.Done()
+		}
+	}
+	if chunk > n {
+		chunk = n
+	}
+	fn(0, chunk)
+	wg.Wait()
 }
 
 // For runs fn over the half-open index ranges that partition [0, n),
-// using up to GOMAXPROCS goroutines. Each invocation receives a disjoint
+// using the persistent worker pool. Each invocation receives a disjoint
 // [start, end) chunk; fn must be safe to call concurrently on disjoint
-// chunks. For small n the call is executed inline to avoid goroutine
-// overhead.
+// chunks. Small loops, nested calls and calls made while another
+// parallel region is active all execute inline.
 func For(n int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
-	p := maxProcs()
+	p := procs()
 	if p > n {
 		p = n
 	}
-	// Under ~4096 scalar iterations the goroutine fan-out costs more
-	// than it saves for the kernels in this repo.
-	if p == 1 || n < 4096 {
+	if p == 1 || n < serialGrain || serialDepth.Load() > 0 || !active.CompareAndSwap(false, true) {
 		fn(0, n)
 		return
 	}
-	chunk := (n + p - 1) / p
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
-	}
-	wg.Wait()
+	defer active.Store(false)
+	fanOut(n, p, fn)
 }
 
-// ForceFor behaves like For but always fans out across goroutines, even
-// for small n. It is intended for coarse-grained tasks (one unit of work
-// per index is itself expensive, e.g. a per-image convolution).
+// ForceFor behaves like For but fans out even for small n. It is
+// intended for coarse-grained tasks (one unit of work per index is
+// itself expensive, e.g. a per-image im2col). Like For it degrades to
+// inline execution when nested inside another parallel region.
 func ForceFor(n int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
-	p := maxProcs()
+	p := procs()
 	if p > n {
 		p = n
 	}
-	if p == 1 {
+	if p == 1 || serialDepth.Load() > 0 || !active.CompareAndSwap(false, true) {
 		fn(0, n)
 		return
 	}
-	chunk := (n + p - 1) / p
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
+	defer active.Store(false)
+	fanOut(n, p, fn)
+}
+
+// Do runs the given tasks concurrently on the pool and waits for all of
+// them. Nested within a parallel region the tasks run sequentially.
+func Do(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
 	}
+	if len(tasks) == 1 || serialDepth.Load() > 0 || !active.CompareAndSwap(false, true) {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	defer active.Store(false)
+	ch := pool()
+	var wg sync.WaitGroup
+	for _, t := range tasks[1:] {
+		t := t
+		wg.Add(1)
+		select {
+		case ch <- task{fn: func(int, int) { t() }, wg: &wg}:
+		default:
+			t()
+			wg.Done()
+		}
+	}
+	tasks[0]()
 	wg.Wait()
 }
 
-// Do runs the given tasks concurrently and waits for all of them.
-func Do(tasks ...func()) {
-	if len(tasks) == 1 {
-		tasks[0]()
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(tasks))
-	for _, t := range tasks {
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(t)
-	}
-	wg.Wait()
+// Serial runs fn with kernel fan-out suppressed: any For, ForceFor or
+// Do reached from fn executes inline on the calling goroutine, for the
+// whole duration of fn (the suppression is process-wide, so concurrent
+// goroutines also stay inline while a Serial section is open). Use it
+// to keep already-parallel callers (e.g. one goroutine per MD-GAN
+// worker) from contending over the kernel pool.
+func Serial(fn func()) {
+	serialDepth.Add(1)
+	defer serialDepth.Add(-1)
+	fn()
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -68,5 +69,107 @@ func TestDoRunsAll(t *testing.T) {
 	)
 	if a != 1 || b != 2 || c != 3 {
 		t.Fatal("Do did not run all tasks")
+	}
+}
+
+// TestNestedParallelismRunsInline is the regression test for the
+// conv-inside-ForceFor bug: a kernel invoked from within a parallel
+// region must execute inline (single fn invocation over the full
+// range), not fan out a second layer of goroutines.
+func TestNestedParallelismRunsInline(t *testing.T) {
+	SetMaxProcs(4)
+	defer SetMaxProcs(0)
+
+	var innerCalls, innerMax, innerLive int32
+	outer := 8
+	var outerChunks int32
+	ForceFor(outer, func(s, e int) {
+		atomic.AddInt32(&outerChunks, 1)
+		// Nested region: must degrade to exactly one inline call
+		// covering the whole range.
+		calls := int32(0)
+		ForceFor(10000, func(is, ie int) {
+			atomic.AddInt32(&calls, 1)
+			live := atomic.AddInt32(&innerLive, 1)
+			for {
+				m := atomic.LoadInt32(&innerMax)
+				if live <= m || atomic.CompareAndSwapInt32(&innerMax, m, live) {
+					break
+				}
+			}
+			if is != 0 || ie != 10000 {
+				t.Errorf("nested chunk [%d,%d), want inline [0,10000)", is, ie)
+			}
+			atomic.AddInt32(&innerLive, -1)
+		})
+		atomic.AddInt32(&innerCalls, calls)
+		if calls != 1 {
+			t.Errorf("nested ForceFor split into %d chunks, want 1 (inline)", calls)
+		}
+	})
+	if outerChunks == 0 {
+		t.Fatal("outer region never ran")
+	}
+	// Oversubscription check: concurrent nested bodies can never exceed
+	// the pinned parallelism (one inline body per outer chunk).
+	if innerMax > 4 {
+		t.Fatalf("%d nested bodies ran concurrently, want <= 4", innerMax)
+	}
+}
+
+// TestSerialSuppressesFanOut: inside Serial, even a large For must run
+// as one inline invocation.
+func TestSerialSuppressesFanOut(t *testing.T) {
+	calls := 0
+	Serial(func() {
+		For(100000, func(s, e int) {
+			calls++
+			if s != 0 || e != 100000 {
+				t.Errorf("chunk [%d,%d), want inline [0,100000)", s, e)
+			}
+		})
+	})
+	if calls != 1 {
+		t.Fatalf("For inside Serial ran %d chunks, want 1", calls)
+	}
+}
+
+// TestPoolGoroutinesAreReused: repeated fan-outs must not leak
+// goroutines (the pre-pool implementation spawned per call).
+func TestPoolGoroutinesAreReused(t *testing.T) {
+	// Warm the pool.
+	ForceFor(64, func(s, e int) {})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		ForceFor(64, func(s, e int) {})
+		For(100000, func(s, e int) {})
+	}
+	after := runtime.NumGoroutine()
+	if after > before+2 {
+		t.Fatalf("goroutines grew from %d to %d across 400 parallel regions", before, after)
+	}
+}
+
+// TestConcurrentRegionsDoNotDeadlock: many goroutines hammering the
+// pool at once (the MD-GAN worker topology) must all complete.
+func TestConcurrentRegionsDoNotDeadlock(t *testing.T) {
+	var wg sync.WaitGroup
+	var total int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ForceFor(100, func(s, e int) {
+					for j := s; j < e; j++ {
+						atomic.AddInt64(&total, 1)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if total != 16*50*100 {
+		t.Fatalf("covered %d iterations, want %d", total, 16*50*100)
 	}
 }

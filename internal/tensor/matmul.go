@@ -6,9 +6,53 @@ import (
 	"mdgan/internal/parallel"
 )
 
+// The matmul kernels share one design: the output is produced four rows
+// (or columns, for the Bᵀ variant) at a time so every element streamed
+// from the shared operand is reused from registers four times, and the
+// streamed dimension is tiled so the four accumulator rows stay
+// cache-resident. On dense operands (images, im2col workspaces,
+// weights) the inner loops carry no zero-skip branch — the branch costs
+// more than the multiplications it saves. But ReLU activations and
+// ReLU-gated gradients are ~half zeros, and there skipping is worth 2×;
+// each call therefore samples the left operand's zero fraction and
+// dispatches to a zero-skipping row kernel when it is markedly sparse.
+
+const (
+	// matMulGrain is the m·k·n product below which a matmul runs inline
+	// instead of fanning out to the worker pool.
+	matMulGrain = 1 << 15
+	// mmTile is the column-tile width: four float64 accumulator rows of
+	// this width occupy 16 KiB, comfortably inside L1 alongside the
+	// streamed operand row.
+	mmTile = 512
+	// sparseSamples and sparseNum/sparseDen: sample up to sparseSamples
+	// elements of the left operand; at ≥ sparseNum/sparseDen zeros the
+	// zero-skip kernel wins.
+	sparseSamples = 256
+	sparseNum     = 1
+	sparseDen     = 4
+)
+
+// leftSparse samples a and reports whether the zero-skip kernels should
+// handle it (ReLU activations hit ~50% zeros; dense data ~0%).
+func leftSparse(a []float64) bool {
+	n := len(a)
+	step := 1
+	if n > sparseSamples {
+		step = n / sparseSamples
+	}
+	zeros, samples := 0, 0
+	for i := 0; i < n; i += step {
+		samples++
+		if a[i] == 0 {
+			zeros++
+		}
+	}
+	return zeros*sparseDen >= samples*sparseNum
+}
+
 // MatMul computes the matrix product a·b of two rank-2 tensors
-// (m, k)·(k, n) → (m, n). The kernel is cache-blocked over k and
-// parallelised over output rows.
+// (m, k)·(k, n) → (m, n).
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
 	out := New(m, n)
@@ -16,12 +60,17 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// MatMulInto computes out = a·b into the preallocated out (m, n).
+func MatMulInto(out, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b)
+	checkOutShape("MatMulInto", out, m, n)
+	matMulInto(out, a, b, m, k, n, false)
+}
+
 // MatMulAdd computes out += a·b in place; out must be (m, n).
 func MatMulAdd(out, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b)
-	if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulAdd out shape %v, want (%d,%d)", out.shape, m, n))
-	}
+	checkOutShape("MatMulAdd", out, m, n)
 	matMulInto(out, a, b, m, k, n, true)
 }
 
@@ -35,70 +84,225 @@ func checkMatMul(a, b *Tensor) (m, k, n int) {
 	return a.shape[0], a.shape[1], b.shape[1]
 }
 
-// matMulInto writes (or accumulates into) out = a·b. The inner kernel
-// walks b row-wise so both operands stream sequentially through memory,
-// which is the standard ikj loop order for row-major data.
+func checkOutShape(op string, out *Tensor, m, n int) {
+	if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s out shape %v, want (%d,%d)", op, out.shape, m, n))
+	}
+}
+
 func matMulInto(out, a, b *Tensor, m, k, n int, accumulate bool) {
-	work := m * n * k
-	run := func(s, e int) {
-		for i := s; i < e; i++ {
-			orow := out.Data[i*n : (i+1)*n]
+	rows := matMulRows
+	if leftSparse(a.Data) {
+		rows = matMulRowsSkip
+	}
+	if m*k*n < matMulGrain {
+		rows(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
+		return
+	}
+	parallel.ForceFor(m, func(s, e int) {
+		rows(out.Data, a.Data, b.Data, k, n, s, e, accumulate)
+	})
+}
+
+// matMulRowsSkip is the sparse-A variant: classic ikj with a zero-skip
+// on each streamed A element, so rows of B are only touched for
+// non-zero activations.
+func matMulRowsSkip(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		row := out[i*n : (i+1)*n]
+		if !accumulate {
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		arow := a[i*k : (i+1)*k]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			brow = brow[:len(row)]
+			for j, bv := range brow {
+				row[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulRows computes out[i0:i1] (+)= a[i0:i1]·b, tiling the n columns.
+func matMulRows(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
+	for j0 := 0; j0 < n; j0 += mmTile {
+		j1 := j0 + mmTile
+		if j1 > n {
+			j1 = n
+		}
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			r0 := out[(i+0)*n+j0 : (i+0)*n+j1]
+			// Re-slicing r1..r3 to len(r0) once lets the compiler drop
+			// the bounds checks in the 4-wide accumulator loop below.
+			r1 := out[(i+1)*n+j0 : (i+1)*n+j1][:len(r0)]
+			r2 := out[(i+2)*n+j0 : (i+2)*n+j1][:len(r0)]
+			r3 := out[(i+3)*n+j0 : (i+3)*n+j1][:len(r0)]
 			if !accumulate {
-				for j := range orow {
-					orow[j] = 0
+				for j := range r0 {
+					r0[j], r1[j], r2[j], r3[j] = 0, 0, 0, 0
 				}
 			}
-			arow := a.Data[i*k : (i+1)*k]
+			a0 := a[(i+0)*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			a2 := a[(i+2)*k : (i+3)*k]
+			a3 := a[(i+3)*k : (i+4)*k]
 			for kk := 0; kk < k; kk++ {
-				aik := arow[kk]
-				if aik == 0 {
-					continue
-				}
-				brow := b.Data[kk*n : (kk+1)*n]
+				v0, v1, v2, v3 := a0[kk], a1[kk], a2[kk], a3[kk]
+				brow := b[kk*n+j0 : kk*n+j1]
+				brow = brow[:len(r0)]
 				for j, bv := range brow {
-					orow[j] += aik * bv
+					r0[j] += v0 * bv
+					r1[j] += v1 * bv
+					r2[j] += v2 * bv
+					r3[j] += v3 * bv
+				}
+			}
+		}
+		for ; i < i1; i++ {
+			row := out[i*n+j0 : i*n+j1]
+			if !accumulate {
+				for j := range row {
+					row[j] = 0
+				}
+			}
+			arow := a[i*k : (i+1)*k]
+			for kk, av := range arow {
+				brow := b[kk*n+j0 : kk*n+j1]
+				brow = brow[:len(row)]
+				for j, bv := range brow {
+					row[j] += av * bv
 				}
 			}
 		}
 	}
-	// Only fan out when there is enough arithmetic to amortise the
-	// goroutine overhead.
-	if work < 1<<15 {
-		run(0, m)
-		return
-	}
-	parallel.ForceFor(m, run)
 }
 
 // MatMulT1 computes aᵀ·b for a (k, m), b (k, n) → (m, n) without
 // materialising the transpose.
 func MatMulT1(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[0] != b.shape[0] {
-		panic(fmt.Sprintf("tensor: MatMulT1 shapes %v %v", a.shape, b.shape))
-	}
-	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	k, m, n := checkMatMulT1(a, b)
 	out := New(m, n)
-	// out[i][j] = Σ_kk a[kk][i] * b[kk][j]
-	if m*n*k < 1<<15 {
-		matMulT1Range(out, a, b, k, m, n, 0, m)
-		return out
-	}
-	parallel.ForceFor(m, func(s, e int) { matMulT1Range(out, a, b, k, m, n, s, e) })
+	matMulT1Into(out, a, b, k, m, n, false)
 	return out
 }
 
-func matMulT1Range(out, a, b *Tensor, k, m, n, s, e int) {
+// MatMulT1Into computes out = aᵀ·b into the preallocated out (m, n).
+func MatMulT1Into(out, a, b *Tensor) {
+	k, m, n := checkMatMulT1(a, b)
+	checkOutShape("MatMulT1Into", out, m, n)
+	matMulT1Into(out, a, b, k, m, n, false)
+}
+
+// MatMulT1Add computes out += aᵀ·b in place; out must be (m, n). It is
+// the natural shape of weight-gradient accumulation (dW += xᵀ·g).
+func MatMulT1Add(out, a, b *Tensor) {
+	k, m, n := checkMatMulT1(a, b)
+	checkOutShape("MatMulT1Add", out, m, n)
+	matMulT1Into(out, a, b, k, m, n, true)
+}
+
+func checkMatMulT1(a, b *Tensor) (k, m, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulT1 shapes %v %v", a.shape, b.shape))
+	}
+	return a.shape[0], a.shape[1], b.shape[1]
+}
+
+func matMulT1Into(out, a, b *Tensor, k, m, n int, accumulate bool) {
+	rows := matMulT1Rows
+	if leftSparse(a.Data) {
+		rows = matMulT1RowsSkip
+	}
+	if m*k*n < matMulGrain {
+		rows(out.Data, a.Data, b.Data, k, m, n, 0, m, accumulate)
+		return
+	}
+	parallel.ForceFor(m, func(s, e int) {
+		rows(out.Data, a.Data, b.Data, k, m, n, s, e, accumulate)
+	})
+}
+
+// matMulT1RowsSkip is the sparse-A variant of the transposed-left
+// kernel (dW += xᵀ·g with x a ReLU activation is the common case).
+func matMulT1RowsSkip(out, a, b []float64, k, m, n, i0, i1 int, accumulate bool) {
+	if !accumulate {
+		for i := i0; i < i1; i++ {
+			row := out[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
 	for kk := 0; kk < k; kk++ {
-		arow := a.Data[kk*m : (kk+1)*m]
-		brow := b.Data[kk*n : (kk+1)*n]
-		for i := s; i < e; i++ {
-			aki := arow[i]
-			if aki == 0 {
+		arow := a[kk*m : (kk+1)*m]
+		brow := b[kk*n : (kk+1)*n]
+		for i := i0; i < i1; i++ {
+			v := arow[i]
+			if v == 0 {
 				continue
 			}
-			orow := out.Data[i*n : (i+1)*n]
+			row := out[i*n : (i+1)*n]
+			row = row[:len(brow)]
 			for j, bv := range brow {
-				orow[j] += aki * bv
+				row[j] += v * bv
+			}
+		}
+	}
+}
+
+// matMulT1Rows computes out[i0:i1] (+)= (aᵀ·b)[i0:i1] where a is
+// (k, m): out[i][j] = Σ_kk a[kk][i]·b[kk][j].
+func matMulT1Rows(out, a, b []float64, k, m, n, i0, i1 int, accumulate bool) {
+	for j0 := 0; j0 < n; j0 += mmTile {
+		j1 := j0 + mmTile
+		if j1 > n {
+			j1 = n
+		}
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			r0 := out[(i+0)*n+j0 : (i+0)*n+j1]
+			r1 := out[(i+1)*n+j0 : (i+1)*n+j1][:len(r0)]
+			r2 := out[(i+2)*n+j0 : (i+2)*n+j1][:len(r0)]
+			r3 := out[(i+3)*n+j0 : (i+3)*n+j1][:len(r0)]
+			if !accumulate {
+				for j := range r0 {
+					r0[j], r1[j], r2[j], r3[j] = 0, 0, 0, 0
+				}
+			}
+			for kk := 0; kk < k; kk++ {
+				acol := a[kk*m+i : kk*m+i+4]
+				v0, v1, v2, v3 := acol[0], acol[1], acol[2], acol[3]
+				brow := b[kk*n+j0 : kk*n+j1]
+				brow = brow[:len(r0)]
+				for j, bv := range brow {
+					r0[j] += v0 * bv
+					r1[j] += v1 * bv
+					r2[j] += v2 * bv
+					r3[j] += v3 * bv
+				}
+			}
+		}
+		for ; i < i1; i++ {
+			row := out[i*n+j0 : i*n+j1]
+			if !accumulate {
+				for j := range row {
+					row[j] = 0
+				}
+			}
+			for kk := 0; kk < k; kk++ {
+				v := a[kk*m+i]
+				brow := b[kk*n+j0 : kk*n+j1]
+				brow = brow[:len(row)]
+				for j, bv := range brow {
+					row[j] += v * bv
+				}
 			}
 		}
 	}
@@ -107,29 +311,146 @@ func matMulT1Range(out, a, b *Tensor, k, m, n, s, e int) {
 // MatMulT2 computes a·bᵀ for a (m, k), b (n, k) → (m, n) without
 // materialising the transpose.
 func MatMulT2(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulT2(a, b)
+	out := New(m, n)
+	matMulT2Into(out, a, b, m, k, n, false)
+	return out
+}
+
+// MatMulT2Into computes out = a·bᵀ into the preallocated out (m, n).
+func MatMulT2Into(out, a, b *Tensor) {
+	m, k, n := checkMatMulT2(a, b)
+	checkOutShape("MatMulT2Into", out, m, n)
+	matMulT2Into(out, a, b, m, k, n, false)
+}
+
+// MatMulT2Add computes out += a·bᵀ in place; out must be (m, n).
+func MatMulT2Add(out, a, b *Tensor) {
+	m, k, n := checkMatMulT2(a, b)
+	checkOutShape("MatMulT2Add", out, m, n)
+	matMulT2Into(out, a, b, m, k, n, true)
+}
+
+func checkMatMulT2(a, b *Tensor) (m, k, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulT2 shapes %v %v", a.shape, b.shape))
 	}
-	m, k, n := a.shape[0], a.shape[1], b.shape[0]
-	out := New(m, n)
-	run := func(s, e int) {
-		for i := s; i < e; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				sum := 0.0
-				for kk, av := range arow {
-					sum += av * brow[kk]
+	return a.shape[0], a.shape[1], b.shape[0]
+}
+
+func matMulT2Into(out, a, b *Tensor, m, k, n int, accumulate bool) {
+	rows := matMulT2Rows
+	if leftSparse(a.Data) {
+		rows = matMulT2RowsSkip
+	}
+	if m*k*n < matMulGrain {
+		rows(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
+		return
+	}
+	parallel.ForceFor(m, func(s, e int) {
+		rows(out.Data, a.Data, b.Data, k, n, s, e, accumulate)
+	})
+}
+
+// matMulT2RowsSkip is the sparse-A variant of a·bᵀ: the same 4-wide dot
+// products, but a zero A element skips its four loads and FMAs
+// (gradients gated by a ReLU are ~half zeros).
+func matMulT2RowsSkip(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			b0 = b0[:len(arow)]
+			b1 = b1[:len(arow)]
+			b2 = b2[:len(arow)]
+			b3 = b3[:len(arow)]
+			var s0, s1, s2, s3 float64
+			for kk, av := range arow {
+				if av == 0 {
+					continue
 				}
-				orow[j] = sum
+				s0 += av * b0[kk]
+				s1 += av * b1[kk]
+				s2 += av * b2[kk]
+				s3 += av * b3[kk]
+			}
+			if accumulate {
+				orow[j] += s0
+				orow[j+1] += s1
+				orow[j+2] += s2
+				orow[j+3] += s3
+			} else {
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			}
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			brow = brow[:len(arow)]
+			var s float64
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s += av * brow[kk]
+			}
+			if accumulate {
+				orow[j] += s
+			} else {
+				orow[j] = s
 			}
 		}
 	}
-	if m*n*k < 1<<15 {
-		run(0, m)
-		return out
+}
+
+// matMulT2Rows computes out[i0:i1] (+)= (a·bᵀ)[i0:i1]: each output
+// element is a dot product of rows; four b rows are consumed per pass
+// over a row of a.
+func matMulT2Rows(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			b0 = b0[:len(arow)]
+			b1 = b1[:len(arow)]
+			b2 = b2[:len(arow)]
+			b3 = b3[:len(arow)]
+			var s0, s1, s2, s3 float64
+			for kk, av := range arow {
+				s0 += av * b0[kk]
+				s1 += av * b1[kk]
+				s2 += av * b2[kk]
+				s3 += av * b3[kk]
+			}
+			if accumulate {
+				orow[j] += s0
+				orow[j+1] += s1
+				orow[j+2] += s2
+				orow[j+3] += s3
+			} else {
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			}
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float64
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			if accumulate {
+				orow[j] += s
+			} else {
+				orow[j] = s
+			}
+		}
 	}
-	parallel.ForceFor(m, run)
-	return out
 }

@@ -7,29 +7,106 @@ import (
 	"mdgan/internal/parallel"
 )
 
+// opsGrain is the element count below which element-wise ops run as a
+// plain loop; it matches the worker-pool hand-off threshold, and the
+// small path avoids even constructing the fan-out closure.
+const opsGrain = 4096
+
 // Add returns t + u element-wise as a new tensor.
-func Add(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a + b }) }
+func Add(t, u *Tensor) *Tensor {
+	out := New(t.shape...)
+	AddInto(out, t, u)
+	return out
+}
 
 // Sub returns t - u element-wise as a new tensor.
-func Sub(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a - b }) }
+func Sub(t, u *Tensor) *Tensor {
+	out := New(t.shape...)
+	SubInto(out, t, u)
+	return out
+}
 
 // Mul returns t * u element-wise as a new tensor.
-func Mul(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a * b }) }
+func Mul(t, u *Tensor) *Tensor {
+	out := New(t.shape...)
+	MulInto(out, t, u)
+	return out
+}
 
 // Div returns t / u element-wise as a new tensor.
-func Div(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a / b }) }
-
-func zipNew(t, u *Tensor, f func(a, b float64) float64) *Tensor {
-	if !t.SameShape(u) {
-		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, u.shape))
-	}
+func Div(t, u *Tensor) *Tensor {
 	out := New(t.shape...)
-	parallel.For(len(t.Data), func(s, e int) {
+	DivInto(out, t, u)
+	return out
+}
+
+func checkZip(op string, out, t, u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+	}
+	if len(out.Data) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: %s out volume %d, want %d", op, len(out.Data), len(t.Data)))
+	}
+}
+
+// AddInto computes out = t + u element-wise into the preallocated out.
+func AddInto(out, t, u *Tensor) {
+	checkZip("AddInto", out, t, u)
+	od, td, ud := out.Data, t.Data, u.Data
+	if len(od) < opsGrain {
+		for i, v := range td {
+			od[i] = v + ud[i]
+		}
+		return
+	}
+	parallel.For(len(od), func(s, e int) {
 		for i := s; i < e; i++ {
-			out.Data[i] = f(t.Data[i], u.Data[i])
+			od[i] = td[i] + ud[i]
 		}
 	})
-	return out
+}
+
+// SubInto computes out = t - u element-wise into the preallocated out.
+func SubInto(out, t, u *Tensor) {
+	checkZip("SubInto", out, t, u)
+	od, td, ud := out.Data, t.Data, u.Data
+	if len(od) < opsGrain {
+		for i, v := range td {
+			od[i] = v - ud[i]
+		}
+		return
+	}
+	parallel.For(len(od), func(s, e int) {
+		for i := s; i < e; i++ {
+			od[i] = td[i] - ud[i]
+		}
+	})
+}
+
+// MulInto computes out = t * u element-wise into the preallocated out.
+func MulInto(out, t, u *Tensor) {
+	checkZip("MulInto", out, t, u)
+	od, td, ud := out.Data, t.Data, u.Data
+	if len(od) < opsGrain {
+		for i, v := range td {
+			od[i] = v * ud[i]
+		}
+		return
+	}
+	parallel.For(len(od), func(s, e int) {
+		for i := s; i < e; i++ {
+			od[i] = td[i] * ud[i]
+		}
+	})
+}
+
+// DivInto computes out = t / u element-wise into the preallocated out.
+func DivInto(out, t, u *Tensor) {
+	checkZip("DivInto", out, t, u)
+	od, td, ud := out.Data, t.Data, u.Data
+	for i, v := range td {
+		od[i] = v / ud[i]
+	}
 }
 
 // AddInPlace sets t += u.
@@ -37,9 +114,16 @@ func (t *Tensor) AddInPlace(u *Tensor) *Tensor {
 	if len(t.Data) != len(u.Data) {
 		panic("tensor: AddInPlace volume mismatch")
 	}
-	parallel.For(len(t.Data), func(s, e int) {
+	td, ud := t.Data, u.Data
+	if len(td) < opsGrain {
+		for i, v := range ud {
+			td[i] += v
+		}
+		return t
+	}
+	parallel.For(len(td), func(s, e int) {
 		for i := s; i < e; i++ {
-			t.Data[i] += u.Data[i]
+			td[i] += ud[i]
 		}
 	})
 	return t
@@ -98,21 +182,32 @@ func (t *Tensor) AxpyInPlace(alpha float64, u *Tensor) *Tensor {
 // Apply returns f applied element-wise as a new tensor.
 func (t *Tensor) Apply(f func(float64) float64) *Tensor {
 	out := New(t.shape...)
-	parallel.For(len(t.Data), func(s, e int) {
+	ApplyInto(out, t, f)
+	return out
+}
+
+// ApplyInto computes out = f(t) element-wise into the preallocated out.
+func ApplyInto(out, t *Tensor, f func(float64) float64) {
+	if len(out.Data) != len(t.Data) {
+		panic("tensor: ApplyInto volume mismatch")
+	}
+	od, td := out.Data, t.Data
+	if len(od) < opsGrain {
+		for i, v := range td {
+			od[i] = f(v)
+		}
+		return
+	}
+	parallel.For(len(od), func(s, e int) {
 		for i := s; i < e; i++ {
-			out.Data[i] = f(t.Data[i])
+			od[i] = f(td[i])
 		}
 	})
-	return out
 }
 
 // ApplyInPlace applies f element-wise in place.
 func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
-	parallel.For(len(t.Data), func(s, e int) {
-		for i := s; i < e; i++ {
-			t.Data[i] = f(t.Data[i])
-		}
-	})
+	ApplyInto(t, t, f)
 	return t
 }
 
@@ -176,6 +271,26 @@ func (t *Tensor) SumRows() *Tensor {
 	return out
 }
 
+// SumRowsAdd accumulates the row reduction of a rank-2 tensor (r, c)
+// into out (1, c): out[j] += Σ_i t[i,j]. It is the shape of a bias
+// gradient update.
+func (t *Tensor) SumRowsAdd(out *Tensor) {
+	if len(t.shape) != 2 {
+		panic("tensor: SumRowsAdd requires rank-2 tensor")
+	}
+	r, c := t.shape[0], t.shape[1]
+	if len(out.Data) != c {
+		panic("tensor: SumRowsAdd out volume mismatch")
+	}
+	od := out.Data
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			od[j] += v
+		}
+	}
+}
+
 // SumCols reduces a rank-2 tensor (r, c) over its columns, returning a
 // (r, 1) tensor: out[i] = Σ_j t[i,j].
 func (t *Tensor) SumCols() *Tensor {
@@ -198,21 +313,26 @@ func (t *Tensor) SumCols() *Tensor {
 // AddRowVec adds a (1, c) row vector to every row of a (r, c) tensor,
 // returning a new tensor.
 func AddRowVec(t, v *Tensor) *Tensor {
+	out := New(t.shape...)
+	out.CopyFrom(t)
+	return out.AddRowVecInPlace(v)
+}
+
+// AddRowVecInPlace adds a (1, c) row vector to every row of a (r, c)
+// tensor in place (the bias term of a Dense layer).
+func (t *Tensor) AddRowVecInPlace(v *Tensor) *Tensor {
 	if len(t.shape) != 2 || len(v.shape) != 2 || v.shape[0] != 1 || v.shape[1] != t.shape[1] {
-		panic(fmt.Sprintf("tensor: AddRowVec shapes %v %v", t.shape, v.shape))
+		panic(fmt.Sprintf("tensor: AddRowVecInPlace shapes %v %v", t.shape, v.shape))
 	}
 	r, c := t.shape[0], t.shape[1]
-	out := New(r, c)
-	parallel.For(r, func(s, e int) {
-		for i := s; i < e; i++ {
-			row := t.Data[i*c : (i+1)*c]
-			o := out.Data[i*c : (i+1)*c]
-			for j := range row {
-				o[j] = row[j] + v.Data[j]
-			}
+	vd := v.Data
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j := range row {
+			row[j] += vd[j]
 		}
-	})
-	return out
+	}
+	return t
 }
 
 // ArgMaxRows returns, for a (r, c) tensor, the column index of the
@@ -240,16 +360,28 @@ func (t *Tensor) Transpose() *Tensor {
 	if len(t.shape) != 2 {
 		panic("tensor: Transpose requires rank-2 tensor")
 	}
-	r, c := t.shape[0], t.shape[1]
-	out := New(c, r)
-	parallel.For(r, func(s, e int) {
-		for i := s; i < e; i++ {
-			for j := 0; j < c; j++ {
-				out.Data[j*r+i] = t.Data[i*c+j]
-			}
-		}
-	})
+	out := New(t.shape[1], t.shape[0])
+	TransposeInto(out, t)
 	return out
+}
+
+// TransposeInto writes the transpose of the rank-2 tensor t into the
+// preallocated out (c, r).
+func TransposeInto(out, t *Tensor) {
+	if len(t.shape) != 2 {
+		panic("tensor: TransposeInto requires rank-2 tensor")
+	}
+	r, c := t.shape[0], t.shape[1]
+	if len(out.shape) != 2 || out.shape[0] != c || out.shape[1] != r {
+		panic(fmt.Sprintf("tensor: TransposeInto out shape %v, want (%d,%d)", out.shape, c, r))
+	}
+	od, td := out.Data, t.Data
+	for i := 0; i < r; i++ {
+		row := td[i*c : (i+1)*c]
+		for j, v := range row {
+			od[j*r+i] = v
+		}
+	}
 }
 
 // Dot returns the inner product of two tensors of equal volume.

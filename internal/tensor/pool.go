@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Workspace pool. Training iterates the same shapes over and over, so
+// scratch tensors (im2col workspaces, matmul intermediates, gradient
+// staging buffers) are recycled through sync.Pools bucketed by
+// power-of-two capacity. A steady-state iteration that Gets and Puts
+// its workspaces performs no heap allocation for them.
+
+const (
+	// minPoolBits is the smallest bucket (64 floats = 512 B); tinier
+	// buffers are cheaper to allocate than to pool.
+	minPoolBits = 6
+	// maxPoolBits caps pooled buffers at 1<<28 floats (2 GiB); anything
+	// larger falls through to the garbage collector.
+	maxPoolBits = 28
+)
+
+var pools [maxPoolBits + 1]sync.Pool
+
+// poolBits returns the bucket index for a buffer of n floats.
+func poolBits(n int) int {
+	b := bits.Len(uint(n - 1))
+	if b < minPoolBits {
+		b = minPoolBits
+	}
+	return b
+}
+
+// Get returns a tensor of the given shape backed by a pooled buffer.
+// The contents are NOT zeroed — callers must fully overwrite the data
+// (or use GetZeroed). Release the tensor with Put once no live view of
+// it remains.
+func Get(shape ...int) *Tensor {
+	n := checkShape(shape)
+	b := poolBits(n)
+	if b > maxPoolBits {
+		return New(shape...)
+	}
+	t, _ := pools[b].Get().(*Tensor)
+	if t == nil {
+		t = &Tensor{Data: make([]float64, 1<<b)}
+	}
+	t.Data = t.Data[:n]
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// GetZeroed is Get with the data cleared.
+func GetZeroed(shape ...int) *Tensor {
+	t := Get(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// Put returns t's storage to the pool. t and every view sharing its
+// data must not be used afterwards. Tensors whose backing array did not
+// come from Get (non-power-of-two capacity) are silently dropped; Put
+// of nil is a no-op.
+func Put(t *Tensor) {
+	if t == nil {
+		return
+	}
+	c := cap(t.Data)
+	if c < 1<<minPoolBits || c > 1<<maxPoolBits || c&(c-1) != 0 {
+		return
+	}
+	t.Data = t.Data[:c]
+	pools[bits.Len(uint(c))-1].Put(t)
+}
+
+// Ensure returns a tensor of the given shape, reusing t's storage when
+// its capacity suffices (the contents are preserved up to the new
+// volume, not zeroed). It is the building block for layer-owned output
+// and gradient buffers that persist across training iterations:
+//
+//	l.out = tensor.Ensure(l.out, n, c)
+//
+// The returned tensor may be t itself with its shape rewritten, so
+// callers must own t exclusively.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if t == nil || cap(t.Data) < n {
+		return New(shape...)
+	}
+	t.Data = t.Data[:n]
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}

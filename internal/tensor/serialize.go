@@ -11,65 +11,136 @@ import (
 // then raw little-endian float64 payload) rather than gob so that the
 // wire size is predictable — the communication-complexity experiments
 // (Tables III/IV) account bytes from these encodings.
+//
+// The hot wire paths (MD-GAN batches, feedbacks and swaps every
+// iteration) use AppendBinary into exact-size buffers and the in-place
+// decoders, so steady-state messaging neither grows bytes.Buffers nor
+// allocates intermediate payload scratch.
 
 // EncodedSize returns the number of bytes WriteTo will produce.
 func (t *Tensor) EncodedSize() int64 {
 	return int64(4 + 4*len(t.shape) + 8*len(t.Data))
 }
 
-// WriteTo encodes t to w. It implements io.WriterTo.
-func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
-	buf := make([]byte, t.EncodedSize())
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(t.shape)))
-	off := 4
+// AppendBinary appends t's wire framing to dst and returns the extended
+// slice. Appending to a buffer with sufficient capacity performs no
+// allocation.
+func (t *Tensor) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.shape)))
 	for _, d := range t.shape {
-		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(d))
-		off += 4
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
 	}
 	for _, v := range t.Data {
-		binary.LittleEndian.PutUint64(buf[off:off+8], math.Float64bits(v))
-		off += 8
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
+	return dst
+}
+
+// WriteTo encodes t to w. It implements io.WriterTo.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	buf := t.AppendBinary(make([]byte, 0, t.EncodedSize()))
 	n, err := w.Write(buf)
 	return int64(n), err
 }
 
-// ReadFrom decodes a tensor previously written with WriteTo, replacing
-// t's shape and data. It implements io.ReaderFrom.
-func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+// readHeader parses the rank/dims framing, returning the shape (decoded
+// into shapeBuf when its capacity suffices) and the volume.
+func readHeader(r io.Reader, shapeBuf []int) (shape []int, vol int, read int64, err error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, fmt.Errorf("tensor: read rank: %w", err)
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("tensor: read rank: %w", err)
 	}
 	rank := int(binary.LittleEndian.Uint32(hdr[:]))
 	if rank <= 0 || rank > 8 {
-		return 4, fmt.Errorf("tensor: implausible rank %d", rank)
+		return nil, 0, 4, fmt.Errorf("tensor: implausible rank %d", rank)
 	}
-	read := int64(4)
-	dims := make([]byte, 4*rank)
-	if _, err := io.ReadFull(r, dims); err != nil {
-		return read, fmt.Errorf("tensor: read dims: %w", err)
+	read = 4
+	var dims [32]byte
+	if _, err = io.ReadFull(r, dims[:4*rank]); err != nil {
+		return nil, 0, read, fmt.Errorf("tensor: read dims: %w", err)
 	}
-	read += int64(len(dims))
-	shape := make([]int, rank)
-	vol := 1
-	for i := range shape {
-		shape[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
-		if shape[i] <= 0 {
-			return read, fmt.Errorf("tensor: non-positive dim %d", shape[i])
+	read += int64(4 * rank)
+	shape = shapeBuf[:0]
+	vol = 1
+	for i := 0; i < rank; i++ {
+		d := int(binary.LittleEndian.Uint32(dims[4*i:]))
+		if d <= 0 {
+			return nil, 0, read, fmt.Errorf("tensor: non-positive dim %d", d)
 		}
-		vol *= shape[i]
+		shape = append(shape, d)
+		vol *= d
 	}
-	payload := make([]byte, 8*vol)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return read, fmt.Errorf("tensor: read payload: %w", err)
+	return shape, vol, read, nil
+}
+
+// readPayload streams vol float64 values from r into data using a fixed
+// stack chunk, avoiding a payload-sized byte scratch.
+func readPayload(r io.Reader, data []float64) (int64, error) {
+	var chunk [8192]byte
+	read := int64(0)
+	for off := 0; off < len(data); {
+		want := (len(data) - off) * 8
+		if want > len(chunk) {
+			want = len(chunk)
+		}
+		if _, err := io.ReadFull(r, chunk[:want]); err != nil {
+			return read, fmt.Errorf("tensor: read payload: %w", err)
+		}
+		read += int64(want)
+		for i := 0; i < want; i += 8 {
+			data[off] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[i:]))
+			off++
+		}
 	}
-	read += int64(len(payload))
-	data := make([]float64, vol)
-	for i := range data {
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
-	}
-	t.shape = shape
-	t.Data = data
 	return read, nil
+}
+
+// ReadFrom decodes a tensor previously written with WriteTo, replacing
+// t's shape and data. Existing capacity is reused when sufficient, so
+// decoding repeatedly into the same tensor reaches a steady state with
+// no allocation. It implements io.ReaderFrom.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	// Decode the header into a local scratch so a mid-header error
+	// cannot leave t with a half-updated shape.
+	var shapeBuf [8]int
+	shape, vol, read, err := readHeader(r, shapeBuf[:0])
+	if err != nil {
+		return read, err
+	}
+	t.shape = append(t.shape[:0], shape...)
+	if cap(t.Data) >= vol {
+		t.Data = t.Data[:vol]
+	} else {
+		t.Data = make([]float64, vol)
+	}
+	n, err := readPayload(r, t.Data)
+	read += n
+	if err != nil {
+		return read, err
+	}
+	return read, nil
+}
+
+// ReadInPlace decodes a frame whose shape must equal t's, streaming the
+// payload directly into t.Data with no allocation. It is the swap-path
+// primitive: a worker adopting a peer's discriminator decodes every
+// parameter straight into its own storage.
+func (t *Tensor) ReadInPlace(r io.Reader) (int64, error) {
+	var shapeBuf [8]int
+	shape, vol, read, err := readHeader(r, shapeBuf[:0])
+	if err != nil {
+		return read, err
+	}
+	if len(shape) != len(t.shape) {
+		return read, fmt.Errorf("tensor: ReadInPlace rank %d, want %d", len(shape), len(t.shape))
+	}
+	for i, d := range shape {
+		if t.shape[i] != d {
+			return read, fmt.Errorf("tensor: ReadInPlace shape %v, want %v", shape, t.shape)
+		}
+	}
+	_ = vol
+	n, err := readPayload(r, t.Data)
+	read += n
+	return read, err
 }

@@ -30,7 +30,7 @@ func New(shape ...int) *Tensor {
 func FromSlice(data []float64, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (volume %d)", len(data), shape, n))
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (volume %d)", len(data), append([]int(nil), shape...), n))
 	}
 	return &Tensor{shape: append([]int(nil), shape...), Data: data}
 }
@@ -54,7 +54,9 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			// Format a copy so the (cold) panic path does not force the
+			// caller's variadic shape onto the heap.
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", append([]int(nil), shape...)))
 		}
 		n *= d
 	}
@@ -92,7 +94,7 @@ func (t *Tensor) SameShape(u *Tensor) bool {
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	n := checkShape(shape)
 	if n != len(t.Data) {
-		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.Data), shape))
+		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.Data), append([]int(nil), shape...)))
 	}
 	return &Tensor{shape: append([]int(nil), shape...), Data: t.Data}
 }

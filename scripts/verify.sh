@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# verify.sh — the repo's tier-1 gate plus a perf smoke.
+#
+#   scripts/verify.sh              # fmt, vet, build, test, bench smoke
+#   BENCH_JSON=BENCH_1.json scripts/verify.sh
+#                                  # additionally (re)generate the perf
+#                                  # trajectory file via cmd/mdgan-bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== bench smoke (1 iteration) =="
+go test -run=NONE -bench='BenchmarkMDGANIteration$|BenchmarkGeneratorForward$|BenchmarkTableII$' -benchtime=1x -benchmem .
+
+if [ -n "${BENCH_JSON:-}" ]; then
+    echo "== writing ${BENCH_JSON} =="
+    go run ./cmd/mdgan-bench -benchjson "${BENCH_JSON}"
+fi
+
+echo "verify: OK"
