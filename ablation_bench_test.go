@@ -145,6 +145,24 @@ func BenchmarkAblationByzantine(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationWorkers sweeps the cluster size K with everything
+// else pinned, the ablation the work-stealing scheduler exists for:
+// each worker trains its own discriminator concurrently, and final FID
+// tracks how batch diversity k = ⌊ln K⌋ and shard thinning interact.
+func BenchmarkAblationWorkers(b *testing.B) {
+	for _, k := range workerSweep {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fid := ablationRun(b, func(o *mdgan.Options) {
+					o.Workers = k
+					o.K = 0 // paper default ⌊ln K⌋
+				})
+				printEach(fmt.Sprintf("abl-workers-%d", k), fmt.Sprintf("ablation K=%d workers: final FID %.1f\n", k, fid))
+			}
+		})
+	}
+}
+
 // BenchmarkAblationGenLoss compares the paper's log(1−D) generator
 // objective against the non-saturating heuristic.
 func BenchmarkAblationGenLoss(b *testing.B) {

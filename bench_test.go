@@ -11,6 +11,8 @@ package mdgan_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -27,6 +29,25 @@ var benchScale = mdgan.Scale{
 	Workers:      8,
 	ImgSize:      16,
 	MLPHidden:    48,
+}
+
+// workerSweep aliases the canonical cluster-size axis so every
+// benchmark here stays in lockstep with the BENCH_<n>.json rows.
+var workerSweep = mdgan.WorkerSweep
+
+// figScale returns benchScale with the worker count overridden by the
+// MDGAN_BENCH_WORKERS env var, so the training-backed figure sweeps
+// (Fig3/Fig5/Fig6) re-run at any cluster size without recompiling:
+//
+//	MDGAN_BENCH_WORKERS=25 go test -bench='Fig3|Fig5'
+func figScale() mdgan.Scale {
+	sc := benchScale
+	if v := os.Getenv("MDGAN_BENCH_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			sc.Workers = n
+		}
+	}
+	return sc
 }
 
 var printOnce sync.Map
@@ -69,18 +90,25 @@ func BenchmarkTableIV(b *testing.B) {
 	printEach("table4", mdgan.FormatTableIV(rows))
 }
 
-// BenchmarkFig2 regenerates the ingress-traffic sweep of Figure 2.
+// BenchmarkFig2 regenerates the ingress-traffic sweep of Figure 2,
+// parameterised by cluster size: the server ingress lines scale with N,
+// so each worker count is its own sub-benchmark and series.
 func BenchmarkFig2(b *testing.B) {
 	batches := []int{1, 10, 100, 1000, 10000}
-	mnist := mdgan.PaperMNISTComplexity()
-	cifar := mdgan.PaperCIFARComplexity()
-	var s mdgan.Fig2Series
-	for i := 0; i < b.N; i++ {
-		s = mdgan.ComputeFig2(mnist, batches)
+	for _, n := range workerSweep {
+		b.Run(fmt.Sprintf("K=%d", n), func(b *testing.B) {
+			mnist := mdgan.PaperMNISTComplexity()
+			cifar := mdgan.PaperCIFARComplexity()
+			mnist.N, cifar.N = n, n
+			var s mdgan.Fig2Series
+			for i := 0; i < b.N; i++ {
+				s = mdgan.ComputeFig2(mnist, batches)
+			}
+			printEach(fmt.Sprintf("fig2-%d", n),
+				mdgan.FormatFig2(fmt.Sprintf("MNIST N=%d", n), mnist, s)+
+					mdgan.FormatFig2(fmt.Sprintf("CIFAR10 N=%d", n), cifar, mdgan.ComputeFig2(cifar, batches)))
+		})
 	}
-	printEach("fig2",
-		mdgan.FormatFig2("MNIST", mnist, s)+
-			mdgan.FormatFig2("CIFAR10", cifar, mdgan.ComputeFig2(cifar, batches)))
 }
 
 // BenchmarkFig3 regenerates the score/FID trajectories of Figure 3 —
@@ -90,7 +118,7 @@ func BenchmarkFig3(b *testing.B) {
 	for _, panel := range []mdgan.Fig3Panel{mdgan.Fig3MNISTMLP, mdgan.Fig3MNISTCNN, mdgan.Fig3CIFARCNN} {
 		b.Run(string(panel), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				curves, err := mdgan.RunFig3(panel, benchScale)
+				curves, err := mdgan.RunFig3(panel, figScale())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -101,10 +129,12 @@ func BenchmarkFig3(b *testing.B) {
 	}
 }
 
-// BenchmarkFig4 regenerates the scalability sweep of Figure 4.
+// BenchmarkFig4 regenerates the scalability sweep of Figure 4 over the
+// full worker sweep (the training runs behind it are where K simulated
+// workers exercise the scheduler hardest).
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := mdgan.RunFig4([]int{1, 4, 8}, benchScale)
+		rows, err := mdgan.RunFig4(workerSweep, benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +145,7 @@ func BenchmarkFig4(b *testing.B) {
 // BenchmarkFig5 regenerates the fault-tolerance curves of Figure 5.
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := mdgan.RunFig5(mdgan.Fig3MNISTMLP, benchScale)
+		curves, err := mdgan.RunFig5(mdgan.Fig3MNISTMLP, figScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +156,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates the larger-dataset validation of Figure 6.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := mdgan.RunFig6(benchScale)
+		curves, err := mdgan.RunFig6(figScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,6 +177,28 @@ func BenchmarkMDGANIteration(b *testing.B) {
 	b.ResetTimer()
 	if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkMDGANIterationK sweeps the synchronous global iteration over
+// cluster sizes K=1..50 (the Fig. 2-style axis): every simulated worker
+// drives its own conv/matmul kernels, so aggregate throughput measures
+// how well worker- and kernel-level parallelism compose on the
+// work-stealing scheduler. worker-steps/sec is the aggregate rate of
+// per-worker discriminator iterations.
+func BenchmarkMDGANIterationK(b *testing.B) {
+	for _, k := range workerSweep {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			train := mdgan.SynthDigits(1600, 1)
+			o := mdgan.Options{
+				Algorithm: mdgan.MDGAN, Workers: k, Batch: 10, Iters: b.N, Seed: 2,
+			}
+			b.ResetTimer()
+			if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "worker-steps/sec")
+		})
 	}
 }
 

@@ -32,7 +32,16 @@ type benchRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// WorkerStepsPerSec is the aggregate per-worker iteration rate of
+	// the cluster-size sweep rows (K workers each completing 1/ns_per_op
+	// global iterations per second): the headline number for how worker-
+	// and kernel-level parallelism compose.
+	WorkerStepsPerSec float64 `json:"worker_steps_per_sec,omitempty"`
 }
+
+// workerSweep aliases the canonical cluster-size axis shared with the
+// go-test benchmarks, so the JSON row names cannot drift from them.
+var workerSweep = mdgan.WorkerSweep
 
 // benchReport is the schema of BENCH_<n>.json: the per-PR performance
 // trajectory of the training hot path.
@@ -58,39 +67,60 @@ func writeBenchJSON(path string) {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
 	}
+	rows := []benchRow{
+		run("BenchmarkMDGANIteration", func(b *testing.B) {
+			train := mdgan.SynthDigits(800, 1)
+			o := mdgan.Options{
+				Algorithm: mdgan.MDGAN, Workers: 8, Batch: 10, Iters: b.N, Seed: 2, K: 2,
+			}
+			b.ResetTimer()
+			if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
+				b.Fatal(err)
+			}
+		}),
+		run("BenchmarkGeneratorForward", func(b *testing.B) {
+			g := mdgan.MLPArch(128).NewGAN(1, 0, 1)
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.G.Generate(32, rng, true)
+			}
+		}),
+		run("BenchmarkTableII", func(b *testing.B) {
+			p := mdgan.PaperMNISTComplexity()
+			p.B, p.I = 10, 50000
+			var t mdgan.TableII
+			for i := 0; i < b.N; i++ {
+				t = mdgan.ComputeTableII(p)
+			}
+			_ = t
+		}),
+	}
+	// Cluster-size sweep (the Fig. 2-style axis): one synchronous global
+	// iteration at K simulated workers, all driving their kernels
+	// through the work-stealing scheduler concurrently. Row names match
+	// the go-test sub-benchmarks (BenchmarkMDGANIterationK/K=…), which
+	// share this body and mdgan.WorkerSweep.
+	for _, k := range workerSweep {
+		k := k
+		row := run(fmt.Sprintf("BenchmarkMDGANIterationK/K=%d", k), func(b *testing.B) {
+			train := mdgan.SynthDigits(1600, 1)
+			o := mdgan.Options{
+				Algorithm: mdgan.MDGAN, Workers: k, Batch: 10, Iters: b.N, Seed: 2,
+			}
+			b.ResetTimer()
+			if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
+				b.Fatal(err)
+			}
+		})
+		row.WorkerStepsPerSec = float64(k) * 1e9 / row.NsPerOp
+		rows = append(rows, row)
+	}
 	report := benchReport{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Benchmarks: []benchRow{
-			run("BenchmarkMDGANIteration", func(b *testing.B) {
-				train := mdgan.SynthDigits(800, 1)
-				o := mdgan.Options{
-					Algorithm: mdgan.MDGAN, Workers: 8, Batch: 10, Iters: b.N, Seed: 2, K: 2,
-				}
-				b.ResetTimer()
-				if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
-					b.Fatal(err)
-				}
-			}),
-			run("BenchmarkGeneratorForward", func(b *testing.B) {
-				g := mdgan.MLPArch(128).NewGAN(1, 0, 1)
-				rng := rand.New(rand.NewSource(2))
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					g.G.Generate(32, rng, true)
-				}
-			}),
-			run("BenchmarkTableII", func(b *testing.B) {
-				p := mdgan.PaperMNISTComplexity()
-				p.B, p.I = 10, 50000
-				var t mdgan.TableII
-				for i := 0; i < b.N; i++ {
-					t = mdgan.ComputeTableII(p)
-				}
-				_ = t
-			}),
-		},
+		Benchmarks: rows,
 	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -108,6 +138,7 @@ func main() {
 	var (
 		only      = flag.String("only", "", "run one experiment: table2|table3|table4|fig2|fig3|fig4|fig5|fig6")
 		scale     = flag.String("scale", "quick", "experiment scale: quick | full")
+		workers   = flag.Int("workers", 0, "override the simulated cluster size for the training-backed experiments (0 = scale default)")
 		csvDir    = flag.String("csv", "", "directory to write CSV series into")
 		benchJSON = flag.String("benchjson", "", "write hot-path micro-benchmark results to this JSON file and exit")
 	)
@@ -121,6 +152,9 @@ func main() {
 	sc := mdgan.QuickScale
 	if *scale == "full" {
 		sc = mdgan.FullScale
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
 	}
 	want := func(name string) bool { return *only == "" || *only == name }
 	writeCSV := func(name, content string) {
@@ -156,6 +190,9 @@ func main() {
 			"mnist": mdgan.PaperMNISTComplexity(),
 			"cifar": mdgan.PaperCIFARComplexity(),
 		} {
+			if *workers > 0 {
+				p.N = *workers
+			}
 			fmt.Print(mdgan.FormatFig2(name, p, mdgan.ComputeFig2(p, batches)))
 		}
 	}
@@ -172,7 +209,7 @@ func main() {
 		}
 	}
 	if want("fig4") {
-		rows, err := mdgan.RunFig4([]int{1, 5, 10}, sc)
+		rows, err := mdgan.RunFig4(workerSweep, sc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -124,6 +124,12 @@ func with(o Options, f func(*Options)) Options {
 	return o
 }
 
+// WorkerSweep is the canonical cluster-size axis of the per-K
+// throughput benchmarks and the BENCH_<n>.json trajectory rows
+// (BenchmarkMDGANIterationK and cmd/mdgan-bench share it, so the two
+// can never drift apart).
+var WorkerSweep = []int{1, 5, 10, 25, 50}
+
 // Fig4Row is one point of Figure 4: final score and FID for a worker
 // count under one of the four variants.
 type Fig4Row struct {

@@ -99,8 +99,11 @@ func encodeFeedbackCompressed(f *tensor.Tensor, mode Compression) []byte {
 	return buf.Bytes()
 }
 
-// decodeFeedbackAny decodes a feedback regardless of its mode.
-func decodeFeedbackAny(p []byte) (*tensor.Tensor, error) {
+// decodeFeedbackAny decodes a feedback regardless of its mode. maxVol
+// bounds the decoded element count (the server knows the shape of the
+// batch a feedback answers), so a corrupt or hostile frame errors out
+// before it can over-allocate.
+func decodeFeedbackAny(p []byte, maxVol int) (*tensor.Tensor, error) {
 	if len(p) == 0 {
 		return nil, fmt.Errorf("core: empty feedback")
 	}
@@ -112,9 +115,12 @@ func decodeFeedbackAny(p []byte) (*tensor.Tensor, error) {
 		if _, err := f.ReadFrom(r); err != nil {
 			return nil, fmt.Errorf("core: decode feedback: %w", err)
 		}
+		if f.Size() > maxVol {
+			return nil, fmt.Errorf("core: feedback volume %d exceeds expected %d", f.Size(), maxVol)
+		}
 		return f, nil
 	case CompressFP32:
-		shape, err := readShape(r)
+		shape, err := readShapeBounded(r, maxVol)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +134,7 @@ func decodeFeedbackAny(p []byte) (*tensor.Tensor, error) {
 		}
 		return f, nil
 	case CompressTopK:
-		shape, err := readShape(r)
+		shape, err := readShapeBounded(r, maxVol)
 		if err != nil {
 			return nil, err
 		}
@@ -138,6 +144,9 @@ func decodeFeedbackAny(p []byte) (*tensor.Tensor, error) {
 			return nil, fmt.Errorf("core: decode topk count: %w", err)
 		}
 		n := int(binary.LittleEndian.Uint32(tmp[:4]))
+		if n > r.Len()/8 {
+			return nil, fmt.Errorf("core: topk count %d exceeds remaining payload", n)
+		}
 		for j := 0; j < n; j++ {
 			if _, err := io.ReadFull(r, tmp[:]); err != nil {
 				return nil, fmt.Errorf("core: decode topk entry: %w", err)
@@ -164,7 +173,10 @@ func writeShape(buf *bytes.Buffer, shape []int) {
 	}
 }
 
-func readShape(r *bytes.Reader) ([]int, error) {
+// readShapeBounded decodes a shape whose volume must not exceed maxVol,
+// rejecting oversized or overflowing dimension products before any
+// allocation proportional to them happens.
+func readShapeBounded(r *bytes.Reader, maxVol int) ([]int, error) {
 	var tmp [4]byte
 	if _, err := io.ReadFull(r, tmp[:]); err != nil {
 		return nil, fmt.Errorf("core: read shape rank: %w", err)
@@ -174,6 +186,7 @@ func readShape(r *bytes.Reader) ([]int, error) {
 		return nil, fmt.Errorf("core: implausible shape rank %d", rank)
 	}
 	shape := make([]int, rank)
+	vol := 1
 	for i := range shape {
 		if _, err := io.ReadFull(r, tmp[:]); err != nil {
 			return nil, fmt.Errorf("core: read shape dim: %w", err)
@@ -182,6 +195,10 @@ func readShape(r *bytes.Reader) ([]int, error) {
 		if shape[i] <= 0 {
 			return nil, fmt.Errorf("core: non-positive shape dim")
 		}
+		if shape[i] > maxVol/vol {
+			return nil, fmt.Errorf("core: shape volume exceeds expected %d elements", maxVol)
+		}
+		vol *= shape[i]
 	}
 	return shape, nil
 }

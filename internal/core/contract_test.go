@@ -1,0 +1,110 @@
+package core
+
+// Buffer-ownership contract tests. Since PR 1, Generator/Discriminator
+// Forward and Backward return module-owned buffers that are valid only
+// until that module's next call; code that retains results across
+// passes must Clone. The server's sync path (runSync keeps k generated
+// batches alive until they are encoded), the async path (send clones
+// X^(g) before generating X^(d)) and the worker feedback path all rely
+// on it. These tests intentionally retain outputs WITHOUT cloning and
+// assert the corruption is real — if a refactor ever changes the
+// ownership model, they fail loudly and the retention sites plus the
+// internal/nn package doc must be revisited together.
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/gan"
+	"mdgan/internal/nn"
+	"mdgan/internal/tensor"
+)
+
+func testCouple(t *testing.T) *gan.GAN {
+	t.Helper()
+	return gan.ScaledMLP(16).NewGAN(3, nn.GenLossNonSaturating, 1)
+}
+
+func tensorsDiffer(a, b *tensor.Tensor) bool {
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGeneratorForwardClonOrCorrupt pins the contract at the sync
+// server call site: the k generated batches of one global iteration
+// share the generator's output buffer, so runSync must clone each one
+// (core.go, "clone because all k generated batches stay live").
+func TestGeneratorForwardCloneOrCorrupt(t *testing.T) {
+	g := testCouple(t).G
+	rng := rand.New(rand.NewSource(11))
+
+	z1, l1 := g.SampleZ(4, rng)
+	x1 := g.Forward(z1, l1, true) // retained WITHOUT clone
+	kept := x1.Clone()            // what runSync actually does
+
+	z2, l2 := g.SampleZ(4, rng)
+	x2 := g.Forward(z2, l2, true)
+
+	if &x1.Data[0] != &x2.Data[0] {
+		t.Fatal("Generator.Forward returned a fresh buffer: the documented " +
+			"clone-or-corrupt contract changed — update the retention sites " +
+			"in core, async, metrics and this test together")
+	}
+	if !tensorsDiffer(kept, x1) {
+		t.Fatal("second Forward left the retained buffer intact; the contract test is vacuous")
+	}
+}
+
+// TestAsyncBatchCloneOrCorrupt replays the async server's send(): the
+// X^(g) batch must survive the X^(d) forward that follows it, which
+// only the Clone guarantees (async.go, "the X^(g) batch must survive
+// the X^(d) forward below").
+func TestAsyncBatchCloneOrCorrupt(t *testing.T) {
+	g := testCouple(t).G
+	rng := rand.New(rand.NewSource(13))
+
+	zg, lg := g.SampleZ(4, rng)
+	raw := g.Forward(zg, lg, true) // the un-cloned alias
+	xg := raw.Clone()              // what send() does
+	snapshot := xg.Clone()
+
+	zd, ld := g.SampleZ(4, rng)
+	_ = g.Forward(zd, ld, true) // generating X^(d) clobbers the alias
+
+	if !tensorsDiffer(raw, snapshot) {
+		t.Fatal("X^(d) forward left the retained X^(g) alias intact; contract is vacuous")
+	}
+	if tensorsDiffer(xg, snapshot) {
+		t.Fatal("the cloned X^(g) batch was corrupted: Clone no longer detaches storage")
+	}
+}
+
+// TestFeedbackCloneOrCorrupt pins gan.Feedback's documented aliasing:
+// F_n shares the discriminator's input-gradient buffer and is valid
+// only until the next Backward, so a worker must encode it before its
+// next step (worker.go encodes immediately).
+func TestFeedbackCloneOrCorrupt(t *testing.T) {
+	couple := testCouple(t)
+	g, d := couple.G, couple.D
+	rng := rand.New(rand.NewSource(17))
+
+	z1, l1 := g.SampleZ(4, rng)
+	x1 := g.Forward(z1, l1, true).Clone()
+	z2, l2 := g.SampleZ(4, rng)
+	x2 := g.Forward(z2, l2, true).Clone()
+
+	f1, _ := gan.Feedback(d, couple.LossConfig, x1, l1)
+	kept := f1.Clone()
+	f2, _ := gan.Feedback(d, couple.LossConfig, x2, l2)
+
+	if &f1.Data[0] != &f2.Data[0] {
+		t.Fatal("Feedback returned a fresh buffer: the documented aliasing changed — revisit worker.go and this test")
+	}
+	if !tensorsDiffer(kept, f1) {
+		t.Fatal("second Feedback left the retained buffer intact; contract test is vacuous")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"mdgan/internal/dataset"
 	"mdgan/internal/gan"
 	"mdgan/internal/opt"
+	"mdgan/internal/parallel"
 	"mdgan/internal/simnet"
 	"mdgan/internal/tensor"
 )
@@ -259,6 +260,9 @@ type server struct {
 	aggregate      Aggregation
 	joinAt         map[int][]*dataset.Dataset
 	spawn          func(*dataset.Dataset) (*worker, error)
+	// feedbackVol bounds async feedback decodes: the volume of the last
+	// generated batch, set before any feedback can arrive.
+	feedbackVol int
 }
 
 // liveWorkers returns the alive worker names in index order.
@@ -334,22 +338,32 @@ func (s *server) runSync(iters int) (int, error) {
 
 		// Step 1 (cont.): SPLIT — worker n gets X^(g) = X^(n mod k),
 		// X^(d) = X^((n+1) mod k) (§IV-B1), indices over live workers.
+		// Per-worker payload encoding is independent (the generated
+		// batches are only read), so the per-worker step loop fans out
+		// on the scheduler and the sends go through Broadcast.
 		gIdx := make(map[string]int, len(alive))
 		for i, name := range alive {
-			gi := i % k
-			di := (i + 1) % k
-			gIdx[name] = gi
-			payload := encodeBatches(batchesMsg{
-				Xd: xs[di], Ld: labs[di],
-				Xg: xs[gi], Lg: labs[gi],
-				SwapTo: swapTo[name],
-			})
-			if err := s.net.Send(simnet.Message{
-				From: serverName, To: name, Type: msgBatches,
-				Kind: simnet.CtoW, Payload: payload,
-			}); err != nil {
-				return updates, fmt.Errorf("core: send batches to %s: %w", name, err)
+			gIdx[name] = i % k
+		}
+		msgs := make([]simnet.Message, len(alive))
+		parallel.ForceFor(len(alive), func(ws, we int) {
+			for i := ws; i < we; i++ {
+				name := alive[i]
+				gi := i % k
+				di := (i + 1) % k
+				msgs[i] = simnet.Message{
+					From: serverName, To: name, Type: msgBatches,
+					Kind: simnet.CtoW,
+					Payload: encodeBatches(batchesMsg{
+						Xd: xs[di], Ld: labs[di],
+						Xg: xs[gi], Lg: labs[gi],
+						SwapTo: swapTo[name],
+					}),
+				}
 			}
+		})
+		if err := simnet.Broadcast(s.net, msgs); err != nil {
+			return updates, fmt.Errorf("core: send batches: %w", err)
 		}
 
 		// Step 3: collect one feedback per live worker.
@@ -366,7 +380,10 @@ func (s *server) runSync(iters int) (int, error) {
 			if _, expected := gIdx[msg.From]; !expected {
 				continue // stale feedback from an inactive round
 			}
-			f, err := decodeFeedbackAny(msg.Payload)
+			// A feedback has the shape of the generated batch it answers;
+			// bounding the decode by that volume keeps a corrupt frame
+			// from over-allocating.
+			f, err := decodeFeedbackAny(msg.Payload, xs[0].Size())
 			if err != nil {
 				return updates, err
 			}

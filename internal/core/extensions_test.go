@@ -22,7 +22,7 @@ func randFeedback(rng *rand.Rand, shape ...int) *tensor.Tensor {
 func TestCompressNoneRoundTripExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	f := randFeedback(rng, 4, 7)
-	got, err := decodeFeedbackAny(encodeFeedbackCompressed(f, CompressNone))
+	got, err := decodeFeedbackAny(encodeFeedbackCompressed(f, CompressNone), f.Size())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestCompressFP32HalvesPayload(t *testing.T) {
 	if len(half) >= len(full)*6/10 {
 		t.Fatalf("fp32 payload %d not ~half of %d", len(half), len(full))
 	}
-	got, err := decodeFeedbackAny(half)
+	got, err := decodeFeedbackAny(half, f.Size())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestCompressTopKKeepsLargestEntries(t *testing.T) {
 	f.Data[7] = 5
 	f.Data[42] = -9
 	f.Data[99] = 3
-	got, err := decodeFeedbackAny(encodeFeedbackCompressed(f, CompressTopK))
+	got, err := decodeFeedbackAny(encodeFeedbackCompressed(f, CompressTopK), f.Size())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestCompressionRoundTripProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		mode := Compression(modeRaw % 3)
 		x := randFeedback(rng, 1+rng.Intn(5), 1+rng.Intn(40))
-		got, err := decodeFeedbackAny(encodeFeedbackCompressed(x, mode))
+		got, err := decodeFeedbackAny(encodeFeedbackCompressed(x, mode), x.Size())
 		if err != nil || !got.SameShape(x) {
 			return false
 		}
@@ -106,10 +106,10 @@ func TestCompressionRoundTripProperty(t *testing.T) {
 }
 
 func TestDecodeFeedbackRejectsGarbage(t *testing.T) {
-	if _, err := decodeFeedbackAny(nil); err == nil {
+	if _, err := decodeFeedbackAny(nil, 1024); err == nil {
 		t.Fatal("empty payload must error")
 	}
-	if _, err := decodeFeedbackAny([]byte{200, 1, 2, 3}); err == nil {
+	if _, err := decodeFeedbackAny([]byte{200, 1, 2, 3}, 1024); err == nil {
 		t.Fatal("unknown mode byte must error")
 	}
 }

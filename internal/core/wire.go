@@ -55,6 +55,9 @@ func readLabels(r *bytes.Reader, buf []int) ([]int, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	if n > r.Len()/4 {
+		return nil, fmt.Errorf("core: label count %d exceeds remaining payload", n)
+	}
 	labels := buf
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(r, tmp[:]); err != nil {
@@ -130,6 +133,9 @@ func readString(r *bytes.Reader) (string, error) {
 	n := int(binary.LittleEndian.Uint32(tmp[:]))
 	if n == 0 {
 		return "", nil
+	}
+	if n > r.Len() {
+		return "", fmt.Errorf("core: string length %d exceeds remaining payload", n)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {

@@ -1,0 +1,146 @@
+package core
+
+// Fuzz and hostile-frame tests for the wire decoders: truncated frames,
+// oversized length prefixes and garbage payloads must produce errors —
+// never a panic, and never an allocation proportional to a fabricated
+// length field. The seed corpus covers each hand-written failure class
+// so `go test` (without -fuzz) already exercises them.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+
+	"mdgan/internal/tensor"
+)
+
+// validBatchesPayload builds a well-formed batches frame to seed the
+// fuzzer (and to mutate into near-valid corruptions).
+func validBatchesPayload() []byte {
+	xd := tensor.New(2, 3)
+	xg := tensor.New(2, 3)
+	for i := range xd.Data {
+		xd.Data[i] = float64(i) * 0.25
+		xg.Data[i] = -float64(i)
+	}
+	return encodeBatches(batchesMsg{
+		Xd: xd, Ld: []int{0, 1},
+		Xg: xg, Lg: []int{1, 0},
+		SwapTo: "worker3",
+	})
+}
+
+func FuzzDecodeBatches(f *testing.F) {
+	valid := validBatchesPayload()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                  // truncated mid-frame
+	f.Add(valid[:3])                                             // truncated header
+	f.Add([]byte{})                                              // empty
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF))     // absurd rank
+	huge := binary.LittleEndian.AppendUint32(nil, 2)             // rank 2
+	huge = binary.LittleEndian.AppendUint32(huge, 0x7FFFFFFF)    // dim bomb
+	huge = binary.LittleEndian.AppendUint32(huge, 0x7FFFFFFF)    // dim bomb
+	f.Add(huge)                                                  // oversized volume
+	strBomb := append([]byte(nil), valid[:len(valid)-8]...)      // keep tensors+labels
+	strBomb = binary.LittleEndian.AppendUint32(strBomb, 1<<31-1) // swap-string length bomb
+	f.Add(strBomb)
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		var m batchesMsg
+		_ = decodeBatches(p, &m) // must never panic
+		// Decoding again into the same message exercises the PR-1
+		// buffer-reuse path (tensors and label slices overwritten in
+		// place) against whatever state the first decode left behind.
+		_ = decodeBatches(p, &m)
+	})
+}
+
+func FuzzDecodeFeedback(f *testing.F) {
+	fb := tensor.New(4, 6)
+	for i := range fb.Data {
+		fb.Data[i] = float64(i%7) - 3
+	}
+	for _, mode := range []Compression{CompressNone, CompressFP32, CompressTopK} {
+		enc := encodeFeedbackCompressed(fb, mode)
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+	}
+	f.Add([]byte{byte(CompressTopK), 1, 0, 0, 0, 255, 255, 255, 255}) // dim bomb
+	f.Fuzz(func(t *testing.T, p []byte) {
+		fn, err := decodeFeedbackAny(p, fb.Size()) // must never panic
+		if err == nil && fn.Size() > fb.Size() {
+			t.Fatalf("decoded %d elements past the %d-element bound", fn.Size(), fb.Size())
+		}
+	})
+}
+
+// FuzzTensorReadInPlace drives the swap-path primitive (a worker
+// adopting a peer's discriminator decodes frames straight into its own
+// parameter storage) with arbitrary bytes.
+func FuzzTensorReadInPlace(f *testing.F) {
+	ref := tensor.New(3, 4)
+	for i := range ref.Data {
+		ref.Data[i] = float64(i)
+	}
+	valid := ref.AppendBinary(nil)
+	f.Add(valid)
+	f.Add(valid[:5])
+	f.Add(binary.LittleEndian.AppendUint32(nil, 9)) // rank out of range
+	f.Fuzz(func(t *testing.T, p []byte) {
+		dst := tensor.New(3, 4)
+		_, _ = dst.ReadInPlace(bytes.NewReader(p)) // must never panic
+		var fresh tensor.Tensor
+		_, _ = fresh.ReadFrom(bytes.NewReader(p)) // must never panic
+	})
+}
+
+// TestHostileFramesDoNotOverAllocate pins the bounds checks: a frame
+// whose length prefixes claim gigabytes, backed by a few bytes of
+// payload, must error without the decoder ever allocating storage for
+// the claimed size.
+func TestHostileFramesDoNotOverAllocate(t *testing.T) {
+	hostile := [][]byte{
+		func() []byte { // tensor dim bomb: claims 2^31-1 × 2 floats
+			b := binary.LittleEndian.AppendUint32(nil, 2)
+			b = binary.LittleEndian.AppendUint32(b, 0x7FFFFFFF)
+			b = binary.LittleEndian.AppendUint32(b, 2)
+			return append(b, make([]byte, 64)...)
+		}(),
+		func() []byte { // label-count bomb after a tiny valid tensor
+			x := tensor.New(1, 1)
+			b := x.AppendBinary(nil)
+			return binary.LittleEndian.AppendUint32(b, 0xFFFFFFF0)
+		}(),
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for _, p := range hostile {
+		var m batchesMsg
+		if err := decodeBatches(p, &m); err == nil {
+			t.Fatal("hostile frame decoded without error")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("hostile frames allocated %d bytes; bounds checks must reject before allocating", grew)
+	}
+}
+
+// TestDecodeBatchesTruncationsError walks every prefix of a valid frame
+// and demands a clean error (or, for the empty suffix boundary, a
+// successful decode only at full length).
+func TestDecodeBatchesTruncationsError(t *testing.T) {
+	valid := validBatchesPayload()
+	var m batchesMsg
+	if err := decodeBatches(valid, &m); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		var m batchesMsg
+		if err := decodeBatches(valid[:cut], &m); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(valid))
+		}
+	}
+}

@@ -211,13 +211,15 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 	nextEval := cfg.EvalEvery
 	for r := 1; r <= rounds; r++ {
 		payload := encodeCouple(global)
-		for _, w := range workers {
-			if err := net.Send(simnet.Message{
+		msgs := make([]simnet.Message, len(workers))
+		for i, w := range workers {
+			msgs[i] = simnet.Message{
 				From: serverName, To: w.name, Type: msgModel,
 				Kind: simnet.CtoW, Payload: payload,
-			}); err != nil {
-				return nil, fmt.Errorf("flgan: broadcast to %s: %w", w.name, err)
 			}
+		}
+		if err := simnet.Broadcast(net, msgs); err != nil {
+			return nil, fmt.Errorf("flgan: broadcast round %d: %w", r, err)
 		}
 		// Average the returned parameter vectors. Sum in worker order
 		// for determinism.

@@ -1,0 +1,42 @@
+package metrics
+
+// Buffer-ownership contract test at the metrics call site: Features
+// returns the scorer network's layer-owned buffer, valid until the next
+// Features/Posteriors/Score call. FID's first feature pass must
+// therefore Clone before the second pass runs (metrics.go: "survives
+// the second Features pass"). This test retains the buffer WITHOUT
+// cloning and asserts the corruption is real, so the Clone can never be
+// "optimised away" silently.
+
+import (
+	"testing"
+
+	"mdgan/internal/dataset"
+)
+
+func TestFeaturesCloneOrCorrupt(t *testing.T) {
+	ds := dataset.SynthDigits(300, 21)
+	s := TrainScorer(ds, ScorerConfig{Epochs: 2, Seed: 21})
+
+	real := dataset.SynthDigits(40, 22)
+	gen := dataset.SynthDigits(40, 23)
+
+	fr := s.Features(real.X) // retained WITHOUT clone, as a buggy FID would
+	kept := fr.Clone()       // what FID actually does
+	fg := s.Features(gen.X)
+
+	if &fr.Data[0] != &fg.Data[0] {
+		t.Fatal("Features returned a fresh buffer: the layer-ownership " +
+			"contract changed — revisit Scorer.FID's Clone and this test")
+	}
+	differs := false
+	for i := range kept.Data {
+		if kept.Data[i] != fr.Data[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("second Features pass left the retained buffer intact; contract test is vacuous")
+	}
+}

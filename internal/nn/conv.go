@@ -108,14 +108,13 @@ func (g convGeom) col2im(col []float64, rowStride, colOff int, x []float64) {
 	}
 }
 
-// forImages fans a per-image loop out to the worker pool when the total
-// work justifies it; tiny batches run inline.
+// forImages fans a per-image loop out to the scheduler when the total
+// work justifies it. The grain is sized so one task carries ~2^14
+// scalar operations: tiny batches run inline (n <= grain), and big
+// batches split down to single images so K concurrent simulated
+// workers' conv layers can interleave on the shared scheduler.
 func forImages(n, perImageWork int, fn func(s, e int)) {
-	if n*perImageWork < 1<<14 {
-		fn(0, n)
-		return
-	}
-	parallel.ForceFor(n, fn)
+	parallel.ForGrain(n, 1<<14/(perImageWork+1), fn)
 }
 
 // takeWorkspace returns a (rows, cols) workspace, reusing buf when the

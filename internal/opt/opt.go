@@ -123,7 +123,10 @@ func (a *Adam) Step(params []*nn.Param) {
 			a.update(w, g, m, v, c1, c2, 0, len(g))
 			continue
 		}
-		parallel.For(len(g), func(s, e int) {
+		// Split at half the fan-out threshold so one task still
+		// amortises the hand-off while stealing can balance several
+		// workers' optimiser steps running concurrently.
+		parallel.ForGrain(len(g), parGrain/2, func(s, e int) {
 			a.update(w, g, m, v, c1, c2, s, e)
 		})
 	}

@@ -1,16 +1,36 @@
-// Package parallel provides small helpers to split data-parallel loops
-// across the available CPU cores. It is the only place in the code base
-// that decides how many goroutines a compute kernel may use, so the
-// policy (and its test hooks) live here.
+// Package parallel schedules the data-parallel loops of every compute
+// kernel in the code base. It is the only place that decides how many
+// goroutines a kernel may use, so the policy (and its test hooks) live
+// here.
 //
-// Work is executed by a persistent pool of worker goroutines started on
-// first use, so a steady-state training iteration never pays goroutine
-// spawn cost. Exactly one parallel region is active at a time: a
-// For/ForceFor/Do reached while another region is running (nested
-// kernels, or concurrent MD-GAN workers) executes inline on the calling
-// goroutine instead of fanning out. That guard is what makes nesting
-// deadlock-free and keeps the scheduler from being oversubscribed when
-// a coarse per-image loop calls a parallel matmul internally.
+// Work is executed by a work-stealing scheduler. Each participating
+// goroutine — a persistent pool worker, or any goroutine that submits a
+// region — owns a deque of tasks. A task is one contiguous index range
+// (lo, hi, fn) of a parallel region; executing a task first splits it
+// recursively (push the upper half, keep the lower) until it reaches
+// the region's grain, so large ranges become stealable halves while the
+// owner keeps working on cache-adjacent indices. Idle workers steal
+// half of a victim's deque at a time (oldest tasks first — the biggest
+// ranges).
+//
+// Regions compose: a For reached from inside another For's loop body
+// submits its subtasks to the same scheduler and then *helps* — the
+// blocked goroutine executes tasks from its own deque first (its
+// freshly pushed subtasks, LIFO), then steals, until its region has
+// completed. Nothing ever parks while it still owes work, which makes
+// arbitrarily nested regions and concurrently submitted regions (one
+// per simulated MD-GAN worker) deadlock-free without the old
+// single-flight guard that serialised them.
+//
+// Loop bodies may spawn nested regions freely but must not block on
+// channels or locks held by *other* regions' bodies: a helping
+// goroutine can execute any region's task while it waits, so such
+// cross-region blocking can extend (though never cycle) a region's
+// lifetime arbitrarily.
+//
+// A panic inside a loop body — even one executing on a stolen task in
+// another goroutine — is recovered, the region is drained, and the
+// panic value is re-raised on the goroutine that submitted the region.
 package parallel
 
 import (
@@ -20,9 +40,14 @@ import (
 )
 
 // serialGrain is the loop length below which For runs inline; under
-// ~4096 scalar iterations the hand-off to the pool costs more than it
-// saves for the kernels in this repo.
+// ~4096 scalar iterations the hand-off to the scheduler costs more than
+// it saves for the kernels in this repo.
 const serialGrain = 4096
+
+// splitMul is the number of grains per worker a region is split into
+// when no explicit grain is given: enough slack for stealing to balance
+// uneven bodies without drowning in per-task overhead.
+const splitMul = 8
 
 // maxProcsOverride pins the degree of parallelism for tests; 0 means
 // use GOMAXPROCS.
@@ -36,8 +61,13 @@ func procs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// SetMaxProcs overrides the degree of parallelism used by For, ForceFor
-// and Do. n <= 0 restores the default (GOMAXPROCS).
+// SetMaxProcs overrides the parallelism target used by For, ForGrain,
+// ForceFor and Do. n <= 0 restores the default (GOMAXPROCS). n == 1
+// forces every region inline on its calling goroutine (serial order).
+// For n > 1 the value tunes how finely regions split (about splitMul·n
+// tasks); the number of bodies actually running concurrently is bounded
+// by the pool (sized to GOMAXPROCS at startup) plus the submitting
+// goroutines, not by n — use the runtime's GOMAXPROCS to cap CPU use.
 func SetMaxProcs(n int) {
 	if n <= 0 {
 		maxProcsOverride.Store(0)
@@ -46,159 +76,445 @@ func SetMaxProcs(n int) {
 	maxProcsOverride.Store(int32(n))
 }
 
-// task is one chunk of a parallel region, executed by a pool worker.
+// serialDepth counts open Serial sections. While positive, every region
+// runs inline, process-wide, so already-parallel callers can suppress
+// kernel fan-out for a bounded section.
+var serialDepth atomic.Int32
+
+// region is one For/ForceFor/Do invocation: the loop body, the split
+// grain, and the completion state shared by every task split from it.
+type region struct {
+	fn      func(lo, hi int)
+	grain   int
+	pending atomic.Int64  // index units not yet executed
+	done    chan struct{} // closed by whoever drives pending to zero
+
+	panicMu  sync.Mutex
+	panicked bool
+	panicV   any
+}
+
+func (r *region) recordPanic(p any) {
+	r.panicMu.Lock()
+	if !r.panicked {
+		r.panicked = true
+		r.panicV = p
+	}
+	r.panicMu.Unlock()
+}
+
+// task is one contiguous index range of a region.
 type task struct {
-	fn         func(start, end int)
-	start, end int
-	wg         *sync.WaitGroup
+	r      *region
+	lo, hi int
+}
+
+// deque is a mutex-guarded double-ended task queue. Only its owner
+// pushes and pops (at the tail: LIFO, cache-warm); thieves take from
+// the head — the oldest, therefore largest, ranges.
+type deque struct {
+	mu sync.Mutex
+	t  []task
+}
+
+func (d *deque) push(t task) {
+	d.mu.Lock()
+	d.t = append(d.t, t)
+	d.mu.Unlock()
+	signalWork()
+}
+
+func (d *deque) pop() (task, bool) {
+	d.mu.Lock()
+	n := len(d.t)
+	if n == 0 {
+		d.mu.Unlock()
+		return task{}, false
+	}
+	t := d.t[n-1]
+	d.t[n-1] = task{} // drop the region reference
+	d.t = d.t[:n-1]
+	d.mu.Unlock()
+	return t, true
+}
+
+// stealHalfInto moves the older half of d's queue to the thief: the
+// first stolen task is returned for immediate execution, the rest are
+// appended to dst. scratch is the thief's reusable staging buffer (the
+// two deques are never locked at the same time, so mutual stealing
+// cannot deadlock).
+func (d *deque) stealHalfInto(dst *deque, scratch *[]task) (task, bool) {
+	d.mu.Lock()
+	n := len(d.t)
+	if n == 0 {
+		d.mu.Unlock()
+		return task{}, false
+	}
+	k := (n + 1) / 2
+	buf := append((*scratch)[:0], d.t[:k]...)
+	rest := copy(d.t, d.t[k:])
+	for i := rest; i < n; i++ {
+		d.t[i] = task{}
+	}
+	d.t = d.t[:rest]
+	d.mu.Unlock()
+	t := buf[0]
+	if len(buf) > 1 {
+		dst.mu.Lock()
+		dst.t = append(dst.t, buf[1:]...)
+		dst.mu.Unlock()
+		signalWork()
+	}
+	// Keep the staging buffer's capacity but drop its task references:
+	// a pool worker lives forever, and a stale region pointer here would
+	// pin the region and every buffer its closure captured.
+	for i := range buf {
+		buf[i] = task{}
+	}
+	*scratch = buf[:0]
+	return t, true
+}
+
+// wctx is the scheduling context of one goroutine participating in the
+// scheduler: a pool worker for its whole life, or any submitting
+// goroutine for the duration of its outermost region.
+type wctx struct {
+	dq       deque
+	stealBuf []task
+	rnd      uint64
+}
+
+// nextRand is a xorshift step for victim selection.
+func (w *wctx) nextRand() uint64 {
+	x := w.rnd
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rnd = x
+	return x
 }
 
 var (
-	poolOnce sync.Once
-	taskCh   chan task
+	// ctxs maps goroutine id → *wctx for every participating goroutine.
+	ctxs sync.Map
+	// victims lists every deque a thief may steal from.
+	victims struct {
+		mu   sync.RWMutex
+		list []*wctx
+	}
+	helperSeed atomic.Uint64
 )
 
-// pool returns the task channel, starting the persistent workers on
-// first use. The pool is sized to GOMAXPROCS at startup; SetMaxProcs
-// only narrows how many chunks a region is split into.
-func pool() chan task {
+func addVictim(w *wctx) {
+	victims.mu.Lock()
+	victims.list = append(victims.list, w)
+	victims.mu.Unlock()
+}
+
+func removeVictim(w *wctx) {
+	victims.mu.Lock()
+	l := victims.list
+	for i, v := range l {
+		if v == w {
+			nl := make([]*wctx, 0, len(l)-1)
+			nl = append(nl, l[:i]...)
+			nl = append(nl, l[i+1:]...)
+			victims.list = nl
+			break
+		}
+	}
+	victims.mu.Unlock()
+}
+
+// steal takes work from a random victim, sweeping all of them once.
+func (w *wctx) steal() (task, bool) {
+	victims.mu.RLock()
+	defer victims.mu.RUnlock()
+	n := len(victims.list)
+	if n == 0 {
+		return task{}, false
+	}
+	off := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := victims.list[(off+i)%n]
+		if v == w {
+			continue
+		}
+		if t, ok := v.dq.stealHalfInto(&w.dq, &w.stealBuf); ok {
+			return t, true
+		}
+	}
+	return task{}, false
+}
+
+// runTask splits t down to its region's grain (pushing upper halves for
+// thieves) and executes the remaining range, recovering any panic into
+// the region.
+func (w *wctx) runTask(t task) {
+	r := t.r
+	lo, hi := t.lo, t.hi
+	for hi-lo > r.grain {
+		mid := lo + (hi-lo)/2
+		w.dq.push(task{r: r, lo: mid, hi: hi})
+		hi = mid
+	}
+	runBody(r, lo, hi)
+	if r.pending.Add(int64(lo-hi)) == 0 {
+		close(r.done) // pending is monotonically decreasing: exactly one closer
+	}
+}
+
+func runBody(r *region, lo, hi int) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.recordPanic(p)
+		}
+	}()
+	r.fn(lo, hi)
+}
+
+// Pool workers: persistent goroutines that execute stolen work so a
+// steady-state training iteration never pays goroutine spawn cost.
+var (
+	poolOnce sync.Once
+	wake     chan struct{}
+	sleepers atomic.Int32
+)
+
+// signalWork wakes one parked pool worker, if any.
+func signalWork() {
+	if wake != nil && sleepers.Load() > 0 {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// startPool launches the persistent workers on first use. The pool is
+// sized to GOMAXPROCS at startup (minimum 2 so stealing is exercised
+// even on one core); SetMaxProcs only narrows how finely regions split.
+func startPool() {
 	poolOnce.Do(func() {
 		n := runtime.GOMAXPROCS(0)
-		if n < 1 {
-			n = 1
+		if n < 2 {
+			n = 2
 		}
-		taskCh = make(chan task, 4*n)
+		wake = make(chan struct{}, n)
 		for i := 0; i < n; i++ {
+			w := &wctx{rnd: uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+			addVictim(w)
 			go func() {
-				for t := range taskCh {
-					t.fn(t.start, t.end)
-					t.wg.Done()
-				}
+				ctxs.Store(goid(), w)
+				w.loop()
 			}()
 		}
 	})
-	return taskCh
 }
 
-// active is the single-flight guard: true while some goroutine owns the
-// pool for a parallel region. CompareAndSwap semantics mean nested or
-// concurrent regions degrade to inline execution rather than stacking
-// goroutines multiplicatively.
-var active atomic.Bool
-
-// serialDepth counts open Serial sections. While positive, every
-// region runs inline — unlike the single-flight guard, this holds even
-// if an unrelated region finishes mid-section, so Serial's guarantee
-// does not depend on who owns the guard at entry.
-var serialDepth atomic.Int32
-
-// fanOut splits [0, n) into p chunks, runs the first chunk on the
-// calling goroutine and hands the rest to the pool. The caller must
-// hold the active guard.
-func fanOut(n, p int, fn func(start, end int)) {
-	ch := pool()
-	chunk := (n + p - 1) / p
-	var wg sync.WaitGroup
-	for start := chunk; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
+// loop is the pool worker body: pop own work, steal, park. A worker's
+// own deque is filled only by itself, so after a failed pop it can only
+// acquire work by stealing. The sleepers increment happens before the
+// final steal sweep, and every push signals after enqueueing, so a task
+// enqueued concurrently with parking is never lost.
+func (w *wctx) loop() {
+	for {
+		if t, ok := w.dq.pop(); ok {
+			w.runTask(t)
+			continue
 		}
-		wg.Add(1)
-		select {
-		case ch <- task{fn: fn, start: start, end: end, wg: &wg}:
-		default:
-			// Queue full (cannot happen under the single-flight guard,
-			// but never block): run inline.
-			fn(start, end)
-			wg.Done()
+		if t, ok := w.steal(); ok {
+			w.runTask(t)
+			continue
 		}
+		sleepers.Add(1)
+		if t, ok := w.steal(); ok {
+			sleepers.Add(-1)
+			w.runTask(t)
+			continue
+		}
+		<-wake
+		sleepers.Add(-1)
 	}
-	if chunk > n {
-		chunk = n
-	}
-	fn(0, chunk)
-	wg.Wait()
 }
 
-// For runs fn over the half-open index ranges that partition [0, n),
-// using the persistent worker pool. Each invocation receives a disjoint
-// [start, end) chunk; fn must be safe to call concurrently on disjoint
-// chunks. Small loops, nested calls and calls made while another
-// parallel region is active all execute inline.
+// ctx returns the calling goroutine's scheduling context, creating and
+// registering a helper context when the goroutine has none. top reports
+// whether the caller owns (and must release) the context.
+func ctx() (w *wctx, id uint64, top bool) {
+	id = goid()
+	if v, ok := ctxs.Load(id); ok {
+		return v.(*wctx), id, false
+	}
+	w = &wctx{rnd: helperSeed.Add(0x9E3779B97F4A7C15) | 1}
+	ctxs.Store(id, w)
+	addVictim(w)
+	return w, id, true
+}
+
+// release drains any leftover stolen tasks and deregisters a helper
+// context. The deque must be drained before deregistering: it may hold
+// tasks of other regions batched in by this goroutine's own steals.
+func (w *wctx) release(id uint64) {
+	for {
+		t, ok := w.dq.pop()
+		if !ok {
+			break
+		}
+		w.runTask(t)
+	}
+	removeVictim(w)
+	ctxs.Delete(id)
+}
+
+// runRegion executes fn over [0, n) with the given split grain on the
+// work-stealing scheduler, returning when every index has executed.
+func runRegion(n, grain int, fn func(lo, hi int)) {
+	startPool()
+	w, id, top := ctx()
+	r := &region{fn: fn, grain: grain, done: make(chan struct{})}
+	r.pending.Store(int64(n))
+	w.runTask(task{r: r, lo: 0, hi: n})
+	// Help until the region completes: own subtasks first (LIFO), then
+	// steal. With nothing runnable anywhere, park on the region's done
+	// channel — the remaining bodies are in flight on other goroutines
+	// (possibly blocked in sends), and polling for them would burn the
+	// very core they need. A goroutine only parks here with an empty
+	// deque, so no task is ever stranded behind a parked owner.
+	for r.pending.Load() > 0 {
+		if t, ok := w.dq.pop(); ok {
+			w.runTask(t)
+			continue
+		}
+		if t, ok := w.steal(); ok {
+			w.runTask(t)
+			continue
+		}
+		// One yield before parking: a splitting task may be just about
+		// to publish stealable halves.
+		runtime.Gosched()
+		if t, ok := w.steal(); ok {
+			w.runTask(t)
+			continue
+		}
+		<-r.done
+	}
+	if top {
+		w.release(id)
+	}
+	if r.panicked {
+		panic(r.panicV)
+	}
+}
+
+// inline reports whether a region must run on the calling goroutine:
+// single-proc configurations and open Serial sections.
+func inline() bool {
+	return procs() == 1 || serialDepth.Load() > 0
+}
+
+// For runs fn over the half-open index ranges that partition [0, n).
+// Each invocation receives a disjoint [start, end) chunk; fn must be
+// safe to call concurrently on disjoint chunks. Small loops run inline;
+// large ones split across the work-stealing scheduler, composing freely
+// with enclosing or concurrent parallel regions.
 func For(n int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
-	p := procs()
-	if p > n {
-		p = n
-	}
-	if p == 1 || n < serialGrain || serialDepth.Load() > 0 || !active.CompareAndSwap(false, true) {
+	if n < serialGrain || inline() {
 		fn(0, n)
 		return
 	}
-	defer active.Store(false)
-	fanOut(n, p, fn)
+	grain := n / (splitMul * procs())
+	if grain < serialGrain/4 {
+		grain = serialGrain / 4
+	}
+	runRegion(n, grain, fn)
+}
+
+// ForGrain behaves like For with an explicit split grain: ranges stop
+// splitting at or below grain indices. Use it when the caller knows the
+// per-index cost (kernels size their grain so one task amortises the
+// scheduling overhead). n <= grain runs inline.
+func ForGrain(n, grain int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if n <= grain || inline() {
+		fn(0, n)
+		return
+	}
+	runRegion(n, grain, fn)
 }
 
 // ForceFor behaves like For but fans out even for small n. It is
 // intended for coarse-grained tasks (one unit of work per index is
-// itself expensive, e.g. a per-image im2col). Like For it degrades to
-// inline execution when nested inside another parallel region.
+// itself expensive, e.g. a per-image im2col).
 func ForceFor(n int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
-	p := procs()
-	if p > n {
-		p = n
-	}
-	if p == 1 || serialDepth.Load() > 0 || !active.CompareAndSwap(false, true) {
+	if n == 1 || inline() {
 		fn(0, n)
 		return
 	}
-	defer active.Store(false)
-	fanOut(n, p, fn)
+	grain := n / (splitMul * procs())
+	if grain < 1 {
+		grain = 1
+	}
+	runRegion(n, grain, fn)
 }
 
-// Do runs the given tasks concurrently on the pool and waits for all of
-// them. Nested within a parallel region the tasks run sequentially.
+// Do runs the given tasks concurrently on the scheduler and waits for
+// all of them.
 func Do(tasks ...func()) {
 	if len(tasks) == 0 {
 		return
 	}
-	if len(tasks) == 1 || serialDepth.Load() > 0 || !active.CompareAndSwap(false, true) {
+	if len(tasks) == 1 || inline() {
 		for _, t := range tasks {
 			t()
 		}
 		return
 	}
-	defer active.Store(false)
-	ch := pool()
-	var wg sync.WaitGroup
-	for _, t := range tasks[1:] {
-		t := t
-		wg.Add(1)
-		select {
-		case ch <- task{fn: func(int, int) { t() }, wg: &wg}:
-		default:
-			t()
-			wg.Done()
+	runRegion(len(tasks), 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			tasks[i]()
 		}
-	}
-	tasks[0]()
-	wg.Wait()
+	})
 }
 
-// Serial runs fn with kernel fan-out suppressed: any For, ForceFor or
-// Do reached from fn executes inline on the calling goroutine, for the
-// whole duration of fn (the suppression is process-wide, so concurrent
-// goroutines also stay inline while a Serial section is open). Use it
-// to keep already-parallel callers (e.g. one goroutine per MD-GAN
-// worker) from contending over the kernel pool.
+// Serial runs fn with kernel fan-out suppressed: any For, ForGrain,
+// ForceFor or Do reached from fn executes inline on the calling
+// goroutine, for the whole duration of fn (the suppression is
+// process-wide, so concurrent goroutines also stay inline while a
+// Serial section is open).
 func Serial(fn func()) {
 	serialDepth.Add(1)
 	defer serialDepth.Add(-1)
 	fn()
+}
+
+// goid returns the runtime id of the calling goroutine, parsed from the
+// stack header ("goroutine 123 [running]:"). It is the only
+// goroutine-identity primitive the runtime exposes without unsafe; the
+// cost (~1µs) is paid once per fanned-out region, never on inline
+// paths.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
 }

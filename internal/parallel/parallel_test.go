@@ -8,6 +8,8 @@ import (
 )
 
 func TestForCoversRangeExactlyOnce(t *testing.T) {
+	SetMaxProcs(4)
+	defer SetMaxProcs(0)
 	for _, n := range []int{0, 1, 7, 4096, 10000} {
 		seen := make([]int32, n)
 		For(n, func(s, e int) {
@@ -24,6 +26,8 @@ func TestForCoversRangeExactlyOnce(t *testing.T) {
 }
 
 func TestForceForCoversRange(t *testing.T) {
+	SetMaxProcs(4)
+	defer SetMaxProcs(0)
 	n := 37
 	var mu sync.Mutex
 	seen := make(map[int]int)
@@ -44,6 +48,43 @@ func TestForceForCoversRange(t *testing.T) {
 	}
 }
 
+func TestForGrainRespectsGrain(t *testing.T) {
+	SetMaxProcs(4)
+	defer SetMaxProcs(0)
+	var mu sync.Mutex
+	var spans [][2]int
+	ForGrain(1000, 100, func(s, e int) {
+		mu.Lock()
+		spans = append(spans, [2]int{s, e})
+		mu.Unlock()
+	})
+	seen := make([]int, 1000)
+	for _, sp := range spans {
+		if sp[1]-sp[0] > 100 {
+			t.Errorf("chunk [%d,%d) exceeds grain 100", sp[0], sp[1])
+		}
+		for i := sp[0]; i < sp[1]; i++ {
+			seen[i]++
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	// n <= grain runs as a single inline invocation.
+	calls := 0
+	ForGrain(50, 100, func(s, e int) {
+		calls++
+		if s != 0 || e != 50 {
+			t.Errorf("inline chunk [%d,%d), want [0,50)", s, e)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("n<=grain split into %d chunks, want 1", calls)
+	}
+}
+
 func TestSetMaxProcsSerialises(t *testing.T) {
 	SetMaxProcs(1)
 	defer SetMaxProcs(0)
@@ -61,6 +102,8 @@ func TestSetMaxProcsSerialises(t *testing.T) {
 }
 
 func TestDoRunsAll(t *testing.T) {
+	SetMaxProcs(4)
+	defer SetMaxProcs(0)
 	var a, b, c int32
 	Do(
 		func() { atomic.StoreInt32(&a, 1) },
@@ -72,48 +115,25 @@ func TestDoRunsAll(t *testing.T) {
 	}
 }
 
-// TestNestedParallelismRunsInline is the regression test for the
-// conv-inside-ForceFor bug: a kernel invoked from within a parallel
-// region must execute inline (single fn invocation over the full
-// range), not fan out a second layer of goroutines.
-func TestNestedParallelismRunsInline(t *testing.T) {
+// TestNestedParallelismComposes replaces the PR-1 regression test that
+// pinned nested regions to inline execution: with the work-stealing
+// scheduler a nested kernel fans out too, and the requirement is exact
+// coverage, not serialisation.
+func TestNestedParallelismComposes(t *testing.T) {
 	SetMaxProcs(4)
 	defer SetMaxProcs(0)
 
-	var innerCalls, innerMax, innerLive int32
-	outer := 8
-	var outerChunks int32
+	outer, inner := 8, 10000
+	var total int64
 	ForceFor(outer, func(s, e int) {
-		atomic.AddInt32(&outerChunks, 1)
-		// Nested region: must degrade to exactly one inline call
-		// covering the whole range.
-		calls := int32(0)
-		ForceFor(10000, func(is, ie int) {
-			atomic.AddInt32(&calls, 1)
-			live := atomic.AddInt32(&innerLive, 1)
-			for {
-				m := atomic.LoadInt32(&innerMax)
-				if live <= m || atomic.CompareAndSwapInt32(&innerMax, m, live) {
-					break
-				}
-			}
-			if is != 0 || ie != 10000 {
-				t.Errorf("nested chunk [%d,%d), want inline [0,10000)", is, ie)
-			}
-			atomic.AddInt32(&innerLive, -1)
-		})
-		atomic.AddInt32(&innerCalls, calls)
-		if calls != 1 {
-			t.Errorf("nested ForceFor split into %d chunks, want 1 (inline)", calls)
+		for o := s; o < e; o++ {
+			ForceFor(inner, func(is, ie int) {
+				atomic.AddInt64(&total, int64(ie-is))
+			})
 		}
 	})
-	if outerChunks == 0 {
-		t.Fatal("outer region never ran")
-	}
-	// Oversubscription check: concurrent nested bodies can never exceed
-	// the pinned parallelism (one inline body per outer chunk).
-	if innerMax > 4 {
-		t.Fatalf("%d nested bodies ran concurrently, want <= 4", innerMax)
+	if total != int64(outer*inner) {
+		t.Fatalf("nested regions covered %d index units, want %d", total, outer*inner)
 	}
 }
 
@@ -135,8 +155,11 @@ func TestSerialSuppressesFanOut(t *testing.T) {
 }
 
 // TestPoolGoroutinesAreReused: repeated fan-outs must not leak
-// goroutines (the pre-pool implementation spawned per call).
+// goroutines (workers are persistent; submitters help inline rather
+// than spawning).
 func TestPoolGoroutinesAreReused(t *testing.T) {
+	SetMaxProcs(4)
+	defer SetMaxProcs(0)
 	// Warm the pool.
 	ForceFor(64, func(s, e int) {})
 	before := runtime.NumGoroutine()
@@ -151,8 +174,10 @@ func TestPoolGoroutinesAreReused(t *testing.T) {
 }
 
 // TestConcurrentRegionsDoNotDeadlock: many goroutines hammering the
-// pool at once (the MD-GAN worker topology) must all complete.
+// scheduler at once (the MD-GAN worker topology) must all complete.
 func TestConcurrentRegionsDoNotDeadlock(t *testing.T) {
+	SetMaxProcs(4)
+	defer SetMaxProcs(0)
 	var wg sync.WaitGroup
 	var total int64
 	for g := 0; g < 16; g++ {

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"mdgan/internal/parallel"
 )
 
 // Kind labels a link for the traffic accounting of Tables III/IV.
@@ -92,6 +94,31 @@ type Net interface {
 	Snapshot() Traffic
 	// Close releases transport resources.
 	Close() error
+}
+
+// Broadcast delivers every message, fanning the sends out across the
+// work-stealing scheduler: the per-destination work of a send (gob
+// framing and socket writes on TCPNet, channel hand-off on ChannelNet)
+// overlaps across destinations, which is where a server's per-worker
+// distribution loop spends its time on real transports. All sends are
+// attempted even when some fail (a fail-stop crash of one worker must
+// not starve the others); the first error in message order is returned.
+func Broadcast(n Net, msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	errs := make([]error, len(msgs))
+	parallel.ForceFor(len(msgs), func(s, e int) {
+		for i := s; i < e; i++ {
+			errs[i] = n.Send(msgs[i])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // accounting is shared by the transports.
@@ -181,17 +208,32 @@ func (n *ChannelNet) Register(node string) error {
 	return nil
 }
 
+// trySend delivers msg to ch, reporting false when the channel was
+// closed underneath it: a fail-stop Crash may close an inbox between
+// Send's liveness check and the send itself (the send cannot hold the
+// net lock — a full inbox would block Register/Crash/Snapshot). The
+// recover is scoped to exactly this one send so no other panic can be
+// misread as a crashed node.
+func trySend(ch chan Message, msg Message) (delivered bool) {
+	defer func() {
+		if recover() != nil {
+			delivered = false
+		}
+	}()
+	ch <- msg
+	return true
+}
+
 // Send implements Net.
 func (n *ChannelNet) Send(msg Message) error {
 	n.mu.Lock()
 	ch, ok := n.inboxes[msg.To]
 	dead := n.down[msg.To]
 	n.mu.Unlock()
-	if !ok || dead {
+	if !ok || dead || !trySend(ch, msg) {
 		return fmt.Errorf("%w: %s", ErrNodeDown, msg.To)
 	}
 	n.acct.record(&msg)
-	ch <- msg
 	return nil
 }
 

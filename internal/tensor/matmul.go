@@ -19,8 +19,12 @@ import (
 
 const (
 	// matMulGrain is the m·k·n product below which a matmul runs inline
-	// instead of fanning out to the worker pool.
+	// instead of fanning out to the scheduler.
 	matMulGrain = 1 << 15
+	// mmRowGrainMin keeps split row ranges wide enough for the 4-wide
+	// accumulator unrolling: chunks never drop below 8 rows, so at most
+	// three tail rows per chunk run the scalar loop.
+	mmRowGrainMin = 8
 	// mmTile is the column-tile width: four float64 accumulator rows of
 	// this width occupy 16 KiB, comfortably inside L1 alongside the
 	// streamed operand row.
@@ -99,9 +103,21 @@ func matMulInto(out, a, b *Tensor, m, k, n int, accumulate bool) {
 		rows(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
 		return
 	}
-	parallel.ForceFor(m, func(s, e int) {
+	parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
 		rows(out.Data, a.Data, b.Data, k, n, s, e, accumulate)
 	})
+}
+
+// mmRowGrain sizes the row ranges a matmul splits into so one task
+// carries at least matMulGrain multiply-adds: fine enough for stealing
+// to balance K concurrent workers' kernels, coarse enough to amortise
+// the hand-off.
+func mmRowGrain(k, n int) int {
+	g := matMulGrain / (k*n + 1)
+	if g < mmRowGrainMin {
+		g = mmRowGrainMin
+	}
+	return g
 }
 
 // matMulRowsSkip is the sparse-A variant: classic ikj with a zero-skip
@@ -224,7 +240,7 @@ func matMulT1Into(out, a, b *Tensor, k, m, n int, accumulate bool) {
 		rows(out.Data, a.Data, b.Data, k, m, n, 0, m, accumulate)
 		return
 	}
-	parallel.ForceFor(m, func(s, e int) {
+	parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
 		rows(out.Data, a.Data, b.Data, k, m, n, s, e, accumulate)
 	})
 }
@@ -347,7 +363,7 @@ func matMulT2Into(out, a, b *Tensor, m, k, n int, accumulate bool) {
 		rows(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
 		return
 	}
-	parallel.ForceFor(m, func(s, e int) {
+	parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
 		rows(out.Data, a.Data, b.Data, k, n, s, e, accumulate)
 	})
 }

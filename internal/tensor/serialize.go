@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -43,6 +44,12 @@ func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
+// maxDecodeVol caps the element count a decoded frame may claim (2^30
+// floats = 8 GiB of payload, far beyond any tensor this system ships);
+// the product check against it also rejects dimension products that
+// would overflow int, and the constant itself fits a 32-bit int.
+const maxDecodeVol = 1 << 30
+
 // readHeader parses the rank/dims framing, returning the shape (decoded
 // into shapeBuf when its capacity suffices) and the volume.
 func readHeader(r io.Reader, shapeBuf []int) (shape []int, vol int, read int64, err error) {
@@ -66,6 +73,9 @@ func readHeader(r io.Reader, shapeBuf []int) (shape []int, vol int, read int64, 
 		d := int(binary.LittleEndian.Uint32(dims[4*i:]))
 		if d <= 0 {
 			return nil, 0, read, fmt.Errorf("tensor: non-positive dim %d", d)
+		}
+		if d > maxDecodeVol/vol {
+			return nil, 0, read, fmt.Errorf("tensor: implausible frame volume (dims %v…)", shape)
 		}
 		shape = append(shape, d)
 		vol *= d
@@ -106,6 +116,12 @@ func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 	shape, vol, read, err := readHeader(r, shapeBuf[:0])
 	if err != nil {
 		return read, err
+	}
+	// When the frame's true extent is knowable (the wire paths all
+	// decode from in-memory payloads), a claimed volume beyond it is
+	// corrupt: reject before allocating payload-sized storage.
+	if br, ok := r.(*bytes.Reader); ok && int64(vol) > int64(br.Len())/8 {
+		return read, fmt.Errorf("tensor: frame claims %d floats, %d bytes remain", vol, br.Len())
 	}
 	t.shape = append(t.shape[:0], shape...)
 	if cap(t.Data) >= vol {

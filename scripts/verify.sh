@@ -25,6 +25,11 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test -race =="
+# The race gate: the work-stealing scheduler, the PR-1 buffer-reuse
+# paths and the simnet transports all run under the detector.
+go test -race ./...
+
 echo "== bench smoke (1 iteration) =="
 go test -run=NONE -bench='BenchmarkMDGANIteration$|BenchmarkGeneratorForward$|BenchmarkTableII$' -benchtime=1x -benchmem .
 
