@@ -1,11 +1,22 @@
 package mdgan
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 
 	"mdgan/internal/render"
 )
+
+// Checkpoint framing. Version 2 (this PR) prefixes a magic header so
+// future format changes are explicit; the parameter frames that follow
+// carry their own dtype byte, so a checkpoint written by a float64
+// build loads into a float32 build and vice versa (values convert on
+// read). Files written before the header existed — bare concatenated
+// pre-dtype tensor frames — are detected by the absence of the magic
+// and still load: the tensor decoder accepts legacy frames natively.
+var checkpointMagic = []byte{'M', 'D', 'G', 2}
 
 // SaveGenerator checkpoints a trained generator's parameters to a file.
 // The architecture is not stored: reload into a generator built from
@@ -16,6 +27,9 @@ func SaveGenerator(g *Generator, path string) error {
 		return fmt.Errorf("mdgan: save generator: %w", err)
 	}
 	defer f.Close()
+	if _, err := f.Write(checkpointMagic); err != nil {
+		return fmt.Errorf("mdgan: save generator: %w", err)
+	}
 	if _, err := g.WriteParams(f); err != nil {
 		return fmt.Errorf("mdgan: save generator: %w", err)
 	}
@@ -23,14 +37,29 @@ func SaveGenerator(g *Generator, path string) error {
 }
 
 // LoadGenerator restores parameters saved with SaveGenerator into g,
-// which must have the same architecture.
+// which must have the same architecture. Both current (versioned,
+// dtype-framed) and pre-version float64 checkpoints load.
 func LoadGenerator(g *Generator, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("mdgan: load generator: %w", err)
 	}
 	defer f.Close()
-	if _, err := g.ReadParams(f); err != nil {
+	var hdr [4]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return fmt.Errorf("mdgan: load generator: %w", err)
+	}
+	var r io.Reader = f
+	if !bytes.Equal(hdr[:n], checkpointMagic) {
+		if n == 4 && bytes.Equal(hdr[:3], checkpointMagic[:3]) {
+			return fmt.Errorf("mdgan: load generator: unsupported checkpoint version %d", hdr[3])
+		}
+		// Legacy checkpoint (no magic): the four bytes are the first
+		// parameter's rank word — replay them ahead of the rest.
+		r = io.MultiReader(bytes.NewReader(hdr[:n]), f)
+	}
+	if _, err := g.ReadParams(r); err != nil {
 		return fmt.Errorf("mdgan: load generator: %w", err)
 	}
 	return nil

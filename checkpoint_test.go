@@ -1,0 +1,90 @@
+package mdgan_test
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mdgan"
+	"mdgan/internal/tensor"
+)
+
+// TestCheckpointLoadsPreDtypeFile: checkpoints written before the
+// versioned header and the wire dtype byte existed were bare
+// concatenations of rank-first float64 tensor frames. Such a file must
+// still load, whatever the compiled element type.
+func TestCheckpointLoadsPreDtypeFile(t *testing.T) {
+	g := mdgan.MLPArch(32).NewGAN(1, 0, 1)
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+
+	// Write the legacy format by hand: [rank u32][dims u32…][f64…] per
+	// parameter, no checkpoint magic, no dtype bytes.
+	var legacy []byte
+	for _, p := range g.G.Params() {
+		legacy = binary.LittleEndian.AppendUint32(legacy, uint32(p.W.Rank()))
+		for _, d := range p.W.Shape() {
+			legacy = binary.LittleEndian.AppendUint32(legacy, uint32(d))
+		}
+		for _, v := range p.W.Data {
+			legacy = binary.LittleEndian.AppendUint64(legacy, math.Float64bits(float64(v)))
+		}
+	}
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	other := mdgan.MLPArch(32).NewGAN(2, 0, 1)
+	if err := mdgan.LoadGenerator(other.G, path); err != nil {
+		t.Fatalf("pre-dtype checkpoint rejected: %v", err)
+	}
+	rng1 := rand.New(rand.NewSource(3))
+	rng2 := rand.New(rand.NewSource(3))
+	a, _ := g.G.Generate(4, rng1, false)
+	b, _ := other.G.Generate(4, rng2, false)
+	if !a.Equal(b, 0) {
+		t.Fatal("legacy checkpoint load must reproduce the generator exactly")
+	}
+}
+
+// New checkpoints carry the version header; a future version must be
+// rejected loudly instead of being misparsed as parameter frames.
+func TestCheckpointRejectsFutureVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.ckpt")
+	if err := os.WriteFile(path, []byte{'M', 'D', 'G', 99, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := mdgan.MLPArch(32).NewGAN(1, 0, 1)
+	if err := mdgan.LoadGenerator(g.G, path); err == nil {
+		t.Fatal("future checkpoint version loaded without error")
+	}
+}
+
+// A checkpoint saved by this build must lead with the version magic and
+// dtype-framed parameters (size pins the format).
+func TestCheckpointFormatPinned(t *testing.T) {
+	g := mdgan.MLPArch(32).NewGAN(1, 0, 1)
+	path := filepath.Join(t.TempDir(), "g.ckpt")
+	if err := mdgan.SaveGenerator(g.G, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 5 || raw[0] != 'M' || raw[1] != 'D' || raw[2] != 'G' || raw[3] != 2 {
+		t.Fatalf("checkpoint header = % x…, want MDG\\x02", raw[:4])
+	}
+	if raw[4] != tensor.NativeDType {
+		t.Fatalf("first frame dtype byte %#x, want native %#x", raw[4], tensor.NativeDType)
+	}
+	want := int64(4)
+	for _, p := range g.G.Params() {
+		want += p.W.EncodedSize()
+	}
+	if int64(len(raw)) != want {
+		t.Fatalf("checkpoint is %d bytes, want %d", len(raw), want)
+	}
+}

@@ -23,11 +23,17 @@ import (
 	"time"
 
 	"mdgan"
+	"mdgan/internal/tensor"
 )
 
 // benchRow is one entry of the -benchjson report.
 type benchRow struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Dtype records the compiled tensor element type the row was
+	// measured under ("float64" or "float32"); rows of both dtypes
+	// coexist in one report (verify.sh runs the default and the
+	// -tags f32 builds back to back into the same file).
+	Dtype       string  `json:"dtype"`
 	Iters       int     `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -58,9 +64,10 @@ type benchReport struct {
 func writeBenchJSON(path string) {
 	run := func(name string, fn func(b *testing.B)) benchRow {
 		r := testing.Benchmark(fn)
-		log.Printf("%s: %v ns/op, %d B/op, %d allocs/op", name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		log.Printf("%s [%s]: %v ns/op, %d B/op, %d allocs/op", name, tensor.DTypeName, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 		return benchRow{
 			Name:        name,
+			Dtype:       tensor.DTypeName,
 			Iters:       r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -116,6 +123,21 @@ func writeBenchJSON(path string) {
 		row.WorkerStepsPerSec = float64(k) * 1e9 / row.NsPerOp
 		rows = append(rows, row)
 	}
+	// Merge with an existing report so the two dtype builds accumulate
+	// into one file: rows measured under the other dtype are kept, rows
+	// of this dtype are replaced.
+	if prev, err := os.ReadFile(path); err == nil {
+		var old benchReport
+		if err := json.Unmarshal(prev, &old); err == nil {
+			var kept []benchRow
+			for _, r := range old.Benchmarks {
+				if r.Dtype != tensor.DTypeName && r.Dtype != "" {
+					kept = append(kept, r)
+				}
+			}
+			rows = append(kept, rows...)
+		}
+	}
 	report := benchReport{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -129,7 +151,7 @@ func writeBenchJSON(path string) {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s", path)
+	log.Printf("wrote %s (%s rows)", path, tensor.DTypeName)
 }
 
 func main() {
@@ -141,8 +163,18 @@ func main() {
 		workers   = flag.Int("workers", 0, "override the simulated cluster size for the training-backed experiments (0 = scale default)")
 		csvDir    = flag.String("csv", "", "directory to write CSV series into")
 		benchJSON = flag.String("benchjson", "", "write hot-path micro-benchmark results to this JSON file and exit")
+		dtype     = flag.String("dtype", "", "assert the compiled tensor element type (float64 | float32); the dtype is a build-time property, so a mismatch is fatal with a rebuild hint")
 	)
 	flag.Parse()
+
+	if *dtype != "" && *dtype != tensor.DTypeName {
+		hint, example := "-tags f32", "go run -tags f32 ./cmd/mdgan-bench …"
+		if *dtype == "float64" {
+			hint, example = "no build tags", "go run ./cmd/mdgan-bench …"
+		}
+		log.Fatalf("this binary computes in %s; for -dtype %s rebuild with %s (e.g. `%s`)",
+			tensor.DTypeName, *dtype, hint, example)
+	}
 
 	if *benchJSON != "" {
 		writeBenchJSON(*benchJSON)

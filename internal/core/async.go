@@ -39,7 +39,7 @@ func (s *server) runAsync(iters int) (int, error) {
 		xg := s.g.Forward(zg, lg, true).Clone()
 		zd, ld := s.g.SampleZ(s.batch, s.rng)
 		xd := s.g.Forward(zd, ld, true)
-		s.feedbackVol = xg.Size()
+		s.feedbackShape = xg.Shape()
 		cache[name] = genBatch{z: zg, labs: lg}
 		workerIters[name]++
 		swapTo := ""
@@ -74,7 +74,7 @@ func (s *server) runAsync(iters int) (int, error) {
 		if msg.Type != msgFeedback || !s.live[msg.From] {
 			continue
 		}
-		f, err := decodeFeedbackAny(msg.Payload, s.feedbackVol)
+		f, err := decodeFeedbackAny(msg.Payload, s.feedbackShape)
 		if err != nil {
 			return updates, err
 		}

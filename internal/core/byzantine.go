@@ -59,7 +59,7 @@ func corruptFeedback(f *tensor.Tensor, mode ByzantineMode, rng *rand.Rand) {
 	case ByzantineNone:
 	case ByzantineRandom:
 		for i := range f.Data {
-			f.Data[i] = rng.NormFloat64()
+			f.Data[i] = tensor.Elem(rng.NormFloat64())
 		}
 	case ByzantineInvert:
 		f.ScaleInPlace(-1)
@@ -123,16 +123,16 @@ func aggregateFeedbacks(fs []*tensor.Tensor, mode Aggregation) *tensor.Tensor {
 		vals := make([]float64, len(fs))
 		for i := range out.Data {
 			for j, f := range fs {
-				vals[j] = f.Data[i]
+				vals[j] = float64(f.Data[i])
 			}
-			out.Data[i] = median(vals)
+			out.Data[i] = tensor.Elem(median(vals))
 		}
 	case AggTrimmedMean:
 		trim := len(fs) / 4
 		vals := make([]float64, len(fs))
 		for i := range out.Data {
 			for j, f := range fs {
-				vals[j] = f.Data[i]
+				vals[j] = float64(f.Data[i])
 			}
 			sort.Float64s(vals)
 			kept := vals[trim : len(vals)-trim]
@@ -140,7 +140,7 @@ func aggregateFeedbacks(fs []*tensor.Tensor, mode Aggregation) *tensor.Tensor {
 			for _, v := range kept {
 				s += v
 			}
-			out.Data[i] = s / float64(len(kept))
+			out.Data[i] = tensor.Elem(s / float64(len(kept)))
 		}
 	default:
 		panic(fmt.Sprintf("core: unknown aggregation %d", mode))

@@ -17,10 +17,10 @@ func TestMedianAndTrimmedMean(t *testing.T) {
 		t.Fatalf("median even = %v", m)
 	}
 	fs := []*tensor.Tensor{
-		tensor.FromSlice([]float64{1, 10}, 2),
-		tensor.FromSlice([]float64{2, 20}, 2),
-		tensor.FromSlice([]float64{3, 30}, 2),
-		tensor.FromSlice([]float64{1000, -1000}, 2), // outlier
+		tensor.FromSlice([]tensor.Elem{1, 10}, 2),
+		tensor.FromSlice([]tensor.Elem{2, 20}, 2),
+		tensor.FromSlice([]tensor.Elem{3, 30}, 2),
+		tensor.FromSlice([]tensor.Elem{1000, -1000}, 2), // outlier
 	}
 	med := aggregateFeedbacks(fs, AggMedian)
 	if med.Data[0] != 2.5 || med.Data[1] != 15 {
@@ -31,13 +31,13 @@ func TestMedianAndTrimmedMean(t *testing.T) {
 		t.Fatalf("trimmed agg = %v", tr.Data)
 	}
 	mean := aggregateFeedbacks(fs, AggMean)
-	if math.Abs(mean.Data[0]-251.5) > 1e-12 {
+	if math.Abs(float64(mean.Data[0])-251.5) > tensor.Tol(1e-12, 1e-4) {
 		t.Fatalf("mean agg = %v", mean.Data)
 	}
 }
 
 func TestAggregateSingleFeedbackIsIdentity(t *testing.T) {
-	f := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	f := tensor.FromSlice([]tensor.Elem{1, 2, 3}, 3)
 	for _, mode := range []Aggregation{AggMean, AggMedian, AggTrimmedMean} {
 		got := aggregateFeedbacks([]*tensor.Tensor{f}, mode)
 		if !got.Equal(f, 0) {
@@ -48,7 +48,7 @@ func TestAggregateSingleFeedbackIsIdentity(t *testing.T) {
 
 func TestCorruptFeedbackModes(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	base := tensor.FromSlice([]float64{1, -2, 3}, 3)
+	base := tensor.FromSlice([]tensor.Elem{1, -2, 3}, 3)
 
 	inv := base.Clone()
 	corruptFeedback(inv, ByzantineInvert, rng)

@@ -1,0 +1,55 @@
+package core
+
+import "testing"
+
+// Regression (PR 3): the swap cadence used truncating integer division,
+// m·E/b, so small shards systematically swapped too often — m=100, E=1,
+// b=64 gave 1 iteration instead of the nearest-integer 2 (true cadence
+// 1.5625), and any m·E < b collapsed to every iteration. The cadence is
+// now round-to-nearest with a floor of 1, computed once by the server
+// from the MINIMUM shard size, so workers with uneven shards share one
+// schedule and can never drift apart.
+func TestSwapIntervalFor(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sizes []int
+		swapE int
+		batch int
+		want  int
+	}{
+		{"exact-division", []int{100}, 1, 10, 10},
+		{"round-up", []int{100}, 1, 64, 2},        // 1.5625 → 2 (pre-fix: 1)
+		{"round-down", []int{100}, 1, 70, 1},      // 1.43 → 1
+		{"tiny-shard-floor", []int{30}, 1, 64, 1}, // 0.47 → floor at 1
+		{"multi-epoch", []int{100}, 3, 64, 5},     // 4.6875 → 5 (pre-fix: 4)
+		{"half-up", []int{96}, 1, 64, 2},          // exactly 1.5 → 2
+		{"uneven-shards-use-min", []int{999, 100, 250}, 1, 64, 2},
+		{"uneven-shards-exact", []int{50, 200, 200}, 2, 10, 10},
+		{"disabled-negative", []int{100}, -1, 10, 0},
+		{"disabled-zero", []int{100}, 0, 10, 0},
+		{"no-shards", nil, 1, 10, 0},
+		{"large-shard", []int{50000}, 1, 10, 5000},
+	} {
+		if got := swapIntervalFor(tc.sizes, tc.swapE, tc.batch); got != tc.want {
+			t.Errorf("%s: swapIntervalFor(%v, E=%d, b=%d) = %d, want %d",
+				tc.name, tc.sizes, tc.swapE, tc.batch, got, tc.want)
+		}
+	}
+}
+
+// All workers derive their swap schedule from the single server-side
+// cadence: the same shard multiset in any order yields the same value.
+func TestSwapIntervalOrderInvariant(t *testing.T) {
+	base := []int{120, 480, 77, 3000}
+	perms := [][]int{
+		{120, 480, 77, 3000},
+		{3000, 77, 480, 120},
+		{77, 3000, 120, 480},
+	}
+	want := swapIntervalFor(base, 2, 32)
+	for _, p := range perms {
+		if got := swapIntervalFor(p, 2, 32); got != want {
+			t.Fatalf("order-dependent cadence: %v vs %v", got, want)
+		}
+	}
+}

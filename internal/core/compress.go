@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 
 	"mdgan/internal/tensor"
 )
@@ -19,15 +19,19 @@ import (
 //
 // Two schemes are implemented:
 //
-//   - CompressFP32 — cast the float64 feedback to float32 on the wire
-//     (2× reduction, negligible accuracy impact: feedbacks are consumed
-//     by one Adam step);
+//   - CompressFP32 — ship the feedback as float32 on the wire (a 2×
+//     reduction when the compiled storage is float64, a no-op reduction
+//     under the f32 build; negligible accuracy impact either way:
+//     feedbacks are consumed by one Adam step);
 //   - CompressTopK — transmit only the q highest-magnitude entries as
 //     sparse (index, float32) pairs, zeros elsewhere (Adacomp-style
 //     selective update; large reduction for peaked gradients).
 //
 // The wire format prefixes one mode byte so the server can decode
-// whatever each worker sends.
+// whatever each worker sends. Every encoder builds its frame with a
+// single exact-size allocation (TopK adds one more for the selection
+// index); the per-element bytes.Buffer writes of the original
+// implementation are gone.
 
 // Compression selects the feedback wire encoding.
 type Compression int
@@ -58,85 +62,82 @@ const topKFraction = 0.1
 
 // encodeFeedbackCompressed frames F_n under the given mode.
 func encodeFeedbackCompressed(f *tensor.Tensor, mode Compression) []byte {
-	if mode == CompressNone {
+	switch mode {
+	case CompressNone:
 		// The per-iteration default: one exact-size allocation.
 		out := make([]byte, 0, 1+f.EncodedSize())
 		out = append(out, byte(CompressNone))
 		return f.AppendBinary(out)
-	}
-	var buf bytes.Buffer
-	buf.WriteByte(byte(mode))
-	switch mode {
-	case CompressNone:
-		if _, err := f.WriteTo(&buf); err != nil {
-			panic(err)
-		}
 	case CompressFP32:
-		writeShape(&buf, f.Shape())
-		var tmp [4]byte
-		for _, v := range f.Data {
-			binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(float32(v)))
-			buf.Write(tmp[:])
-		}
+		// The payload is the ordinary tensor framing pinned to the f32
+		// wire dtype: one exact-size allocation, decoded by the same
+		// tensor decoder as CompressNone.
+		out := make([]byte, 0, 1+f.EncodedSizeAs(tensor.DTypeF32))
+		out = append(out, byte(CompressFP32))
+		return f.AppendBinaryAs(out, tensor.DTypeF32)
 	case CompressTopK:
-		writeShape(&buf, f.Shape())
 		k := int(float64(f.Size()) * topKFraction)
 		if k < 1 {
 			k = 1
 		}
 		idx := topKIndices(f.Data, k)
-		var tmp [8]byte
-		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(idx)))
-		buf.Write(tmp[:4])
-		for _, i := range idx {
-			binary.LittleEndian.PutUint32(tmp[:4], uint32(i))
-			binary.LittleEndian.PutUint32(tmp[4:], math.Float32bits(float32(f.Data[i])))
-			buf.Write(tmp[:])
+		shape := f.Shape()
+		out := make([]byte, 0, 1+4+4*len(shape)+4+8*len(idx))
+		out = append(out, byte(CompressTopK))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(shape)))
+		for _, d := range shape {
+			out = binary.LittleEndian.AppendUint32(out, uint32(d))
 		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(idx)))
+		for _, i := range idx {
+			out = binary.LittleEndian.AppendUint32(out, uint32(i))
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(f.Data[i])))
+		}
+		return out
 	default:
 		panic(fmt.Sprintf("core: unknown compression %d", mode))
 	}
-	return buf.Bytes()
 }
 
-// decodeFeedbackAny decodes a feedback regardless of its mode. maxVol
-// bounds the decoded element count (the server knows the shape of the
-// batch a feedback answers), so a corrupt or hostile frame errors out
-// before it can over-allocate.
-func decodeFeedbackAny(p []byte, maxVol int) (*tensor.Tensor, error) {
+// shapeVol returns the volume of a shape.
+func shapeVol(shape []int) int {
+	vol := 1
+	for _, d := range shape {
+		vol *= d
+	}
+	return vol
+}
+
+// decodeFeedbackAny decodes a feedback regardless of its mode. The
+// decoded tensor must have exactly the shape of the generated batch the
+// feedback answers (`want`): a feedback is consumed row-for-row against
+// that batch, so a frame of merely equal volume but different shape
+// would silently mis-align against the generator's samples. The volume
+// of want also bounds every decode-side allocation, so a corrupt or
+// hostile frame errors out before it can over-allocate.
+func decodeFeedbackAny(p []byte, want []int) (*tensor.Tensor, error) {
 	if len(p) == 0 {
 		return nil, fmt.Errorf("core: empty feedback")
 	}
 	mode := Compression(p[0])
 	r := bytes.NewReader(p[1:])
 	switch mode {
-	case CompressNone:
+	case CompressNone, CompressFP32:
 		f := new(tensor.Tensor)
 		if _, err := f.ReadFrom(r); err != nil {
-			return nil, fmt.Errorf("core: decode feedback: %w", err)
+			return nil, fmt.Errorf("core: decode %s feedback: %w", mode, err)
 		}
-		if f.Size() > maxVol {
-			return nil, fmt.Errorf("core: feedback volume %d exceeds expected %d", f.Size(), maxVol)
-		}
-		return f, nil
-	case CompressFP32:
-		shape, err := readShapeBounded(r, maxVol)
-		if err != nil {
-			return nil, err
-		}
-		f := tensor.New(shape...)
-		var tmp [4]byte
-		for i := range f.Data {
-			if _, err := io.ReadFull(r, tmp[:]); err != nil {
-				return nil, fmt.Errorf("core: decode fp32 feedback: %w", err)
-			}
-			f.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(tmp[:])))
+		if !slices.Equal(f.Shape(), want) {
+			return nil, fmt.Errorf("core: feedback shape %v, want %v", f.Shape(), want)
 		}
 		return f, nil
 	case CompressTopK:
-		shape, err := readShapeBounded(r, maxVol)
+		shape, err := readShapeBounded(r, shapeVol(want))
 		if err != nil {
 			return nil, err
+		}
+		if !slices.Equal(shape, want) {
+			return nil, fmt.Errorf("core: feedback shape %v, want %v", shape, want)
 		}
 		f := tensor.New(shape...)
 		var tmp [8]byte
@@ -155,21 +156,11 @@ func decodeFeedbackAny(p []byte, maxVol int) (*tensor.Tensor, error) {
 			if i < 0 || i >= f.Size() {
 				return nil, fmt.Errorf("core: topk index %d out of range", i)
 			}
-			f.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(tmp[4:])))
+			f.Data[i] = tensor.Elem(math.Float32frombits(binary.LittleEndian.Uint32(tmp[4:])))
 		}
 		return f, nil
 	default:
 		return nil, fmt.Errorf("core: unknown feedback compression byte %d", p[0])
-	}
-}
-
-func writeShape(buf *bytes.Buffer, shape []int) {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(shape)))
-	buf.Write(tmp[:])
-	for _, d := range shape {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(d))
-		buf.Write(tmp[:])
 	}
 }
 
@@ -203,23 +194,67 @@ func readShapeBounded(r *bytes.Reader, maxVol int) ([]int, error) {
 	return shape, nil
 }
 
-// topKIndices returns the indices of the k largest-magnitude entries.
-func topKIndices(data []float64, k int) []int {
-	if k >= len(data) {
-		out := make([]int, len(data))
-		for i := range out {
-			out[i] = i
-		}
-		return out
-	}
+// topKIndices returns the indices of the k largest-magnitude entries in
+// ascending index order (ascending indices compress better and decode
+// cache-friendly). It allocates only the index permutation: selection
+// is an in-place quickselect, so the encoder's total footprint stays at
+// two allocations per frame.
+func topKIndices(data []tensor.Elem, k int) []int {
 	idx := make([]int, len(data))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return math.Abs(data[idx[a]]) > math.Abs(data[idx[b]])
-	})
-	out := idx[:k]
-	sort.Ints(out) // ascending indices compress better and decode cache-friendly
-	return out
+	if k >= len(data) {
+		return idx
+	}
+	quickSelectTopK(data, idx, k)
+	top := idx[:k]
+	slices.Sort(top)
+	return top
+}
+
+// absE is math.Abs over the compiled element type.
+func absE(v tensor.Elem) tensor.Elem {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// quickSelectTopK partially orders idx so its first k entries index the
+// k largest-magnitude values of data (in unspecified order), using
+// median-of-three Hoare partitioning.
+func quickSelectTopK(data []tensor.Elem, idx []int, k int) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		// Median-of-three pivot on |data|, moved to idx[lo].
+		mid := lo + (hi-lo)/2
+		if absE(data[idx[mid]]) > absE(data[idx[lo]]) {
+			idx[lo], idx[mid] = idx[mid], idx[lo]
+		}
+		if absE(data[idx[hi]]) > absE(data[idx[lo]]) {
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+		if absE(data[idx[mid]]) > absE(data[idx[hi]]) {
+			idx[mid], idx[hi] = idx[hi], idx[mid]
+		}
+		pivot := absE(data[idx[hi]])
+		// Partition descending by magnitude: entries > pivot first.
+		p := lo
+		for i := lo; i < hi; i++ {
+			if absE(data[idx[i]]) > pivot {
+				idx[p], idx[i] = idx[i], idx[p]
+				p++
+			}
+		}
+		idx[p], idx[hi] = idx[hi], idx[p]
+		switch {
+		case p == k || p == k-1:
+			return
+		case p > k:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
 }

@@ -94,6 +94,47 @@ func DefaultK(n int) int {
 // workerName formats the canonical node name of worker i.
 func workerName(i int) string { return fmt.Sprintf("worker%d", i) }
 
+// shardSizes lists the per-worker shard lengths.
+func shardSizes(shards []*dataset.Dataset) []int {
+	sizes := make([]int, len(shards))
+	for i, sh := range shards {
+		sizes[i] = sh.Len()
+	}
+	return sizes
+}
+
+// swapIntervalFor converts the paper's swap cadence of E local epochs
+// (Algorithm 1 line 11) into global iterations. Every worker passes its
+// m local samples once per m/b iterations, so E epochs = m·E/b
+// iterations, rounded to the nearest integer and floored at 1 (a swap
+// cannot fire more often than once per iteration). Shard sizes can
+// differ after splitting; the minimum is the paper's m, and because the
+// server computes this single cadence for the whole cluster, workers
+// with uneven shards can never drift onto different swap schedules.
+// swapE ≤ 0 disables swapping (callers map the SwapEvery=0 default to
+// E=1 before this).
+//
+// The rounding matters for small shards: the previous truncating
+// m·E/b systematically shortened the cadence — m=100, E=1, b=64 swapped
+// every iteration instead of every 2 (true cadence 1.56), and any
+// m·E < b collapsed to 1 outright.
+func swapIntervalFor(sizes []int, swapE, batch int) int {
+	if swapE <= 0 || len(sizes) == 0 {
+		return 0
+	}
+	m := sizes[0]
+	for _, s := range sizes[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	interval := (m*swapE + batch/2) / batch
+	if interval < 1 {
+		interval = 1
+	}
+	return interval
+}
+
 const serverName = "server"
 
 // Train runs MD-GAN over the given shards (one per worker; len(shards)
@@ -137,23 +178,7 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 	g := couple.G
 	lc := couple.LossConfig
 
-	// Swap cadence in iterations: every worker passes its m local
-	// samples once per m/b iterations, so E epochs = m·E/b iterations
-	// (Algorithm 1 line 11). Shard sizes can differ by one after
-	// splitting; use the minimum as the paper's m.
-	m := shards[0].Len()
-	for _, sh := range shards {
-		if sh.Len() < m {
-			m = sh.Len()
-		}
-	}
-	swapInterval := 0
-	if swapE > 0 {
-		swapInterval = m * swapE / cfg.Batch
-		if swapInterval < 1 {
-			swapInterval = 1
-		}
-	}
+	swapInterval := swapIntervalFor(shardSizes(shards), swapE, cfg.Batch)
 
 	// Spawn workers.
 	workers := make([]*worker, n)
@@ -260,9 +285,9 @@ type server struct {
 	aggregate      Aggregation
 	joinAt         map[int][]*dataset.Dataset
 	spawn          func(*dataset.Dataset) (*worker, error)
-	// feedbackVol bounds async feedback decodes: the volume of the last
-	// generated batch, set before any feedback can arrive.
-	feedbackVol int
+	// feedbackShape validates async feedback decodes: the shape of the
+	// last generated batch, set before any feedback can arrive.
+	feedbackShape []int
 }
 
 // liveWorkers returns the alive worker names in index order.
@@ -380,10 +405,10 @@ func (s *server) runSync(iters int) (int, error) {
 			if _, expected := gIdx[msg.From]; !expected {
 				continue // stale feedback from an inactive round
 			}
-			// A feedback has the shape of the generated batch it answers;
-			// bounding the decode by that volume keeps a corrupt frame
-			// from over-allocating.
-			f, err := decodeFeedbackAny(msg.Payload, xs[0].Size())
+			// A feedback must have the shape of the generated batch it
+			// answers; the expected shape also bounds the decode so a
+			// corrupt frame cannot over-allocate.
+			f, err := decodeFeedbackAny(msg.Payload, xs[0].Shape())
 			if err != nil {
 				return updates, err
 			}

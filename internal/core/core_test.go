@@ -242,10 +242,10 @@ func TestTrafficMatchesAnalyticModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Payload sizes: a batch tensor (b, 2) is 4 + 4·2 + 8·b·2 bytes;
-	// labels are 4 bytes (zero count) each ×2; swap-target string is 4
-	// bytes. Feedback = one tensor frame.
-	batchFrame := int64(4 + 4*2 + 8*b*2)
+	// Payload sizes: a batch tensor (b, 2) is 1 (dtype byte) + 4 + 4·2
+	// + ElemBytes·b·2 bytes; labels are 4 bytes (zero count) each ×2;
+	// swap-target string is 4 bytes. Feedback = one tensor frame.
+	batchFrame := int64(1 + 4 + 4*2 + tensor.ElemBytes*b*2)
 	batchesPayload := 2*batchFrame + 2*4 + 4
 	feedbackPayload := batchFrame + 1 // +1: compression-mode prefix byte
 	wantCtoW := int64(n*iters) * batchesPayload

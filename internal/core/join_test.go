@@ -8,6 +8,7 @@ import (
 	"mdgan/internal/dataset"
 	"mdgan/internal/gan"
 	"mdgan/internal/simnet"
+	"mdgan/internal/tensor"
 )
 
 func TestWorkerJoinAddsParticipant(t *testing.T) {
@@ -90,7 +91,7 @@ func TestJoinTrafficCost(t *testing.T) {
 	// worker's ordinary feedback traffic.
 	d := gan.RingMLP().NewGAN(1, cfg.GenLoss, 0).D
 	extraUp := with.Bytes[simnet.WtoC] - without.Bytes[simnet.WtoC]
-	feedbackBytes := int64(4+4*2+8*cfg.Batch*2) + 1
+	feedbackBytes := int64(1+4+4*2+tensor.ElemBytes*cfg.Batch*2) + 1
 	wantExtra := d.EncodedParamSize() + 4*feedbackBytes // 4 post-join iterations
 	if extraUp != wantExtra {
 		t.Fatalf("extra W→C bytes = %d, want %d", extraUp, wantExtra)

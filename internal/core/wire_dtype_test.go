@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdgan/internal/gan"
+	"mdgan/internal/tensor"
+)
+
+// Swap-path cross-dtype round-trip: a discriminator's parameters framed
+// in either wire dtype must stream back into a peer's storage, exact at
+// the native width and within float32 rounding for the narrow one.
+func TestSwapParamsCrossDtype(t *testing.T) {
+	d := gan.RingMLP().NewGAN(1, 0, 0).D
+	rng := rand.New(rand.NewSource(31))
+	for _, p := range d.Params() {
+		for i := range p.W.Data {
+			p.W.Data[i] = tensor.Elem(rng.NormFloat64())
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		dt   byte
+		tol  float64
+	}{
+		{"native", tensor.NativeDType, 0},
+		{"f64", tensor.DTypeF64, tensor.Tol(0, 0)},
+		{"f32", tensor.DTypeF32, tensor.Tol(2e-7, 0)},
+	} {
+		var frames []byte
+		for _, p := range d.Params() {
+			frames = p.W.AppendBinaryAs(frames, tc.dt)
+		}
+		peer := gan.RingMLP().NewGAN(2, 0, 0).D
+		if err := decodeDiscParamsInto(peer, frames); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		dp, pp := d.Params(), peer.Params()
+		for i := range dp {
+			for j, v := range dp[i].W.Data {
+				if diff := math.Abs(float64(v) - float64(pp[i].W.Data[j])); diff > tc.tol {
+					t.Fatalf("%s: param %d[%d] deviates by %g (tol %g)", tc.name, i, j, diff, tc.tol)
+				}
+			}
+		}
+	}
+}
+
+// The native swap payload size follows the compiled element width: the
+// Table III W→W accounting must shrink 2× under the f32 build.
+func TestSwapPayloadSizeTracksDtype(t *testing.T) {
+	d := gan.RingMLP().NewGAN(1, 0, 0).D
+	payload := encodeDiscParams(d)
+	if int64(len(payload)) != d.EncodedParamSize() {
+		t.Fatalf("swap payload %d bytes, EncodedParamSize says %d", len(payload), d.EncodedParamSize())
+	}
+	perParam := int64(0)
+	elems := int64(0)
+	for _, p := range d.Params() {
+		perParam += int64(1 + 4 + 4*p.W.Rank())
+		elems += int64(p.W.Size())
+	}
+	if want := perParam + int64(tensor.ElemBytes)*elems; int64(len(payload)) != want {
+		t.Fatalf("swap payload %d bytes, want %d (%d-byte elements)", len(payload), want, tensor.ElemBytes)
+	}
+}
+
+// Feedback cross-dtype: a feedback encoded by the opposite-width build
+// (simulated via AppendBinaryAs) decodes under CompressNone framing.
+func TestFeedbackCrossDtype(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	f := randFeedback(rng, 6, 9)
+	for _, dt := range []byte{tensor.DTypeF64, tensor.DTypeF32} {
+		enc := append([]byte{byte(CompressNone)}, f.AppendBinaryAs(nil, dt)...)
+		got, err := decodeFeedbackAny(enc, f.Shape())
+		if err != nil {
+			t.Fatalf("dtype %#x: %v", dt, err)
+		}
+		tol := 0.0
+		if dt == tensor.DTypeF32 {
+			tol = 2e-7
+		}
+		for i, v := range f.Data {
+			if math.Abs(float64(v)-float64(got.Data[i])) > tol*(1+math.Abs(float64(v))) {
+				t.Fatalf("dtype %#x: element %d deviates", dt, i)
+			}
+		}
+	}
+}
+
+func TestWorkerRoundTripAllCompressionsStillTrains(t *testing.T) {
+	// End-to-end: each compression mode completes a short K>1 run and
+	// produces a finite generator (the dtype-aware wire in real use).
+	for _, mode := range []Compression{CompressNone, CompressFP32, CompressTopK} {
+		shards := ringShards(3, 120, 61)
+		cfg := baseConfig()
+		cfg.Iters = 12
+		cfg.K = 2
+		cfg.Compress = mode
+		res, err := Train(shards, gan.RingMLP(), cfg, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for _, v := range res.G.Net.ParamVector() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%v: non-finite generator parameter", mode)
+			}
+		}
+	}
+}

@@ -21,8 +21,8 @@ func validBatchesPayload() []byte {
 	xd := tensor.New(2, 3)
 	xg := tensor.New(2, 3)
 	for i := range xd.Data {
-		xd.Data[i] = float64(i) * 0.25
-		xg.Data[i] = -float64(i)
+		xd.Data[i] = tensor.Elem(i) * 0.25
+		xg.Data[i] = -tensor.Elem(i)
 	}
 	return encodeBatches(batchesMsg{
 		Xd: xd, Ld: []int{0, 1},
@@ -59,16 +59,26 @@ func FuzzDecodeBatches(f *testing.F) {
 func FuzzDecodeFeedback(f *testing.F) {
 	fb := tensor.New(4, 6)
 	for i := range fb.Data {
-		fb.Data[i] = float64(i%7) - 3
+		fb.Data[i] = tensor.Elem(i%7) - 3
 	}
 	for _, mode := range []Compression{CompressNone, CompressFP32, CompressTopK} {
 		enc := encodeFeedbackCompressed(fb, mode)
 		f.Add(enc)
 		f.Add(enc[:len(enc)/2])
 	}
-	f.Add([]byte{byte(CompressTopK), 1, 0, 0, 0, 255, 255, 255, 255}) // dim bomb
+	// Dtype-byte coverage: the non-native wire width and the legacy
+	// pre-dtype framing both decode through the same entry point.
+	other := append([]byte{byte(CompressNone)}, fb.AppendBinaryAs(nil, tensor.DTypeF32)...)
+	f.Add(other)
+	f.Add(other[:len(other)/3])
+	legacy := []byte{byte(CompressNone), 2, 0, 0, 0, 4, 0, 0, 0, 6, 0, 0, 0}
+	legacy = append(legacy, make([]byte, 8*24)...) // zero-valued f64 payload
+	f.Add(legacy)
+	f.Add([]byte{byte(CompressTopK), 1, 0, 0, 0, 255, 255, 255, 255})    // dim bomb
+	f.Add([]byte{byte(CompressNone), tensor.DTypeF32, 9, 0, 0, 0})       // f32 frame, absurd rank
+	f.Add([]byte{byte(CompressFP32), tensor.DTypeF64, 1, 0, 0, 0, 2, 0}) // truncated payload
 	f.Fuzz(func(t *testing.T, p []byte) {
-		fn, err := decodeFeedbackAny(p, fb.Size()) // must never panic
+		fn, err := decodeFeedbackAny(p, fb.Shape()) // must never panic
 		if err == nil && fn.Size() > fb.Size() {
 			t.Fatalf("decoded %d elements past the %d-element bound", fn.Size(), fb.Size())
 		}
@@ -81,12 +91,21 @@ func FuzzDecodeFeedback(f *testing.F) {
 func FuzzTensorReadInPlace(f *testing.F) {
 	ref := tensor.New(3, 4)
 	for i := range ref.Data {
-		ref.Data[i] = float64(i)
+		ref.Data[i] = tensor.Elem(i)
 	}
 	valid := ref.AppendBinary(nil)
 	f.Add(valid)
 	f.Add(valid[:5])
-	f.Add(binary.LittleEndian.AppendUint32(nil, 9)) // rank out of range
+	f.Add(ref.AppendBinaryAs(nil, tensor.DTypeF32)) // non-native wire width
+	f.Add(ref.AppendBinaryAs(nil, tensor.DTypeF64))
+	legacy := binary.LittleEndian.AppendUint32(nil, 2) // pre-dtype framing
+	legacy = binary.LittleEndian.AppendUint32(legacy, 3)
+	legacy = binary.LittleEndian.AppendUint32(legacy, 4)
+	f.Add(append(legacy, make([]byte, 8*12)...))
+	f.Add(binary.LittleEndian.AppendUint32(nil, 9))   // rank out of range
+	f.Add([]byte{tensor.DTypeF32, 2, 0, 0, 0, 255})   // f32 header, truncated dims
+	f.Add([]byte{tensor.DTypeF64})                    // dtype byte alone
+	f.Add([]byte{0xF0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 2}) // near-miss dtype byte → legacy rank garbage
 	f.Fuzz(func(t *testing.T, p []byte) {
 		dst := tensor.New(3, 4)
 		_, _ = dst.ReadInPlace(bytes.NewReader(p)) // must never panic

@@ -3,6 +3,8 @@ package dataset
 import (
 	"math"
 	"math/rand"
+
+	"mdgan/internal/tensor"
 )
 
 // Class palettes for the CIFAR10 stand-in: each class owns a base colour
@@ -44,7 +46,7 @@ func SynthCIFARSize(n int, seed int64, size int) *Dataset {
 	return ds
 }
 
-func drawPattern(data []float64, label, s int, rng *rand.Rand) {
+func drawPattern(data []tensor.Elem, label, s int, rng *rand.Rand) {
 	base := cifarPalette[label]
 	family := label % 5
 	freq := 2 + float64(label%3)         // spatial frequency
@@ -75,7 +77,7 @@ func drawPattern(data []float64, label, s int, rng *rand.Rand) {
 				} else if v < -1 {
 					v = -1
 				}
-				data[(c*s+y)*s+x] = v
+				data[(c*s+y)*s+x] = tensor.Elem(v)
 			}
 		}
 	}

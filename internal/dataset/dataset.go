@@ -131,10 +131,10 @@ func newVecTensor(n, d int) *tensor.Tensor { return tensor.New(n, d) }
 // with convenience setters, pixel values in [−1, 1].
 type img struct {
 	c, h, w int
-	data    []float64
+	data    []tensor.Elem
 }
 
-func newImg(data []float64, c, h, w int) *img {
+func newImg(data []tensor.Elem, c, h, w int) *img {
 	for i := range data {
 		data[i] = -1 // background
 	}
@@ -146,7 +146,7 @@ func (im *img) set(ch, y, x int, v float64) {
 	if x < 0 || x >= im.w || y < 0 || y >= im.h {
 		return
 	}
-	im.data[(ch*im.h+y)*im.w+x] = v
+	im.data[(ch*im.h+y)*im.w+x] = tensor.Elem(v)
 }
 
 // setAll writes (r, g, b) to pixel (x, y) across up to 3 channels.
@@ -179,14 +179,14 @@ func (im *img) fillEllipse(cy, cx, ry, rx int, rgb [3]float64) {
 }
 
 // addNoise perturbs every pixel with N(0, sigma) clamped to [−1, 1].
-func addNoise(data []float64, sigma float64, rng *rand.Rand) {
+func addNoise(data []tensor.Elem, sigma float64, rng *rand.Rand) {
 	for i := range data {
-		v := data[i] + sigma*rng.NormFloat64()
+		v := float64(data[i]) + sigma*rng.NormFloat64()
 		if v > 1 {
 			v = 1
 		} else if v < -1 {
 			v = -1
 		}
-		data[i] = v
+		data[i] = tensor.Elem(v)
 	}
 }

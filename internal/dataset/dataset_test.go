@@ -58,7 +58,7 @@ func TestDigitsClassesAreDistinguishable(t *testing.T) {
 		l := train.Labels[i]
 		counts[l]++
 		for j := 0; j < d; j++ {
-			centroids[l][j] += train.X.Data[i*d+j]
+			centroids[l][j] += float64(train.X.Data[i*d+j])
 		}
 	}
 	for l := range centroids {
@@ -72,7 +72,7 @@ func TestDigitsClassesAreDistinguishable(t *testing.T) {
 		for l := range centroids {
 			s := 0.0
 			for j := 0; j < d; j++ {
-				diff := test.X.Data[i*d+j] - centroids[l][j]
+				diff := float64(test.X.Data[i*d+j]) - centroids[l][j]
 				s += diff * diff
 			}
 			if s < best {
@@ -125,7 +125,7 @@ func TestGaussianRingGeometry(t *testing.T) {
 	}
 	// Every point should be near radius 2.
 	for i := 0; i < ds.Len(); i++ {
-		r := math.Hypot(ds.X.Data[2*i], ds.X.Data[2*i+1])
+		r := math.Hypot(float64(ds.X.Data[2*i]), float64(ds.X.Data[2*i+1]))
 		if r < 1.5 || r > 2.5 {
 			t.Fatalf("point %d at radius %v", i, r)
 		}

@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"math/rand"
+
+	"mdgan/internal/tensor"
 )
 
 // SynthFaces generates n procedural face compositions of shape
@@ -30,7 +32,7 @@ func SynthFacesSize(n int, seed int64, size int) *Dataset {
 	return ds
 }
 
-func drawFace(data []float64, s, skin, eyes, mouth int, rng *rand.Rand) {
+func drawFace(data []tensor.Elem, s, skin, eyes, mouth int, rng *rand.Rand) {
 	im := newImg(data, 3, s, s)
 	// Background hue: random muted colour.
 	bg := [3]float64{

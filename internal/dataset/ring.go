@@ -3,6 +3,8 @@ package dataset
 import (
 	"math"
 	"math/rand"
+
+	"mdgan/internal/tensor"
 )
 
 // GaussianRing generates the classic 2-D GAN toy problem: n points drawn
@@ -19,8 +21,8 @@ func GaussianRing(n, modes int, radius, std float64, seed int64) *Dataset {
 		m := rng.Intn(modes)
 		ds.Labels[i] = m
 		angle := 2 * math.Pi * float64(m) / float64(modes)
-		ds.X.Data[2*i] = radius*math.Cos(angle) + std*rng.NormFloat64()
-		ds.X.Data[2*i+1] = radius*math.Sin(angle) + std*rng.NormFloat64()
+		ds.X.Data[2*i] = tensor.Elem(radius*math.Cos(angle) + std*rng.NormFloat64())
+		ds.X.Data[2*i+1] = tensor.Elem(radius*math.Sin(angle) + std*rng.NormFloat64())
 	}
 	return ds
 }

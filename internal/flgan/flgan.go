@@ -18,6 +18,7 @@ import (
 	"mdgan/internal/nn"
 	"mdgan/internal/opt"
 	"mdgan/internal/simnet"
+	"mdgan/internal/tensor"
 )
 
 // Config configures an FL-GAN run.
@@ -95,7 +96,9 @@ func decodeCoupleInto(m *gan.GAN, p []byte) error {
 func fullVector(m *gan.GAN) []float64 {
 	v := m.G.Net.ParamVector()
 	if m.G.Embed != nil {
-		v = append(v, m.G.Embed.W.Data...)
+		for _, x := range m.G.Embed.W.Data {
+			v = append(v, float64(x))
+		}
 	}
 	v = append(v, m.D.Trunk.ParamVector()...)
 	v = append(v, m.D.Src.ParamVector()...)
@@ -293,7 +296,9 @@ func setFullVector(m *gan.GAN, v []float64) error {
 	off := gLen
 	if m.G.Embed != nil {
 		e := m.G.Embed.W.Size()
-		copy(m.G.Embed.W.Data, v[off:off+e])
+		for i, x := range v[off : off+e] {
+			m.G.Embed.W.Data[i] = tensor.Elem(x)
+		}
 		off += e
 	}
 	tLen := m.D.Trunk.NumParams()

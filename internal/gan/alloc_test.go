@@ -31,7 +31,7 @@ func TestTrainingIterationSteadyStateAllocs(t *testing.T) {
 	optG := opt.NewAdam(opt.AdamConfig{})
 	xr := tensor.New(10, 64)
 	for i := range xr.Data {
-		xr.Data[i] = rng.NormFloat64()
+		xr.Data[i] = tensor.Elem(rng.NormFloat64())
 	}
 	step := func() {
 		xg, lg := g.G.Generate(10, rng, true)
@@ -59,7 +59,7 @@ func TestConditionalTrainingIterationSteadyStateAllocs(t *testing.T) {
 	xr := tensor.New(10, 784)
 	lr := make([]int, 10)
 	for i := range xr.Data {
-		xr.Data[i] = rng.NormFloat64()
+		xr.Data[i] = tensor.Elem(rng.NormFloat64())
 	}
 	for i := range lr {
 		lr[i] = rng.Intn(10)

@@ -43,7 +43,7 @@ func NewGenerator(net *nn.Sequential, zdim, classes int, rng *rand.Rand) *Genera
 		// Near-identity init: conditioning starts as a gentle per-class
 		// modulation and sharpens as training progresses.
 		for i := range w.Data {
-			w.Data[i] = 1 + 0.1*rng.NormFloat64()
+			w.Data[i] = tensor.Elem(1 + 0.1*rng.NormFloat64())
 		}
 		g.Embed = &nn.Param{Name: "gen.embed", W: w, Grad: tensor.New(classes, zdim)}
 	}
@@ -55,7 +55,7 @@ func NewGenerator(net *nn.Sequential, zdim, classes int, rng *rand.Rand) *Genera
 func (g *Generator) SampleZ(b int, rng *rand.Rand) (*tensor.Tensor, []int) {
 	z := tensor.New(b, g.ZDim)
 	for i := range z.Data {
-		z.Data[i] = rng.NormFloat64()
+		z.Data[i] = tensor.Elem(rng.NormFloat64())
 	}
 	var labels []int
 	if g.Classes > 0 {

@@ -64,7 +64,7 @@ func TestGeneratorConditioningChangesOutput(t *testing.T) {
 	z := tensor.New(1, 32)
 	rng := rand.New(rand.NewSource(4))
 	for i := range z.Data {
-		z.Data[i] = rng.NormFloat64()
+		z.Data[i] = tensor.Elem(rng.NormFloat64())
 	}
 	a := g.G.Forward(z, []int{0}, false).Clone()
 	b := g.G.Forward(z, []int{7}, false)
@@ -127,7 +127,7 @@ func TestFeedbackMatchesDirectBackprop(t *testing.T) {
 	gradB := g2.G.Net.GradVector()
 
 	for i := range gradA {
-		if math.Abs(gradA[i]-gradB[i]) > 1e-12 {
+		if math.Abs(gradA[i]-gradB[i]) > tensor.Tol(1e-12, 1e-6) {
 			t.Fatalf("grad mismatch at %d: %g vs %g", i, gradA[i], gradB[i])
 		}
 	}
@@ -143,7 +143,7 @@ func TestDiscStepLearnsToSeparate(t *testing.T) {
 	mk := func(center float64) *tensor.Tensor {
 		x := tensor.New(16, 2)
 		for i := range x.Data {
-			x.Data[i] = center + 0.1*rng.NormFloat64()
+			x.Data[i] = tensor.Elem(center + 0.1*rng.NormFloat64())
 		}
 		return x
 	}
@@ -196,7 +196,7 @@ func TestDiscriminatorParamSerialization(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	x := tensor.New(2, 1, 16, 16)
 	for i := range x.Data {
-		x.Data[i] = rng.NormFloat64()
+		x.Data[i] = tensor.Elem(rng.NormFloat64())
 	}
 	sa, ca := a.D.Forward(x, false)
 	sb, cb := b.D.Forward(x, false)

@@ -29,6 +29,15 @@ func SymEig(a *tensor.Tensor) (vals []float64, vecs *tensor.Tensor, err error) {
 	for i := 0; i < n; i++ {
 		v.Set(1, i, i)
 	}
+	// Convergence threshold: the off-diagonal mass cannot shrink below
+	// the rotation round-off floor, which scales with the square of the
+	// storage epsilon and the matrix magnitude — under the f32 build an
+	// absolute 1e-22 would never be reached.
+	frob2 := 0.0
+	for _, x := range m.Data {
+		frob2 += float64(x) * float64(x)
+	}
+	thresh := tensor.Tol(1e-22, 1e-12) * float64(n*n) * (1 + frob2)
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := 0.0
@@ -37,7 +46,7 @@ func SymEig(a *tensor.Tensor) (vals []float64, vecs *tensor.Tensor, err error) {
 				off += m.At(i, j) * m.At(i, j)
 			}
 		}
-		if off < 1e-22*float64(n*n) {
+		if off < thresh {
 			break
 		}
 		for p := 0; p < n-1; p++ {
@@ -192,7 +201,7 @@ func FrechetDistance(mu1, c1, mu2, c2 *tensor.Tensor) (float64, error) {
 	diff := tensor.Sub(mu1, mu2)
 	d2 := 0.0
 	for _, v := range diff.Data {
-		d2 += v * v
+		d2 += float64(v) * float64(v)
 	}
 	s, err := SqrtPSD(c1)
 	if err != nil {

@@ -36,7 +36,7 @@ func TestScoreRealBeatsNoise(t *testing.T) {
 	noise := tensor.New(300, 1, 28, 28)
 	rng := rand.New(rand.NewSource(2))
 	for i := range noise.Data {
-		noise.Data[i] = rng.Float64()*2 - 1
+		noise.Data[i] = tensor.Elem(rng.Float64()*2 - 1)
 	}
 	sr := s.Score(real.X)
 	sn := s.Score(noise)
@@ -56,7 +56,7 @@ func TestScoreBounds(t *testing.T) {
 			x := tensor.New(200, 1, 28, 28)
 			rng := rand.New(rand.NewSource(4))
 			for i := range x.Data {
-				x.Data[i] = rng.Float64()*2 - 1
+				x.Data[i] = tensor.Elem(rng.Float64()*2 - 1)
 			}
 			return x
 		},
@@ -98,7 +98,7 @@ func TestFIDRealVsRealSmall(t *testing.T) {
 	noise := tensor.New(500, 1, 28, 28)
 	rng := rand.New(rand.NewSource(13))
 	for i := range noise.Data {
-		noise.Data[i] = rng.Float64()*2 - 1
+		noise.Data[i] = tensor.Elem(rng.Float64()*2 - 1)
 	}
 	fidNoise, err := s.FID(a.X, noise)
 	if err != nil {

@@ -29,7 +29,7 @@ func NewReLU() *LeakyReLU { return &LeakyReLU{} }
 func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
 	l.out = tensor.Ensure(l.out, x.Shape()...)
-	a := l.Alpha
+	a := tensor.Elem(l.Alpha)
 	od := l.out.Data
 	for i, v := range x.Data {
 		if v > 0 {
@@ -44,7 +44,7 @@ func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward gates the incoming gradient by the activation derivative.
 func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	l.dx = tensor.Ensure(l.dx, grad.Shape()...)
-	a := l.Alpha
+	a := tensor.Elem(l.Alpha)
 	od, gd := l.dx.Data, grad.Data
 	for i, v := range l.x.Data {
 		if v > 0 {
@@ -76,7 +76,7 @@ func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	s.y = tensor.Ensure(s.y, x.Shape()...)
 	yd := s.y.Data
 	for i, v := range x.Data {
-		yd[i] = 1 / (1 + math.Exp(-v))
+		yd[i] = tensor.Elem(1 / (1 + math.Exp(float64(-v))))
 	}
 	return s.y
 }
@@ -112,7 +112,7 @@ func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	t.y = tensor.Ensure(t.y, x.Shape()...)
 	yd := t.y.Data
 	for i, v := range x.Data {
-		yd[i] = math.Tanh(v)
+		yd[i] = tensor.Elem(math.Tanh(float64(v)))
 	}
 	return t.y
 }

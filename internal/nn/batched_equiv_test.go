@@ -160,12 +160,18 @@ func refConvTBackward(c *ConvTranspose2D, x, grad *tensor.Tensor) (dW, dB, dx *t
 func maxAbsDiff(a, b *tensor.Tensor) float64 {
 	m := 0.0
 	for i, v := range a.Data {
-		if d := math.Abs(v - b.Data[i]); d > m {
+		if d := math.Abs(float64(v) - float64(b.Data[i])); d > m {
 			m = d
 		}
 	}
 	return m
 }
+
+// convTol is the batched-vs-reference tolerance: exact summation-order
+// equivalence holds only in exact arithmetic, so the bound scales with
+// the compiled element width (float32 rounding across the C·KH·KW and
+// N·oHW accumulation depths reaches ~1e-4).
+var convTol = tensor.Tol(1e-9, 1e-3)
 
 func TestConv2DBatchedMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
@@ -177,12 +183,12 @@ func TestConv2DBatchedMatchesReference(t *testing.T) {
 	} {
 		l := NewConv2D(cfg.inC, cfg.h, cfg.w, cfg.outC, cfg.k, cfg.stride, cfg.pad, rng)
 		for i := range l.B.W.Data {
-			l.B.W.Data[i] = rng.NormFloat64() * 0.1
+			l.B.W.Data[i] = tensor.Elem(rng.NormFloat64() * 0.1)
 		}
 		x := randInput(rng, cfg.n, cfg.inC, cfg.h, cfg.w)
 		got := l.Forward(x, true)
 		want := refConvForward(l, x)
-		if d := maxAbsDiff(got, want); d > 1e-9 {
+		if d := maxAbsDiff(got, want); d > convTol {
 			t.Fatalf("%+v: forward deviates by %g", cfg, d)
 		}
 
@@ -191,13 +197,13 @@ func TestConv2DBatchedMatchesReference(t *testing.T) {
 		l.B.Grad.Zero()
 		dx := l.Backward(grad)
 		wantdW, wantdB, wantdx := refConvBackward(l, x, grad)
-		if d := maxAbsDiff(l.W.Grad, wantdW); d > 1e-9 {
+		if d := maxAbsDiff(l.W.Grad, wantdW); d > convTol {
 			t.Fatalf("%+v: dW deviates by %g", cfg, d)
 		}
-		if d := maxAbsDiff(l.B.Grad, wantdB); d > 1e-9 {
+		if d := maxAbsDiff(l.B.Grad, wantdB); d > convTol {
 			t.Fatalf("%+v: dB deviates by %g", cfg, d)
 		}
-		if d := maxAbsDiff(dx, wantdx); d > 1e-9 {
+		if d := maxAbsDiff(dx, wantdx); d > convTol {
 			t.Fatalf("%+v: dx deviates by %g", cfg, d)
 		}
 	}
@@ -212,12 +218,12 @@ func TestConvTranspose2DBatchedMatchesReference(t *testing.T) {
 	} {
 		l := NewConvTranspose2D(cfg.inC, cfg.h, cfg.w, cfg.outC, cfg.k, cfg.stride, cfg.pad, cfg.outPad, rng)
 		for i := range l.B.W.Data {
-			l.B.W.Data[i] = rng.NormFloat64() * 0.1
+			l.B.W.Data[i] = tensor.Elem(rng.NormFloat64() * 0.1)
 		}
 		x := randInput(rng, cfg.n, cfg.inC, cfg.h, cfg.w)
 		got := l.Forward(x, true)
 		want := refConvTForward(l, x)
-		if d := maxAbsDiff(got, want); d > 1e-9 {
+		if d := maxAbsDiff(got, want); d > convTol {
 			t.Fatalf("%+v: forward deviates by %g", cfg, d)
 		}
 
@@ -227,13 +233,13 @@ func TestConvTranspose2DBatchedMatchesReference(t *testing.T) {
 		l.B.Grad.Zero()
 		dx := l.Backward(grad)
 		wantdW, wantdB, wantdx := refConvTBackward(l, x, grad)
-		if d := maxAbsDiff(l.W.Grad, wantdW); d > 1e-9 {
+		if d := maxAbsDiff(l.W.Grad, wantdW); d > convTol {
 			t.Fatalf("%+v: dW deviates by %g", cfg, d)
 		}
-		if d := maxAbsDiff(l.B.Grad, wantdB); d > 1e-9 {
+		if d := maxAbsDiff(l.B.Grad, wantdB); d > convTol {
 			t.Fatalf("%+v: dB deviates by %g", cfg, d)
 		}
-		if d := maxAbsDiff(dx, wantdx); d > 1e-9 {
+		if d := maxAbsDiff(dx, wantdx); d > convTol {
 			t.Fatalf("%+v: dx deviates by %g", cfg, d)
 		}
 	}

@@ -43,7 +43,7 @@ func newConvGeom(inC, inH, inW, kh, kw, stride, pad int) convGeom {
 // dst[r*rowStride+colOff : r*rowStride+colOff+outH*outW]. With
 // rowStride = outH*outW and colOff = 0 this is the classic single-image
 // unroll.
-func (g convGeom) im2col(x []float64, dst []float64, rowStride, colOff int) {
+func (g convGeom) im2col(x, dst []tensor.Elem, rowStride, colOff int) {
 	oHW := g.outH * g.outW
 	idx := 0
 	for c := 0; c < g.inC; c++ {
@@ -80,7 +80,7 @@ func (g convGeom) im2col(x []float64, dst []float64, rowStride, colOff int) {
 // col2im scatters one column block of a batched col matrix back into an
 // image, accumulating overlapping contributions — the adjoint of
 // im2col.
-func (g convGeom) col2im(col []float64, rowStride, colOff int, x []float64) {
+func (g convGeom) col2im(col []tensor.Elem, rowStride, colOff int, x []tensor.Elem) {
 	idx := 0
 	for c := 0; c < g.inC; c++ {
 		for ki := 0; ki < g.kh; ki++ {
@@ -155,7 +155,7 @@ func NewConv2D(inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) *Conv2D 
 func heUniform(w *tensor.Tensor, fanIn int, rng *rand.Rand) {
 	a := math.Sqrt(6.0 / float64(fanIn))
 	for i := range w.Data {
-		w.Data[i] = (rng.Float64()*2 - 1) * a
+		w.Data[i] = tensor.Elem((rng.Float64()*2 - 1) * a)
 	}
 }
 
@@ -252,9 +252,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for oc := 0; oc < c.OutC; oc++ {
 		sum := 0.0
 		for _, v := range gyd[oc*n*oHW : (oc+1)*n*oHW] {
-			sum += v
+			sum += float64(v)
 		}
-		db[oc] += sum
+		db[oc] += tensor.Elem(sum)
 	}
 
 	// dcol = Wᵀ·gy, scattered back per image into dx.
@@ -435,9 +435,9 @@ func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		for oc := 0; oc < c.OutC; oc++ {
 			sum := 0.0
 			for _, v := range gi[oc*oPlane : (oc+1)*oPlane] {
-				sum += v
+				sum += float64(v)
 			}
-			db[oc] += sum
+			db[oc] += tensor.Elem(sum)
 		}
 	}
 	tensor.Put(gcol)

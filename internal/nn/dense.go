@@ -33,7 +33,7 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 func glorotUniform(w *tensor.Tensor, fanIn, fanOut int, rng *rand.Rand) {
 	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
 	for i := range w.Data {
-		w.Data[i] = (rng.Float64()*2 - 1) * a
+		w.Data[i] = tensor.Elem((rng.Float64()*2 - 1) * a)
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 type Dropout struct {
 	P    float64
 	rng  *rand.Rand
-	mask []float64
+	mask []tensor.Elem
 	out  *tensor.Tensor
 	dx   *tensor.Tensor
 }
@@ -32,17 +32,22 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	keep := 1 - d.P
 	if cap(d.mask) < x.Size() {
-		d.mask = make([]float64, x.Size())
+		d.mask = make([]tensor.Elem, x.Size())
 	}
 	d.mask = d.mask[:x.Size()]
 	d.out = tensor.Ensure(d.out, x.Shape()...)
 	out := d.out
+	inv := tensor.Elem(1 / keep)
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
-			d.mask[i] = 1 / keep
-			out.Data[i] = v / keep
+			d.mask[i] = inv
+			out.Data[i] = v * inv
 		} else {
+			// Write the zero explicitly: the Ensure'd buffer keeps its
+			// previous contents, so a skipped store would leak the prior
+			// batch's activations through dropped units.
 			d.mask[i] = 0
+			out.Data[i] = 0
 		}
 	}
 	return out

@@ -18,18 +18,32 @@ type scalarLoss struct {
 func newScalarLoss(outShape []int, rng *rand.Rand) *scalarLoss {
 	p := tensor.New(outShape...)
 	for i := range p.Data {
-		p.Data[i] = rng.NormFloat64()
+		p.Data[i] = tensor.Elem(rng.NormFloat64())
 	}
 	return &scalarLoss{proj: p}
 }
 
 func (s *scalarLoss) value(out *tensor.Tensor) float64 { return tensor.Dot(out, s.proj) }
 
+// skipGradcheckF32 skips finite-difference checks under the f32 build:
+// with h = 1e-5 and float32 forward evaluations the quotient
+// (f(w+h)−f(w−h))/2h carries O(ε₃₂·|f|/h) ≈ O(1) relative noise, so
+// central differences cannot resolve the gradient. The f32 build's
+// gradient coverage comes from the analytic-vs-reference equivalence
+// tests (batched_equiv_test.go) and the cross-dtype training tests.
+func skipGradcheckF32(t *testing.T) {
+	t.Helper()
+	if tensor.ElemBytes == 4 {
+		t.Skip("finite-difference gradcheck needs float64 forward evaluations")
+	}
+}
+
 // checkLayerGradients verifies analytic parameter AND input gradients of
 // a layer against central finite differences. Input gradients are what
 // MD-GAN workers ship to the server, so they get equal scrutiny.
 func checkLayerGradients(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
 	t.Helper()
+	skipGradcheckF32(t)
 	rng := rand.New(rand.NewSource(99))
 	out := l.Forward(x, true)
 	loss := newScalarLoss(out.Shape(), rng)
@@ -54,7 +68,7 @@ func checkLayerGradients(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
 			fm := eval()
 			p.W.Data[i] = orig
 			num := (fp - fm) / (2 * h)
-			got := p.Grad.Data[i]
+			got := float64(p.Grad.Data[i])
 			if relErr(num, got) > tol {
 				t.Fatalf("param %s[%d]: analytic %g vs numeric %g", p.Name, i, got, num)
 			}
@@ -69,7 +83,7 @@ func checkLayerGradients(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
 		fm := eval()
 		x.Data[i] = orig
 		num := (fp - fm) / (2 * h)
-		got := dx.Data[i]
+		got := float64(dx.Data[i])
 		if relErr(num, got) > tol {
 			t.Fatalf("input[%d]: analytic %g vs numeric %g", i, got, num)
 		}
@@ -103,7 +117,7 @@ func sampleIndices(n, k int, rng *rand.Rand) []int {
 func randInput(rng *rand.Rand, shape ...int) *tensor.Tensor {
 	x := tensor.New(shape...)
 	for i := range x.Data {
-		x.Data[i] = rng.NormFloat64()
+		x.Data[i] = tensor.Elem(rng.NormFloat64())
 	}
 	return x
 }
@@ -175,6 +189,7 @@ func TestMinibatchDiscriminationGradients(t *testing.T) {
 // TestSequentialMLPGradients checks a full MLP stack end to end,
 // including the gradient delivered at the network input (the F_n path).
 func TestSequentialMLPGradients(t *testing.T) {
+	skipGradcheckF32(t)
 	rng := rand.New(rand.NewSource(11))
 	net := NewSequential(
 		NewDense(8, 10, rng),
@@ -199,7 +214,7 @@ func TestSequentialMLPGradients(t *testing.T) {
 			p.W.Data[i] = orig - h
 			fm := eval()
 			p.W.Data[i] = orig
-			if relErr((fp-fm)/(2*h), p.Grad.Data[i]) > 1e-5 {
+			if relErr((fp-fm)/(2*h), float64(p.Grad.Data[i])) > 1e-5 {
 				t.Fatalf("param %s[%d] gradient mismatch", p.Name, i)
 			}
 		}
@@ -211,13 +226,14 @@ func TestSequentialMLPGradients(t *testing.T) {
 		x.Data[i] = orig - h
 		fm := eval()
 		x.Data[i] = orig
-		if relErr((fp-fm)/(2*h), dx.Data[i]) > 1e-5 {
+		if relErr((fp-fm)/(2*h), float64(dx.Data[i])) > 1e-5 {
 			t.Fatalf("input[%d] gradient mismatch", i)
 		}
 	}
 }
 
 func TestConvNetGradientsEndToEnd(t *testing.T) {
+	skipGradcheckF32(t)
 	rng := rand.New(rand.NewSource(12))
 	net := NewSequential(
 		NewConv2D(1, 8, 8, 4, 3, 2, 1, rng), // -> (4,4,4)
@@ -239,7 +255,7 @@ func TestConvNetGradientsEndToEnd(t *testing.T) {
 		x.Data[i] = orig - h
 		fm := eval()
 		x.Data[i] = orig
-		if relErr((fp-fm)/(2*h), dx.Data[i]) > 1e-4 {
+		if relErr((fp-fm)/(2*h), float64(dx.Data[i])) > 1e-4 {
 			t.Fatalf("input[%d] gradient mismatch", i)
 		}
 	}

@@ -20,9 +20,10 @@ func BCEWithLogits(logits *tensor.Tensor, target float64) (float64, *tensor.Tens
 	n := float64(logits.Size())
 	grad := tensor.New(logits.Shape()...)
 	loss := 0.0
-	for i, s := range logits.Data {
+	for i, sv := range logits.Data {
+		s := float64(sv)
 		loss += math.Max(s, 0) - s*target + math.Log1p(math.Exp(-math.Abs(s)))
-		grad.Data[i] = (sigmoid(s) - target) / n
+		grad.Data[i] = tensor.Elem((sigmoid(s) - target) / n)
 	}
 	return loss / n, grad
 }
@@ -54,16 +55,18 @@ func GeneratorLoss(srcLogits *tensor.Tensor, mode GenLossMode) (float64, *tensor
 	switch mode {
 	case GenLossPaper:
 		// B̃ = (1/b) Σ log(1−σ(s));  d/ds = −σ(s).
-		for i, s := range srcLogits.Data {
+		for i, sv := range srcLogits.Data {
+			s := float64(sv)
 			// log(1−σ(s)) = −s − log(1+e^{−s}) = −max(s,0) − log(1+e^{−|s|})
 			loss += -math.Max(s, 0) - math.Log1p(math.Exp(-math.Abs(s)))
-			grad.Data[i] = -sigmoid(s) / n
+			grad.Data[i] = tensor.Elem(-sigmoid(s) / n)
 		}
 	case GenLossNonSaturating:
 		// −(1/b) Σ log σ(s);  d/ds = σ(s) − 1.
-		for i, s := range srcLogits.Data {
+		for i, sv := range srcLogits.Data {
+			s := float64(sv)
 			loss += math.Max(-s, 0) + math.Log1p(math.Exp(-math.Abs(s)))
-			grad.Data[i] = (sigmoid(s) - 1) / n
+			grad.Data[i] = tensor.Elem((sigmoid(s) - 1) / n)
 		}
 	default:
 		panic(fmt.Sprintf("nn: unknown GenLossMode %d", mode))
@@ -80,19 +83,20 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 		row := logits.Data[i*k : (i+1)*k]
 		m := math.Inf(-1)
 		for _, v := range row {
-			if v > m {
-				m = v
+			if float64(v) > m {
+				m = float64(v)
 			}
 		}
 		sum := 0.0
 		orow := out.Data[i*k : (i+1)*k]
 		for j, v := range row {
-			e := math.Exp(v - m)
-			orow[j] = e
+			e := math.Exp(float64(v) - m)
+			orow[j] = tensor.Elem(e)
 			sum += e
 		}
+		inv := tensor.Elem(1 / sum)
 		for j := range orow {
-			orow[j] /= sum
+			orow[j] *= inv
 		}
 	}
 	return out
@@ -118,7 +122,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 	// the gradient (softmax − onehot)/N reuses their tensor in place.
 	grad := probs.ScaleInPlace(1 / float64(n))
 	for i, y := range labels {
-		grad.Data[i*k+y] -= 1 / float64(n)
+		grad.Data[i*k+y] -= tensor.Elem(1 / float64(n))
 	}
 	return loss / float64(n), grad
 }

@@ -64,13 +64,13 @@ func (l *MinibatchDiscrimination) Forward(x *tensor.Tensor, train bool) *tensor.
 				mi := l.m.Data[i*l.B*l.C+b*l.C : i*l.B*l.C+(b+1)*l.C]
 				mj := l.m.Data[j*l.B*l.C+b*l.C : j*l.B*l.C+(b+1)*l.C]
 				for c := range mi {
-					d += math.Abs(mi[c] - mj[c])
+					d += math.Abs(float64(mi[c]) - float64(mj[c]))
 				}
 				e := math.Exp(-d)
 				l.cexp[(i*n+j)*l.B+b] = e
 				l.cexp[(j*n+i)*l.B+b] = e
-				out.Data[i*(l.A+l.B)+l.A+b] += e
-				out.Data[j*(l.A+l.B)+l.A+b] += e
+				out.Data[i*(l.A+l.B)+l.A+b] += tensor.Elem(e)
+				out.Data[j*(l.A+l.B)+l.A+b] += tensor.Elem(e)
 			}
 		}
 	}
@@ -100,11 +100,11 @@ func (l *MinibatchDiscrimination) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				if e == 0 {
 					continue
 				}
-				gij := grad.Data[i*(l.A+l.B)+l.A+b] + grad.Data[j*(l.A+l.B)+l.A+b]
+				gij := float64(grad.Data[i*(l.A+l.B)+l.A+b] + grad.Data[j*(l.A+l.B)+l.A+b])
 				if gij == 0 {
 					continue
 				}
-				scale := -gij * e
+				scale := tensor.Elem(-gij * e)
 				mi := l.m.Data[i*l.B*l.C+b*l.C : i*l.B*l.C+(b+1)*l.C]
 				mj := l.m.Data[j*l.B*l.C+b*l.C : j*l.B*l.C+(b+1)*l.C]
 				dmi := dm.Data[i*l.B*l.C+b*l.C : i*l.B*l.C+(b+1)*l.C]
@@ -123,7 +123,7 @@ func (l *MinibatchDiscrimination) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
-func sign(v float64) float64 {
+func sign(v tensor.Elem) tensor.Elem {
 	switch {
 	case v > 0:
 		return 1

@@ -12,6 +12,23 @@
 // through the same layer (e.g. to compare two forward passes) must
 // Clone it. Layer instances are not safe for concurrent use; distinct
 // instances (e.g. per MD-GAN worker) are independent.
+//
+// Dtype: activations, parameters and gradients are stored and combined
+// at tensor.Elem width (float64 by default, float32 under `-tags f32`),
+// so the matmul/im2col hot path moves half the bytes under the f32
+// build. Numerics that either span many elements or feed long-running
+// state deliberately stay float64 at any width: loss scalars and their
+// 1/n factors, batch-norm per-channel statistics (a channel's sum spans
+// N·spatial values), bias-gradient reductions inside the conv layers,
+// transcendentals (computed via math on widened values, rounded on
+// store), and the optimiser moments in package opt. Test tolerances
+// follow the dtype through tensor.Tol(f64, f32): float64 asserts keep
+// their historical 1e-9/1e-12 bounds, while the float32 values were
+// chosen per test from the accumulation depth of the op under test
+// (~1e-3 for deep matmul/conv reductions, ~1e-5 for element-wise
+// paths); finite-difference gradcheck is skipped under f32, where the
+// quotient noise O(ε·|f|/h) makes it meaningless — analytic-vs-
+// reference equivalence tests carry that coverage instead.
 package nn
 
 import (
@@ -122,11 +139,14 @@ func (s *Sequential) NumParams() int {
 }
 
 // ParamVector flattens all parameters into a single []float64 in layer
-// order. The result is a copy.
+// order (widened from the compiled Elem when that is float32). The
+// result is a copy.
 func (s *Sequential) ParamVector() []float64 {
 	out := make([]float64, 0, s.NumParams())
 	for _, p := range s.Params() {
-		out = append(out, p.W.Data...)
+		for _, v := range p.W.Data {
+			out = append(out, float64(v))
+		}
 	}
 	return out
 }
@@ -140,7 +160,9 @@ func (s *Sequential) SetParamVector(v []float64) error {
 		if off+n > len(v) {
 			return fmt.Errorf("nn: param vector too short: have %d, need >= %d", len(v), off+n)
 		}
-		copy(p.W.Data, v[off:off+n])
+		for i, x := range v[off : off+n] {
+			p.W.Data[i] = tensor.Elem(x)
+		}
 		off += n
 	}
 	if off != len(v) {
@@ -149,11 +171,14 @@ func (s *Sequential) SetParamVector(v []float64) error {
 	return nil
 }
 
-// GradVector flattens all parameter gradients into a single []float64.
+// GradVector flattens all parameter gradients into a single []float64
+// (widened from the compiled Elem when that is float32).
 func (s *Sequential) GradVector() []float64 {
 	out := make([]float64, 0, s.NumParams())
 	for _, p := range s.Params() {
-		out = append(out, p.Grad.Data...)
+		for _, v := range p.Grad.Data {
+			out = append(out, float64(v))
+		}
 	}
 	return out
 }
@@ -230,7 +255,7 @@ func (s *Sequential) GradNorm() float64 {
 	sum := 0.0
 	for _, p := range s.Params() {
 		for _, v := range p.Grad.Data {
-			sum += v * v
+			sum += float64(v) * float64(v)
 		}
 	}
 	return math.Sqrt(sum)

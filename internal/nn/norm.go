@@ -71,11 +71,13 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for c := 0; c < bn.C; c++ {
 		var mean, variance float64
 		if train {
+			// Batch statistics accumulate in float64 regardless of the
+			// compiled Elem: a channel's sum spans n·s values.
 			sum := 0.0
 			for i := 0; i < n; i++ {
 				base := (i*bn.C + c) * s
 				for j := 0; j < s; j++ {
-					sum += x.Data[base+j]
+					sum += float64(x.Data[base+j])
 				}
 			}
 			mean = sum / cnt
@@ -83,27 +85,28 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			for i := 0; i < n; i++ {
 				base := (i*bn.C + c) * s
 				for j := 0; j < s; j++ {
-					d := x.Data[base+j] - mean
+					d := float64(x.Data[base+j]) - mean
 					sq += d * d
 				}
 			}
 			variance = sq / cnt
 			m := bn.Momentum
-			bn.RunMean.W.Data[c] = m*bn.RunMean.W.Data[c] + (1-m)*mean
-			bn.RunVar.W.Data[c] = m*bn.RunVar.W.Data[c] + (1-m)*variance
+			bn.RunMean.W.Data[c] = tensor.Elem(m*float64(bn.RunMean.W.Data[c]) + (1-m)*mean)
+			bn.RunVar.W.Data[c] = tensor.Elem(m*float64(bn.RunVar.W.Data[c]) + (1-m)*variance)
 		} else {
-			mean = bn.RunMean.W.Data[c]
-			variance = bn.RunVar.W.Data[c]
+			mean = float64(bn.RunMean.W.Data[c])
+			variance = float64(bn.RunVar.W.Data[c])
 		}
 		inv := 1 / sqrt(variance+bn.Eps)
 		bn.std[c] = inv
-		g, b := bn.Gamma.W.Data[c], bn.Beta.W.Data[c]
+		ge, be := bn.Gamma.W.Data[c], bn.Beta.W.Data[c]
+		me, ie := tensor.Elem(mean), tensor.Elem(inv)
 		for i := 0; i < n; i++ {
 			base := (i*bn.C + c) * s
 			for j := 0; j < s; j++ {
-				xh := (x.Data[base+j] - mean) * inv
+				xh := (x.Data[base+j] - me) * ie
 				bn.xhat.Data[base+j] = xh
-				out.Data[base+j] = g*xh + b
+				out.Data[base+j] = ge*xh + be
 			}
 		}
 	}
@@ -119,25 +122,27 @@ func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	bn.dx = tensor.Ensure(bn.dx, bn.shape...)
 	dx := bn.dx
 	for c := 0; c < bn.C; c++ {
-		g := bn.Gamma.W.Data[c]
+		g := float64(bn.Gamma.W.Data[c])
 		inv := bn.std[c]
 		var sumDy, sumDyXhat float64
 		for i := 0; i < n; i++ {
 			base := (i*bn.C + c) * s
 			for j := 0; j < s; j++ {
-				dy := grad.Data[base+j]
+				dy := float64(grad.Data[base+j])
 				sumDy += dy
-				sumDyXhat += dy * bn.xhat.Data[base+j]
+				sumDyXhat += dy * float64(bn.xhat.Data[base+j])
 			}
 		}
-		bn.Beta.Grad.Data[c] += sumDy
-		bn.Gamma.Grad.Data[c] += sumDyXhat
+		bn.Beta.Grad.Data[c] += tensor.Elem(sumDy)
+		bn.Gamma.Grad.Data[c] += tensor.Elem(sumDyXhat)
+		scale := tensor.Elem(g * inv)
+		mDy, mDyXh := tensor.Elem(sumDy/cnt), tensor.Elem(sumDyXhat/cnt)
 		for i := 0; i < n; i++ {
 			base := (i*bn.C + c) * s
 			for j := 0; j < s; j++ {
 				dy := grad.Data[base+j]
 				xh := bn.xhat.Data[base+j]
-				dx.Data[base+j] = g * inv * (dy - sumDy/cnt - xh*sumDyXhat/cnt)
+				dx.Data[base+j] = scale * (dy - mDy - xh*mDyXh)
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 
 	"mdgan/internal/nn"
 	"mdgan/internal/parallel"
+	"mdgan/internal/tensor"
 )
 
 // parGrain is the parameter count above which an optimiser update fans
@@ -38,12 +39,14 @@ func NewSGD(lr, momentum float64) *SGD {
 	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*nn.Param][]float64)}
 }
 
-// Step applies w ← w − lr·(m·v + g).
+// Step applies w ← w − lr·(m·v + g). The velocity state is kept in
+// float64 regardless of the compiled tensor Elem (mixed precision: tiny
+// per-step updates must not be rounded away before they accumulate).
 func (s *SGD) Step(params []*nn.Param) {
 	for _, p := range params {
 		if s.Momentum == 0 {
 			for i, g := range p.Grad.Data {
-				p.W.Data[i] -= s.LR * g
+				p.W.Data[i] -= tensor.Elem(s.LR * float64(g))
 			}
 			continue
 		}
@@ -53,8 +56,8 @@ func (s *SGD) Step(params []*nn.Param) {
 			s.velocity[p] = v
 		}
 		for i, g := range p.Grad.Data {
-			v[i] = s.Momentum*v[i] + g
-			p.W.Data[i] -= s.LR * v[i]
+			v[i] = s.Momentum*v[i] + float64(g)
+			p.W.Data[i] -= tensor.Elem(s.LR * v[i])
 		}
 	}
 }
@@ -134,17 +137,22 @@ func (a *Adam) Step(params []*nn.Param) {
 
 // update applies the Adam rule to the index range [s, e). The bias
 // corrections are applied as reciprocal multiplies; only the final
-// denominator needs a real division.
-func (a *Adam) update(w, grad, m, v []float64, c1, c2 float64, s, e int) {
+// denominator needs a real division. The moment vectors m and v are
+// float64 regardless of the compiled tensor Elem — this is the
+// correctness-sensitive half of the mixed-precision design: v holds
+// squared gradients (whose dynamic range underflows float32 long before
+// the gradients themselves do) and both moments integrate tiny
+// (1−β)-scaled contributions that float32 would round away.
+func (a *Adam) update(w, grad []tensor.Elem, m, v []float64, c1, c2 float64, s, e int) {
 	b1, b2, lr, eps := a.Beta1, a.Beta2, a.LR, a.Eps
 	ic1, ic2 := 1/c1, 1/c2
 	for i := s; i < e; i++ {
-		g := grad[i]
+		g := float64(grad[i])
 		mi := b1*m[i] + (1-b1)*g
 		vi := b2*v[i] + (1-b2)*g*g
 		m[i] = mi
 		v[i] = vi
-		w[i] -= lr * (mi * ic1) / (math.Sqrt(vi*ic2) + eps)
+		w[i] -= tensor.Elem(lr * (mi * ic1) / (math.Sqrt(vi*ic2) + eps))
 	}
 }
 

@@ -11,9 +11,16 @@ import (
 
 // paramWithGrad builds a standalone parameter for unit tests.
 func paramWithGrad(w, g []float64) *nn.Param {
+	toElem := func(v []float64) []tensor.Elem {
+		out := make([]tensor.Elem, len(v))
+		for i, x := range v {
+			out[i] = tensor.Elem(x)
+		}
+		return out
+	}
 	p := &nn.Param{
-		W:    tensor.FromSlice(append([]float64(nil), w...), len(w)),
-		Grad: tensor.FromSlice(append([]float64(nil), g...), len(g)),
+		W:    tensor.FromSlice(toElem(w), len(w)),
+		Grad: tensor.FromSlice(toElem(g), len(g)),
 	}
 	return p
 }
@@ -21,7 +28,7 @@ func paramWithGrad(w, g []float64) *nn.Param {
 func TestSGDStep(t *testing.T) {
 	p := paramWithGrad([]float64{1, 2}, []float64{0.5, -0.5})
 	NewSGD(0.1, 0).Step([]*nn.Param{p})
-	if math.Abs(p.W.Data[0]-0.95) > 1e-12 || math.Abs(p.W.Data[1]-2.05) > 1e-12 {
+	if math.Abs(float64(p.W.Data[0])-0.95) > tensor.Tol(1e-12, 1e-7) || math.Abs(float64(p.W.Data[1])-2.05) > tensor.Tol(1e-12, 1e-6) {
 		t.Fatalf("SGD step = %v", p.W.Data)
 	}
 }
@@ -31,12 +38,12 @@ func TestSGDMomentumAccumulates(t *testing.T) {
 	s := NewSGD(1, 0.5)
 	s.Step([]*nn.Param{p}) // v=1, w=-1
 	s.Step([]*nn.Param{p}) // v=1.5, w=-2.5
-	if math.Abs(p.W.Data[0]+2.5) > 1e-12 {
+	if math.Abs(float64(p.W.Data[0])+2.5) > tensor.Tol(1e-12, 1e-6) {
 		t.Fatalf("momentum w = %v, want -2.5", p.W.Data[0])
 	}
 	s.Reset()
 	s.Step([]*nn.Param{p}) // v=1 again, w=-3.5
-	if math.Abs(p.W.Data[0]+3.5) > 1e-12 {
+	if math.Abs(float64(p.W.Data[0])+3.5) > tensor.Tol(1e-12, 1e-6) {
 		t.Fatalf("after reset w = %v, want -3.5", p.W.Data[0])
 	}
 }
@@ -50,7 +57,7 @@ func TestAdamReferenceSequence(t *testing.T) {
 	// Step 1: m=0.01, v=1e-5·... : m̂ = g, v̂ = g² → Δ = lr·g/(|g|+ε) ≈ lr.
 	a.Step([]*nn.Param{p})
 	w1 := 1 - 0.01*0.1/(math.Sqrt(0.1*0.1)+1e-8)
-	if math.Abs(p.W.Data[0]-w1) > 1e-12 {
+	if math.Abs(float64(p.W.Data[0])-w1) > tensor.Tol(1e-12, 1e-7) {
 		t.Fatalf("step1 w = %.15f, want %.15f", p.W.Data[0], w1)
 	}
 
@@ -66,7 +73,7 @@ func TestAdamReferenceSequence(t *testing.T) {
 	vhat := v2 / (1 - math.Pow(0.999, 2))
 	w2 := w1 - 0.01*mhat/(math.Sqrt(vhat)+1e-8)
 	a.Step([]*nn.Param{p})
-	if math.Abs(p.W.Data[0]-w2) > 1e-12 {
+	if math.Abs(float64(p.W.Data[0])-w2) > tensor.Tol(1e-12, 1e-7) {
 		t.Fatalf("step2 w = %.15f, want %.15f", p.W.Data[0], w2)
 	}
 }
@@ -112,7 +119,7 @@ func TestOptimizersMinimiseQuadratic(t *testing.T) {
 			o.Step([]*nn.Param{p})
 		}
 		for i, v := range p.W.Data {
-			if math.Abs(v) > 1e-2 {
+			if math.Abs(float64(v)) > 1e-2 {
 				t.Fatalf("%s: w[%d] = %v did not converge", name, i, v)
 			}
 		}

@@ -17,7 +17,7 @@ import (
 )
 
 // pixel maps a [−1, 1] value to 0..255.
-func pixel(v float64) uint8 {
+func pixel(v tensor.Elem) uint8 {
 	v = (v + 1) / 2
 	if v < 0 {
 		v = 0

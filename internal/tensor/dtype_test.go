@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Cross-dtype wire round-trips: whatever the compiled Elem, a frame
+// written in either wire dtype (or the legacy pre-dtype framing) must
+// decode, with values exact up to the narrower of the two widths.
+
+// f32Tol bounds the error of a value that passed through float32 at
+// least once: relative 2^-23 of the magnitude (the test data is O(1)).
+const f32Tol = 2e-7
+
+func legacyFrame(x *Tensor) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(x.Rank()))
+	for _, d := range x.Shape() {
+		out = binary.LittleEndian.AppendUint32(out, uint32(d))
+	}
+	for _, v := range x.Data {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(float64(v)))
+	}
+	return out
+}
+
+func TestCrossDtypeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randTensor(rng, 3, 7, 2)
+	for _, tc := range []struct {
+		name string
+		enc  []byte
+		tol  float64
+	}{
+		{"native", x.AppendBinary(nil), 0},
+		{"f64", x.AppendBinaryAs(nil, DTypeF64), Tol(0, 0)},
+		{"f32", x.AppendBinaryAs(nil, DTypeF32), Tol(f32Tol, 0)},
+		{"legacy", legacyFrame(x), Tol(0, 0)},
+	} {
+		var y Tensor
+		n, err := y.ReadFrom(bytes.NewReader(tc.enc))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if n != int64(len(tc.enc)) {
+			t.Fatalf("%s: consumed %d of %d bytes", tc.name, n, len(tc.enc))
+		}
+		if !x.Equal(&y, tc.tol) {
+			t.Fatalf("%s: round trip deviates beyond %g", tc.name, tc.tol)
+		}
+		// The in-place decoder must accept the same frames.
+		z := New(x.Shape()...)
+		if _, err := z.ReadInPlace(bytes.NewReader(tc.enc)); err != nil {
+			t.Fatalf("%s: ReadInPlace: %v", tc.name, err)
+		}
+		if !x.Equal(z, tc.tol) {
+			t.Fatalf("%s: ReadInPlace deviates beyond %g", tc.name, tc.tol)
+		}
+	}
+}
+
+func TestEncodedSizeAsMatchesFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := randTensor(rng, 5, 4)
+	for _, dt := range []byte{DTypeF64, DTypeF32} {
+		if got, want := int64(len(x.AppendBinaryAs(nil, dt))), x.EncodedSizeAs(dt); got != want {
+			t.Fatalf("dtype %#x: frame is %d bytes, EncodedSizeAs says %d", dt, got, want)
+		}
+	}
+	if x.EncodedSize() != x.EncodedSizeAs(NativeDType) {
+		t.Fatal("EncodedSize must describe the native framing")
+	}
+	// The f32 frame of a 20-element tensor is 4·20 bytes smaller than
+	// the f64 frame, dtype byte and shape header identical.
+	if d := x.EncodedSizeAs(DTypeF64) - x.EncodedSizeAs(DTypeF32); d != 4*20 {
+		t.Fatalf("f64−f32 frame delta = %d, want 80", d)
+	}
+}
+
+func TestReadInPlaceRejectsWrongShapeEitherDtype(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := randTensor(rng, 4, 4)
+	for _, dt := range []byte{DTypeF64, DTypeF32} {
+		enc := x.AppendBinaryAs(nil, dt)
+		y := New(2, 8) // same volume, different shape
+		if _, err := y.ReadInPlace(bytes.NewReader(enc)); err == nil {
+			t.Fatalf("dtype %#x: shape mismatch accepted", dt)
+		}
+	}
+}
+
+func TestReadFromBoundsF32Frames(t *testing.T) {
+	// A frame claiming 2^20 f32 elements backed by 8 bytes must be
+	// rejected by the bytes.Reader extent check before allocating.
+	b := []byte{DTypeF32}
+	b = binary.LittleEndian.AppendUint32(b, 1)
+	b = binary.LittleEndian.AppendUint32(b, 1<<20)
+	b = append(b, make([]byte, 8)...)
+	var y Tensor
+	if _, err := y.ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Fatal("oversized f32 frame decoded without error")
+	}
+	if cap(y.Data) >= 1<<20 {
+		t.Fatal("decoder allocated storage for a fabricated volume")
+	}
+}
+
+func TestAppendBinaryPanicsOnUnknownDtype(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dtype byte must panic")
+		}
+	}()
+	New(1).AppendBinaryAs(nil, 0x42)
+}

@@ -39,7 +39,7 @@ const (
 
 // leftSparse samples a and reports whether the zero-skip kernels should
 // handle it (ReLU activations hit ~50% zeros; dense data ~0%).
-func leftSparse(a []float64) bool {
+func leftSparse(a []Elem) bool {
 	n := len(a)
 	step := 1
 	if n > sparseSamples {
@@ -123,7 +123,7 @@ func mmRowGrain(k, n int) int {
 // matMulRowsSkip is the sparse-A variant: classic ikj with a zero-skip
 // on each streamed A element, so rows of B are only touched for
 // non-zero activations.
-func matMulRowsSkip(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
+func matMulRowsSkip(out, a, b []Elem, k, n, i0, i1 int, accumulate bool) {
 	for i := i0; i < i1; i++ {
 		row := out[i*n : (i+1)*n]
 		if !accumulate {
@@ -146,7 +146,7 @@ func matMulRowsSkip(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
 }
 
 // matMulRows computes out[i0:i1] (+)= a[i0:i1]·b, tiling the n columns.
-func matMulRows(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
+func matMulRows(out, a, b []Elem, k, n, i0, i1 int, accumulate bool) {
 	for j0 := 0; j0 < n; j0 += mmTile {
 		j1 := j0 + mmTile
 		if j1 > n {
@@ -247,7 +247,7 @@ func matMulT1Into(out, a, b *Tensor, k, m, n int, accumulate bool) {
 
 // matMulT1RowsSkip is the sparse-A variant of the transposed-left
 // kernel (dW += xᵀ·g with x a ReLU activation is the common case).
-func matMulT1RowsSkip(out, a, b []float64, k, m, n, i0, i1 int, accumulate bool) {
+func matMulT1RowsSkip(out, a, b []Elem, k, m, n, i0, i1 int, accumulate bool) {
 	if !accumulate {
 		for i := i0; i < i1; i++ {
 			row := out[i*n : (i+1)*n]
@@ -275,7 +275,7 @@ func matMulT1RowsSkip(out, a, b []float64, k, m, n, i0, i1 int, accumulate bool)
 
 // matMulT1Rows computes out[i0:i1] (+)= (aᵀ·b)[i0:i1] where a is
 // (k, m): out[i][j] = Σ_kk a[kk][i]·b[kk][j].
-func matMulT1Rows(out, a, b []float64, k, m, n, i0, i1 int, accumulate bool) {
+func matMulT1Rows(out, a, b []Elem, k, m, n, i0, i1 int, accumulate bool) {
 	for j0 := 0; j0 < n; j0 += mmTile {
 		j1 := j0 + mmTile
 		if j1 > n {
@@ -371,7 +371,7 @@ func matMulT2Into(out, a, b *Tensor, m, k, n int, accumulate bool) {
 // matMulT2RowsSkip is the sparse-A variant of a·bᵀ: the same 4-wide dot
 // products, but a zero A element skips its four loads and FMAs
 // (gradients gated by a ReLU are ~half zeros).
-func matMulT2RowsSkip(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
+func matMulT2RowsSkip(out, a, b []Elem, k, n, i0, i1 int, accumulate bool) {
 	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		orow := out[i*n : (i+1)*n]
@@ -385,7 +385,7 @@ func matMulT2RowsSkip(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
 			b1 = b1[:len(arow)]
 			b2 = b2[:len(arow)]
 			b3 = b3[:len(arow)]
-			var s0, s1, s2, s3 float64
+			var s0, s1, s2, s3 Elem
 			for kk, av := range arow {
 				if av == 0 {
 					continue
@@ -407,7 +407,7 @@ func matMulT2RowsSkip(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
 		for ; j < n; j++ {
 			brow := b[j*k : (j+1)*k]
 			brow = brow[:len(arow)]
-			var s float64
+			var s Elem
 			for kk, av := range arow {
 				if av == 0 {
 					continue
@@ -426,7 +426,7 @@ func matMulT2RowsSkip(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
 // matMulT2Rows computes out[i0:i1] (+)= (a·bᵀ)[i0:i1]: each output
 // element is a dot product of rows; four b rows are consumed per pass
 // over a row of a.
-func matMulT2Rows(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
+func matMulT2Rows(out, a, b []Elem, k, n, i0, i1 int, accumulate bool) {
 	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		orow := out[i*n : (i+1)*n]
@@ -440,7 +440,7 @@ func matMulT2Rows(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
 			b1 = b1[:len(arow)]
 			b2 = b2[:len(arow)]
 			b3 = b3[:len(arow)]
-			var s0, s1, s2, s3 float64
+			var s0, s1, s2, s3 Elem
 			for kk, av := range arow {
 				s0 += av * b0[kk]
 				s1 += av * b1[kk]
@@ -458,7 +458,7 @@ func matMulT2Rows(out, a, b []float64, k, n, i0, i1 int, accumulate bool) {
 		}
 		for ; j < n; j++ {
 			brow := b[j*k : (j+1)*k]
-			var s float64
+			var s Elem
 			for kk, av := range arow {
 				s += av * brow[kk]
 			}

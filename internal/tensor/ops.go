@@ -154,16 +154,18 @@ func (t *Tensor) MulInPlace(u *Tensor) *Tensor {
 // Scale returns t * s as a new tensor.
 func (t *Tensor) Scale(s float64) *Tensor {
 	out := New(t.shape...)
+	e := Elem(s)
 	for i, v := range t.Data {
-		out.Data[i] = v * s
+		out.Data[i] = v * e
 	}
 	return out
 }
 
 // ScaleInPlace sets t *= s.
 func (t *Tensor) ScaleInPlace(s float64) *Tensor {
+	e := Elem(s)
 	for i := range t.Data {
-		t.Data[i] *= s
+		t.Data[i] *= e
 	}
 	return t
 }
@@ -173,8 +175,9 @@ func (t *Tensor) AxpyInPlace(alpha float64, u *Tensor) *Tensor {
 	if len(t.Data) != len(u.Data) {
 		panic("tensor: AxpyInPlace volume mismatch")
 	}
+	a := Elem(alpha)
 	for i := range t.Data {
-		t.Data[i] += alpha * u.Data[i]
+		t.Data[i] += a * u.Data[i]
 	}
 	return t
 }
@@ -187,6 +190,8 @@ func (t *Tensor) Apply(f func(float64) float64) *Tensor {
 }
 
 // ApplyInto computes out = f(t) element-wise into the preallocated out.
+// f operates in float64 regardless of the compiled Elem (transcendental
+// closures come from package math); the result rounds to Elem on store.
 func ApplyInto(out, t *Tensor, f func(float64) float64) {
 	if len(out.Data) != len(t.Data) {
 		panic("tensor: ApplyInto volume mismatch")
@@ -194,13 +199,13 @@ func ApplyInto(out, t *Tensor, f func(float64) float64) {
 	od, td := out.Data, t.Data
 	if len(od) < opsGrain {
 		for i, v := range td {
-			od[i] = f(v)
+			od[i] = Elem(f(float64(v)))
 		}
 		return
 	}
 	parallel.For(len(od), func(s, e int) {
 		for i := s; i < e; i++ {
-			od[i] = f(td[i])
+			od[i] = Elem(f(float64(td[i])))
 		}
 	})
 }
@@ -211,11 +216,12 @@ func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
 	return t
 }
 
-// Sum returns the sum of all elements.
+// Sum returns the sum of all elements, accumulated in float64
+// regardless of the compiled Elem.
 func (t *Tensor) Sum() float64 {
 	s := 0.0
 	for _, v := range t.Data {
-		s += v
+		s += float64(v)
 	}
 	return s
 }
@@ -227,8 +233,8 @@ func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.Data)) }
 func (t *Tensor) Max() float64 {
 	m := math.Inf(-1)
 	for _, v := range t.Data {
-		if v > m {
-			m = v
+		if float64(v) > m {
+			m = float64(v)
 		}
 	}
 	return m
@@ -238,18 +244,19 @@ func (t *Tensor) Max() float64 {
 func (t *Tensor) Min() float64 {
 	m := math.Inf(1)
 	for _, v := range t.Data {
-		if v < m {
-			m = v
+		if float64(v) < m {
+			m = float64(v)
 		}
 	}
 	return m
 }
 
-// Norm2 returns the Euclidean norm of the flattened tensor.
+// Norm2 returns the Euclidean norm of the flattened tensor, accumulated
+// in float64 regardless of the compiled Elem.
 func (t *Tensor) Norm2() float64 {
 	s := 0.0
 	for _, v := range t.Data {
-		s += v * v
+		s += float64(v) * float64(v)
 	}
 	return math.Sqrt(s)
 }
@@ -303,9 +310,9 @@ func (t *Tensor) SumCols() *Tensor {
 		row := t.Data[i*c : (i+1)*c]
 		s := 0.0
 		for _, v := range row {
-			s += v
+			s += float64(v)
 		}
-		out.Data[i] = s
+		out.Data[i] = Elem(s)
 	}
 	return out
 }
@@ -346,8 +353,8 @@ func (t *Tensor) ArgMaxRows() []int {
 	for i := 0; i < r; i++ {
 		best, bi := math.Inf(-1), 0
 		for j, v := range t.Data[i*c : (i+1)*c] {
-			if v > best {
-				best, bi = v, j
+			if float64(v) > best {
+				best, bi = float64(v), j
 			}
 		}
 		out[i] = bi
@@ -384,14 +391,15 @@ func TransposeInto(out, t *Tensor) {
 	}
 }
 
-// Dot returns the inner product of two tensors of equal volume.
+// Dot returns the inner product of two tensors of equal volume,
+// accumulated in float64 regardless of the compiled Elem.
 func Dot(t, u *Tensor) float64 {
 	if len(t.Data) != len(u.Data) {
 		panic("tensor: Dot volume mismatch")
 	}
 	s := 0.0
 	for i, v := range t.Data {
-		s += v * u.Data[i]
+		s += float64(v) * float64(u.Data[i])
 	}
 	return s
 }

@@ -43,7 +43,7 @@ func Get(shape ...int) *Tensor {
 	}
 	t, _ := pools[b].Get().(*Tensor)
 	if t == nil {
-		t = &Tensor{Data: make([]float64, 1<<b)}
+		t = &Tensor{Data: make([]Elem, 1<<b)}
 	}
 	t.Data = t.Data[:n]
 	t.shape = append(t.shape[:0], shape...)

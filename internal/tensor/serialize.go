@@ -8,31 +8,76 @@ import (
 	"math"
 )
 
-// Serialisation uses a small explicit binary framing (shape rank, dims,
-// then raw little-endian float64 payload) rather than gob so that the
-// wire size is predictable — the communication-complexity experiments
-// (Tables III/IV) account bytes from these encodings.
+// Serialisation uses a small explicit binary framing (dtype byte, shape
+// rank, dims, then the raw little-endian payload) rather than gob so
+// that the wire size is predictable — the communication-complexity
+// experiments (Tables III/IV) account bytes from these encodings.
+//
+// The leading dtype byte (DTypeF64/DTypeF32) lets a float32 build ship
+// 4-byte elements natively and lets either build decode the other's
+// frames. Frames written before the dtype byte existed started directly
+// with the rank word, whose low byte is 1..8 — disjoint from the dtype
+// byte values — so the decoders transparently accept legacy float64
+// frames (this is what keeps pre-dtype checkpoints loadable).
 //
 // The hot wire paths (MD-GAN batches, feedbacks and swaps every
 // iteration) use AppendBinary into exact-size buffers and the in-place
 // decoders, so steady-state messaging neither grows bytes.Buffers nor
 // allocates intermediate payload scratch.
 
-// EncodedSize returns the number of bytes WriteTo will produce.
-func (t *Tensor) EncodedSize() int64 {
-	return int64(4 + 4*len(t.shape) + 8*len(t.Data))
+// Wire dtype bytes. The values are chosen outside 1..8 (a legacy
+// frame's first byte is its rank) so the two framings self-distinguish.
+const (
+	DTypeF64 byte = 0xF8
+	DTypeF32 byte = 0xF4
+)
+
+// dtypeSize returns the payload bytes per element of a wire dtype.
+func dtypeSize(dt byte) int {
+	if dt == DTypeF32 {
+		return 4
+	}
+	return 8
 }
 
-// AppendBinary appends t's wire framing to dst and returns the extended
-// slice. Appending to a buffer with sufficient capacity performs no
+// EncodedSize returns the number of bytes WriteTo will produce.
+func (t *Tensor) EncodedSize() int64 { return t.EncodedSizeAs(NativeDType) }
+
+// EncodedSizeAs returns the number of bytes AppendBinaryAs(_, dt) will
+// produce.
+func (t *Tensor) EncodedSizeAs(dt byte) int64 {
+	return int64(1 + 4 + 4*len(t.shape) + dtypeSize(dt)*len(t.Data))
+}
+
+// AppendBinary appends t's wire framing, with the payload in the
+// compiled element width, to dst and returns the extended slice.
+// Appending to a buffer with sufficient capacity performs no
 // allocation.
 func (t *Tensor) AppendBinary(dst []byte) []byte {
+	return t.AppendBinaryAs(dst, NativeDType)
+}
+
+// AppendBinaryAs appends t's wire framing with the payload encoded in
+// the given wire dtype, converting per element when dt is not the
+// compiled width (the FP32 feedback compression and the cross-dtype
+// tests use this; hot paths use AppendBinary).
+func (t *Tensor) AppendBinaryAs(dst []byte, dt byte) []byte {
+	dst = append(dst, dt)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.shape)))
 	for _, d := range t.shape {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
 	}
-	for _, v := range t.Data {
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	switch dt {
+	case DTypeF64:
+		for _, v := range t.Data {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(v)))
+		}
+	case DTypeF32:
+		for _, v := range t.Data {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
+		}
+	default:
+		panic(fmt.Sprintf("tensor: unknown wire dtype byte %#x", dt))
 	}
 	return dst
 }
@@ -45,26 +90,45 @@ func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
 }
 
 // maxDecodeVol caps the element count a decoded frame may claim (2^30
-// floats = 8 GiB of payload, far beyond any tensor this system ships);
-// the product check against it also rejects dimension products that
-// would overflow int, and the constant itself fits a 32-bit int.
+// floats, far beyond any tensor this system ships); the product check
+// against it also rejects dimension products that would overflow int,
+// and the constant itself fits a 32-bit int.
 const maxDecodeVol = 1 << 30
 
-// readHeader parses the rank/dims framing, returning the shape (decoded
-// into shapeBuf when its capacity suffices) and the volume.
-func readHeader(r io.Reader, shapeBuf []int) (shape []int, vol int, read int64, err error) {
+// readHeader parses the dtype/rank/dims framing, returning the wire
+// dtype, the shape (decoded into shapeBuf when its capacity suffices)
+// and the volume. A first byte in 1..8 selects the legacy pre-dtype
+// framing: the byte is the low byte of the rank word and the payload is
+// float64.
+func readHeader(r io.Reader, shapeBuf []int) (dt byte, shape []int, vol int, read int64, err error) {
 	var hdr [4]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return nil, 0, 0, fmt.Errorf("tensor: read rank: %w", err)
+	if _, err = io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("tensor: read dtype: %w", err)
+	}
+	read = 1
+	switch hdr[0] {
+	case DTypeF64, DTypeF32:
+		dt = hdr[0]
+		if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+			return 0, nil, 0, read, fmt.Errorf("tensor: read rank: %w", err)
+		}
+		read += 4
+	default:
+		// Legacy framing: hdr[0] is the low byte of the rank word and an
+		// implausible value fails the rank check below.
+		dt = DTypeF64
+		if _, err = io.ReadFull(r, hdr[1:4]); err != nil {
+			return 0, nil, 0, read, fmt.Errorf("tensor: read rank: %w", err)
+		}
+		read += 3
 	}
 	rank := int(binary.LittleEndian.Uint32(hdr[:]))
 	if rank <= 0 || rank > 8 {
-		return nil, 0, 4, fmt.Errorf("tensor: implausible rank %d", rank)
+		return 0, nil, 0, read, fmt.Errorf("tensor: implausible rank %d", rank)
 	}
-	read = 4
 	var dims [32]byte
 	if _, err = io.ReadFull(r, dims[:4*rank]); err != nil {
-		return nil, 0, read, fmt.Errorf("tensor: read dims: %w", err)
+		return 0, nil, 0, read, fmt.Errorf("tensor: read dims: %w", err)
 	}
 	read += int64(4 * rank)
 	shape = shapeBuf[:0]
@@ -72,24 +136,26 @@ func readHeader(r io.Reader, shapeBuf []int) (shape []int, vol int, read int64, 
 	for i := 0; i < rank; i++ {
 		d := int(binary.LittleEndian.Uint32(dims[4*i:]))
 		if d <= 0 {
-			return nil, 0, read, fmt.Errorf("tensor: non-positive dim %d", d)
+			return 0, nil, 0, read, fmt.Errorf("tensor: non-positive dim %d", d)
 		}
 		if d > maxDecodeVol/vol {
-			return nil, 0, read, fmt.Errorf("tensor: implausible frame volume (dims %v…)", shape)
+			return 0, nil, 0, read, fmt.Errorf("tensor: implausible frame volume (dims %v…)", shape)
 		}
 		shape = append(shape, d)
 		vol *= d
 	}
-	return shape, vol, read, nil
+	return dt, shape, vol, read, nil
 }
 
-// readPayload streams vol float64 values from r into data using a fixed
-// stack chunk, avoiding a payload-sized byte scratch.
-func readPayload(r io.Reader, data []float64) (int64, error) {
-	var chunk [8192]byte
+// readPayload streams len(data) elements of wire dtype dt from r into
+// data using a fixed stack chunk, converting to the compiled element
+// width and avoiding a payload-sized byte scratch.
+func readPayload(r io.Reader, data []Elem, dt byte) (int64, error) {
+	es := dtypeSize(dt)
+	var chunk [8192]byte // divisible by both element widths
 	read := int64(0)
 	for off := 0; off < len(data); {
-		want := (len(data) - off) * 8
+		want := (len(data) - off) * es
 		if want > len(chunk) {
 			want = len(chunk)
 		}
@@ -97,39 +163,47 @@ func readPayload(r io.Reader, data []float64) (int64, error) {
 			return read, fmt.Errorf("tensor: read payload: %w", err)
 		}
 		read += int64(want)
-		for i := 0; i < want; i += 8 {
-			data[off] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[i:]))
-			off++
+		if dt == DTypeF32 {
+			for i := 0; i < want; i += 4 {
+				data[off] = Elem(math.Float32frombits(binary.LittleEndian.Uint32(chunk[i:])))
+				off++
+			}
+		} else {
+			for i := 0; i < want; i += 8 {
+				data[off] = Elem(math.Float64frombits(binary.LittleEndian.Uint64(chunk[i:])))
+				off++
+			}
 		}
 	}
 	return read, nil
 }
 
-// ReadFrom decodes a tensor previously written with WriteTo, replacing
-// t's shape and data. Existing capacity is reused when sufficient, so
+// ReadFrom decodes a tensor previously written with WriteTo (either
+// wire dtype, or the legacy pre-dtype float64 framing), replacing t's
+// shape and data. Existing capacity is reused when sufficient, so
 // decoding repeatedly into the same tensor reaches a steady state with
 // no allocation. It implements io.ReaderFrom.
 func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 	// Decode the header into a local scratch so a mid-header error
 	// cannot leave t with a half-updated shape.
 	var shapeBuf [8]int
-	shape, vol, read, err := readHeader(r, shapeBuf[:0])
+	dt, shape, vol, read, err := readHeader(r, shapeBuf[:0])
 	if err != nil {
 		return read, err
 	}
 	// When the frame's true extent is knowable (the wire paths all
 	// decode from in-memory payloads), a claimed volume beyond it is
 	// corrupt: reject before allocating payload-sized storage.
-	if br, ok := r.(*bytes.Reader); ok && int64(vol) > int64(br.Len())/8 {
-		return read, fmt.Errorf("tensor: frame claims %d floats, %d bytes remain", vol, br.Len())
+	if br, ok := r.(*bytes.Reader); ok && int64(vol) > int64(br.Len())/int64(dtypeSize(dt)) {
+		return read, fmt.Errorf("tensor: frame claims %d elements, %d bytes remain", vol, br.Len())
 	}
 	t.shape = append(t.shape[:0], shape...)
 	if cap(t.Data) >= vol {
 		t.Data = t.Data[:vol]
 	} else {
-		t.Data = make([]float64, vol)
+		t.Data = make([]Elem, vol)
 	}
-	n, err := readPayload(r, t.Data)
+	n, err := readPayload(r, t.Data, dt)
 	read += n
 	if err != nil {
 		return read, err
@@ -143,7 +217,7 @@ func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 // parameter straight into its own storage.
 func (t *Tensor) ReadInPlace(r io.Reader) (int64, error) {
 	var shapeBuf [8]int
-	shape, vol, read, err := readHeader(r, shapeBuf[:0])
+	dt, shape, vol, read, err := readHeader(r, shapeBuf[:0])
 	if err != nil {
 		return read, err
 	}
@@ -156,7 +230,7 @@ func (t *Tensor) ReadInPlace(r io.Reader) (int64, error) {
 		}
 	}
 	_ = vol
-	n, err := readPayload(r, t.Data)
+	n, err := readPayload(r, t.Data, dt)
 	read += n
 	return read, err
 }

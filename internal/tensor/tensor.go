@@ -1,8 +1,20 @@
 // Package tensor implements the dense numerical arrays used by the
-// neural-network stack. Tensors are row-major, contiguous float64
-// buffers with an explicit shape. The package provides the element-wise
-// and linear-algebra kernels that the layers in internal/nn are built
-// from; heavy kernels (MatMul) are parallelised across CPU cores.
+// neural-network stack. Tensors are row-major, contiguous buffers of
+// Elem values with an explicit shape. Elem is float64 by default and
+// float32 under the `f32` build tag (see dtype64.go/dtype32.go): the
+// storage and every compute kernel in this package run at the compiled
+// width, while the scalar-facing API (At/Set/Full/Scale/…) and every
+// reduction that sums many elements (Sum, Mean, Norm2, Dot) stay
+// float64, so accumulation error does not scale with tensor volume.
+// The package provides the element-wise and linear-algebra kernels that
+// the layers in internal/nn are built from; heavy kernels (MatMul) are
+// parallelised across CPU cores.
+//
+// Wire frames (serialize.go) carry a leading dtype byte, so a float32
+// build ships 4-byte elements natively and either build decodes the
+// other's frames (and the legacy pre-dtype float64 framing) with
+// per-element conversion. Tests select dtype-appropriate tolerances
+// with Tol(f64, f32).
 package tensor
 
 import (
@@ -10,24 +22,24 @@ import (
 	"math"
 )
 
-// Tensor is a dense, row-major, contiguous array of float64 values.
+// Tensor is a dense, row-major, contiguous array of Elem values.
 // The zero value is not usable; construct tensors with New, FromSlice or
 // the arithmetic helpers.
 type Tensor struct {
 	shape []int
-	Data  []float64
+	Data  []Elem
 }
 
 // New allocates a zero-filled tensor with the given shape. All
 // dimensions must be positive.
 func New(shape ...int) *Tensor {
 	n := checkShape(shape)
-	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float64, n)}
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]Elem, n)}
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is NOT
 // copied; the tensor aliases it. len(data) must equal the shape volume.
-func FromSlice(data []float64, shape ...int) *Tensor {
+func FromSlice(data []Elem, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
 		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (volume %d)", len(data), append([]int(nil), shape...), n))
@@ -38,8 +50,9 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 // Full returns a tensor of the given shape with every element set to v.
 func Full(v float64, shape ...int) *Tensor {
 	t := New(shape...)
+	e := Elem(v)
 	for i := range t.Data {
-		t.Data[i] = v
+		t.Data[i] = e
 	}
 	return t
 }
@@ -115,10 +128,10 @@ func (t *Tensor) CopyFrom(u *Tensor) {
 }
 
 // At returns the element at the given multi-index.
-func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+func (t *Tensor) At(idx ...int) float64 { return float64(t.Data[t.offset(idx)]) }
 
 // Set assigns the element at the given multi-index.
-func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = Elem(v) }
 
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
@@ -143,8 +156,9 @@ func (t *Tensor) Zero() {
 
 // Fill sets every element to v.
 func (t *Tensor) Fill(v float64) {
+	e := Elem(v)
 	for i := range t.Data {
-		t.Data[i] = v
+		t.Data[i] = e
 	}
 }
 
@@ -218,7 +232,7 @@ func (t *Tensor) Equal(u *Tensor, tol float64) bool {
 		return false
 	}
 	for i, v := range t.Data {
-		if math.Abs(v-u.Data[i]) > tol {
+		if math.Abs(float64(v)-float64(u.Data[i])) > tol {
 			return false
 		}
 	}

@@ -15,6 +15,7 @@ import (
 
 	"mdgan"
 	"mdgan/internal/parallel"
+	"mdgan/internal/tensor"
 )
 
 func trainK10(t *testing.T) *mdgan.RunResult {
@@ -57,15 +58,19 @@ func TestSchedulerEquivalentToSerialSchedule(t *testing.T) {
 			if a[j] != b[j] {
 				bitwise = false
 			}
-			if d := math.Abs(a[j] - b[j]); d > maxDiff {
+			if d := math.Abs(float64(a[j]) - float64(b[j])); d > maxDiff {
 				maxDiff = d
 			}
 		}
 	}
-	if maxDiff > 1e-9 {
+	// Dtype-aware bound: the schedule itself must stay bit-invisible,
+	// but the f32 build tolerates residual divergence at the storage
+	// epsilon scale should a future kernel reorder within a chunk.
+	tol := tensor.Tol(1e-9, 1e-4)
+	if maxDiff > tol {
 		t.Fatalf("parallel and serial schedules diverged: max |Δw| = %g", maxDiff)
 	}
 	if !bitwise {
-		t.Logf("within 1e-9 but not bitwise equal (max |Δw| = %g): split order changed", maxDiff)
+		t.Logf("within %g but not bitwise equal (max |Δw| = %g): split order changed", tol, maxDiff)
 	}
 }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# verify.sh — the repo's tier-1 gate plus a perf smoke.
+# verify.sh — the repo's tier-1 gate plus a perf smoke, run under BOTH
+# tensor dtypes: the default float64 build and the `-tags f32` float32
+# build (see internal/tensor/dtype64.go / dtype32.go).
 #
-#   scripts/verify.sh              # fmt, vet, build, test, bench smoke
+#   scripts/verify.sh              # fmt, vet, build, test, bench smoke ×2 dtypes
+#   MDGAN_DTYPES=float64 scripts/verify.sh
+#                                  # restrict to one dtype (float64|float32|both)
 #   BENCH_JSON=BENCH_1.json scripts/verify.sh
 #                                  # additionally (re)generate the perf
-#                                  # trajectory file via cmd/mdgan-bench
+#                                  # trajectory file via cmd/mdgan-bench,
+#                                  # one set of rows per dtype
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,26 +21,50 @@ if [ -n "$fmt" ]; then
     exit 1
 fi
 
-echo "== go vet =="
-go vet ./...
+dtypes=${MDGAN_DTYPES:-both}
 
-echo "== go build =="
-go build ./...
+run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
+    local name=$1 tags=$2 tagargs=()
+    if [ -n "$tags" ]; then
+        tagargs=(-tags "$tags")
+    fi
+    # ${tagargs[@]+...}: expanding an EMPTY array under `set -u` is an
+    # "unbound variable" error on bash < 4.4 (macOS ships 3.2).
+    echo "== [$name] go vet =="
+    go vet ${tagargs[@]+"${tagargs[@]}"} ./...
 
-echo "== go test =="
-go test ./...
+    echo "== [$name] go build =="
+    go build ${tagargs[@]+"${tagargs[@]}"} ./...
 
-echo "== go test -race =="
-# The race gate: the work-stealing scheduler, the PR-1 buffer-reuse
-# paths and the simnet transports all run under the detector.
-go test -race ./...
+    echo "== [$name] go test =="
+    go test ${tagargs[@]+"${tagargs[@]}"} ./...
 
-echo "== bench smoke (1 iteration) =="
-go test -run=NONE -bench='BenchmarkMDGANIteration$|BenchmarkGeneratorForward$|BenchmarkTableII$' -benchtime=1x -benchmem .
+    echo "== [$name] go test -race =="
+    # The race gate: the work-stealing scheduler, the buffer-reuse
+    # paths and the simnet transports all run under the detector, at
+    # both element widths.
+    go test -race ${tagargs[@]+"${tagargs[@]}"} ./...
 
-if [ -n "${BENCH_JSON:-}" ]; then
-    echo "== writing ${BENCH_JSON} =="
-    go run ./cmd/mdgan-bench -benchjson "${BENCH_JSON}"
-fi
+    echo "== [$name] bench smoke (1 iteration) =="
+    go test ${tagargs[@]+"${tagargs[@]}"} -run=NONE -bench='BenchmarkMDGANIteration$|BenchmarkGeneratorForward$|BenchmarkTableII$' -benchtime=1x -benchmem .
+
+    if [ -n "${BENCH_JSON:-}" ]; then
+        echo "== [$name] writing ${BENCH_JSON} rows =="
+        go run ${tagargs[@]+"${tagargs[@]}"} ./cmd/mdgan-bench -dtype "$name" -benchjson "${BENCH_JSON}"
+    fi
+}
+
+case "$dtypes" in
+float64) run_suite float64 "" ;;
+float32) run_suite float32 f32 ;;
+both)
+    run_suite float64 ""
+    run_suite float32 f32
+    ;;
+*)
+    echo "MDGAN_DTYPES must be float64, float32 or both (got '$dtypes')" >&2
+    exit 1
+    ;;
+esac
 
 echo "verify: OK"
