@@ -180,6 +180,23 @@ func BenchmarkMDGANIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkMDGANIterationPipelined is BenchmarkMDGANIteration under the
+// pipelined engine: the server generates round t+1 while the workers
+// compute round t. On a single core this measures pure stage-reordering
+// overhead (parity with strict is the bar); the overlap win needs
+// enough cores for the workers to actually run concurrently.
+func BenchmarkMDGANIterationPipelined(b *testing.B) {
+	train := mdgan.SynthDigits(800, 1)
+	o := mdgan.Options{
+		Algorithm: mdgan.MDGAN, Workers: 8, Batch: 10, Iters: b.N, Seed: 2, K: 2,
+		Pipeline: true,
+	}
+	b.ResetTimer()
+	if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkMDGANIterationK sweeps the synchronous global iteration over
 // cluster sizes K=1..50 (the Fig. 2-style axis): every simulated worker
 // drives its own conv/matmul kernels, so aggregate throughput measures

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mdgan"
+	"mdgan/internal/simnet"
 	"mdgan/internal/tensor"
 )
 
@@ -74,17 +75,27 @@ func writeBenchJSON(path string) {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
 	}
-	rows := []benchRow{
-		run("BenchmarkMDGANIteration", func(b *testing.B) {
+	// The strict/pipelined pair shares one configuration (K=8 workers)
+	// so the two rows isolate the engine driver: on a single core the
+	// pipelined row measures pure reordering overhead (parity is the
+	// bar — the overlap win needs cores for the workers to actually
+	// compute while the server generates).
+	iterBench := func(pipeline bool) func(b *testing.B) {
+		return func(b *testing.B) {
 			train := mdgan.SynthDigits(800, 1)
 			o := mdgan.Options{
 				Algorithm: mdgan.MDGAN, Workers: 8, Batch: 10, Iters: b.N, Seed: 2, K: 2,
+				Pipeline: pipeline,
 			}
 			b.ResetTimer()
 			if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
 				b.Fatal(err)
 			}
-		}),
+		}
+	}
+	rows := []benchRow{
+		run("BenchmarkMDGANIteration", iterBench(false)),
+		run("BenchmarkMDGANIteration/pipelined", iterBench(true)),
 		run("BenchmarkGeneratorForward", func(b *testing.B) {
 			g := mdgan.MLPArch(128).NewGAN(1, 0, 1)
 			rng := rand.New(rand.NewSource(2))
@@ -122,6 +133,36 @@ func writeBenchJSON(path string) {
 		})
 		row.WorkerStepsPerSec = float64(k) * 1e9 / row.NsPerOp
 		rows = append(rows, row)
+	}
+	// Table III W→W traffic delta of the FP32-swap default: one short
+	// swap-heavy run per precision, recorded as bytes per swap message
+	// (the measured |θ| payload — fp32 is ~half of native on the
+	// float64 build, identical under -tags f32).
+	for _, prec := range []struct {
+		name string
+		p    mdgan.SwapPrecision
+	}{{"fp32", mdgan.SwapFP32}, {"native", mdgan.SwapNative}} {
+		train := mdgan.SynthDigits(320, 1)
+		o := mdgan.Options{
+			Algorithm: mdgan.MDGAN, Workers: 4, Batch: 10, Iters: 8,
+			Seed: 2, K: 2, SwapEvery: 1, SwapPrec: prec.p,
+		}
+		res, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		msgs := res.Traffic.Msgs[simnet.WtoW]
+		if msgs == 0 {
+			log.Fatal("swap-traffic probe produced no W→W messages")
+		}
+		log.Printf("SwapTrafficPerMessage/%s [%s]: %d bytes over %d swaps",
+			prec.name, tensor.DTypeName, res.Traffic.Bytes[simnet.WtoW]/msgs, msgs)
+		rows = append(rows, benchRow{
+			Name:       "SwapTrafficPerMessage/" + prec.name,
+			Dtype:      tensor.DTypeName,
+			Iters:      int(msgs),
+			BytesPerOp: res.Traffic.Bytes[simnet.WtoW] / msgs,
+		})
 	}
 	// Merge with an existing report so the two dtype builds accumulate
 	// into one file: rows measured under the other dtype are kept, rows
@@ -164,6 +205,7 @@ func main() {
 		csvDir    = flag.String("csv", "", "directory to write CSV series into")
 		benchJSON = flag.String("benchjson", "", "write hot-path micro-benchmark results to this JSON file and exit")
 		dtype     = flag.String("dtype", "", "assert the compiled tensor element type (float64 | float32); the dtype is a build-time property, so a mismatch is fatal with a rebuild hint")
+		pipeline  = flag.Bool("pipeline", false, "run the MD-GAN competitors of the training-backed experiments through the pipelined engine (one-iteration parameter staleness) instead of strict Algorithm 1")
 	)
 	flag.Parse()
 
@@ -188,6 +230,7 @@ func main() {
 	if *workers > 0 {
 		sc.Workers = *workers
 	}
+	sc.Pipeline = *pipeline
 	want := func(name string) bool { return *only == "" || *only == name }
 	writeCSV := func(name, content string) {
 		if *csvDir == "" {

@@ -7,6 +7,7 @@
 //	mdgan-train -algo md-gan -dataset digits -workers 10 -iters 2000
 //	mdgan-train -algo fl-gan -dataset cifar -batch 50
 //	mdgan-train -algo md-gan -dataset ring -workers 4 -tcp
+//	mdgan-train -algo md-gan -dataset digits -pipeline
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 		k          = flag.Int("k", 0, "MD-GAN batches per iteration (0 = ⌊ln N⌋)")
 		swapEvery  = flag.Int("swap", 1, "epochs between discriminator swaps (-1 disables)")
 		async      = flag.Bool("async", false, "MD-GAN asynchronous mode (§VII.1)")
+		pipeline   = flag.Bool("pipeline", false, "MD-GAN pipelined synchronous engine: overlap next-round generation with worker compute (one-iteration parameter staleness)")
+		swapNative = flag.Bool("swap-native", false, "ship discriminator swaps at the compiled element width instead of the default 4-byte FP32 wire frames")
 		batch      = flag.Int("batch", 10, "batch size b")
 		iters      = flag.Int("iters", 1000, "generator iterations I")
 		discSteps  = flag.Int("L", 1, "discriminator steps per iteration")
@@ -72,13 +75,18 @@ func main() {
 		log.Fatalf("unknown -compress %q", *compress)
 	}
 
+	swapPrec := mdgan.SwapFP32
+	if *swapNative {
+		swapPrec = mdgan.SwapNative
+	}
 	o := mdgan.Options{
 		Algorithm: mdgan.Algorithm(*algo),
 		Workers:   *workers, K: *k, SwapEvery: *swapEvery, Async: *async,
-		Batch: *batch, Iters: *iters, DiscSteps: *discSteps,
+		Pipeline: *pipeline,
+		Batch:    *batch, Iters: *iters, DiscSteps: *discSteps,
 		LRG: *lrG, LRD: *lrD, PaperLoss: *paperLoss,
 		Seed: *seed, EvalEvery: *evalEvery, UseTCP: *useTCP,
-		NonIIDSkew: *skew, Compress: comp,
+		NonIIDSkew: *skew, Compress: comp, SwapPrec: swapPrec,
 	}
 	log.Printf("running %s on %s (%d samples, arch %s, N=%d, b=%d, I=%d)",
 		*algo, *ds, train.Len(), arch.Name, *workers, *batch, *iters)

@@ -1,7 +1,9 @@
 // Fault tolerance: the Figure 5 experiment in miniature — a worker
 // crashes (fail-stop, taking its data shard with it) every I/N
 // iterations until none remain, and we compare against the crash-free
-// run.
+// run. Since the shared membership layer landed, the same crash
+// schedule also runs through the FL-GAN baseline (round-granular) and
+// through MD-GAN's pipelined engine, so all three appear below.
 //
 //	go run ./examples/fault_tolerance
 package main
@@ -40,12 +42,17 @@ func main() {
 	for _, cfg := range []struct {
 		name    string
 		crashAt map[int][]int
+		mut     func(*mdgan.Options)
 	}{
-		{"md-gan (crash every I/N)", crashes},
-		{"md-gan (no crashes)", nil},
+		{"md-gan (crash every I/N)", crashes, nil},
+		{"md-gan pipelined (crash every I/N)", crashes, func(o *mdgan.Options) { o.Pipeline = true }},
+		{"md-gan (no crashes)", nil, nil},
 	} {
 		o := base
 		o.CrashAt = cfg.crashAt
+		if cfg.mut != nil {
+			cfg.mut(&o)
+		}
 		log.Printf("running %s ...", cfg.name)
 		res, err := mdgan.Run(train, mdgan.MLPArch(64), o, ev)
 		if err != nil {
@@ -55,5 +62,25 @@ func main() {
 		curves = append(curves, res.Curve)
 		log.Printf("  survivors: %d of %d, %d generator updates applied", len(res.Live), workers, res.Iters)
 	}
+
+	// FL-GAN under the same failure model: CrashAt is round-granular
+	// there (a round is E·m/b local iterations), so crash one worker
+	// per round until half the federation is gone.
+	flCrashes := map[int][]int{}
+	for i := 0; i < workers/2; i++ {
+		flCrashes[i+2] = []int{i}
+	}
+	fl := base
+	fl.Algorithm = mdgan.FLGAN
+	fl.CrashAt = flCrashes
+	log.Printf("running fl-gan (crash per round) ...")
+	res, err := mdgan.Run(train, mdgan.MLPArch(64), fl, ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Curve.Name = "fl-gan (crash per round)"
+	curves = append(curves, res.Curve)
+	log.Printf("  survivors: %d of %d, %d local iterations", len(res.Live), workers, res.Iters)
+
 	fmt.Print(mdgan.FormatCurves("fault tolerance (Fig. 5 in miniature)", curves))
 }

@@ -22,6 +22,10 @@ type Scale struct {
 	Workers      int // N (panels that don't sweep N)
 	ImgSize      int // resolution for the CNN panels
 	MLPHidden    int // hidden width of the scaled MLP
+	// Pipeline runs every MD-GAN competitor through the pipelined
+	// engine instead of the strict Algorithm 1 barrier (one-iteration
+	// parameter staleness; mdgan-bench exposes it as -pipeline).
+	Pipeline bool
 }
 
 // QuickScale finishes the whole suite in minutes on a laptop CPU.
@@ -104,8 +108,8 @@ func RunFig3(panel Fig3Panel, sc Scale) ([]Curve, error) {
 		{fmt.Sprintf("standalone b=%d", b2), with(base, func(o *Options) { o.Algorithm = Standalone; o.Batch = b2 })},
 		{fmt.Sprintf("fl-gan b=%d", b1), with(base, func(o *Options) { o.Algorithm = FLGAN; o.Batch = b1 })},
 		{fmt.Sprintf("fl-gan b=%d", b2), with(base, func(o *Options) { o.Algorithm = FLGAN; o.Batch = b2 })},
-		{"md-gan k=1", with(base, func(o *Options) { o.Algorithm = MDGAN; o.Batch = b1; o.K = 1 })},
-		{fmt.Sprintf("md-gan k=%d", kLog), with(base, func(o *Options) { o.Algorithm = MDGAN; o.Batch = b1; o.K = kLog })},
+		{"md-gan k=1", with(base, func(o *Options) { o.Algorithm = MDGAN; o.Batch = b1; o.K = 1; o.Pipeline = sc.Pipeline })},
+		{fmt.Sprintf("md-gan k=%d", kLog), with(base, func(o *Options) { o.Algorithm = MDGAN; o.Batch = b1; o.K = kLog; o.Pipeline = sc.Pipeline })},
 	}
 	curves := make([]Curve, 0, len(runs))
 	for _, r := range runs {
@@ -173,7 +177,7 @@ func RunFig4(ns []int, sc Scale) ([]Fig4Row, error) {
 				o := Options{
 					Algorithm: MDGAN, Workers: n, Batch: b,
 					Iters: sc.Iters, EvalEvery: sc.Iters, Seed: seed,
-					K: 1,
+					K: 1, Pipeline: sc.Pipeline,
 				}
 				if !swap {
 					o.SwapEvery = -1
@@ -216,7 +220,7 @@ func RunFig5(panel Fig3Panel, sc Scale) ([]Curve, error) {
 		}
 		crashes[it] = append(crashes[it], i)
 	}
-	base := Options{Workers: n, Batch: 10, Iters: sc.Iters, EvalEvery: sc.EvalEvery, Seed: seed, K: kLog}
+	base := Options{Workers: n, Batch: 10, Iters: sc.Iters, EvalEvery: sc.EvalEvery, Seed: seed, K: kLog, Pipeline: sc.Pipeline}
 	runs := []struct {
 		name string
 		o    Options
@@ -267,7 +271,8 @@ func RunFig6(sc Scale) ([]Curve, error) {
 		// MD-GAN uses lr 1e-3 (G) / 4e-3 (D), β1 = 0, β2 = 0.9 (β1 is
 		// encoded as a tiny positive value since 0 selects the default).
 		{"md-gan N=5", Options{Algorithm: MDGAN, Workers: 5, Batch: bSmall, Iters: sc.Iters,
-			EvalEvery: sc.EvalEvery, Seed: seed, LRG: 1e-3, LRD: 4e-3, Beta1: 1e-9, Beta2: 0.9, K: 1}},
+			EvalEvery: sc.EvalEvery, Seed: seed, LRG: 1e-3, LRD: 4e-3, Beta1: 1e-9, Beta2: 0.9, K: 1,
+			Pipeline: sc.Pipeline}},
 	}
 	curves := make([]Curve, 0, len(runs))
 	for _, r := range runs {

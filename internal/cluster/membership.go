@@ -1,0 +1,183 @@
+// Package cluster provides the membership layer shared by the
+// distributed training protocols (synchronous and asynchronous MD-GAN
+// in internal/core, FL-GAN in internal/flgan): one component that owns
+// the live set of workers, the fail-stop crash schedule (Fig. 5),
+// dynamic joins (paper §IV-A), per-round client sampling (the §VII.4
+// adaptation of federated learning), and straggler demotion (a worker
+// whose transport fails mid-round is removed instead of aborting the
+// run, the relaxation §VII.1 invites).
+//
+// Determinism contract: Live returns names in join order (the index
+// order workers were Added in), Sample consumes the injected *rand.Rand
+// only when sampling is actually active and returns the subset in
+// lexicographic order, and ApplyCrashes resolves schedule indices
+// against the join order. Two runs that Add the same names, share the
+// same schedule and draw from identically-seeded RNGs therefore observe
+// identical membership at every iteration — the property the engines'
+// bitwise-equivalence tests pin.
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+
+	"mdgan/internal/simnet"
+)
+
+// Membership tracks which workers of a training cluster are alive and
+// which participate in the current round. It is not safe for concurrent
+// use: exactly one protocol driver (the server/engine goroutine) owns
+// it.
+type Membership struct {
+	// net, when non-nil, is told about fail-stop deaths (net.Crash
+	// closes the victim's inbox so its goroutine observes the crash).
+	net simnet.Net
+	// rng drives client sampling; it may be shared with the protocol
+	// driver (the engines share their server RNG so the draw order is
+	// part of the pinned deterministic stream).
+	rng *rand.Rand
+	// order lists every worker ever added, in join order. Crashed
+	// workers stay in order (schedule indices must remain stable) but
+	// drop out of live.
+	order []string
+	live  map[string]bool
+	// crashAt schedules fail-stop crashes: iteration (or round) number
+	// → indices into order of the workers to kill at its start.
+	crashAt map[int][]int
+	// activePerRound, when in (0, live count), bounds how many workers
+	// a Sample activates.
+	activePerRound int
+}
+
+// New builds a membership over an initially empty worker set. net may
+// be nil (no transport to signal crashes to), crashAt may be nil (no
+// scheduled crashes) and activePerRound 0 (every live worker active).
+func New(net simnet.Net, rng *rand.Rand, crashAt map[int][]int, activePerRound int) *Membership {
+	return &Membership{
+		net:            net,
+		rng:            rng,
+		live:           make(map[string]bool),
+		crashAt:        crashAt,
+		activePerRound: activePerRound,
+	}
+}
+
+// Add registers a worker as alive and appends it to the join order —
+// used both for the initial cluster and for dynamic joins.
+func (m *Membership) Add(name string) {
+	m.order = append(m.order, name)
+	m.live[name] = true
+}
+
+// Alive reports whether the named worker is currently live.
+func (m *Membership) Alive(name string) bool { return m.live[name] }
+
+// NumLive returns the number of live workers.
+func (m *Membership) NumLive() int {
+	n := 0
+	for _, name := range m.order {
+		if m.live[name] {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of workers ever added (live or not).
+func (m *Membership) Len() int { return len(m.order) }
+
+// Name returns the join-order name at index i ("" when out of range).
+func (m *Membership) Name(i int) string {
+	if i < 0 || i >= len(m.order) {
+		return ""
+	}
+	return m.order[i]
+}
+
+// Live returns the live worker names in join order. The slice is
+// freshly allocated; callers may retain or reorder it.
+func (m *Membership) Live() []string {
+	out := make([]string, 0, len(m.order))
+	for _, name := range m.order {
+		if m.live[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ApplyCrashes executes the fail-stop schedule for iteration it:
+// workers whose join-order index is listed die before the round starts,
+// taking their data shard with them (Fig. 5). Out-of-range and already-
+// dead indices are ignored.
+func (m *Membership) ApplyCrashes(it int) {
+	for _, idx := range m.crashAt[it] {
+		if idx < 0 || idx >= len(m.order) {
+			continue
+		}
+		m.Fail(m.order[idx])
+	}
+}
+
+// Fail demotes a worker fail-stop style: it leaves the live set and, on
+// a real transport, its inbox is closed so the worker goroutine (local
+// transports) observes the death. The engines call this both for
+// scheduled crashes and for stragglers discovered mid-round (a send
+// that returns simnet.ErrNodeDown).
+func (m *Membership) Fail(name string) {
+	if !m.live[name] {
+		return
+	}
+	m.live[name] = false
+	if m.net != nil {
+		m.net.Crash(name)
+	}
+}
+
+// Sample returns this round's active workers: all live workers in join
+// order, or — when ActivePerRound is set below the live count — a
+// uniform random subset of that size in lexicographic order (the §VII.4
+// client-sampling extension: fewer active discriminators than workers,
+// the whole dataset still covered over time). The RNG is consumed only
+// when sampling actually truncates, so runs without the knob draw an
+// identical stream to runs of a sampling-free build.
+func (m *Membership) Sample() []string {
+	alive := m.Live()
+	if m.activePerRound > 0 && m.activePerRound < len(alive) {
+		m.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+		alive = alive[:m.activePerRound]
+		sort.Strings(alive) // deterministic merge order
+	}
+	return alive
+}
+
+// StopAll sends a best-effort stop message (type stopType, C→W) from
+// the named server node to every live worker — the shared half of the
+// protocols' shutdown paths, which must run on every exit (including
+// error returns) so worker goroutines never outlive a Train call.
+// Sends to workers that died between the liveness check and the send
+// fail harmlessly: a crashed worker's goroutine has already exited via
+// its closed inbox. Callers then join their own worker goroutines
+// (the handles are protocol-specific).
+func (m *Membership) StopAll(from, stopType string) {
+	if m.net == nil {
+		return
+	}
+	for _, name := range m.order {
+		if m.live[name] {
+			_ = m.net.Send(simnet.Message{From: from, To: name, Type: stopType, Kind: simnet.CtoW})
+		}
+	}
+}
+
+// ActiveBound returns an upper bound on the size of the next Sample —
+// min(ActivePerRound, live count) — without consuming the RNG. The
+// pipelined engine uses it to clamp k when generating a round ahead of
+// the membership decisions for that round.
+func (m *Membership) ActiveBound() int {
+	n := m.NumLive()
+	if m.activePerRound > 0 && m.activePerRound < n {
+		return m.activePerRound
+	}
+	return n
+}

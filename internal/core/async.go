@@ -55,7 +55,7 @@ func (s *server) runAsync(iters int) (int, error) {
 		})
 	}
 
-	for _, name := range s.liveWorkers() {
+	for _, name := range s.m.Live() {
 		if err := send(name); err != nil {
 			return 0, fmt.Errorf("core: async prime %s: %w", name, err)
 		}
@@ -64,14 +64,14 @@ func (s *server) runAsync(iters int) (int, error) {
 	updates := 0
 	inbox := s.net.Inbox(serverName)
 	for updates < iters {
-		if len(s.liveWorkers()) == 0 {
+		if s.m.NumLive() == 0 {
 			return updates, nil
 		}
 		msg, ok := <-inbox
 		if !ok {
 			return updates, fmt.Errorf("core: server inbox closed")
 		}
-		if msg.Type != msgFeedback || !s.live[msg.From] {
+		if msg.Type != msgFeedback || !s.m.Alive(msg.From) {
 			continue
 		}
 		f, err := decodeFeedbackAny(msg.Payload, s.feedbackShape)
@@ -89,17 +89,19 @@ func (s *server) runAsync(iters int) (int, error) {
 		s.optG.Step(s.g.Params())
 		updates++
 
-		s.applyCrashes(updates)
+		s.m.ApplyCrashes(updates)
 		if s.eval != nil && s.evalEvery > 0 && updates%s.evalEvery == 0 {
 			s.eval(updates, s.g)
 		}
 		if updates >= iters {
 			break
 		}
-		if s.live[msg.From] {
+		if s.m.Alive(msg.From) {
 			if err := send(msg.From); err != nil {
 				// The worker crashed between our liveness check and the
-				// send; treat as fail-stop and continue.
+				// send: demote it fail-stop style and continue with the
+				// survivors.
+				s.m.Fail(msg.From)
 				continue
 			}
 		}
@@ -111,7 +113,7 @@ func (s *server) runAsync(iters int) (int, error) {
 // (the paper's GETRANDOMWORKER).
 func (s *server) randomPeer(name string) string {
 	var candidates []string
-	for _, w := range s.liveWorkers() {
+	for _, w := range s.m.Live() {
 		if w != name {
 			candidates = append(candidates, w)
 		}

@@ -3,13 +3,16 @@ package core
 // Buffer-ownership contract tests. Since PR 1, Generator/Discriminator
 // Forward and Backward return module-owned buffers that are valid only
 // until that module's next call; code that retains results across
-// passes must Clone. The server's sync path (runSync keeps k generated
-// batches alive until they are encoded), the async path (send clones
-// X^(g) before generating X^(d)) and the worker feedback path all rely
-// on it. These tests intentionally retain outputs WITHOUT cloning and
-// assert the corruption is real — if a refactor ever changes the
-// ownership model, they fail loudly and the retention sites plus the
-// internal/nn package doc must be revisited together.
+// passes must Clone (or otherwise consume the buffer first). The round
+// engine's generate stage relies on the "consume first" form — each
+// generated batch is encoded into its wire frame before the next
+// Forward clobbers the buffer, and apply re-forwards from the retained
+// latents instead of retaining outputs; the async path still clones
+// X^(g) before generating X^(d), and the worker feedback path encodes
+// immediately. These tests intentionally retain outputs WITHOUT
+// cloning and assert the corruption is real — if a refactor ever
+// changes the ownership model, they fail loudly and the retention
+// sites plus the internal/nn package doc must be revisited together.
 
 import (
 	"math/rand"
@@ -34,17 +37,19 @@ func tensorsDiffer(a, b *tensor.Tensor) bool {
 	return false
 }
 
-// TestGeneratorForwardClonOrCorrupt pins the contract at the sync
+// TestGeneratorForwardCloneOrCorrupt pins the contract at the sync
 // server call site: the k generated batches of one global iteration
-// share the generator's output buffer, so runSync must clone each one
-// (core.go, "clone because all k generated batches stay live").
+// share the generator's output buffer, so the engine's generate stage
+// must consume each one (encode it into its wire frame) before the
+// next Forward — retaining the raw output would corrupt it exactly as
+// demonstrated here.
 func TestGeneratorForwardCloneOrCorrupt(t *testing.T) {
 	g := testCouple(t).G
 	rng := rand.New(rand.NewSource(11))
 
 	z1, l1 := g.SampleZ(4, rng)
 	x1 := g.Forward(z1, l1, true) // retained WITHOUT clone
-	kept := x1.Clone()            // what runSync actually does
+	kept := x1.Clone()            // an encode-before-next-Forward stand-in
 
 	z2, l2 := g.SampleZ(4, rng)
 	x2 := g.Forward(z2, l2, true)
@@ -52,7 +57,7 @@ func TestGeneratorForwardCloneOrCorrupt(t *testing.T) {
 	if &x1.Data[0] != &x2.Data[0] {
 		t.Fatal("Generator.Forward returned a fresh buffer: the documented " +
 			"clone-or-corrupt contract changed — update the retention sites " +
-			"in core, async, metrics and this test together")
+			"in core (engine.go generate/apply), async, metrics and this test together")
 	}
 	if !tensorsDiffer(kept, x1) {
 		t.Fatal("second Forward left the retained buffer intact; the contract test is vacuous")

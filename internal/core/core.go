@@ -6,6 +6,18 @@
 // error feedbacks F_n (§IV-B2), the server merges the feedbacks into a
 // generator gradient and applies Adam. Every E epochs discriminators
 // swap between workers in a gossip fashion (SWAP, §IV-C1).
+//
+// Since PR 4 the iteration is driven by a round engine (engine.go) that
+// decomposes Algorithm 1 into composable stages — prepare (membership),
+// generate, route, dispatch, collect, apply — over buffers owned by the
+// engine rather than locals of one monolithic loop. The strict driver
+// preserves Algorithm 1's barrier semantics bit-for-bit (pinned by a
+// serial-reference equivalence test); the Pipeline driver overlaps the
+// server's generation/encoding of round t+1 with the workers' compute
+// of round t at the cost of one iteration of generator-parameter
+// staleness. Cluster membership (crashes, joins, sampling, straggler
+// demotion) lives in the shared internal/cluster package, which FL-GAN
+// uses too.
 package core
 
 import (
@@ -14,12 +26,11 @@ import (
 	"math/rand"
 	"sort"
 
+	"mdgan/internal/cluster"
 	"mdgan/internal/dataset"
 	"mdgan/internal/gan"
 	"mdgan/internal/opt"
-	"mdgan/internal/parallel"
 	"mdgan/internal/simnet"
-	"mdgan/internal/tensor"
 )
 
 // Config configures an MD-GAN run. It embeds the hyper-parameters
@@ -39,7 +50,8 @@ type Config struct {
 	CrashAt map[int][]int
 	// JoinAt schedules dynamic worker joins (§IV-A): iteration → data
 	// shards, one new worker per shard, each entering with a copy of a
-	// random live worker's discriminator. Synchronous mode only.
+	// random live worker's discriminator. Synchronous mode only
+	// (strict or pipelined).
 	JoinAt map[int][]*dataset.Dataset
 	// Net supplies the transport; nil selects an in-process ChannelNet.
 	Net simnet.Net
@@ -47,9 +59,34 @@ type Config struct {
 	// server applies a generator update per arriving feedback instead
 	// of waiting for all workers.
 	Async bool
+	// Pipeline enables one-round-deep pipelining of the synchronous
+	// engine (the other §VII.1 relaxation: "fresh batches of data can
+	// be generated frequently, so that they can be sent to idle
+	// workers"): the server generates and encodes round t+1's k batches
+	// while the workers compute round t, and applies round t's
+	// generator update when its feedbacks land. Contract: the batches
+	// of round t+1 are generated from parameters that are exactly ONE
+	// generator update stale (they miss round t's update), and —
+	// symmetrically — round t's feedbacks backpropagate through the
+	// generator's current parameters, one update newer than the ones
+	// that produced the batches the workers scored. This is the
+	// standard stale-gradient trade-off of asynchronous parameter
+	// servers (the Async mode shares it), bounded here at exactly one
+	// update. Everything else — membership, routing, aggregation — is
+	// decided at the same round boundaries as strict mode. False (the
+	// default) runs the paper's strict barrier loop, which a
+	// serial-reference test pins bitwise. Mutually exclusive with
+	// Async.
+	Pipeline bool
 	// Compress selects the error-feedback wire encoding (§VII.2
 	// extension): CompressNone (default), CompressFP32 or CompressTopK.
 	Compress Compression
+	// SwapPrec selects the wire element width of discriminator swap
+	// (and join-clone) payloads. The default SwapFP32 ships 4-byte
+	// elements — halving Table III's W→W row on the float64 build, a
+	// no-op under -tags f32; SwapNative keeps swaps bit-exact at the
+	// compiled width.
+	SwapPrec SwapPrecision
 	// ActivePerRound, when in (0, N), activates only a uniform random
 	// subset of workers each iteration (the §VII.4 adaptation of
 	// federated learning's client sampling: fewer active
@@ -161,6 +198,9 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 	if cfg.Async && len(cfg.JoinAt) > 0 {
 		return nil, fmt.Errorf("core: dynamic worker join requires synchronous mode")
 	}
+	if cfg.Async && cfg.Pipeline {
+		return nil, fmt.Errorf("core: Pipeline applies to the synchronous engine only")
+	}
 
 	net := cfg.Net
 	if net == nil {
@@ -187,71 +227,68 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 		if err := net.Register(name); err != nil {
 			return nil, err
 		}
-		workers[i] = &worker{
-			name:      name,
-			d:         couple.D.Clone(),
-			lc:        lc,
-			optD:      opt.NewAdam(cfg.OptD),
-			sampler:   dataset.NewSampler(shards[i], cfg.Seed+7919*int64(i+1)),
-			batch:     cfg.Batch,
-			discL:     cfg.DiscSteps,
-			net:       net,
-			lazySwap:  cfg.Async,
-			compress:  cfg.Compress,
-			byzantine: cfg.Byzantine[i],
-			rng:       rand.New(rand.NewSource(cfg.Seed + 15485863*int64(i+1))),
-			done:      make(chan struct{}),
-		}
+		workers[i] = newWorker(cfg, net, lc, couple.D, i, shards[i])
 		go workers[i].run()
 	}
 
 	srv := &server{
-		g:              g,
-		optG:           opt.NewAdam(cfg.OptG),
-		net:            net,
-		rng:            rand.New(rand.NewSource(cfg.Seed + 31)),
-		batch:          cfg.Batch,
-		k:              k,
-		live:           make(map[string]bool, n),
-		order:          make([]string, n),
-		swapInterval:   swapInterval,
-		crashAt:        cfg.CrashAt,
-		eval:           eval,
-		evalEvery:      cfg.EvalEvery,
-		activePerRound: cfg.ActivePerRound,
-		aggregate:      cfg.Aggregate,
-		joinAt:         cfg.JoinAt,
+		g:            g,
+		optG:         opt.NewAdam(cfg.OptG),
+		net:          net,
+		rng:          rand.New(rand.NewSource(cfg.Seed + 31)),
+		batch:        cfg.Batch,
+		k:            k,
+		swapInterval: swapInterval,
+		eval:         eval,
+		evalEvery:    cfg.EvalEvery,
+		aggregate:    cfg.Aggregate,
+		joinAt:       cfg.JoinAt,
 	}
-	for i := range workers {
-		srv.order[i] = workers[i].name
-		srv.live[workers[i].name] = true
+	srv.m = cluster.New(net, srv.rng, cfg.CrashAt, cfg.ActivePerRound)
+	for _, w := range workers {
+		srv.m.Add(w.name)
 	}
 	nextIdx := n
 	srv.spawn = spawnJoiner(cfg, net, lc, couple.D, &workers, &nextIdx)
 
+	// Shutdown runs on EVERY exit path — the error returns used to
+	// leak the worker goroutines whenever cfg.Net was caller-supplied
+	// (no stop message was sent and wait() was never reached, and only
+	// an internally-created net gets closed above).
+	stopped := false
+	shutdown := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		srv.m.StopAll(serverName, msgStop)
+		for _, w := range workers {
+			w.wait()
+		}
+	}
+	defer shutdown()
+
 	var iters int
 	var err error
-	if cfg.Async {
+	switch {
+	case cfg.Async:
 		iters, err = srv.runAsync(cfg.Iters)
-	} else {
+	case cfg.Pipeline:
+		iters, err = srv.runPipelined(cfg.Iters)
+	default:
 		iters, err = srv.runSync(cfg.Iters)
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	// Stop surviving workers and collect their discriminators.
+	// Stop surviving workers and collect their discriminators (their
+	// goroutines must have exited before w.d is read).
+	shutdown()
 	discs := make(map[string]*gan.Discriminator)
 	var liveNames []string
 	for _, w := range workers {
-		if !srv.live[w.name] {
-			continue
-		}
-		_ = net.Send(simnet.Message{From: serverName, To: w.name, Type: msgStop, Kind: simnet.CtoW})
-	}
-	for _, w := range workers {
-		w.wait()
-		if srv.live[w.name] {
+		if srv.m.Alive(w.name) {
 			discs[w.name] = w.d
 			liveNames = append(liveNames, w.name)
 		}
@@ -267,206 +304,24 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 	}, nil
 }
 
-// server drives the global iterations.
-type server struct {
-	g              *gan.Generator
-	optG           *opt.Adam
-	net            simnet.Net
-	rng            *rand.Rand
-	batch          int
-	k              int
-	live           map[string]bool
-	order          []string // worker names in index order (for determinism)
-	swapInterval   int
-	crashAt        map[int][]int
-	eval           EvalFunc
-	evalEvery      int
-	activePerRound int
-	aggregate      Aggregation
-	joinAt         map[int][]*dataset.Dataset
-	spawn          func(*dataset.Dataset) (*worker, error)
-	// feedbackShape validates async feedback decodes: the shape of the
-	// last generated batch, set before any feedback can arrive.
-	feedbackShape []int
-}
-
-// liveWorkers returns the alive worker names in index order.
-func (s *server) liveWorkers() []string {
-	out := make([]string, 0, len(s.order))
-	for _, name := range s.order {
-		if s.live[name] {
-			out = append(out, name)
-		}
+// newWorker builds worker i over its shard. The discriminator starts as
+// a clone of the shared template (for joiners it is overwritten by the
+// donor's parameters before the first batch arrives).
+func newWorker(cfg Config, net simnet.Net, lc gan.LossConfig, template *gan.Discriminator, i int, shard *dataset.Dataset) *worker {
+	return &worker{
+		name:      workerName(i),
+		d:         template.Clone(),
+		lc:        lc,
+		optD:      opt.NewAdam(cfg.OptD),
+		sampler:   dataset.NewSampler(shard, cfg.Seed+7919*int64(i+1)),
+		batch:     cfg.Batch,
+		discL:     cfg.DiscSteps,
+		net:       net,
+		lazySwap:  cfg.Async,
+		compress:  cfg.Compress,
+		swapPrec:  cfg.SwapPrec,
+		byzantine: cfg.Byzantine[i],
+		rng:       rand.New(rand.NewSource(cfg.Seed + 15485863*int64(i+1))),
+		done:      make(chan struct{}),
 	}
-	return out
-}
-
-// applyCrashes executes the fail-stop schedule for iteration it.
-func (s *server) applyCrashes(it int) {
-	for _, idx := range s.crashAt[it] {
-		if idx < 0 || idx >= len(s.order) {
-			continue
-		}
-		name := s.order[idx]
-		if s.live[name] {
-			s.live[name] = false
-			s.net.Crash(name)
-		}
-	}
-}
-
-// runSync executes the synchronous Algorithm 1 for I iterations and
-// returns the number of generator updates applied.
-func (s *server) runSync(iters int) (int, error) {
-	updates := 0
-	for it := 1; it <= iters; it++ {
-		s.applyCrashes(it)
-		if err := s.processJoins(it, s.spawn); err != nil {
-			return updates, err
-		}
-		alive := s.liveWorkers()
-		if len(alive) == 0 {
-			return updates, nil // every worker crashed: training ends
-		}
-		// §VII.4 extension: activate only a random subset of workers
-		// this round (client sampling). The rest stay idle and keep
-		// their discriminators.
-		if s.activePerRound > 0 && s.activePerRound < len(alive) {
-			s.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
-			alive = alive[:s.activePerRound]
-			sort.Strings(alive) // deterministic merge order
-		}
-		k := s.k
-		if k > len(alive) {
-			k = len(alive)
-		}
-
-		// Step 1: generate k batches from G, keeping the latent inputs
-		// for the later backward pass.
-		zs := make([]*tensor.Tensor, k)
-		labs := make([][]int, k)
-		xs := make([]*tensor.Tensor, k)
-		for j := 0; j < k; j++ {
-			zs[j], labs[j] = s.g.SampleZ(s.batch, s.rng)
-			// Forward returns a network-owned buffer; clone because all
-			// k generated batches stay live until they are encoded.
-			xs[j] = s.g.Forward(zs[j], labs[j], true).Clone()
-		}
-
-		// Swap command for this iteration: a uniform random cyclic
-		// permutation (fixed-point-free) over live workers realises the
-		// paper's random gossip SWAP deterministically.
-		swapTo := map[string]string{}
-		if s.swapInterval > 0 && it%s.swapInterval == 0 && len(alive) > 1 {
-			swapTo = sattolo(alive, s.rng)
-		}
-
-		// Step 1 (cont.): SPLIT — worker n gets X^(g) = X^(n mod k),
-		// X^(d) = X^((n+1) mod k) (§IV-B1), indices over live workers.
-		// Per-worker payload encoding is independent (the generated
-		// batches are only read), so the per-worker step loop fans out
-		// on the scheduler and the sends go through Broadcast.
-		gIdx := make(map[string]int, len(alive))
-		for i, name := range alive {
-			gIdx[name] = i % k
-		}
-		msgs := make([]simnet.Message, len(alive))
-		parallel.ForceFor(len(alive), func(ws, we int) {
-			for i := ws; i < we; i++ {
-				name := alive[i]
-				gi := i % k
-				di := (i + 1) % k
-				msgs[i] = simnet.Message{
-					From: serverName, To: name, Type: msgBatches,
-					Kind: simnet.CtoW,
-					Payload: encodeBatches(batchesMsg{
-						Xd: xs[di], Ld: labs[di],
-						Xg: xs[gi], Lg: labs[gi],
-						SwapTo: swapTo[name],
-					}),
-				}
-			}
-		})
-		if err := simnet.Broadcast(s.net, msgs); err != nil {
-			return updates, fmt.Errorf("core: send batches: %w", err)
-		}
-
-		// Step 3: collect one feedback per live worker.
-		feedbacks := make(map[string]*tensor.Tensor, len(alive))
-		inbox := s.net.Inbox(serverName)
-		for len(feedbacks) < len(alive) {
-			msg, ok := <-inbox
-			if !ok {
-				return updates, fmt.Errorf("core: server inbox closed")
-			}
-			if msg.Type != msgFeedback {
-				continue
-			}
-			if _, expected := gIdx[msg.From]; !expected {
-				continue // stale feedback from an inactive round
-			}
-			// A feedback must have the shape of the generated batch it
-			// answers; the expected shape also bounds the decode so a
-			// corrupt frame cannot over-allocate.
-			f, err := decodeFeedbackAny(msg.Payload, xs[0].Shape())
-			if err != nil {
-				return updates, err
-			}
-			feedbacks[msg.From] = f
-		}
-
-		// Step 4: merge feedbacks per generated batch and backpropagate
-		// through G. Grouping follows worker index order so the result
-		// is independent of message arrival order. The per-group merge
-		// applies the configured aggregation rule (mean = the paper's
-		// §IV-B2 averaging; median/trimmed = §VII.3 robustness); the
-		// group result is weighted by groupSize/N to keep the global
-		// 1/N scaling.
-		groups := make([][]*tensor.Tensor, k)
-		for _, name := range alive {
-			j := gIdx[name]
-			groups[j] = append(groups[j], feedbacks[name])
-		}
-		outGrads := make([]*tensor.Tensor, k)
-		for j, fs := range groups {
-			if len(fs) == 0 {
-				continue
-			}
-			agg := aggregateFeedbacks(fs, s.aggregate)
-			outGrads[j] = agg.ScaleInPlace(float64(len(fs)) / float64(len(alive)))
-		}
-		s.g.ZeroGrads()
-		for j := 0; j < k; j++ {
-			if outGrads[j] == nil {
-				continue
-			}
-			// Re-forward to restore layer caches for batch j (they were
-			// clobbered when batch j+1.. were generated).
-			s.g.Forward(zs[j], labs[j], true)
-			s.g.Backward(outGrads[j])
-		}
-		s.optG.Step(s.g.Params())
-		updates++
-
-		if s.eval != nil && s.evalEvery > 0 && it%s.evalEvery == 0 {
-			s.eval(it, s.g)
-		}
-	}
-	return updates, nil
-}
-
-// sattolo returns a uniform random cyclic permutation of names as a
-// map name → successor. Cyclic permutations have no fixed points, so no
-// worker ever "swaps with itself" (which would defeat §IV-C1).
-func sattolo(names []string, rng *rand.Rand) map[string]string {
-	p := append([]string(nil), names...)
-	for i := len(p) - 1; i > 0; i-- {
-		j := rng.Intn(i)
-		p[i], p[j] = p[j], p[i]
-	}
-	out := make(map[string]string, len(p))
-	for i, name := range p {
-		out[name] = p[(i+1)%len(p)]
-	}
-	return out
 }

@@ -284,11 +284,37 @@ func TestSwapTrafficAccounting(t *testing.T) {
 	if got := res.Traffic.Msgs[simnet.WtoW]; got != int64(2*n) {
 		t.Fatalf("W→W msgs = %d, want %d", got, 2*n)
 	}
-	// Each swap payload is the serialised discriminator: equal sizes.
-	wantBytes := res.Traffic.Bytes[simnet.WtoW] / (2 * n)
+	// Each swap payload is the serialised discriminator at the default
+	// FP32 wire precision: equal sizes, and on the float64 build about
+	// half the native |θ| framing.
+	perSwap := res.Traffic.Bytes[simnet.WtoW] / (2 * n)
 	d := gan.RingMLP().NewGAN(1, nn.GenLossNonSaturating, 0).D
-	if wantBytes != d.EncodedParamSize() {
-		t.Fatalf("per-swap bytes = %d, want |θ| payload %d", wantBytes, d.EncodedParamSize())
+	if want := swapPayloadSize(d, SwapFP32); perSwap != want {
+		t.Fatalf("per-swap bytes = %d, want fp32 |θ| payload %d", perSwap, want)
+	}
+	if tensor.ElemBytes == 8 && perSwap >= d.EncodedParamSize() {
+		t.Fatalf("f64 build: fp32 swap %d bytes not below native %d", perSwap, d.EncodedParamSize())
+	}
+}
+
+// TestSwapNativeTrafficAccounting pins the opt-out: SwapNative restores
+// the compiled-width |θ| payload of the original Table III accounting.
+func TestSwapNativeTrafficAccounting(t *testing.T) {
+	const n = 4
+	shards := ringShards(n, 64, 15)
+	cfg := baseConfig()
+	cfg.Batch = 16
+	cfg.Iters = 8
+	cfg.SwapEvery = 1
+	cfg.SwapPrec = SwapNative
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSwap := res.Traffic.Bytes[simnet.WtoW] / (2 * n)
+	d := gan.RingMLP().NewGAN(1, nn.GenLossNonSaturating, 0).D
+	if perSwap != d.EncodedParamSize() {
+		t.Fatalf("per-swap bytes = %d, want native |θ| payload %d", perSwap, d.EncodedParamSize())
 	}
 }
 

@@ -1,0 +1,442 @@
+package core
+
+// The synchronous round engine. Algorithm 1's global iteration is
+// decomposed into composable stages over engine-owned buffers:
+//
+//	prepare   — membership: crashes, joins, client sampling, k clamp
+//	generate  — k latent draws, k generator forwards, one wire frame
+//	            per batch (tensor framing ++ labels, encoded once)
+//	route     — SWAP permutation + the §IV-B1 SPLIT assignment, then
+//	            the per-worker payloads (frame concatenation) fanned
+//	            out on the work-stealing scheduler
+//	dispatch  — simnet.BroadcastEach; an ErrNodeDown destination is
+//	            demoted via membership (fail-stop straggler handling)
+//	            instead of aborting the run
+//	collect   — one feedback per successfully-dispatched worker
+//	apply     — aggregate per generated batch, backprop through G,
+//	            Adam step, eval hook
+//
+// Two drivers compose the stages. runSync is the paper's strict
+// barrier loop — stage order within one round, bitwise-identical
+// generator parameters to a serial replay of Algorithm 1 (pinned by
+// TestStrictEngineMatchesSerialReference). runPipelined overlaps the
+// next round's generate with the current round's worker compute
+// (§VII.1: "fresh batches of data can be generated frequently, so that
+// they can be sent to idle workers"), trading exactly one iteration of
+// generator-parameter staleness for the overlap.
+//
+// Buffer ownership: a round's slices and maps belong to the engine and
+// are reset — not reallocated — when the round slot is reused. The
+// per-batch frames are copied into freshly-allocated per-worker message
+// payloads at route time, so no in-flight message ever aliases an
+// engine buffer (transports hold payloads until workers decode them,
+// possibly across a round boundary when a worker buffers batches while
+// awaiting a swap).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mdgan/internal/cluster"
+	"mdgan/internal/dataset"
+	"mdgan/internal/gan"
+	"mdgan/internal/opt"
+	"mdgan/internal/parallel"
+	"mdgan/internal/simnet"
+	"mdgan/internal/tensor"
+)
+
+// server drives the global iterations.
+type server struct {
+	g            *gan.Generator
+	optG         *opt.Adam
+	net          simnet.Net
+	rng          *rand.Rand
+	batch        int
+	k            int
+	m            *cluster.Membership
+	swapInterval int
+	eval         EvalFunc
+	evalEvery    int
+	aggregate    Aggregation
+	joinAt       map[int][]*dataset.Dataset
+	spawn        func(*dataset.Dataset) (*worker, error)
+	// feedbackShape validates async feedback decodes: the shape of the
+	// last generated batch, set before any feedback can arrive.
+	feedbackShape []int
+	// updates counts generator updates applied (the engine's Iters).
+	updates int
+	// rounds are the engine-owned per-stage buffers: slot 0 for strict
+	// mode, both slots double-buffered in pipelined mode.
+	rounds [2]round
+}
+
+// round owns the per-stage state of one synchronous global iteration.
+type round struct {
+	it     int
+	k      int               // generated batches this round
+	active []string          // workers targeted this round (post-sampling)
+	sent   map[string]bool   // dispatch succeeded; a feedback is expected
+	gIdx   map[string]int    // worker → generated-batch index (SPLIT)
+	swapTo map[string]string // SWAP successor per worker ("" = none)
+
+	zs    []*tensor.Tensor // latent draws behind each generated batch
+	labs  [][]int
+	shape []int // generated-batch shape (bounds feedback decodes)
+	msgs  []simnet.Message
+	// frames holds one wire frame per generated batch (tensor framing
+	// followed by the label framing). Each batch is encoded exactly
+	// once; per-worker payloads are concatenations of two frames, so
+	// the old per-worker re-encoding of the same tensors is gone.
+	frames [][]byte
+
+	feedbacks map[string]*tensor.Tensor
+}
+
+// reset prepares the round slot for iteration it, reusing backing
+// storage — slices are truncated and maps cleared in place (frames are
+// copied into payloads before dispatch, so their buffers never escape
+// the engine).
+func (r *round) reset(it int) {
+	r.it = it
+	r.k = 0
+	r.active = r.active[:0]
+	r.swapTo = nil
+	r.zs = r.zs[:0]
+	r.labs = r.labs[:0]
+	r.shape = r.shape[:0]
+	r.msgs = r.msgs[:0]
+	if r.sent == nil {
+		r.sent = make(map[string]bool)
+	} else {
+		clear(r.sent)
+	}
+	if r.gIdx == nil {
+		r.gIdx = make(map[string]int)
+	} else {
+		clear(r.gIdx)
+	}
+	if r.feedbacks == nil {
+		r.feedbacks = make(map[string]*tensor.Tensor)
+	} else {
+		clear(r.feedbacks)
+	}
+}
+
+// prepare runs the membership stage for iteration it: scheduled
+// crashes, dynamic joins, client sampling. It fills r.active and, when
+// clampK is true (strict mode), sets r.k = min(server k, active count).
+// Pipelined rounds generate before membership is decided, so they keep
+// the k the pregenerate stage chose.
+func (s *server) prepare(r *round, clampK bool) error {
+	s.m.ApplyCrashes(r.it)
+	if err := s.processJoins(r.it, s.spawn); err != nil {
+		return err
+	}
+	r.active = append(r.active[:0], s.m.Sample()...)
+	if clampK {
+		r.k = s.k
+		if r.k > len(r.active) {
+			r.k = len(r.active)
+		}
+	}
+	return nil
+}
+
+// generate runs the generation stage: r.k latent draws and generator
+// forwards, each batch encoded into its wire frame exactly once. The
+// forward output is consumed (encoded) before the next forward clobbers
+// it, so no clone is needed; apply re-forwards from r.zs to restore the
+// layer caches batch by batch.
+func (s *server) generate(r *round) {
+	if cap(r.frames) < r.k {
+		r.frames = make([][]byte, r.k)
+	} else {
+		r.frames = r.frames[:r.k]
+	}
+	for j := 0; j < r.k; j++ {
+		z, lab := s.g.SampleZ(s.batch, s.rng)
+		x := s.g.Forward(z, lab, true)
+		r.zs = append(r.zs, z)
+		r.labs = append(r.labs, lab)
+		r.shape = append(r.shape[:0], x.Shape()...)
+		frame := x.AppendBinary(r.frames[j][:0])
+		r.frames[j] = appendLabels(frame, lab)
+	}
+}
+
+// route runs the routing stage: the SWAP permutation for this
+// iteration (a uniform random cyclic permutation over the active
+// workers realises the paper's random gossip SWAP deterministically),
+// the §IV-B1 SPLIT assignment X^(g) = X^(n mod k), X^(d) =
+// X^((n+1) mod k), and the per-worker payloads. Payload assembly is
+// independent per worker (the batch frames are only read), so it fans
+// out on the scheduler.
+func (s *server) route(r *round) {
+	r.swapTo = nil
+	if s.swapInterval > 0 && r.it%s.swapInterval == 0 && len(r.active) > 1 {
+		r.swapTo = sattolo(r.active, s.rng)
+	}
+	for i, name := range r.active {
+		r.gIdx[name] = i % r.k
+	}
+	if cap(r.msgs) < len(r.active) {
+		r.msgs = make([]simnet.Message, len(r.active))
+	}
+	r.msgs = r.msgs[:len(r.active)]
+	parallel.ForceFor(len(r.active), func(ws, we int) {
+		for i := ws; i < we; i++ {
+			name := r.active[i]
+			gi := i % r.k
+			di := (i + 1) % r.k
+			swap := r.swapTo[name]
+			payload := make([]byte, 0, len(r.frames[di])+len(r.frames[gi])+4+len(swap))
+			payload = append(payload, r.frames[di]...) // X^(d) ++ L^(d)
+			payload = append(payload, r.frames[gi]...) // X^(g) ++ L^(g)
+			payload = appendString(payload, swap)
+			r.msgs[i] = simnet.Message{
+				From: serverName, To: name, Type: msgBatches,
+				Kind: simnet.CtoW, Payload: payload,
+			}
+		}
+	})
+}
+
+// dispatch sends the routed payloads. A destination that is down
+// (simnet.ErrNodeDown — a fail-stop crash that raced the round, or a
+// dead peer on a real transport) is demoted via membership and its
+// swap receiver is released; any other transport error stays fatal.
+func (s *server) dispatch(r *round) error {
+	errs := simnet.BroadcastEach(s.net, r.msgs)
+	for i, err := range errs {
+		name := r.active[i]
+		switch {
+		case err == nil:
+			r.sent[name] = true
+		case errors.Is(err, simnet.ErrNodeDown):
+			s.m.Fail(name)
+			s.cancelSwap(r, name)
+		default:
+			return fmt.Errorf("core: send batches: %w", err)
+		}
+	}
+	return nil
+}
+
+// cancelSwap releases the worker that was routed to receive the demoted
+// worker's discriminator: an empty msgSwap payload means "no swap this
+// round, keep your own D" (the receiver would otherwise block in its
+// rendezvous forever, since the demoted worker never got its batches
+// and so never sends). The demoted worker's discriminator is lost with
+// it — the fail-stop model of Fig. 5 — and its receiver keeps a copy of
+// its own, which the next scheduled swap re-mixes.
+//
+// Known limitation: swaps carry no round tag, so on a transport where
+// worker→worker frames can trail the server's sends (TCP uses one
+// connection per pair) a cancellation can in principle resolve a
+// receiver's PREVIOUS rendezvous while the real swap is still in
+// flight; the late swap is then adopted by the stray-swap path one
+// round later. The cluster degrades (one round on the un-swapped D),
+// never deadlocks or corrupts — tagging the swap protocol per round
+// would close this and is noted in ROADMAP.
+func (s *server) cancelSwap(r *round, name string) {
+	to := r.swapTo[name]
+	if to == "" {
+		return
+	}
+	_ = s.net.Send(simnet.Message{
+		From: serverName, To: to, Type: msgSwap, Kind: simnet.CtoW,
+	})
+}
+
+// collect gathers one feedback per successfully-dispatched worker.
+// Stale or unexpected messages are skipped; a closed server inbox (the
+// transport died under the engine) is fatal.
+func (s *server) collect(r *round) error {
+	if len(r.sent) == 0 {
+		return nil
+	}
+	inbox := s.net.Inbox(serverName)
+	for len(r.feedbacks) < len(r.sent) {
+		msg, ok := <-inbox
+		if !ok {
+			return fmt.Errorf("core: server inbox closed")
+		}
+		if msg.Type != msgFeedback || !r.sent[msg.From] {
+			continue // stale feedback from an inactive round
+		}
+		if _, dup := r.feedbacks[msg.From]; dup {
+			continue
+		}
+		// A feedback must have the shape of the generated batch it
+		// answers; the expected shape also bounds the decode so a
+		// corrupt frame cannot over-allocate.
+		f, err := decodeFeedbackAny(msg.Payload, r.shape)
+		if err != nil {
+			return err
+		}
+		r.feedbacks[msg.From] = f
+	}
+	return nil
+}
+
+// apply merges the feedbacks per generated batch and backpropagates
+// through G. Grouping follows worker index order so the result is
+// independent of message arrival order. The per-group merge applies the
+// configured aggregation rule (mean = the paper's §IV-B2 averaging;
+// median/trimmed = §VII.3 robustness); the group result is weighted by
+// groupSize/received to keep the global 1/N scaling. A round with no
+// feedbacks (every dispatch failed) applies no update.
+func (s *server) apply(r *round) {
+	if len(r.feedbacks) == 0 {
+		return
+	}
+	groups := make([][]*tensor.Tensor, r.k)
+	for _, name := range r.active {
+		f, ok := r.feedbacks[name]
+		if !ok {
+			continue // demoted mid-round
+		}
+		j := r.gIdx[name]
+		groups[j] = append(groups[j], f)
+	}
+	total := len(r.feedbacks)
+	outGrads := make([]*tensor.Tensor, r.k)
+	for j, fs := range groups {
+		if len(fs) == 0 {
+			continue
+		}
+		agg := aggregateFeedbacks(fs, s.aggregate)
+		outGrads[j] = agg.ScaleInPlace(float64(len(fs)) / float64(total))
+	}
+	s.g.ZeroGrads()
+	for j := 0; j < r.k; j++ {
+		if outGrads[j] == nil {
+			continue
+		}
+		// Re-forward to restore layer caches for batch j (they were
+		// clobbered when batch j+1.. were generated).
+		s.g.Forward(r.zs[j], r.labs[j], true)
+		s.g.Backward(outGrads[j])
+	}
+	s.optG.Step(s.g.Params())
+	s.updates++
+
+	if s.eval != nil && s.evalEvery > 0 && r.it%s.evalEvery == 0 {
+		s.eval(r.it, s.g)
+	}
+}
+
+// runSync executes the strict synchronous Algorithm 1 for I iterations
+// and returns the number of generator updates applied. Stage order
+// within a round matches the pre-engine monolithic loop exactly
+// (including the server RNG draw order: joins → sampling → k latent
+// draws → swap permutation), so a fixed seed yields bitwise-identical
+// generator parameters.
+func (s *server) runSync(iters int) (int, error) {
+	for it := 1; it <= iters; it++ {
+		r := &s.rounds[0]
+		r.reset(it)
+		if err := s.prepare(r, true); err != nil {
+			return s.updates, err
+		}
+		if len(r.active) == 0 {
+			return s.updates, nil // every worker crashed: training ends
+		}
+		s.generate(r)
+		s.route(r)
+		if err := s.dispatch(r); err != nil {
+			return s.updates, err
+		}
+		if err := s.collect(r); err != nil {
+			return s.updates, err
+		}
+		s.apply(r)
+	}
+	return s.updates, nil
+}
+
+// runPipelined executes the one-round-deep pipelined variant: while the
+// workers compute round t, the server generates and encodes round
+// t+1's batches (pregenerate), then collects and applies round t, and
+// only then resolves round t+1's membership and routing. Round t+1's
+// batches therefore come from parameters that miss exactly round t's
+// update, and round t's apply re-forwards through parameters one
+// update newer than the ones that generated its batches — both sides
+// of the one-update stale-gradient trade-off documented on
+// Config.Pipeline. Crashes, joins and sampling still take effect at
+// their scheduled iteration. With Iters=1 no pregeneration happens and
+// the run is bitwise identical to strict mode.
+func (s *server) runPipelined(iters int) (int, error) {
+	if iters <= 0 {
+		return 0, nil
+	}
+	cur, nxt := &s.rounds[0], &s.rounds[1]
+	cur.reset(1)
+	if err := s.prepare(cur, true); err != nil {
+		return s.updates, err
+	}
+	if len(cur.active) == 0 {
+		return s.updates, nil
+	}
+	s.generate(cur)
+	s.route(cur)
+	if err := s.dispatch(cur); err != nil {
+		return s.updates, err
+	}
+	for it := 1; it <= iters; it++ {
+		if it < iters {
+			// Overlap: the workers are busy with round it right now.
+			// Clamp k by the membership bound visible at this point; if
+			// crashes at it+1 later shrink the active set below k, the
+			// surplus batches simply collect no feedback.
+			nxt.reset(it + 1)
+			nxt.k = s.k
+			if bound := s.m.ActiveBound(); nxt.k > bound {
+				nxt.k = bound
+			}
+			if nxt.k > 0 {
+				s.generate(nxt)
+			}
+		}
+		if err := s.collect(cur); err != nil {
+			return s.updates, err
+		}
+		s.apply(cur)
+		if it == iters {
+			break
+		}
+		// Round it+1's membership is resolved only now — after round
+		// it's feedbacks are in, so a scheduled crash can never eat a
+		// feedback the strict schedule would have counted.
+		if err := s.prepare(nxt, false); err != nil {
+			return s.updates, err
+		}
+		if len(nxt.active) == 0 || nxt.k == 0 {
+			return s.updates, nil
+		}
+		s.route(nxt)
+		if err := s.dispatch(nxt); err != nil {
+			return s.updates, err
+		}
+		cur, nxt = nxt, cur
+	}
+	return s.updates, nil
+}
+
+// sattolo returns a uniform random cyclic permutation of names as a
+// map name → successor. Cyclic permutations have no fixed points, so no
+// worker ever "swaps with itself" (which would defeat §IV-C1).
+func sattolo(names []string, rng *rand.Rand) map[string]string {
+	p := append([]string(nil), names...)
+	for i := len(p) - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		p[i], p[j] = p[j], p[i]
+	}
+	out := make(map[string]string, len(p))
+	for i, name := range p {
+		out[name] = p[(i+1)%len(p)]
+	}
+	return out
+}

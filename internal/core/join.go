@@ -2,11 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mdgan/internal/dataset"
 	"mdgan/internal/gan"
-	"mdgan/internal/opt"
 	"mdgan/internal/simnet"
 )
 
@@ -22,11 +20,12 @@ import (
 //  2. the server asks a uniformly-chosen live donor for its
 //     discriminator (msgClone → msgDParams);
 //  3. the server forwards the parameters to the joiner (msgSwap — the
-//     worker loop already adopts stray swap payloads), then marks it
-//     live, so the joiner's first batches arrive strictly after its
-//     pre-trained discriminator.
+//     worker loop already adopts stray swap payloads), then adds it to
+//     the membership, so the joiner's first batches arrive strictly
+//     after its pre-trained discriminator.
 //
-// A join therefore costs 2·|θ| of traffic (donor→server→joiner).
+// A join therefore costs 2·|θ| of traffic (donor→server→joiner), at
+// the configured swap wire precision.
 
 // Message types used by the join protocol.
 const (
@@ -35,14 +34,14 @@ const (
 )
 
 // processJoins spawns and initialises the workers scheduled to join at
-// iteration it. Called by the server between iterations.
+// iteration it. Called by the engine's prepare stage between rounds.
 func (s *server) processJoins(it int, spawn func(shard *dataset.Dataset) (*worker, error)) error {
 	shards := s.joinAt[it]
 	if len(shards) == 0 {
 		return nil
 	}
 	for _, shard := range shards {
-		donors := s.liveWorkers()
+		donors := s.m.Live()
 		if len(donors) == 0 {
 			return fmt.Errorf("core: worker join at iteration %d with no live donor", it)
 		}
@@ -78,8 +77,7 @@ func (s *server) processJoins(it int, spawn func(shard *dataset.Dataset) (*worke
 		}); err != nil {
 			return fmt.Errorf("core: forward clone to %s: %w", w.name, err)
 		}
-		s.order = append(s.order, w.name)
-		s.live[w.name] = true
+		s.m.Add(w.name)
 	}
 	return nil
 }
@@ -91,27 +89,13 @@ func spawnJoiner(cfg Config, net simnet.Net, lc gan.LossConfig, template *gan.Di
 	return func(shard *dataset.Dataset) (*worker, error) {
 		i := *nextIdx
 		*nextIdx++
-		name := workerName(i)
-		if err := net.Register(name); err != nil {
+		if err := net.Register(workerName(i)); err != nil {
 			return nil, err
 		}
-		w := &worker{
-			name: name,
-			// Architecture template; overwritten by the donor's
-			// parameters before the first batch arrives.
-			d:         template.Clone(),
-			lc:        lc,
-			optD:      opt.NewAdam(cfg.OptD),
-			sampler:   dataset.NewSampler(shard, cfg.Seed+7919*int64(i+1)),
-			batch:     cfg.Batch,
-			discL:     cfg.DiscSteps,
-			net:       net,
-			lazySwap:  cfg.Async,
-			compress:  cfg.Compress,
-			byzantine: cfg.Byzantine[i],
-			rng:       rand.New(rand.NewSource(cfg.Seed + 15485863*int64(i+1))),
-			done:      make(chan struct{}),
-		}
+		// The template discriminator is only the architecture; it is
+		// overwritten by the donor's parameters before the first batch
+		// arrives.
+		w := newWorker(cfg, net, lc, template, i, shard)
 		*workers = append(*workers, w)
 		go w.run()
 		return w, nil

@@ -47,6 +47,7 @@ func TestJoinerAdoptsDonorDiscriminator(t *testing.T) {
 	cfg.Iters = 10
 	cfg.DiscSteps = -1
 	cfg.SwapEvery = -1
+	cfg.SwapPrec = SwapNative // clone payloads at compiled width: bit-exact adoption
 	cfg.JoinAt = map[int][]*dataset.Dataset{5: {spare}}
 	res, err := Train(shards, gan.RingMLP(), cfg, nil)
 	if err != nil {
@@ -63,6 +64,33 @@ func TestJoinerAdoptsDonorDiscriminator(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("joiner did not adopt the donor's discriminator")
+		}
+	}
+}
+
+// Under the default FP32 clone payloads the joiner adopts the donor's
+// discriminator up to one float32 rounding per parameter.
+func TestJoinerAdoptsDonorDiscriminatorFP32(t *testing.T) {
+	shards := ringShards(2, 100, 63)
+	spare := dataset.GaussianRing(100, 8, 2.0, 0.05, 64)
+	cfg := baseConfig()
+	cfg.Iters = 10
+	cfg.DiscSteps = -1
+	cfg.SwapEvery = -1
+	cfg.JoinAt = map[int][]*dataset.Dataset{5: {spare}}
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := res.Discs[workerName(2)]
+	if joined == nil {
+		t.Fatal("no joiner discriminator")
+	}
+	a := joined.Trunk.ParamVector()
+	b := res.Discs[workerName(0)].Trunk.ParamVector()
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > 2e-7*(1+math.Abs(b[i])) {
+			t.Fatalf("joiner deviates from donor at %d by %g beyond f32 rounding", i, d)
 		}
 	}
 }
@@ -87,12 +115,13 @@ func TestJoinTrafficCost(t *testing.T) {
 	_ = shards
 	without := run(false)
 	with := run(true)
-	// The join adds one |θ| upload (donor→server) beyond the extra
-	// worker's ordinary feedback traffic.
+	// The join adds one |θ| upload (donor→server, at the default FP32
+	// swap precision) beyond the extra worker's ordinary feedback
+	// traffic.
 	d := gan.RingMLP().NewGAN(1, cfg.GenLoss, 0).D
 	extraUp := with.Bytes[simnet.WtoC] - without.Bytes[simnet.WtoC]
 	feedbackBytes := int64(1+4+4*2+tensor.ElemBytes*cfg.Batch*2) + 1
-	wantExtra := d.EncodedParamSize() + 4*feedbackBytes // 4 post-join iterations
+	wantExtra := swapPayloadSize(d, SwapFP32) + 4*feedbackBytes // 4 post-join iterations
 	if extraUp != wantExtra {
 		t.Fatalf("extra W→C bytes = %d, want %d", extraUp, wantExtra)
 	}

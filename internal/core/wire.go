@@ -33,16 +33,6 @@ type batchesMsg struct {
 	SwapTo string
 }
 
-func writeLabels(buf *bytes.Buffer, labels []int) {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(labels)))
-	buf.Write(tmp[:])
-	for _, l := range labels {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(l))
-		buf.Write(tmp[:])
-	}
-}
-
 // readLabels decodes a label list, appending into buf (pass a
 // zero-length slice with capacity to avoid allocation). An empty list
 // decodes as nil, preserving the "unconditional" convention.
@@ -76,9 +66,7 @@ func encodeBatches(m batchesMsg) []byte {
 	buf = appendLabels(buf, m.Ld)
 	buf = m.Xg.AppendBinary(buf)
 	buf = appendLabels(buf, m.Lg)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.SwapTo)))
-	buf = append(buf, m.SwapTo...)
-	return buf
+	return appendString(buf, m.SwapTo)
 }
 
 func appendLabels(buf []byte, labels []int) []byte {
@@ -87,6 +75,13 @@ func appendLabels(buf []byte, labels []int) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
 	}
 	return buf
+}
+
+// appendString appends the length-prefixed string framing readString
+// decodes.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
 }
 
 // decodeBatches parses p into m, reusing m's tensors and label slices
@@ -118,13 +113,6 @@ func decodeBatches(p []byte, m *batchesMsg) error {
 	return nil
 }
 
-func writeString(buf *bytes.Buffer, s string) {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
-	buf.Write(tmp[:])
-	buf.WriteString(s)
-}
-
 func readString(r *bytes.Reader) (string, error) {
 	var tmp [4]byte
 	if _, err := io.ReadFull(r, tmp[:]); err != nil {
@@ -148,12 +136,66 @@ func readString(r *bytes.Reader) (string, error) {
 // entry of Table III) under CompressNone, or a reduced encoding under
 // the §VII.2 compression extensions.
 
-// encodeDiscParams frames a discriminator's parameters for a swap.
-// Size is the |θ| payload of Table III's W→W row.
-func encodeDiscParams(d *gan.Discriminator) []byte {
-	return d.AppendParams(make([]byte, 0, d.EncodedParamSize()))
+// SwapPrecision selects the wire element width of discriminator swap
+// (and join-clone) payloads — the |θ| entries of Table III's W→W row
+// and the join protocol's 2·|θ| cost.
+type SwapPrecision int
+
+// Swap payload precisions.
+const (
+	// SwapFP32 (the default) ships 4-byte elements: a 2× reduction of
+	// the W→W row on the float64 build (a no-op under -tags f32, whose
+	// native frames are already 4-byte). A swapped discriminator loses
+	// at most one float32 rounding per parameter per swap — noise well
+	// below the gradient scale of the next local step, the same
+	// trade-off CompressFP32 already makes for feedbacks every
+	// iteration.
+	SwapFP32 SwapPrecision = iota
+	// SwapNative ships the compiled element width: swaps move
+	// parameters bit-exactly (the serial-equivalence and
+	// conservation-style tests that demand bitwise transfers use
+	// this).
+	SwapNative
+)
+
+// String implements fmt.Stringer.
+func (p SwapPrecision) String() string {
+	switch p {
+	case SwapFP32:
+		return "fp32"
+	case SwapNative:
+		return "native"
+	default:
+		return fmt.Sprintf("SwapPrecision(%d)", int(p))
+	}
 }
 
+// wireDType maps the precision to the tensor wire dtype byte.
+func (p SwapPrecision) wireDType() byte {
+	if p == SwapNative {
+		return tensor.NativeDType
+	}
+	return tensor.DTypeF32
+}
+
+// swapPayloadSize returns the byte size of encodeDiscParams output
+// under the given precision — what the traffic tests and the Table III
+// accounting expect per swap.
+func swapPayloadSize(d *gan.Discriminator, p SwapPrecision) int64 {
+	return d.EncodedParamSizeAs(p.wireDType())
+}
+
+// encodeDiscParams frames a discriminator's parameters for a swap at
+// the given wire precision. Size is the |θ| payload of Table III's
+// W→W row.
+func encodeDiscParams(d *gan.Discriminator, p SwapPrecision) []byte {
+	dt := p.wireDType()
+	return d.AppendParamsAs(make([]byte, 0, d.EncodedParamSizeAs(dt)), dt)
+}
+
+// decodeDiscParamsInto loads a swap payload of either wire width (the
+// tensor framing self-describes its dtype, so frames from the f32 and
+// f64 builds decode interchangeably).
 func decodeDiscParamsInto(d *gan.Discriminator, p []byte) error {
 	if _, err := d.ReadParams(bytes.NewReader(p)); err != nil {
 		return fmt.Errorf("core: decode swap params: %w", err)

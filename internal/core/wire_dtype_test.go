@@ -53,7 +53,7 @@ func TestSwapParamsCrossDtype(t *testing.T) {
 // Table III W→W accounting must shrink 2× under the f32 build.
 func TestSwapPayloadSizeTracksDtype(t *testing.T) {
 	d := gan.RingMLP().NewGAN(1, 0, 0).D
-	payload := encodeDiscParams(d)
+	payload := encodeDiscParams(d, SwapNative)
 	if int64(len(payload)) != d.EncodedParamSize() {
 		t.Fatalf("swap payload %d bytes, EncodedParamSize says %d", len(payload), d.EncodedParamSize())
 	}
@@ -65,6 +65,47 @@ func TestSwapPayloadSizeTracksDtype(t *testing.T) {
 	}
 	if want := perParam + int64(tensor.ElemBytes)*elems; int64(len(payload)) != want {
 		t.Fatalf("swap payload %d bytes, want %d (%d-byte elements)", len(payload), want, tensor.ElemBytes)
+	}
+}
+
+// The default swap precision ships 4-byte elements regardless of build:
+// the payload matches the f32-framing size, decodes into a peer within
+// float32 rounding, and swapPayloadSize agrees with what the traffic
+// accounting will observe per swap message. This is the cross-build
+// contract of the FP32-swap default — a frame produced by either build
+// is the same f32 frame, and either build decodes it.
+func TestSwapFP32DefaultPayload(t *testing.T) {
+	d := gan.RingMLP().NewGAN(1, 0, 0).D
+	rng := rand.New(rand.NewSource(33))
+	for _, p := range d.Params() {
+		for i := range p.W.Data {
+			p.W.Data[i] = tensor.Elem(rng.NormFloat64())
+		}
+	}
+	payload := encodeDiscParams(d, SwapFP32)
+	if int64(len(payload)) != d.EncodedParamSizeAs(tensor.DTypeF32) {
+		t.Fatalf("fp32 swap payload %d bytes, want %d", len(payload), d.EncodedParamSizeAs(tensor.DTypeF32))
+	}
+	if int64(len(payload)) != swapPayloadSize(d, SwapFP32) {
+		t.Fatalf("swapPayloadSize disagrees with the encoder: %d vs %d",
+			swapPayloadSize(d, SwapFP32), len(payload))
+	}
+	if tensor.ElemBytes == 8 && int64(len(payload)) >= d.EncodedParamSize() {
+		t.Fatalf("f64 build: fp32 swap payload %d not below native %d",
+			len(payload), d.EncodedParamSize())
+	}
+	peer := gan.RingMLP().NewGAN(2, 0, 0).D
+	if err := decodeDiscParamsInto(peer, payload); err != nil {
+		t.Fatal(err)
+	}
+	dp, pp := d.Params(), peer.Params()
+	for i := range dp {
+		for j, v := range dp[i].W.Data {
+			diff := math.Abs(float64(v) - float64(pp[i].W.Data[j]))
+			if diff > 2e-7*(1+math.Abs(float64(v))) {
+				t.Fatalf("param %d[%d] deviates by %g beyond f32 rounding", i, j, diff)
+			}
+		}
 	}
 }
 

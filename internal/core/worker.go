@@ -28,6 +28,9 @@ type worker struct {
 	lazySwap bool
 	// compress selects the feedback wire encoding (§VII.2 extension).
 	compress Compression
+	// swapPrec selects the wire width of outgoing swap and clone
+	// payloads (SwapFP32 by default).
+	swapPrec SwapPrecision
 	// byzantine, when non-zero, corrupts the feedback before sending
 	// (§VII.3 adversary model).
 	byzantine ByzantineMode
@@ -63,7 +66,11 @@ func (w *worker) run() {
 		case msgSwap:
 			// A swap that arrived outside a rendezvous (lazy mode,
 			// late delivery, or the join protocol's initial clone):
-			// adopt the incoming discriminator.
+			// adopt the incoming discriminator. An empty payload is a
+			// cancellation (the sender was demoted mid-round): keep D.
+			if len(msg.Payload) == 0 {
+				continue
+			}
 			if err := decodeDiscParamsInto(w.d, msg.Payload); err != nil {
 				return
 			}
@@ -72,7 +79,7 @@ func (w *worker) run() {
 			// bootstrap a joining worker (§IV-A).
 			if err := w.net.Send(simnet.Message{
 				From: w.name, To: serverName, Type: msgDParams,
-				Kind: simnet.WtoC, Payload: encodeDiscParams(w.d),
+				Kind: simnet.WtoC, Payload: encodeDiscParams(w.d, w.swapPrec),
 			}); err != nil {
 				return
 			}
@@ -122,7 +129,7 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 	if bm.SwapTo != "" {
 		if err := w.net.Send(simnet.Message{
 			From: w.name, To: bm.SwapTo, Type: msgSwap,
-			Kind: simnet.WtoW, Payload: encodeDiscParams(w.d),
+			Kind: simnet.WtoW, Payload: encodeDiscParams(w.d, w.swapPrec),
 		}); err != nil {
 			// Receiver crashed mid-round: keep our discriminator.
 			_ = err
@@ -141,7 +148,10 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 }
 
 // awaitSwap blocks until the replacement discriminator arrives,
-// buffering any other traffic for later processing.
+// buffering any other traffic for later processing. An empty msgSwap
+// payload is the server's cancellation — the peer that owed us its
+// discriminator was demoted mid-round — so we keep our own D and
+// resume.
 func (w *worker) awaitSwap() bool {
 	inbox := w.net.Inbox(w.name)
 	for {
@@ -150,6 +160,9 @@ func (w *worker) awaitSwap() bool {
 			return false
 		}
 		if msg.Type == msgSwap {
+			if len(msg.Payload) == 0 {
+				return true // swap cancelled: keep our discriminator
+			}
 			return decodeDiscParamsInto(w.d, msg.Payload) == nil
 		}
 		if msg.Type == msgStop {

@@ -5,14 +5,23 @@
 // which averages them (FedAvg) and broadcasts the result at the start
 // of the next round. It is the communication-efficient baseline MD-GAN
 // is compared against in Figs. 3–6 and Tables II–IV.
+//
+// Cluster membership — fail-stop crash schedules, straggler demotion
+// on send failures, and per-round client sampling (the original
+// federated-learning setting MD-GAN's §VII.4 borrows back) — comes
+// from the shared internal/cluster layer, so the baseline runs the
+// same failure scenarios as MD-GAN: a crashed worker's shard and local
+// couple disappear, the server keeps averaging the survivors.
 package flgan
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"mdgan/internal/cluster"
 	"mdgan/internal/dataset"
 	"mdgan/internal/gan"
 	"mdgan/internal/nn"
@@ -28,6 +37,15 @@ type Config struct {
 	Epochs int
 	// Net supplies the transport; nil selects an in-process ChannelNet.
 	Net simnet.Net
+	// CrashAt schedules fail-stop worker crashes: round number →
+	// indices of workers to kill at the start of that round. Their
+	// shards (and local couples) disappear with them — the FL-GAN
+	// analogue of the Fig. 5 scenario.
+	CrashAt map[int][]int
+	// ActivePerRound, when in (0, N), has the server synchronise only
+	// a uniform random subset of workers each round (federated
+	// learning's client sampling). 0 activates everyone.
+	ActivePerRound int
 }
 
 // EvalFunc observes the server's averaged generator after each round.
@@ -44,6 +62,8 @@ type Result struct {
 	// Iters is the number of local generator iterations each worker
 	// performed in total.
 	Iters int
+	// Live lists the workers that survived the run, sorted by name.
+	Live []string
 }
 
 const serverName = "server"
@@ -208,31 +228,74 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 		}()
 	}
 
+	// Membership: the shared crash/join/sampling layer. The RNG is
+	// FL-GAN's own (nothing else here draws server-side randomness).
+	mem := cluster.New(net, rand.New(rand.NewSource(cfg.Seed+104659)), cfg.CrashAt, cfg.ActivePerRound)
+	for _, w := range workers {
+		mem.Add(w.name)
+	}
+
+	// Shutdown runs on every exit path (the error returns used to leak
+	// the worker goroutines when cfg.Net was caller-supplied).
+	stopped := false
+	shutdown := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		mem.StopAll(serverName, msgStop)
+		for _, w := range workers {
+			<-w.done
+		}
+	}
+	defer shutdown()
+
 	// Server rounds.
 	shadow := global.Clone() // decode buffer for incoming worker models
 	inbox := net.Inbox(serverName)
 	nextEval := cfg.EvalEvery
+	completed := 0
 	for r := 1; r <= rounds; r++ {
+		mem.ApplyCrashes(r)
+		active := mem.Sample()
+		if len(active) == 0 {
+			break // every worker crashed: training ends
+		}
 		payload := encodeCouple(global)
-		msgs := make([]simnet.Message, len(workers))
-		for i, w := range workers {
+		msgs := make([]simnet.Message, len(active))
+		for i, name := range active {
 			msgs[i] = simnet.Message{
-				From: serverName, To: w.name, Type: msgModel,
+				From: serverName, To: name, Type: msgModel,
 				Kind: simnet.CtoW, Payload: payload,
 			}
 		}
-		if err := simnet.Broadcast(net, msgs); err != nil {
-			return nil, fmt.Errorf("flgan: broadcast round %d: %w", r, err)
+		// A destination that is down mid-round (a crash that raced the
+		// send, or a dead peer on a real transport) is demoted and the
+		// round continues with the survivors; other transport errors
+		// stay fatal.
+		sent := make(map[string]bool, len(active))
+		for i, err := range simnet.BroadcastEach(net, msgs) {
+			switch {
+			case err == nil:
+				sent[active[i]] = true
+			case errors.Is(err, simnet.ErrNodeDown):
+				mem.Fail(active[i])
+			default:
+				return nil, fmt.Errorf("flgan: broadcast round %d: %w", r, err)
+			}
+		}
+		if len(sent) == 0 {
+			continue
 		}
 		// Average the returned parameter vectors. Sum in worker order
 		// for determinism.
-		vectors := make(map[string][]float64, n)
-		for len(vectors) < n {
+		vectors := make(map[string][]float64, len(sent))
+		for len(vectors) < len(sent) {
 			msg, ok := <-inbox
 			if !ok {
 				return nil, fmt.Errorf("flgan: server inbox closed")
 			}
-			if msg.Type != msgModel {
+			if msg.Type != msgModel || !sent[msg.From] {
 				continue
 			}
 			if err := decodeCoupleInto(shadow, msg.Payload); err != nil {
@@ -240,7 +303,7 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 			}
 			vectors[msg.From] = fullVector(shadow)
 		}
-		names := make([]string, 0, n)
+		names := make([]string, 0, len(vectors))
 		for name := range vectors {
 			names = append(names, name)
 		}
@@ -252,18 +315,23 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 				avg[i] += v[i]
 			}
 		}
-		inv := 1 / float64(n)
+		inv := 1 / float64(len(names))
 		for i := range avg {
 			avg[i] *= inv
 		}
 		if err := setFullVector(global, avg); err != nil {
 			return nil, err
 		}
+		// completed counts rounds in which workers actually trained —
+		// a round skipped because every sampled destination was down
+		// contributes no local iterations, so Result.Iters and the
+		// eval x-axis must not count it.
+		completed++
 		if eval != nil && cfg.EvalEvery > 0 {
 			// Report at the equivalent local-iteration count so curves
 			// are comparable with MD-GAN and standalone; rounds rarely
 			// align with EvalEvery exactly, so fire on every crossing.
-			it := r * roundIters
+			it := completed * roundIters
 			if it >= nextEval {
 				eval(it, global.G)
 				for nextEval <= it {
@@ -272,17 +340,15 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 			}
 		}
 	}
-	for _, w := range workers {
-		_ = net.Send(simnet.Message{From: serverName, To: w.name, Type: msgStop, Kind: simnet.CtoW})
-	}
-	for _, w := range workers {
-		<-w.done
-	}
+	shutdown()
+	live := mem.Live()
+	sort.Strings(live)
 	return &Result{
 		Model:   global,
 		Traffic: net.Snapshot(),
-		Rounds:  rounds,
-		Iters:   rounds * roundIters,
+		Rounds:  completed,
+		Iters:   completed * roundIters,
+		Live:    live,
 	}, nil
 }
 

@@ -188,3 +188,103 @@ func TestEvalHook(t *testing.T) {
 }
 
 func newTestRand() *mathrand.Rand { return mathrand.New(mathrand.NewSource(77)) }
+
+// TestCrashScheduleCompletesWithSurvivors: FL-GAN now runs the same
+// fail-stop crash schedules as MD-GAN through the shared membership
+// layer — a crashed worker's couple and shard disappear, the server
+// keeps averaging the survivors and the run completes.
+func TestCrashScheduleCompletesWithSurvivors(t *testing.T) {
+	shards := ringShards(4, 64, 11) // m=64, b=16 → 4 iters/round
+	cfg := baseConfig()
+	cfg.Iters = 32 // 8 rounds
+	cfg.CrashAt = map[int][]int{3: {0}, 5: {2}}
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 8 {
+		t.Fatalf("rounds = %d; crashes must not stop training", res.Rounds)
+	}
+	if len(res.Live) != 2 {
+		t.Fatalf("live = %v, want 2 survivors", res.Live)
+	}
+	for _, name := range res.Live {
+		if name == workerName(0) || name == workerName(2) {
+			t.Fatalf("crashed worker %s reported live", name)
+		}
+	}
+	// Post-crash rounds move fewer couples: exactly the per-round
+	// survivor count in each direction (4,4,3,3 then 2 for rounds 5-8).
+	couple := RoundTripBytes(gan.RingMLP(), 1, cfg.GenLoss, cfg.ClsWeight)
+	if want := int64(4+4+3+3+2+2+2+2) * couple; res.Traffic.Bytes[simnet.CtoW] != want {
+		t.Fatalf("C→W bytes = %d, want %d", res.Traffic.Bytes[simnet.CtoW], want)
+	}
+}
+
+func TestAllWorkersCrashedEndsRun(t *testing.T) {
+	shards := ringShards(2, 64, 13)
+	cfg := baseConfig()
+	cfg.Iters = 40 // 10 rounds planned
+	cfg.CrashAt = map[int][]int{3: {0, 1}}
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 || len(res.Live) != 0 {
+		t.Fatalf("rounds=%d live=%v; run must end when every worker dies", res.Rounds, res.Live)
+	}
+	if res.Iters != 2*4 {
+		t.Fatalf("iters = %d, want the completed rounds' worth", res.Iters)
+	}
+}
+
+// TestClientSampling: ActivePerRound bounds each round's participants;
+// traffic drops proportionally and every worker still participates
+// over time (the original federated-learning setting).
+func TestClientSampling(t *testing.T) {
+	const n = 5
+	shards := ringShards(n, 64, 17)
+	cfg := baseConfig()
+	cfg.Iters = 48 // 12 rounds
+	cfg.ActivePerRound = 2
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	couple := RoundTripBytes(gan.RingMLP(), 1, cfg.GenLoss, cfg.ClsWeight)
+	if want := int64(2*12) * couple; res.Traffic.Bytes[simnet.CtoW] != want {
+		t.Fatalf("C→W bytes = %d, want %d (2 of %d workers × 12 rounds)",
+			res.Traffic.Bytes[simnet.CtoW], want, n)
+	}
+	for name, ingress := range res.Traffic.IngressByNode {
+		if name == serverName {
+			continue
+		}
+		if ingress == 0 {
+			t.Fatalf("worker %s never sampled across 12 rounds", name)
+		}
+	}
+	if len(res.Live) != n {
+		t.Fatalf("live = %v", res.Live)
+	}
+}
+
+// TestCrashedRunStillLearns: the ring end-to-end check under a crash
+// schedule — the surviving federation keeps converging.
+func TestCrashedRunStillLearns(t *testing.T) {
+	shards := ringShards(3, 300, 19)
+	cfg := baseConfig()
+	cfg.Batch = 32
+	cfg.Iters = 400
+	cfg.CrashAt = map[int][]int{10: {1}}
+	res, err := Train(shards, gan.RingMLP(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Live) != 2 {
+		t.Fatalf("live = %v", res.Live)
+	}
+	if x := sampleRadii(t, res.Model); x < 1.0 || x > 3.0 {
+		t.Fatalf("surviving federation diverged: mean radius %v", x)
+	}
+}

@@ -279,11 +279,21 @@ func (d *Discriminator) Clone() *Discriminator {
 }
 
 // EncodedParamSize is the byte size of WriteParams output (the |θ|
-// payload of a swap message).
+// payload of a swap message at the compiled element width).
 func (d *Discriminator) EncodedParamSize() int64 {
 	n := d.Trunk.EncodedParamSize() + d.Src.EncodedParamSize()
 	if d.Cls != nil {
 		n += d.Cls.EncodedParamSize()
+	}
+	return n
+}
+
+// EncodedParamSizeAs is EncodedParamSize at an explicit wire dtype —
+// the |θ| payload of an FP32-compressed swap.
+func (d *Discriminator) EncodedParamSizeAs(dt byte) int64 {
+	n := d.Trunk.EncodedParamSizeAs(dt) + d.Src.EncodedParamSizeAs(dt)
+	if d.Cls != nil {
+		n += d.Cls.EncodedParamSizeAs(dt)
 	}
 	return n
 }
@@ -295,6 +305,18 @@ func (d *Discriminator) AppendParams(dst []byte) []byte {
 	dst = d.Src.AppendParams(dst)
 	if d.Cls != nil {
 		dst = d.Cls.AppendParams(dst)
+	}
+	return dst
+}
+
+// AppendParamsAs is AppendParams at an explicit wire dtype. ReadParams
+// decodes either width (the tensor framing is self-describing), so a
+// float64 build can swap 4-byte payloads and vice versa.
+func (d *Discriminator) AppendParamsAs(dst []byte, dt byte) []byte {
+	dst = d.Trunk.AppendParamsAs(dst, dt)
+	dst = d.Src.AppendParamsAs(dst, dt)
+	if d.Cls != nil {
+		dst = d.Cls.AppendParamsAs(dst, dt)
 	}
 	return dst
 }

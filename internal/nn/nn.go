@@ -11,7 +11,13 @@
 // Backward call. Callers that retain an output across another pass
 // through the same layer (e.g. to compare two forward passes) must
 // Clone it. Layer instances are not safe for concurrent use; distinct
-// instances (e.g. per MD-GAN worker) are independent.
+// instances (e.g. per MD-GAN worker) are independent. The same
+// discipline extends up the stack: the MD-GAN round engine
+// (internal/core, engine.go) owns per-round stage buffers that are
+// reset — not reallocated — when a round slot is reused, and encodes
+// each generator output into its wire frame before the next Forward
+// clobbers it, so nothing there retains a layer buffer across passes
+// either (the clone-or-corrupt tests in core pin both levels).
 //
 // Dtype: activations, parameters and gradients are stored and combined
 // at tensor.Elem width (float64 by default, float32 under `-tags f32`),
@@ -209,6 +215,17 @@ func (s *Sequential) EncodedParamSize() int64 {
 	return n
 }
 
+// EncodedParamSizeAs returns the number of bytes AppendParamsAs(_, dt)
+// produces — the wire footprint of a parameter transfer at an explicit
+// element width (the FP32 swap payloads of Table III's W→W row).
+func (s *Sequential) EncodedParamSizeAs(dt byte) int64 {
+	var n int64
+	for _, p := range s.Params() {
+		n += p.W.EncodedSizeAs(dt)
+	}
+	return n
+}
+
 // WriteParams serialises all parameters to w (for swap / FedAvg traffic).
 func (s *Sequential) WriteParams(w io.Writer) (int64, error) {
 	var total int64
@@ -229,6 +246,18 @@ func (s *Sequential) WriteParams(w io.Writer) (int64, error) {
 func (s *Sequential) AppendParams(dst []byte) []byte {
 	for _, p := range s.Params() {
 		dst = p.W.AppendBinary(dst)
+	}
+	return dst
+}
+
+// AppendParamsAs is AppendParams at an explicit wire dtype, converting
+// per element when dt is not the compiled width. ReadParams accepts the
+// resulting frames regardless of the width they were written at (the
+// tensor framing self-describes its dtype), which is what lets the
+// float64 build ship 4-byte discriminator swaps.
+func (s *Sequential) AppendParamsAs(dst []byte, dt byte) []byte {
+	for _, p := range s.Params() {
+		dst = p.W.AppendBinaryAs(dst, dt)
 	}
 	return dst
 }

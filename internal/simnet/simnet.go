@@ -96,14 +96,20 @@ type Net interface {
 	Close() error
 }
 
-// Broadcast delivers every message, fanning the sends out across the
-// work-stealing scheduler: the per-destination work of a send (gob
+// BroadcastEach delivers every message, fanning the sends out across
+// the work-stealing scheduler: the per-destination work of a send (gob
 // framing and socket writes on TCPNet, channel hand-off on ChannelNet)
 // overlaps across destinations, which is where a server's per-worker
 // distribution loop spends its time on real transports. All sends are
 // attempted even when some fail (a fail-stop crash of one worker must
-// not starve the others); the first error in message order is returned.
-func Broadcast(n Net, msgs []Message) error {
+// not starve the others), and the result reports each destination's
+// outcome: entry i is nil when msgs[i] was delivered, ErrNodeDown
+// (wrapped) when its destination is crashed or unreachable, or another
+// error for transport-level failures. Callers that tolerate stragglers
+// — the round engines demote an ErrNodeDown destination via their
+// membership layer and continue with the survivors — inspect the slice;
+// callers that want the legacy all-or-nothing semantics use Broadcast.
+func BroadcastEach(n Net, msgs []Message) []error {
 	if len(msgs) == 0 {
 		return nil
 	}
@@ -113,7 +119,13 @@ func Broadcast(n Net, msgs []Message) error {
 			errs[i] = n.Send(msgs[i])
 		}
 	})
-	for _, err := range errs {
+	return errs
+}
+
+// Broadcast is BroadcastEach with strict semantics: every send is still
+// attempted, and the first error in message order is returned.
+func Broadcast(n Net, msgs []Message) error {
+	for _, err := range BroadcastEach(n, msgs) {
 		if err != nil {
 			return err
 		}

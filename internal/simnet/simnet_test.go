@@ -223,6 +223,125 @@ func TestTCPLargePayloadRoundTrip(t *testing.T) {
 
 func workerName(i int) string { return "w" + string(rune('0'+i)) }
 
+// TestBroadcastEachReportsPerDestination pins the straggler-tolerant
+// error semantics the round engines rely on: every send is attempted,
+// live destinations receive their messages, and the crashed one's slot
+// carries a wrapped ErrNodeDown — no error aborts the others.
+func TestBroadcastEachReportsPerDestination(t *testing.T) {
+	for name, mk := range netFactories {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			for _, node := range []string{"server", "w0", "w1", "w2"} {
+				if err := n.Register(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			n.Crash("w1")
+			msgs := []Message{
+				{From: "server", To: "w0", Type: "batches", Kind: CtoW, Payload: []byte("a")},
+				{From: "server", To: "w1", Type: "batches", Kind: CtoW, Payload: []byte("b")},
+				{From: "server", To: "w2", Type: "batches", Kind: CtoW, Payload: []byte("c")},
+			}
+			errs := BroadcastEach(n, msgs)
+			if errs[0] != nil || errs[2] != nil {
+				t.Fatalf("live destinations errored: %v / %v", errs[0], errs[2])
+			}
+			if !errors.Is(errs[1], ErrNodeDown) {
+				t.Fatalf("crashed destination error = %v, want ErrNodeDown", errs[1])
+			}
+			for _, node := range []string{"w0", "w2"} {
+				select {
+				case <-n.Inbox(node):
+				case <-time.After(5 * time.Second):
+					t.Fatalf("%s never received its message despite the w1 failure", node)
+				}
+			}
+			// The strict wrapper keeps its all-or-nothing contract.
+			if err := Broadcast(n, msgs); !errors.Is(err, ErrNodeDown) {
+				t.Fatalf("Broadcast = %v, want first ErrNodeDown", err)
+			}
+		})
+	}
+}
+
+// TestTCPSendToDeadPeerIsNodeDown: transport-level send failures map to
+// ErrNodeDown (the fail-stop model), so engines can demote rather than
+// abort when a remote worker process dies between rounds.
+func TestTCPSendToDeadPeerIsNodeDown(t *testing.T) {
+	n := NewTCPNet()
+	defer n.Close()
+	if err := n.Register("server"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("w0"); err != nil {
+		t.Fatal(err)
+	}
+	// Establish the connection, then kill the peer's listener and
+	// readers WITHOUT marking it down — the sender must discover the
+	// death at the socket, exactly like a remote process that vanished.
+	if err := n.Send(Message{From: "server", To: "w0", Type: "batches", Kind: CtoW, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	l := n.listeners["w0"]
+	n.mu.Unlock()
+	l.Close()
+	// The first send after the crash may still be buffered by the OS;
+	// keep sending until the broken pipe surfaces.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := n.Send(Message{From: "server", To: "w0", Type: "batches", Kind: CtoW, Payload: make([]byte, 1<<16)})
+		if err != nil {
+			if !errors.Is(err, ErrNodeDown) {
+				t.Fatalf("send error = %v, want ErrNodeDown", err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send to crashed TCP peer never failed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPSendRedialsStaleConnection: a pooled connection torn down
+// under the sender (idle timeout, NAT reset) must NOT read as a dead
+// peer — Send retries over a fresh dial and delivers, because the
+// round engines permanently demote ErrNodeDown destinations.
+func TestTCPSendRedialsStaleConnection(t *testing.T) {
+	n := NewTCPNet()
+	defer n.Close()
+	for _, node := range []string{"server", "w0"} {
+		if err := n.Register(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send := func() error {
+		return n.Send(Message{From: "server", To: "w0", Type: "batches", Kind: CtoW, Payload: []byte("x")})
+	}
+	if err := send(); err != nil {
+		t.Fatal(err)
+	}
+	<-n.Inbox("w0")
+	// Kill the pooled socket out from under the sender; the peer's
+	// listener stays up.
+	n.mu.Lock()
+	gc := n.conns["server→w0"]
+	n.mu.Unlock()
+	gc.conn.Close()
+	// The write on the dead socket must be retried on a fresh dial,
+	// not surfaced as ErrNodeDown.
+	if err := send(); err != nil {
+		t.Fatalf("send over stale connection = %v, want redial success", err)
+	}
+	select {
+	case <-n.Inbox("w0"):
+	case <-time.After(5 * time.Second):
+		t.Fatal("redialed message never delivered")
+	}
+}
+
 func TestKindString(t *testing.T) {
 	if CtoW.String() != "C→W" || WtoC.String() != "W→C" || WtoW.String() != "W→W" {
 		t.Fatal("Kind.String broken")

@@ -103,39 +103,59 @@ func (n *TCPNet) acceptLoop(node string, l net.Listener, inbox chan Message) {
 	}
 }
 
-// Send implements Net.
+// Send implements Net. A write failure on a pooled connection gets one
+// retry over a fresh dial before the destination is reported down: an
+// idle connection torn down by the peer's OS (or a NAT) must not read
+// as a worker death — the round engines demote ErrNodeDown
+// destinations permanently, so a stale socket would silently drop a
+// healthy worker and its shard from training.
 func (n *TCPNet) Send(msg Message) error {
 	n.mu.Lock()
 	addr, ok := n.addrs[msg.To]
 	dead := n.down[msg.To]
 	key := msg.From + "→" + msg.To
-	gc := n.conns[key]
 	n.mu.Unlock()
 	if !ok || dead {
 		return fmt.Errorf("%w: %s", ErrNodeDown, msg.To)
 	}
-	if gc == nil {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return fmt.Errorf("simnet: dial %s: %w", msg.To, err)
-		}
-		gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
 		n.mu.Lock()
-		n.conns[key] = gc
+		gc := n.conns[key]
 		n.mu.Unlock()
-	}
-	gc.mu.Lock()
-	err := gc.enc.Encode(msg)
-	gc.mu.Unlock()
-	if err != nil {
+		if gc == nil {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				// An unreachable peer is indistinguishable from a dead
+				// one in the fail-stop model: report ErrNodeDown so
+				// round engines demote the destination instead of
+				// aborting.
+				return fmt.Errorf("%w: dial %s: %v", ErrNodeDown, msg.To, err)
+			}
+			gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+			n.mu.Lock()
+			n.conns[key] = gc
+			n.mu.Unlock()
+		}
+		gc.mu.Lock()
+		err := gc.enc.Encode(msg)
+		gc.mu.Unlock()
+		if err == nil {
+			n.acct.record(&msg)
+			return nil
+		}
+		lastErr = err
+		// Evict the broken connection; the next attempt dials fresh.
 		n.mu.Lock()
-		delete(n.conns, key)
+		if n.conns[key] == gc {
+			delete(n.conns, key)
+		}
 		n.mu.Unlock()
 		gc.conn.Close()
-		return fmt.Errorf("simnet: send %s→%s: %w", msg.From, msg.To, err)
 	}
-	n.acct.record(&msg)
-	return nil
+	// Both the pooled connection and a fresh one failed: the peer's
+	// process or listener is gone — the fail-stop mapping applies.
+	return fmt.Errorf("%w: send %s→%s: %v", ErrNodeDown, msg.From, msg.To, lastErr)
 }
 
 // Inbox implements Net.

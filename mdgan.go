@@ -60,6 +60,10 @@ type (
 	ByzantineMode = core.ByzantineMode
 	// Aggregation selects the server's feedback-merge rule.
 	Aggregation = core.Aggregation
+	// SwapPrecision selects the wire width of discriminator swap
+	// payloads (SwapFP32 by default — half of Table III's W→W row on
+	// the float64 build).
+	SwapPrecision = core.SwapPrecision
 )
 
 // Re-exported extension constants.
@@ -67,6 +71,9 @@ const (
 	CompressNone = core.CompressNone
 	CompressFP32 = core.CompressFP32
 	CompressTopK = core.CompressTopK
+
+	SwapFP32   = core.SwapFP32
+	SwapNative = core.SwapNative
 
 	ByzantineNone   = core.ByzantineNone
 	ByzantineRandom = core.ByzantineRandom
@@ -195,6 +202,12 @@ type Options struct {
 	SwapEvery int       // E epochs between swaps; 0 → 1; <0 disables
 	Epochs    int       // FL-GAN local epochs per round; 0 → 1
 	Async     bool      // MD-GAN asynchronous mode (§VII.1)
+	// Pipeline runs synchronous MD-GAN through the one-round-deep
+	// pipelined engine: the server generates and encodes round t+1's
+	// batches while workers compute round t, at the documented cost of
+	// one iteration of generator-parameter staleness. False (default)
+	// is the paper's strict Algorithm 1.
+	Pipeline bool
 
 	Batch     int     // b; default 10
 	Iters     int     // I (generator updates); default 100
@@ -209,19 +222,23 @@ type Options struct {
 	Seed      int64
 	EvalEvery int // metric cadence in iterations; 0 disables
 
-	// CrashAt schedules fail-stop worker crashes (MD-GAN only):
-	// iteration → worker indices.
+	// CrashAt schedules fail-stop worker crashes through the shared
+	// membership layer: iteration → worker indices for MD-GAN, round →
+	// worker indices for FL-GAN.
 	CrashAt map[int][]int
 	// UseTCP runs workers over real loopback sockets instead of
 	// in-process channels.
 	UseTCP bool
 
-	// Extensions (paper §VII; MD-GAN only).
+	// Extensions (paper §VII).
 
-	// Compress selects the error-feedback wire encoding.
+	// Compress selects the error-feedback wire encoding (MD-GAN only).
 	Compress Compression
+	// SwapPrec selects the discriminator-swap wire width (MD-GAN only;
+	// default SwapFP32 = 4-byte elements on the wire).
+	SwapPrec SwapPrecision
 	// ActivePerRound activates only a random subset of workers per
-	// iteration (0 = all).
+	// iteration (MD-GAN) or per round (FL-GAN); 0 = all.
 	ActivePerRound int
 	// Byzantine marks compromised workers: index → attack mode.
 	Byzantine map[int]ByzantineMode
@@ -343,7 +360,7 @@ type RunResult struct {
 	// Traffic is the communication accounting (zero for Standalone,
 	// which exchanges no messages).
 	Traffic Traffic
-	// Live lists surviving workers (MD-GAN).
+	// Live lists surviving workers (MD-GAN and FL-GAN).
 	Live []string
 	// G is the trained generator (the server's for FL-GAN/MD-GAN).
 	G *Generator
@@ -373,7 +390,12 @@ func Run(ds *Dataset, arch Arch, o Options, ev *Evaluator) (*RunResult, error) {
 
 	case FLGAN:
 		shards := o.shard(ds)
-		cfg := flgan.Config{TrainConfig: o.trainConfig(), Epochs: o.Epochs}
+		cfg := flgan.Config{
+			TrainConfig:    o.trainConfig(),
+			Epochs:         o.Epochs,
+			CrashAt:        o.CrashAt,
+			ActivePerRound: o.ActivePerRound,
+		}
 		if o.UseTCP {
 			net := simnet.NewTCPNet()
 			defer net.Close()
@@ -383,7 +405,7 @@ func Run(ds *Dataset, arch Arch, o Options, ev *Evaluator) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &RunResult{Curve: curve, Traffic: res.Traffic, G: res.Model.G, Iters: res.Iters}, nil
+		return &RunResult{Curve: curve, Traffic: res.Traffic, Live: res.Live, G: res.Model.G, Iters: res.Iters}, nil
 
 	case MDGAN:
 		shards := o.shard(ds)
@@ -393,7 +415,9 @@ func Run(ds *Dataset, arch Arch, o Options, ev *Evaluator) (*RunResult, error) {
 			SwapEvery:      o.SwapEvery,
 			CrashAt:        o.CrashAt,
 			Async:          o.Async,
+			Pipeline:       o.Pipeline,
 			Compress:       o.Compress,
+			SwapPrec:       o.SwapPrec,
 			ActivePerRound: o.ActivePerRound,
 			Byzantine:      o.Byzantine,
 			Aggregate:      o.Aggregate,
@@ -432,12 +456,17 @@ func RunOnShards(shards []*Dataset, arch Arch, o Options, ev *Evaluator) (*RunRe
 	}
 	switch o.Algorithm {
 	case FLGAN:
-		cfg := flgan.Config{TrainConfig: o.trainConfig(), Epochs: o.Epochs}
+		cfg := flgan.Config{
+			TrainConfig:    o.trainConfig(),
+			Epochs:         o.Epochs,
+			CrashAt:        o.CrashAt,
+			ActivePerRound: o.ActivePerRound,
+		}
 		res, err := flgan.Train(shards, arch, cfg, flgan.EvalFunc(hook))
 		if err != nil {
 			return nil, err
 		}
-		return &RunResult{Curve: curve, Traffic: res.Traffic, G: res.Model.G, Iters: res.Iters}, nil
+		return &RunResult{Curve: curve, Traffic: res.Traffic, Live: res.Live, G: res.Model.G, Iters: res.Iters}, nil
 	case MDGAN:
 		cfg := core.Config{
 			TrainConfig:    o.trainConfig(),
@@ -445,7 +474,9 @@ func RunOnShards(shards []*Dataset, arch Arch, o Options, ev *Evaluator) (*RunRe
 			SwapEvery:      o.SwapEvery,
 			CrashAt:        o.CrashAt,
 			Async:          o.Async,
+			Pipeline:       o.Pipeline,
 			Compress:       o.Compress,
+			SwapPrec:       o.SwapPrec,
 			ActivePerRound: o.ActivePerRound,
 			Byzantine:      o.Byzantine,
 			Aggregate:      o.Aggregate,

@@ -45,6 +45,16 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
     # both element widths.
     go test -race ${tagargs[@]+"${tagargs[@]}"} ./...
 
+    echo "== [$name] engine equivalence gates =="
+    # Explicit gates for the round-engine contracts (also part of the
+    # plain test run above, but named here so a failure is unmissable):
+    # strict mode must replay serial Algorithm 1 bitwise, and the
+    # pipelined driver must match strict at Iters=1 and converge with
+    # it at full length.
+    go test ${tagargs[@]+"${tagargs[@]}"} -count=1 \
+        -run 'TestStrictEngineMatchesSerialReference|TestPipelinedOneIterationMatchesStrict|TestPipelinedConvergesLikeStrict' \
+        ./internal/core
+
     echo "== [$name] bench smoke (1 iteration) =="
     go test ${tagargs[@]+"${tagargs[@]}"} -run=NONE -bench='BenchmarkMDGANIteration$|BenchmarkGeneratorForward$|BenchmarkTableII$' -benchtime=1x -benchmem .
 
