@@ -44,6 +44,12 @@ type benchRow struct {
 	// global iterations per second): the headline number for how worker-
 	// and kernel-level parallelism compose.
 	WorkerStepsPerSec float64 `json:"worker_steps_per_sec,omitempty"`
+	// GFlops and Kernel annotate the GEMM micro-benchmark rows: the
+	// achieved GFLOP/s at an MD-GAN layer shape, and which micro-kernel
+	// produced it ("avx2+fma", "generic", "generic (noasm)") — the
+	// kernel-level evidence behind the iteration-level rows.
+	GFlops float64 `json:"gflops,omitempty"`
+	Kernel string  `json:"kernel,omitempty"`
 }
 
 // workerSweep aliases the canonical cluster-size axis shared with the
@@ -132,6 +138,37 @@ func writeBenchJSON(path string) {
 			}
 		})
 		row.WorkerStepsPerSec = float64(k) * 1e9 / row.NsPerOp
+		rows = append(rows, row)
+	}
+	// GEMM micro-benchmarks at MD-GAN layer shapes (names match the
+	// go-test sub-benchmarks in internal/tensor): the kernel-level
+	// GFLOP/s behind the iteration rows, attributable to the dispatched
+	// micro-kernel.
+	gemmShapes := [][3]int{
+		{64, 800, 6272}, // conv2 forward: (OutC, C·KH·KW)·(ckk, N·oHW)
+		{32, 128, 784},  // MLP generator output layer at batch 32
+		{512, 512, 512}, // square reference point
+	}
+	for _, sh := range gemmShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		rng := rand.New(rand.NewSource(2))
+		mk := func(r, c int) *tensor.Tensor {
+			t := tensor.New(r, c)
+			for i := range t.Data {
+				t.Data[i] = tensor.Elem(rng.NormFloat64())
+			}
+			return t
+		}
+		x, y, out := mk(m, k), mk(k, n), tensor.New(m, n)
+		row := run(fmt.Sprintf("BenchmarkGEMM/%dx%dx%d", m, k, n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(out, x, y)
+			}
+		})
+		row.GFlops = 2 * float64(m) * float64(k) * float64(n) / row.NsPerOp
+		row.Kernel = tensor.GemmKernel()
+		log.Printf("%s [%s]: %.2f GFLOP/s (%s kernel)", row.Name, tensor.DTypeName, row.GFlops, row.Kernel)
 		rows = append(rows, row)
 	}
 	// Table III W→W traffic delta of the FP32-swap default: one short

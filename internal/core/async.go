@@ -48,7 +48,9 @@ func (s *server) runAsync(iters int) (int, error) {
 				swapTo = peer
 			}
 		}
-		payload := encodeBatches(batchesMsg{Xd: xd, Ld: ld, Xg: xg, Lg: lg, SwapTo: swapTo})
+		// No global round exists in async mode; the per-worker iteration
+		// count tags the (lazily applied) swaps instead.
+		payload := encodeBatches(batchesMsg{Xd: xd, Ld: ld, Xg: xg, Lg: lg, SwapTo: swapTo, Round: workerIters[name]})
 		return s.net.Send(simnet.Message{
 			From: serverName, To: name, Type: msgBatches,
 			Kind: simnet.CtoW, Payload: payload,

@@ -244,9 +244,10 @@ func TestTrafficMatchesAnalyticModel(t *testing.T) {
 	}
 	// Payload sizes: a batch tensor (b, 2) is 1 (dtype byte) + 4 + 4·2
 	// + ElemBytes·b·2 bytes; labels are 4 bytes (zero count) each ×2;
-	// swap-target string is 4 bytes. Feedback = one tensor frame.
+	// swap-target string is 4 bytes, plus the 4-byte round tag.
+	// Feedback = one tensor frame.
 	batchFrame := int64(1 + 4 + 4*2 + tensor.ElemBytes*b*2)
-	batchesPayload := 2*batchFrame + 2*4 + 4
+	batchesPayload := 2*batchFrame + 2*4 + 4 + 4
 	feedbackPayload := batchFrame + 1 // +1: compression-mode prefix byte
 	wantCtoW := int64(n*iters) * batchesPayload
 	// The final stop messages are zero-payload, so bytes are unaffected.
@@ -313,8 +314,8 @@ func TestSwapNativeTrafficAccounting(t *testing.T) {
 	}
 	perSwap := res.Traffic.Bytes[simnet.WtoW] / (2 * n)
 	d := gan.RingMLP().NewGAN(1, nn.GenLossNonSaturating, 0).D
-	if perSwap != d.EncodedParamSize() {
-		t.Fatalf("per-swap bytes = %d, want native |θ| payload %d", perSwap, d.EncodedParamSize())
+	if want := swapPayloadSize(d, SwapNative); perSwap != want {
+		t.Fatalf("per-swap bytes = %d, want native |θ| payload %d", perSwap, want)
 	}
 }
 

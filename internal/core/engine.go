@@ -34,6 +34,7 @@ package core
 // awaiting a swap).
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -191,10 +192,11 @@ func (s *server) route(r *round) {
 			gi := i % r.k
 			di := (i + 1) % r.k
 			swap := r.swapTo[name]
-			payload := make([]byte, 0, len(r.frames[di])+len(r.frames[gi])+4+len(swap))
+			payload := make([]byte, 0, len(r.frames[di])+len(r.frames[gi])+4+len(swap)+4)
 			payload = append(payload, r.frames[di]...) // X^(d) ++ L^(d)
 			payload = append(payload, r.frames[gi]...) // X^(g) ++ L^(g)
 			payload = appendString(payload, swap)
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(r.it))
 			r.msgs[i] = simnet.Message{
 				From: serverName, To: name, Type: msgBatches,
 				Kind: simnet.CtoW, Payload: payload,
@@ -225,21 +227,22 @@ func (s *server) dispatch(r *round) error {
 }
 
 // cancelSwap releases the worker that was routed to receive the demoted
-// worker's discriminator: an empty msgSwap payload means "no swap this
-// round, keep your own D" (the receiver would otherwise block in its
-// rendezvous forever, since the demoted worker never got its batches
-// and so never sends). The demoted worker's discriminator is lost with
-// it — the fail-stop model of Fig. 5 — and its receiver keeps a copy of
-// its own, which the next scheduled swap re-mixes.
+// worker's discriminator: a bare-round-tag msgSwap payload means "no
+// swap this round, keep your own D" (the receiver would otherwise block
+// in its rendezvous forever, since the demoted worker never got its
+// batches and so never sends). The demoted worker's discriminator is
+// lost with it — the fail-stop model of Fig. 5 — and its receiver keeps
+// a copy of its own, which the next scheduled swap re-mixes.
 //
-// Known limitation: swaps carry no round tag, so on a transport where
-// worker→worker frames can trail the server's sends (TCP uses one
-// connection per pair) a cancellation can in principle resolve a
-// receiver's PREVIOUS rendezvous while the real swap is still in
-// flight; the late swap is then adopted by the stray-swap path one
-// round later. The cluster degrades (one round on the un-swapped D),
-// never deadlocks or corrupts — tagging the swap protocol per round
-// would close this and is noted in ROADMAP.
+// The round tag closes the former known limitation: on a transport
+// where worker→worker frames can trail the server's sends (TCP uses one
+// connection per pair), this cancellation can arrive while its receiver
+// is still blocked in the PREVIOUS round's rendezvous. Untagged, it
+// would resolve that rendezvous and silently displace the real swap
+// still in flight; tagged, the receiver buffers it, completes the old
+// rendezvous with the matching-round frame, and later skips the
+// cancellation in its main loop (regression:
+// TestCancelSwapCannotResolveEarlierRendezvous).
 func (s *server) cancelSwap(r *round, name string) {
 	to := r.swapTo[name]
 	if to == "" {
@@ -247,6 +250,7 @@ func (s *server) cancelSwap(r *round, name string) {
 	}
 	_ = s.net.Send(simnet.Message{
 		From: serverName, To: to, Type: msgSwap, Kind: simnet.CtoW,
+		Payload: encodeSwapCancel(r.it),
 	})
 }
 

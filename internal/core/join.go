@@ -70,10 +70,13 @@ func (s *server) processJoins(it int, spawn func(shard *dataset.Dataset) (*worke
 			}
 		}
 		// Hand the pre-trained discriminator to the joiner before it
-		// can see any batches.
+		// can see any batches. The swap framing carries round tag 0 —
+		// "before any round" — so the joiner's stray-swap path adopts
+		// it immediately instead of holding it for a rendezvous that
+		// will never open (real rounds are numbered from 1).
 		if err := s.net.Send(simnet.Message{
 			From: serverName, To: w.name, Type: msgSwap,
-			Kind: simnet.CtoW, Payload: params,
+			Kind: simnet.CtoW, Payload: encodeSwapForward(0, params),
 		}); err != nil {
 			return fmt.Errorf("core: forward clone to %s: %w", w.name, err)
 		}

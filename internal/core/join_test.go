@@ -116,12 +116,13 @@ func TestJoinTrafficCost(t *testing.T) {
 	without := run(false)
 	with := run(true)
 	// The join adds one |θ| upload (donor→server, at the default FP32
-	// swap precision) beyond the extra worker's ordinary feedback
-	// traffic.
+	// swap precision; the clone reply is raw parameter framing — only
+	// W→W swap messages carry the round tag) beyond the extra worker's
+	// ordinary feedback traffic.
 	d := gan.RingMLP().NewGAN(1, cfg.GenLoss, 0).D
 	extraUp := with.Bytes[simnet.WtoC] - without.Bytes[simnet.WtoC]
 	feedbackBytes := int64(1+4+4*2+tensor.ElemBytes*cfg.Batch*2) + 1
-	wantExtra := swapPayloadSize(d, SwapFP32) + 4*feedbackBytes // 4 post-join iterations
+	wantExtra := d.EncodedParamSizeAs(SwapFP32.wireDType()) + 4*feedbackBytes // 4 post-join iterations
 	if extraUp != wantExtra {
 		t.Fatalf("extra W→C bytes = %d, want %d", extraUp, wantExtra)
 	}

@@ -26,11 +26,16 @@ const (
 // batchesMsg carries the per-worker payload of step 1 (§IV-A): the
 // discriminator-training batch X^(d) and the feedback batch X^(g) with
 // their intended labels, plus the swap command for this iteration
-// (empty SwapTo = no swap).
+// (empty SwapTo = no swap) and the round the command belongs to. Round
+// tags the whole swap exchange: the worker stamps it onto its outgoing
+// msgSwap, and its rendezvous only accepts swap traffic carrying the
+// same tag (see awaitSwap), so a cancellation or late frame from an
+// adjacent round can never resolve the wrong rendezvous.
 type batchesMsg struct {
 	Xd, Xg *tensor.Tensor
 	Ld, Lg []int
 	SwapTo string
+	Round  int
 }
 
 // readLabels decodes a label list, appending into buf (pass a
@@ -60,13 +65,14 @@ func readLabels(r *bytes.Reader, buf []int) ([]int, error) {
 
 func encodeBatches(m batchesMsg) []byte {
 	size := m.Xd.EncodedSize() + m.Xg.EncodedSize() +
-		int64(8+4*len(m.Ld)+4*len(m.Lg)) + int64(4+len(m.SwapTo))
+		int64(8+4*len(m.Ld)+4*len(m.Lg)) + int64(4+len(m.SwapTo)) + 4
 	buf := make([]byte, 0, size)
 	buf = m.Xd.AppendBinary(buf)
 	buf = appendLabels(buf, m.Ld)
 	buf = m.Xg.AppendBinary(buf)
 	buf = appendLabels(buf, m.Lg)
-	return appendString(buf, m.SwapTo)
+	buf = appendString(buf, m.SwapTo)
+	return binary.LittleEndian.AppendUint32(buf, uint32(m.Round))
 }
 
 func appendLabels(buf []byte, labels []int) []byte {
@@ -110,6 +116,11 @@ func decodeBatches(p []byte, m *batchesMsg) error {
 	if m.SwapTo, err = readString(r); err != nil {
 		return err
 	}
+	var tmp [4]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return fmt.Errorf("core: read batches round: %w", err)
+	}
+	m.Round = int(binary.LittleEndian.Uint32(tmp[:]))
 	return nil
 }
 
@@ -178,11 +189,53 @@ func (p SwapPrecision) wireDType() byte {
 	return tensor.DTypeF32
 }
 
-// swapPayloadSize returns the byte size of encodeDiscParams output
-// under the given precision — what the traffic tests and the Table III
-// accounting expect per swap.
+// Swap framing: every msgSwap payload leads with a 4-byte little-endian
+// round tag — the iteration whose SWAP command produced it — followed
+// by the discriminator parameter framing, or by nothing for a
+// cancellation ("no swap this round, keep your own D"). The tag is what
+// lets a rendezvous reject traffic from adjacent rounds: on transports
+// where W→W frames can trail the server's sends (TCP uses one
+// connection per pair), an untagged cancellation could resolve the
+// receiver's PREVIOUS rendezvous while the real swap was still in
+// flight.
+
+// encodeSwap frames a discriminator's parameters for round's swap at
+// the given wire precision.
+func encodeSwap(round int, d *gan.Discriminator, p SwapPrecision) []byte {
+	dt := p.wireDType()
+	buf := make([]byte, 0, 4+d.EncodedParamSizeAs(dt))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(round))
+	return d.AppendParamsAs(buf, dt)
+}
+
+// encodeSwapCancel frames the server's rendezvous release for round: a
+// bare round tag, no parameters.
+func encodeSwapCancel(round int) []byte {
+	return binary.LittleEndian.AppendUint32(make([]byte, 0, 4), uint32(round))
+}
+
+// encodeSwapForward wraps already-encoded parameter bytes (a clone
+// reply) in round's swap framing — the join protocol's server→joiner
+// hand-off.
+func encodeSwapForward(round int, params []byte) []byte {
+	buf := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+len(params)), uint32(round))
+	return append(buf, params...)
+}
+
+// decodeSwap splits a msgSwap payload into its round tag and the
+// parameter bytes (empty for a cancellation).
+func decodeSwap(p []byte) (round int, params []byte, err error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("core: swap payload %d bytes, want ≥ 4 (round tag)", len(p))
+	}
+	return int(binary.LittleEndian.Uint32(p[:4])), p[4:], nil
+}
+
+// swapPayloadSize returns the byte size of one full swap message under
+// the given precision (round tag + parameter framing) — what the
+// traffic tests and the Table III accounting expect per swap.
 func swapPayloadSize(d *gan.Discriminator, p SwapPrecision) int64 {
-	return d.EncodedParamSizeAs(p.wireDType())
+	return 4 + d.EncodedParamSizeAs(p.wireDType())
 }
 
 // encodeDiscParams frames a discriminator's parameters for a swap at

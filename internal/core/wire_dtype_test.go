@@ -82,9 +82,9 @@ func TestSwapFP32DefaultPayload(t *testing.T) {
 			p.W.Data[i] = tensor.Elem(rng.NormFloat64())
 		}
 	}
-	payload := encodeDiscParams(d, SwapFP32)
-	if int64(len(payload)) != d.EncodedParamSizeAs(tensor.DTypeF32) {
-		t.Fatalf("fp32 swap payload %d bytes, want %d", len(payload), d.EncodedParamSizeAs(tensor.DTypeF32))
+	payload := encodeSwap(7, d, SwapFP32)
+	if int64(len(payload)) != 4+d.EncodedParamSizeAs(tensor.DTypeF32) {
+		t.Fatalf("fp32 swap payload %d bytes, want round tag + %d", len(payload), d.EncodedParamSizeAs(tensor.DTypeF32))
 	}
 	if int64(len(payload)) != swapPayloadSize(d, SwapFP32) {
 		t.Fatalf("swapPayloadSize disagrees with the encoder: %d vs %d",
@@ -94,8 +94,15 @@ func TestSwapFP32DefaultPayload(t *testing.T) {
 		t.Fatalf("f64 build: fp32 swap payload %d not below native %d",
 			len(payload), d.EncodedParamSize())
 	}
+	round, params, err := decodeSwap(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 7 {
+		t.Fatalf("swap round tag = %d, want 7", round)
+	}
 	peer := gan.RingMLP().NewGAN(2, 0, 0).D
-	if err := decodeDiscParamsInto(peer, payload); err != nil {
+	if err := decodeDiscParamsInto(peer, params); err != nil {
 		t.Fatal(err)
 	}
 	dp, pp := d.Params(), peer.Params()

@@ -41,6 +41,15 @@ type worker struct {
 	// waiting for a swap (e.g. the next iteration's batches racing the
 	// peer's swap message on TCP transports).
 	pending []simnet.Message
+	// futureSwaps holds swap traffic tagged with a round this worker
+	// has not reached yet (it can overtake that round's batches on
+	// TCP). Only awaitSwap consumes it — routing it through the main
+	// loop would discard a future rendezvous's release and deadlock
+	// that rendezvous.
+	futureSwaps []simnet.Message
+	// lastRound is the most recent batches round handled; swap traffic
+	// tagged beyond it belongs to a rendezvous that has not opened yet.
+	lastRound int
 
 	// bm is the reusable decode target for incoming batch messages: the
 	// tensors and label slices are overwritten in place each iteration.
@@ -64,14 +73,30 @@ func (w *worker) run() {
 		case msgStop:
 			return
 		case msgSwap:
-			// A swap that arrived outside a rendezvous (lazy mode,
-			// late delivery, or the join protocol's initial clone):
-			// adopt the incoming discriminator. An empty payload is a
-			// cancellation (the sender was demoted mid-round): keep D.
-			if len(msg.Payload) == 0 {
+			// A swap that arrived outside a rendezvous: adopt the
+			// incoming discriminator if its round has already passed
+			// (lazy mode, a late frame whose rendezvous was cancelled,
+			// or the join protocol's tag-0 clone); a bare round tag is
+			// a cancellation (the sender was demoted mid-round): keep
+			// D. Traffic tagged with a FUTURE round overtook that
+			// round's batches — hold it for that round's rendezvous
+			// instead of consuming it here, or the rendezvous would
+			// wait forever for a release that was already eaten. (Lazy
+			// workers never rendezvous, and async tags come from the
+			// sender's own iteration counter, so they always adopt
+			// immediately.)
+			r, params, err := decodeSwap(msg.Payload)
+			if err != nil {
+				return
+			}
+			if r > w.lastRound && !w.lazySwap {
+				w.futureSwaps = append(w.futureSwaps, msg)
 				continue
 			}
-			if err := decodeDiscParamsInto(w.d, msg.Payload); err != nil {
+			if len(params) == 0 {
+				continue
+			}
+			if err := decodeDiscParamsInto(w.d, params); err != nil {
 				return
 			}
 		case msgClone:
@@ -110,6 +135,7 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 		return false
 	}
 	bm := &w.bm
+	w.lastRound = bm.Round
 	// Step 2 (§IV-A): L discriminator learning steps against the local
 	// shard. X^(r) is drawn once per global iteration (Algorithm 1
 	// line 4) and reused across the L steps.
@@ -125,11 +151,13 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 
 	// SWAP (§IV-C1): send D_n before the feedback so that once the
 	// server has every feedback, every swap is already in flight —
-	// the receiving rendezvous below can then never deadlock.
+	// the receiving rendezvous below can then never deadlock. The
+	// payload carries this round's tag so the receiver can match it to
+	// the rendezvous the server commanded.
 	if bm.SwapTo != "" {
 		if err := w.net.Send(simnet.Message{
 			From: w.name, To: bm.SwapTo, Type: msgSwap,
-			Kind: simnet.WtoW, Payload: encodeDiscParams(w.d, w.swapPrec),
+			Kind: simnet.WtoW, Payload: encodeSwap(bm.Round, w.d, w.swapPrec),
 		}); err != nil {
 			// Receiver crashed mid-round: keep our discriminator.
 			_ = err
@@ -142,17 +170,57 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 		return false
 	}
 	if bm.SwapTo != "" && !w.lazySwap {
-		return w.awaitSwap()
+		return w.awaitSwap(bm.Round)
 	}
 	return true
 }
 
-// awaitSwap blocks until the replacement discriminator arrives,
-// buffering any other traffic for later processing. An empty msgSwap
-// payload is the server's cancellation — the peer that owed us its
-// discriminator was demoted mid-round — so we keep our own D and
-// resume.
-func (w *worker) awaitSwap() bool {
+// awaitSwap blocks until round's replacement discriminator arrives. A
+// bare-tag msgSwap for the same round is the server's cancellation —
+// the peer that owed us its discriminator was demoted mid-round — so we
+// keep our own D and resume. Swap traffic tagged with a LATER round is
+// stashed in futureSwaps for that round's rendezvous: a later round's
+// cancellation can race ahead of this round's swap on TCP (the server
+// moves on once feedbacks are in), and resolving this rendezvous with
+// it would both drop the real swap still in flight AND eat the release
+// the later rendezvous will block on. Earlier-round stragglers follow
+// the stray rules in place (late swap adopted, stale cancellation
+// dropped). The protocol guarantees something tagged with THIS round is
+// coming: the sender either got its batches (its swap is in flight — it
+// sends before awaiting its own rendezvous) or it did not (the server
+// saw the failed dispatch and sent this round's cancellation).
+func (w *worker) awaitSwap(round int) bool {
+	// This round's release may already be stashed: it can arrive while
+	// an EARLIER rendezvous is still open. Flush stale stragglers along
+	// the way.
+	keep := w.futureSwaps[:0]
+	var match *simnet.Message
+	for i := range w.futureSwaps {
+		msg := w.futureSwaps[i]
+		r, params, err := decodeSwap(msg.Payload)
+		switch {
+		case err != nil:
+			return false
+		case r == round && match == nil:
+			match = &msg
+		case r < round:
+			if len(params) > 0 {
+				if decodeDiscParamsInto(w.d, params) != nil {
+					return false
+				}
+			}
+		default:
+			keep = append(keep, msg)
+		}
+	}
+	w.futureSwaps = keep
+	if match != nil {
+		_, params, _ := decodeSwap(match.Payload)
+		if len(params) == 0 {
+			return true // swap cancelled: keep our discriminator
+		}
+		return decodeDiscParamsInto(w.d, params) == nil
+	}
 	inbox := w.net.Inbox(w.name)
 	for {
 		msg, ok := <-inbox
@@ -160,10 +228,27 @@ func (w *worker) awaitSwap() bool {
 			return false
 		}
 		if msg.Type == msgSwap {
-			if len(msg.Payload) == 0 {
+			r, params, err := decodeSwap(msg.Payload)
+			if err != nil {
+				return false
+			}
+			if r > round {
+				// A later rendezvous's traffic: hold it where only that
+				// rendezvous will look for it.
+				w.futureSwaps = append(w.futureSwaps, msg)
+				continue
+			}
+			if r < round {
+				// Straggler from a resolved round: stray rules.
+				if len(params) > 0 && decodeDiscParamsInto(w.d, params) != nil {
+					return false
+				}
+				continue
+			}
+			if len(params) == 0 {
 				return true // swap cancelled: keep our discriminator
 			}
-			return decodeDiscParamsInto(w.d, msg.Payload) == nil
+			return decodeDiscParamsInto(w.d, params) == nil
 		}
 		if msg.Type == msgStop {
 			// Shutdown beats the swap: requeue so run() sees it next.

@@ -43,8 +43,12 @@ func TestTrainingIterationSteadyStateAllocs(t *testing.T) {
 	}
 	n := testing.AllocsPerRun(30, step)
 	t.Logf("allocs per DiscStep+GenStepLocal: %v (seed baseline: ~308)", n)
-	if n > 30 {
-		t.Fatalf("training iteration allocates %v per step, budget 30", n)
+	budget := 30.0
+	if raceEnabled {
+		budget *= 2 // sporadic pool misses under the race detector
+	}
+	if n > budget {
+		t.Fatalf("training iteration allocates %v per step, budget %v", n, budget)
 	}
 }
 
@@ -78,7 +82,11 @@ func TestConditionalTrainingIterationSteadyStateAllocs(t *testing.T) {
 	// layers (one fan-out closure each), and the class head adds a
 	// softmax/gradient tensor per pass — a higher floor than the
 	// unconditional couple.
-	if n > 110 {
-		t.Fatalf("conditional training iteration allocates %v per step, budget 110", n)
+	budget := 110.0
+	if raceEnabled {
+		budget *= 2 // sporadic pool misses under the race detector
+	}
+	if n > budget {
+		t.Fatalf("conditional training iteration allocates %v per step, budget %v", n, budget)
 	}
 }

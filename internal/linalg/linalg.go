@@ -173,13 +173,18 @@ func Trace(a *tensor.Tensor) float64 {
 func MeanCov(x *tensor.Tensor) (mean, cov *tensor.Tensor) {
 	n, d := x.Dim(0), x.Dim(1)
 	mean = x.SumRows().Scale(1 / float64(n))
-	centered := tensor.New(n, d)
+	// The centring workspace is pooled and the Gram product runs through
+	// the packed GEMM's transposed-A path — MeanCov sits on the FID eval
+	// hot loop, once per metrics pass.
+	centered := tensor.Get(n, d)
 	for i := 0; i < n; i++ {
 		for j := 0; j < d; j++ {
 			centered.Set(x.At(i, j)-mean.At(0, j), i, j)
 		}
 	}
-	cov = tensor.MatMulT1(centered, centered)
+	cov = tensor.New(d, d)
+	tensor.MatMulT1Into(cov, centered, centered)
+	tensor.Put(centered)
 	norm := float64(n - 1)
 	if n <= 1 {
 		norm = 1
@@ -207,9 +212,17 @@ func FrechetDistance(mu1, c1, mu2, c2 *tensor.Tensor) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	inner := tensor.MatMul(tensor.MatMul(s, c2), s)
+	n := s.Dim(0)
+	// s·c2·s via a pooled intermediate instead of two fresh n×n
+	// allocations per metrics pass.
+	tmp := tensor.Get(n, n)
+	tensor.MatMulInto(tmp, s, c2)
+	inner := tensor.Get(n, n)
+	tensor.MatMulInto(inner, tmp, s)
+	tensor.Put(tmp)
 	symmetrise(inner)
 	root, err := SqrtPSD(inner)
+	tensor.Put(inner)
 	if err != nil {
 		return 0, err
 	}

@@ -36,8 +36,12 @@ func TestDenseStackSteadyStateAllocs(t *testing.T) {
 	n := testing.AllocsPerRun(50, func() { trainStep(net, x, grad) })
 	// The only steady-state allocations are the fan-out closures built
 	// when a matmul crosses the parallel grain (one per large matmul).
-	if n > 16 {
-		t.Fatalf("dense stack allocates %v per step, budget 16", n)
+	budget := 16.0
+	if raceEnabled {
+		budget *= 2 // sporadic pool misses under the race detector
+	}
+	if n > budget {
+		t.Fatalf("dense stack allocates %v per step, budget %v", n, budget)
 	}
 }
 
@@ -60,8 +64,12 @@ func TestConvStackSteadyStateAllocs(t *testing.T) {
 	// Conv layers Get/Put pooled workspaces and may fan out to the
 	// worker pool (a WaitGroup + closure per parallel region), plus the
 	// Flatten reshape views.
-	if n > 32 {
-		t.Fatalf("conv stack allocates %v per step, budget 32", n)
+	budget := 32.0
+	if raceEnabled {
+		budget *= 2 // sporadic pool misses under the race detector
+	}
+	if n > budget {
+		t.Fatalf("conv stack allocates %v per step, budget %v", n, budget)
 	}
 }
 
@@ -80,7 +88,11 @@ func TestConvTransposeStackSteadyStateAllocs(t *testing.T) {
 		trainStep(net, x, grad)
 	}
 	n := testing.AllocsPerRun(50, func() { trainStep(net, x, grad) })
-	if n > 32 {
-		t.Fatalf("convT stack allocates %v per step, budget 32", n)
+	budget := 32.0
+	if raceEnabled {
+		budget *= 2 // sporadic pool misses under the race detector
+	}
+	if n > budget {
+		t.Fatalf("convT stack allocates %v per step, budget %v", n, budget)
 	}
 }

@@ -77,6 +77,52 @@ func (g convGeom) im2col(x, dst []tensor.Elem, rowStride, colOff int) {
 	}
 }
 
+// im2colSeg fills one row of the batched im2col matrix — row idx, the
+// (c, ki, kj) patch coordinate — restricted to the global column range
+// [p0, p1), writing dst[0], dst[stride], dst[2*stride], … Columns index
+// output positions across the whole batch: p = i·outH·outW + oy·outW +
+// ox. It is the packing primitive behind the fused conv GEMM: with
+// stride 1 it fills a forward B-panel row, with stride nr it fills one
+// column of a transposed (dW) panel, and in both cases the im2col value
+// is produced directly in packed layout — one pass over the image
+// instead of im2col-then-pack.
+func (g convGeom) im2colSeg(x []tensor.Elem, inVol, idx, p0, p1 int, dst []tensor.Elem, stride int) {
+	kj := idx % g.kw
+	ki := (idx / g.kw) % g.kh
+	c := idx / (g.kw * g.kh)
+	oHW := g.outH * g.outW
+	o := 0
+	for p := p0; p < p1; {
+		i := p / oHW
+		rem := p - i*oHW
+		oy := rem / g.outW
+		ox := rem - oy*g.outW
+		run := g.outW - ox // stay within one output row
+		if p+run > p1 {
+			run = p1 - p
+		}
+		iy := oy*g.stride + ki - g.pad
+		if iy < 0 || iy >= g.inH {
+			for t := 0; t < run; t++ {
+				dst[o] = 0
+				o += stride
+			}
+		} else {
+			base := i*inVol + (c*g.inH+iy)*g.inW
+			for t := 0; t < run; t++ {
+				ix := (ox+t)*g.stride + kj - g.pad
+				if ix < 0 || ix >= g.inW {
+					dst[o] = 0
+				} else {
+					dst[o] = x[base+ix]
+				}
+				o += stride
+			}
+		}
+		p += run
+	}
+}
+
 // col2im scatters one column block of a batched col matrix back into an
 // image, accumulating overlapping contributions — the adjoint of
 // im2col.
@@ -127,15 +173,22 @@ func takeWorkspace(buf *tensor.Tensor, rows, cols int) *tensor.Tensor {
 	return tensor.Get(rows, cols)
 }
 
-// Conv2D is a standard 2-D convolution over NCHW tensors.
+// Conv2D is a standard 2-D convolution over NCHW tensors. The im2col
+// matrix is never materialised: both the forward product W·col(x) and
+// the weight gradient g·col(x)ᵀ consume it through fused GEMM packers
+// (im2colSeg), which produce each patch value directly inside the
+// packed B panels the micro-kernel reads.
 type Conv2D struct {
 	geom convGeom
 	OutC int
 	W, B *Param // W: (OutC, InC*KH*KW), B: (1, OutC)
 	x    *tensor.Tensor
-	cols *tensor.Tensor // batched im2col workspace, held from a training Forward until Backward
-	out  *tensor.Tensor // layer-owned output buffer
-	dx   *tensor.Tensor // layer-owned input-gradient buffer
+	// trained records whether the last Forward ran in training mode
+	// (Backward re-reads c.x through the fused packer, so it needs no
+	// retained workspace — just the mode check).
+	trained bool
+	out     *tensor.Tensor // layer-owned output buffer
+	dx      *tensor.Tensor // layer-owned input-gradient buffer
 }
 
 // NewConv2D builds a convolution mapping (N, inC, inH, inW) to
@@ -162,9 +215,46 @@ func heUniform(w *tensor.Tensor, fanIn int, rng *rand.Rand) {
 // OutShape returns the per-image output dimensions (C, H, W).
 func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.geom.outH, c.geom.outW }
 
-func (c *Conv2D) releaseCols() {
-	tensor.Put(c.cols)
-	c.cols = nil
+// packIm2col returns the fused forward B-panel packer: panel columns
+// are batched output positions, panel rows are (c, ki, kj) patch
+// coordinates, and each row segment is one contiguous im2colSeg fill.
+func (c *Conv2D) packIm2col(xd []tensor.Elem, inVol, cols int) tensor.BPanelPacker {
+	g := c.geom
+	return func(dst []tensor.Elem, k0, k1, j0, nr int) {
+		j1 := j0 + nr
+		if j1 > cols {
+			// Zero-pad the panel columns past the batch edge.
+			for kk := k0; kk < k1; kk++ {
+				row := dst[(kk-k0)*nr : (kk-k0)*nr+nr]
+				for j := cols - j0; j < nr; j++ {
+					row[j] = 0
+				}
+			}
+			j1 = cols
+		}
+		for kk := k0; kk < k1; kk++ {
+			g.im2colSeg(xd, inVol, kk, j0, j1, dst[(kk-k0)*nr:], 1)
+		}
+	}
+}
+
+// packIm2colT returns the fused dW B-panel packer for g·col(x)ᵀ: panel
+// columns are (c, ki, kj) patch coordinates, panel rows are batched
+// output positions, so each panel column is one strided im2colSeg fill.
+func (c *Conv2D) packIm2colT(xd []tensor.Elem, inVol, ckk int) tensor.BPanelPacker {
+	g := c.geom
+	return func(dst []tensor.Elem, k0, k1, j0, nr int) {
+		for jj := 0; jj < nr; jj++ {
+			idx := j0 + jj
+			if idx >= ckk {
+				for kk := k0; kk < k1; kk++ {
+					dst[(kk-k0)*nr+jj] = 0
+				}
+				continue
+			}
+			g.im2colSeg(xd, inVol, idx, k0, k1, dst[jj:], nr)
+		}
+	}
 }
 
 // Forward applies the convolution to x (N, inC, inH, inW). The returned
@@ -177,22 +267,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv2D input %v, want per-image volume %d", x.Shape(), inVol))
 	}
 	c.x = x
+	c.trained = train
 	oHW := g.outH * g.outW
-	ckk := g.inC * g.kh * g.kw
 
-	// Batched im2col: every image unrolls into its own column block.
-	c.cols = takeWorkspace(c.cols, ckk, n*oHW)
-	cols := c.cols
-	xd, cd := x.Data, cols.Data
-	forImages(n, ckk*oHW, func(s, e int) {
-		for i := s; i < e; i++ {
-			g.im2col(xd[i*inVol:(i+1)*inVol], cd, n*oHW, i*oHW)
-		}
-	})
-
-	// One matmul for the whole batch: (OutC, ckk)·(ckk, n·oHW).
+	// One fused matmul for the whole batch: (OutC, ckk)·(ckk, n·oHW),
+	// the im2col operand produced inside the GEMM's packed B panels.
 	y := tensor.Get(c.OutC, n*oHW)
-	tensor.MatMulInto(y, c.W.W, cols)
+	tensor.MatMulPacked(y, c.W.W, n*oHW, c.packIm2col(x.Data, inVol, n*oHW))
 
 	// Scatter (OutC, n·oHW) → (n, OutC, oHW), adding the bias.
 	c.out = tensor.Ensure(c.out, n, c.OutC, g.outH, g.outW)
@@ -212,15 +293,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	})
 	tensor.Put(y)
-	if !train {
-		c.releaseCols()
-	}
 	return c.out
 }
 
 // Backward accumulates weight/bias gradients and returns the input
 // gradient (a layer-owned buffer, valid until the next Backward call).
-// The im2col workspace is released back to the pool.
+// The weight gradient re-reads the retained input through the fused
+// transposed im2col packer, so no workspace survives the pass.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
 	n := c.x.Dim(0)
@@ -228,7 +307,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	ckk := g.inC * g.kh * g.kw
 	inVol := g.inC * g.inH * g.inW
 	outVol := c.OutC * oHW
-	if c.cols == nil {
+	if !c.trained {
 		panic("nn: Conv2D.Backward without a training-mode Forward")
 	}
 
@@ -245,9 +324,10 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	})
 
-	// dW += gy·colsᵀ and dB += per-channel sums: one batched matmul, one
-	// contiguous reduction.
-	tensor.MatMulT2Add(c.W.Grad, gy, c.cols)
+	// dW += gy·col(x)ᵀ and dB += per-channel sums: one fused matmul (the
+	// transposed im2col packed straight from x), one contiguous
+	// reduction.
+	tensor.MatMulPackedAdd(c.W.Grad, gy, ckk, c.packIm2colT(c.x.Data, inVol, ckk))
 	db := c.B.Grad.Data
 	for oc := 0; oc < c.OutC; oc++ {
 		sum := 0.0
@@ -270,7 +350,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	})
 	tensor.Put(dcol)
-	c.releaseCols()
+	c.trained = false
 	return c.dx
 }
 

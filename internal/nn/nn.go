@@ -19,6 +19,18 @@
 // clobbers it, so nothing there retains a layer buffer across passes
 // either (the clone-or-corrupt tests in core pin both levels).
 //
+// The discipline extends DOWN the stack too, into the packed GEMM's
+// pack-panel pool: Conv2D's im2col operand is never materialised —
+// tensor.MatMulPacked fills pool-backed B panels through a fused packer
+// (im2colSeg) that reads the layer's retained input x directly, both in
+// Forward and for the weight gradient in Backward. That retained x is a
+// buffer OWNED BY THE UPSTREAM LAYER, valid until that layer's next
+// call; the Forward→Backward window of a training step stays inside it,
+// which is exactly the window the contract above guarantees. The pack
+// panels themselves are pooled workspaces released inside the GEMM
+// call, and the fused packers run concurrently on the scheduler — they
+// only read x and write disjoint panel slices.
+//
 // Dtype: activations, parameters and gradients are stored and combined
 // at tensor.Elem width (float64 by default, float32 under `-tags f32`),
 // so the matmul/im2col hot path moves half the bytes under the f32

@@ -81,10 +81,27 @@ func SetMaxProcs(n int) {
 // kernel fan-out for a bounded section.
 var serialDepth atomic.Int32
 
+// Ranger is the loop body of a parallel region in interface form: Range
+// is invoked with disjoint [lo, hi) chunks, concurrently. ForGrainRanger
+// takes it instead of a func so allocation-free hot paths can pool one
+// pointer-backed implementation per call site — a pointer (or any
+// pointer-shaped value) converts to the interface without heap
+// allocation, where a fresh func literal always allocates its closure.
+type Ranger interface {
+	Range(lo, hi int)
+}
+
+// funcRanger adapts the closure-based entry points to the Ranger-based
+// region internals. A func value is pointer-shaped, so the conversion
+// does not allocate beyond the closure itself.
+type funcRanger func(lo, hi int)
+
+func (f funcRanger) Range(lo, hi int) { f(lo, hi) }
+
 // region is one For/ForceFor/Do invocation: the loop body, the split
 // grain, and the completion state shared by every task split from it.
 type region struct {
-	fn      func(lo, hi int)
+	fn      Ranger
 	grain   int
 	pending atomic.Int64  // index units not yet executed
 	done    chan struct{} // closed by whoever drives pending to zero
@@ -270,20 +287,27 @@ func runBody(r *region, lo, hi int) {
 			r.recordPanic(p)
 		}
 	}()
-	r.fn(lo, hi)
+	r.fn.Range(lo, hi)
 }
 
 // Pool workers: persistent goroutines that execute stolen work so a
-// steady-state training iteration never pays goroutine spawn cost.
+// steady-state training iteration never pays goroutine spawn cost. The
+// pool tracks runtime.GOMAXPROCS: every region submission re-checks it
+// (two atomic loads on the fast path), so a GOMAXPROCS change between
+// Train calls grows the pool or retires the excess workers without a
+// restart.
 var (
-	poolOnce sync.Once
-	wake     chan struct{}
-	sleepers atomic.Int32
+	poolMu     sync.Mutex
+	wake       = make(chan struct{}, 128)
+	sleepers   atomic.Int32
+	poolTarget atomic.Int32 // desired pool size (poolWant of the last ensurePool)
+	poolLive   atomic.Int32 // workers currently alive
+	poolSeq    uint64       // seeds worker RNGs distinctly across respawns
 )
 
 // signalWork wakes one parked pool worker, if any.
 func signalWork() {
-	if wake != nil && sleepers.Load() > 0 {
+	if sleepers.Load() > 0 {
 		select {
 		case wake <- struct{}{}:
 		default:
@@ -291,33 +315,88 @@ func signalWork() {
 	}
 }
 
-// startPool launches the persistent workers on first use. The pool is
-// sized to GOMAXPROCS at startup (minimum 2 so stealing is exercised
-// even on one core); SetMaxProcs only narrows how finely regions split.
-func startPool() {
-	poolOnce.Do(func() {
-		n := runtime.GOMAXPROCS(0)
-		if n < 2 {
-			n = 2
+// poolWant is the pool size the current GOMAXPROCS calls for (minimum 2
+// so stealing is exercised even on one core). SetMaxProcs only narrows
+// how finely regions split; it does not resize the pool.
+func poolWant() int32 {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return int32(n)
+}
+
+// ensurePool starts the pool on first use and resizes it whenever
+// GOMAXPROCS has changed since the last region: new workers are spawned
+// immediately; excess workers retire themselves the next time they go
+// idle (poolExit), so a shrink never interrupts running tasks. A worker
+// that committed to exit just as the target rose back is respawned by
+// the next region's ensurePool — the pool converges within a region
+// submission of any GOMAXPROCS change.
+func ensurePool() {
+	want := poolWant()
+	if poolTarget.Load() == want {
+		return
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	want = poolWant() // re-read under the lock
+	cur := poolTarget.Load()
+	if cur == want {
+		return
+	}
+	poolTarget.Store(want)
+	for live := poolLive.Load(); live < want; live++ {
+		poolSeq++
+		w := &wctx{rnd: poolSeq*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+		addVictim(w)
+		poolLive.Add(1)
+		go func() {
+			id := goid()
+			ctxs.Store(id, w)
+			w.loop(id)
+		}()
+	}
+	// Shrinking: wake enough parked workers for the excess to notice.
+	for i := want; i < cur; i++ {
+		select {
+		case wake <- struct{}{}:
+		default:
 		}
-		wake = make(chan struct{}, n)
-		for i := 0; i < n; i++ {
-			w := &wctx{rnd: uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
-			addVictim(w)
-			go func() {
-				ctxs.Store(goid(), w)
-				w.loop()
-			}()
-		}
-	})
+	}
+}
+
+// poolExit reports whether an idle worker should retire to meet a
+// lowered poolTarget. The excess check and the poolLive decrement
+// happen under poolMu — the same lock ensurePool grows under — so a
+// retirement can never interleave with a concurrent grow: without the
+// lock, a worker could read a stale (lower) target, decrement poolLive
+// after the grow counted it, and leave the pool permanently below
+// target behind ensurePool's fast path. The lock-free load pair keeps
+// the steady-state idle loop cheap.
+func (w *wctx) poolExit(id uint64) bool {
+	if poolLive.Load() <= poolTarget.Load() {
+		return false
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolLive.Load() <= poolTarget.Load() {
+		return false
+	}
+	poolLive.Add(-1)
+	removeVictim(w)
+	ctxs.Delete(id)
+	return true
 }
 
 // loop is the pool worker body: pop own work, steal, park. A worker's
 // own deque is filled only by itself, so after a failed pop it can only
 // acquire work by stealing. The sleepers increment happens before the
 // final steal sweep, and every push signals after enqueueing, so a task
-// enqueued concurrently with parking is never lost.
-func (w *wctx) loop() {
+// enqueued concurrently with parking is never lost. An idle worker
+// retires when the pool target shrank below the live count; its deque
+// is empty at that point (pop just failed), so no task is stranded.
+func (w *wctx) loop(id uint64) {
 	for {
 		if t, ok := w.dq.pop(); ok {
 			w.runTask(t)
@@ -326,6 +405,9 @@ func (w *wctx) loop() {
 		if t, ok := w.steal(); ok {
 			w.runTask(t)
 			continue
+		}
+		if w.poolExit(id) {
+			return
 		}
 		sleepers.Add(1)
 		if t, ok := w.steal(); ok {
@@ -369,8 +451,7 @@ func (w *wctx) release(id uint64) {
 
 // runRegion executes fn over [0, n) with the given split grain on the
 // work-stealing scheduler, returning when every index has executed.
-func runRegion(n, grain int, fn func(lo, hi int)) {
-	startPool()
+func runRegion(n, grain int, fn Ranger) {
 	w, id, top := ctx()
 	r := &region{fn: fn, grain: grain, done: make(chan struct{})}
 	r.pending.Store(int64(n))
@@ -408,8 +489,12 @@ func runRegion(n, grain int, fn func(lo, hi int)) {
 }
 
 // inline reports whether a region must run on the calling goroutine:
-// single-proc configurations and open Serial sections.
+// single-proc configurations and open Serial sections. Every region
+// submission passes through here, so this is also where the pool tracks
+// GOMAXPROCS — a change resizes the pool even when the new setting
+// forces regions inline (the stale workers still retire).
 func inline() bool {
+	ensurePool()
 	return procs() == 1 || serialDepth.Load() > 0
 }
 
@@ -430,7 +515,7 @@ func For(n int, fn func(start, end int)) {
 	if grain < serialGrain/4 {
 		grain = serialGrain / 4
 	}
-	runRegion(n, grain, fn)
+	runRegion(n, grain, funcRanger(fn))
 }
 
 // ForGrain behaves like For with an explicit split grain: ranges stop
@@ -448,7 +533,25 @@ func ForGrain(n, grain int, fn func(start, end int)) {
 		fn(0, n)
 		return
 	}
-	runRegion(n, grain, fn)
+	runRegion(n, grain, funcRanger(fn))
+}
+
+// ForGrainRanger is ForGrain for pre-built Ranger loop bodies: kernels
+// that run every training iteration pool one pointer-backed Ranger and
+// pass it here, so a steady-state region submission performs no heap
+// allocation (a func-literal body would allocate its closure per call).
+func ForGrainRanger(n, grain int, r Ranger) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if n <= grain || inline() {
+		r.Range(0, n)
+		return
+	}
+	runRegion(n, grain, r)
 }
 
 // ForceFor behaves like For but fans out even for small n. It is
@@ -466,7 +569,7 @@ func ForceFor(n int, fn func(start, end int)) {
 	if grain < 1 {
 		grain = 1
 	}
-	runRegion(n, grain, fn)
+	runRegion(n, grain, funcRanger(fn))
 }
 
 // Do runs the given tasks concurrently on the scheduler and waits for
@@ -481,11 +584,11 @@ func Do(tasks ...func()) {
 		}
 		return
 	}
-	runRegion(len(tasks), 1, func(start, end int) {
+	runRegion(len(tasks), 1, funcRanger(func(start, end int) {
 		for i := start; i < end; i++ {
 			tasks[i]()
 		}
-	})
+	}))
 }
 
 // Serial runs fn with kernel fan-out suppressed: any For, ForGrain,

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// triggerRegion submits a region large enough to reach runRegion (and
+// therefore ensurePool) regardless of the grain.
+func triggerRegion() {
+	var sink atomic.Int64
+	ForGrain(1<<12, 8, func(s, e int) {
+		sink.Add(int64(e - s))
+	})
+}
+
+// waitPoolSize polls until the live worker count reaches want (shrinks
+// complete asynchronously: excess workers retire when they go idle).
+func waitPoolSize(t *testing.T, want int32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		triggerRegion() // wake idle workers so retirees notice the target
+		if got := poolLive.Load(); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool size = %d, want %d", poolLive.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolResizesWithGOMAXPROCS pins the PR 2 leftover: the worker pool
+// was sized to GOMAXPROCS once at startup, so raising it between Train
+// calls left cores idle and lowering it left stale workers. ensurePool
+// must now track GOMAXPROCS on every region submission, both ways.
+func TestPoolResizesWithGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer func() {
+		runtime.GOMAXPROCS(old)
+		triggerRegion()
+	}()
+
+	runtime.GOMAXPROCS(4)
+	triggerRegion()
+	if got := poolLive.Load(); got != 4 {
+		t.Fatalf("after GOMAXPROCS(4): pool size = %d, want 4", got)
+	}
+
+	// Shrink: the two excess workers must retire once idle.
+	runtime.GOMAXPROCS(2)
+	waitPoolSize(t, 2)
+
+	// Grow again: fresh workers are spawned immediately.
+	runtime.GOMAXPROCS(6)
+	triggerRegion()
+	if got := poolLive.Load(); got != 6 {
+		t.Fatalf("after GOMAXPROCS(6): pool size = %d, want 6", got)
+	}
+
+	// The floor of two workers holds even at GOMAXPROCS(1), so stealing
+	// stays exercised on one core.
+	runtime.GOMAXPROCS(1)
+	waitPoolSize(t, 2)
+}
+
+// TestPoolResizeUnderLoad exercises a shrink while regions are being
+// submitted: no region may deadlock or lose indices while workers
+// retire.
+func TestPoolResizeUnderLoad(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer func() {
+		runtime.GOMAXPROCS(old)
+		triggerRegion()
+	}()
+	runtime.GOMAXPROCS(8)
+	triggerRegion()
+	for round := 0; round < 20; round++ {
+		if round == 10 {
+			runtime.GOMAXPROCS(2)
+		}
+		var sum atomic.Int64
+		n := 1 << 14
+		ForGrain(n, 16, func(s, e int) {
+			for i := s; i < e; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		want := int64(n) * int64(n-1) / 2
+		if sum.Load() != want {
+			t.Fatalf("round %d: region lost indices: sum %d, want %d", round, sum.Load(), want)
+		}
+	}
+	waitPoolSize(t, 2)
+}

@@ -1,0 +1,439 @@
+package tensor
+
+// Packed, register-blocked GEMM. This file is the macro layer: cache
+// blocking, operand packing and the parallel split. The MR×NR
+// micro-kernels live in gemm_kernel64.go / gemm_kernel32.go (portable
+// Go) and gemm_amd64_*.s (AVX2+FMA, selected at runtime — see
+// gemm_cpu_amd64.go and the `noasm` build tag).
+//
+// # Architecture
+//
+// One GEMM call C (+)= A·B is driven as the classic three-level blocked
+// loop nest (the gonum/BLIS structure):
+//
+//	for jc over n in gemmNC columns:        // bound the packed-B buffer
+//	  for pc over k in gemmKC depths:       // L1-sized panel depth
+//	    pack B[pc:pc+kc, jc:jc+nc]          // → NR-wide column panels
+//	    parallel over MR-row panels of A:   // the ForGrain split
+//	      for bp over the task's panels in gemmMC blocks:  // L2-sized
+//	        pack A[rows, pc:pc+kc]          // → MR-tall row panels
+//	        for each NR panel × MR panel:   // macro-kernel
+//	          micro-kernel: MR×NR tile over kc
+//
+// Packing copies each operand block once per (pc, jc) block into a
+// pool-backed contiguous buffer whose layout matches exactly the order
+// the micro-kernel streams it:
+//
+//	packed A panel p: MR rows interleaved by k —
+//	    apack[p*MR*kc + (kk-pc)*MR + r] = A[p*MR+r, kk]
+//	packed B panel q: NR columns interleaved by k —
+//	    bpack[q*NR*kc + (kk-pc)*NR + j] = B[kk, jc+q*NR+j]
+//
+// so the kernel's inner loop reads both operands with unit stride
+// regardless of how A and B are stored. Transposed operands (the
+// MatMulT1/T2 backward passes) are absorbed here: packing reads through
+// an (rs, cs) strided view, so aᵀ·b and a·bᵀ never strided-read inside
+// the kernel and never materialise a transpose. Panels at the m/n edges
+// are zero-padded to full MR/NR width; their micro-kernel output lands
+// in an on-stack tile and only the valid region is merged into C.
+//
+// The k dimension is never split across tasks: block pc accumulates
+// into C before block pc+1 starts, so every C element is produced by a
+// deterministic addition chain and results do not depend on the
+// scheduler's interleaving.
+//
+// # Parallel split
+//
+// The row loop fans out on parallel.ForGrain in units of MR-row
+// packed panels — the natural stealing boundary, since a task packs
+// exactly the panels it owns into its own pool buffer. The grain is
+// sized so one task carries at least matMulGrain multiply-adds (cf.
+// mmRowGrain for the legacy kernels). B packing fans out the same way
+// over NR-column panels.
+//
+// # Dispatch order (see matMulInto and friends in matmul.go)
+//
+//  1. markedly sparse left operand → legacy zero-skip row kernels
+//     (ReLU activations are ~half zeros; skipping beats packing)
+//  2. small products (m·k·n < gemmMinWork) → legacy column-tiled
+//     kernels (packing overhead dominates)
+//  3. everything else → this file, with the AVX2+FMA micro-kernel when
+//     the CPU has it and the build allows it, the portable Go
+//     micro-kernel otherwise
+//
+// # Adding a new architecture
+//
+// Implement the micro-kernel contract (gemmKernelAsm in the *_amd64.s
+// files) for the new ISA: given packed panels a (MR·kc) and b (NR·kc),
+// compute the full MR×NR tile t[r][j] = Σ_kk a[kk*MR+r]·b[kk*NR+j] and
+// either store it to or accumulate it into c (row stride ldc). Supply a
+// feature probe in a gemm_cpu_<arch>.go, gate both behind
+// `<arch> && !noasm`, and extend gemm_noasm.go's constraint so every
+// other build keeps the Go kernel. Tile sizes are per-dtype constants
+// in gemm_dims64.go / gemm_dims32.go; packing adapts automatically.
+
+import (
+	"sync"
+
+	"mdgan/internal/parallel"
+)
+
+// gemmMinWork is the m·k·n product below which the packed path is not
+// worth the two operand copies and the legacy column-tiled kernels run
+// instead.
+const gemmMinWork = 1 << 14
+
+// GemmKernel names the micro-kernel the packed GEMM dispatches to:
+// "avx2+fma" when the runtime CPU probe enabled the assembly kernel,
+// "generic" for the portable Go kernel, with "(noasm)" marking builds
+// that compiled the assembly out. Benchmarks record it so BENCH rows
+// are attributable to a kernel variant.
+func GemmKernel() string {
+	switch {
+	case gemmUseAsm:
+		return "avx2+fma"
+	case gemmAsmCompiled:
+		return "generic"
+	default:
+		return "generic (noasm)"
+	}
+}
+
+// setGemmAsm flips the micro-kernel dispatch at runtime so tests can
+// cover both kernels in one binary; it reports whether the assembly
+// kernel is actually available (compiled in and CPU-supported). Enabling
+// it on a build or CPU without the kernel is ignored.
+func setGemmAsm(on bool) bool {
+	if on && (!gemmAsmCompiled || !detectAsmAvailable()) {
+		return false
+	}
+	gemmUseAsm = on
+	return on || detectAsmAvailable()
+}
+
+// BPanelPacker fills one packed B panel for MatMulPacked: dst holds
+// (k1-k0) rows of exactly nr contiguous elements each — the panel's
+// columns [j0, j0+nr) of the virtual B operand, k range [k0, k1), laid
+// out dst[(kk-k0)*nr + (j-j0)]. Columns past the operand's edge must be
+// zero-filled. Implementations are called concurrently on disjoint dst
+// slices and must not retain dst.
+type BPanelPacker func(dst []Elem, k0, k1, j0, nr int)
+
+// MatMulPacked computes out = a·B for a (m, k) and a virtual (k, n)
+// right operand produced directly in packed-panel form by packB,
+// skipping the materialise-then-pack copy (internal/nn fuses the conv
+// im2col fill this way). out must be (m, n).
+func MatMulPacked(out, a *Tensor, n int, packB BPanelPacker) {
+	m, k := mustRank2(a, "MatMulPacked")
+	checkOutShape("MatMulPacked", out, m, n)
+	gemm(out.Data, n, m, n, k, a.Data, k, 1, nil, 0, 0, packB, false)
+}
+
+// MatMulPackedAdd computes out += a·B with B produced by packB; out
+// must be (m, n).
+func MatMulPackedAdd(out, a *Tensor, n int, packB BPanelPacker) {
+	m, k := mustRank2(a, "MatMulPackedAdd")
+	checkOutShape("MatMulPackedAdd", out, m, n)
+	gemm(out.Data, n, m, n, k, a.Data, k, 1, nil, 0, 0, packB, true)
+}
+
+// MatMulT1Packed computes out = aᵀ·B for a (k, m) and a virtual (k, n)
+// right operand produced by packB; out must be (m, n).
+func MatMulT1Packed(out, a *Tensor, n int, packB BPanelPacker) {
+	k, m := mustRank2(a, "MatMulT1Packed")
+	checkOutShape("MatMulT1Packed", out, m, n)
+	gemm(out.Data, n, m, n, k, a.Data, 1, m, nil, 0, 0, packB, false)
+}
+
+func mustRank2(a *Tensor, op string) (d0, d1 int) {
+	if len(a.shape) != 2 {
+		panic("tensor: " + op + " requires a rank-2 left operand")
+	}
+	return a.shape[0], a.shape[1]
+}
+
+// packBStrided fills one packed panel of a stored B operand viewed as
+// B[kk][j] = b[kk*rs + j*cs] with n logical columns (the default packer
+// behind the nine MatMul entry points).
+func packBStrided(dst []Elem, b []Elem, rs, cs, n, k0, k1, j0, nr int) {
+	jn := n - j0 // valid columns in this panel
+	if jn > nr {
+		jn = nr
+	}
+	if cs == 1 {
+		// Row-major B: each k row is a contiguous copy.
+		for kk := k0; kk < k1; kk++ {
+			row := dst[(kk-k0)*nr : (kk-k0)*nr+nr]
+			copy(row, b[kk*rs+j0:kk*rs+j0+jn])
+			for j := jn; j < nr; j++ {
+				row[j] = 0
+			}
+		}
+		return
+	}
+	if rs == 1 {
+		// B is a stored transpose (a·bᵀ): each logical column is a
+		// contiguous source run, written with stride nr.
+		for j := 0; j < jn; j++ {
+			src := b[(j0+j)*cs+k0 : (j0+j)*cs+k1]
+			o := j
+			for _, v := range src {
+				dst[o] = v
+				o += nr
+			}
+		}
+	} else {
+		for j := 0; j < jn; j++ {
+			o := j
+			for kk := k0; kk < k1; kk++ {
+				dst[o] = b[kk*rs+(j0+j)*cs]
+				o += nr
+			}
+		}
+	}
+	for j := jn; j < nr; j++ {
+		o := j
+		for kk := k0; kk < k1; kk++ {
+			dst[o] = 0
+			o += nr
+		}
+	}
+}
+
+// packAPanels packs A row panels [p0, p1) (units of gemmMR rows, edge
+// rows zero-padded past m) over k range [k0, k1) into dst, reading
+// A[i][kk] = a[i*rs + kk*cs].
+func packAPanels(dst []Elem, a []Elem, rs, cs, m, p0, p1, k0, k1 int) {
+	kc := k1 - k0
+	for p := p0; p < p1; p++ {
+		i0 := p * gemmMR
+		pan := dst[(p-p0)*gemmMR*kc : (p-p0+1)*gemmMR*kc]
+		rows := m - i0
+		if rows >= gemmMR && cs == 1 {
+			// Full panel of row-major A: interleave gemmMR (= 4 at both
+			// dtypes) contiguous source rows.
+			r0 := a[(i0+0)*rs+k0 : (i0+0)*rs+k1]
+			r1 := a[(i0+1)*rs+k0 : (i0+1)*rs+k1][:kc]
+			r2 := a[(i0+2)*rs+k0 : (i0+2)*rs+k1][:kc]
+			r3 := a[(i0+3)*rs+k0 : (i0+3)*rs+k1][:kc]
+			o := 0
+			for kk, v := range r0 {
+				pan[o] = v
+				pan[o+1] = r1[kk]
+				pan[o+2] = r2[kk]
+				pan[o+3] = r3[kk]
+				o += 4
+			}
+			continue
+		}
+		if rows >= gemmMR && rs == 1 {
+			// Full panel of a stored transpose (aᵀ·b): the gemmMR panel
+			// rows are contiguous in the source at each k.
+			for kk := k0; kk < k1; kk++ {
+				copy(pan[(kk-k0)*gemmMR:(kk-k0)*gemmMR+gemmMR], a[kk*cs+i0:kk*cs+i0+gemmMR])
+			}
+			continue
+		}
+		if rows > gemmMR {
+			rows = gemmMR
+		}
+		for kk := k0; kk < k1; kk++ {
+			o := (kk - k0) * gemmMR
+			for r := 0; r < rows; r++ {
+				pan[o+r] = a[(i0+r)*rs+kk*cs]
+			}
+			for r := rows; r < gemmMR; r++ {
+				pan[o+r] = 0
+			}
+		}
+	}
+}
+
+// microKernel computes (or accumulates) one MR×NR tile from packed
+// panels, selecting the assembly kernel when the CPU dispatch enabled
+// it.
+func microKernel(c []Elem, ldc int, a, b []Elem, kc int, add bool) {
+	if gemmUseAsm {
+		gemmKernelAsm(&c[0], ldc, &a[0], &b[0], kc, add)
+		return
+	}
+	gemmKernelGo(c, ldc, a, b, kc, add)
+}
+
+// gemmRun is the pooled per-call state of one gemm invocation. The
+// parallel phases pass it to ForGrainRanger as a Ranger, so a
+// steady-state training iteration's matmuls perform no heap allocation:
+// the run state, the pack buffers and the per-task A buffers all come
+// from pools.
+type gemmRun struct {
+	c        []Elem
+	ldc      int
+	m, n, k  int
+	a        []Elem
+	ars, acs int
+	// Stored B view (packB == nil) or caller-supplied fused packer.
+	b        []Elem
+	brs, bcs int
+	packB    BPanelPacker
+
+	// Per-(jc, pc) block state, set by gemm before each parallel phase.
+	jc, nc  int
+	pc, kc  int
+	bbuf    []Elem
+	panVolB int
+	nPanB   int
+	accum   bool
+	phase   int
+}
+
+const (
+	gemmPhasePackB = iota
+	gemmPhaseRows
+)
+
+var gemmRunPool = sync.Pool{New: func() any { return new(gemmRun) }}
+
+// Range implements parallel.Ranger, dispatching on the current phase.
+func (g *gemmRun) Range(lo, hi int) {
+	if g.phase == gemmPhasePackB {
+		g.packBRange(lo, hi)
+		return
+	}
+	g.rowRange(lo, hi)
+}
+
+// packBRange packs B panels [lo, hi) of the current block.
+func (g *gemmRun) packBRange(lo, hi int) {
+	for q := lo; q < hi; q++ {
+		dst := g.bbuf[q*g.panVolB : (q+1)*g.panVolB]
+		if g.packB != nil {
+			g.packB(dst, g.pc, g.pc+g.kc, g.jc+q*gemmNR, gemmNR)
+		} else {
+			packBStrided(dst, g.b, g.brs, g.bcs, g.n, g.pc, g.pc+g.kc, g.jc+q*gemmNR, gemmNR)
+		}
+	}
+}
+
+// rowRange runs the macro-kernel over A row panels [ps, pe) of the
+// current block: pack an MC-bounded group of panels, then stream the
+// packed B panels through the micro-kernel.
+func (g *gemmRun) rowRange(ps, pe int) {
+	kc := g.kc
+	mcPan := gemmMC / gemmMR
+	span := pe - ps
+	if span > mcPan {
+		span = mcPan
+	}
+	abufT := Get(span * gemmMR * kc)
+	abuf := abufT.Data
+	var tile [gemmMR * gemmNR]Elem
+	for bp := ps; bp < pe; bp += mcPan {
+		bpe := bp + mcPan
+		if bpe > pe {
+			bpe = pe
+		}
+		packAPanels(abuf, g.a, g.ars, g.acs, g.m, bp, bpe, g.pc, g.pc+kc)
+		for q := 0; q < g.nPanB; q++ {
+			j0 := g.jc + q*gemmNR
+			nr := g.n - j0
+			if nr > gemmNR {
+				nr = gemmNR
+			}
+			bpan := g.bbuf[q*g.panVolB : (q+1)*g.panVolB]
+			for ip := bp; ip < bpe; ip++ {
+				i0 := ip * gemmMR
+				mr := g.m - i0
+				if mr > gemmMR {
+					mr = gemmMR
+				}
+				apan := abuf[(ip-bp)*gemmMR*kc : (ip-bp+1)*gemmMR*kc]
+				if mr == gemmMR && nr == gemmNR {
+					microKernel(g.c[i0*g.ldc+j0:], g.ldc, apan, bpan, kc, g.accum)
+					continue
+				}
+				// Edge tile: full-size kernel into the stack tile
+				// (packing zero-padded the operands), then merge the
+				// valid region.
+				microKernel(tile[:], gemmNR, apan, bpan, kc, false)
+				for r := 0; r < mr; r++ {
+					crow := g.c[(i0+r)*g.ldc+j0 : (i0+r)*g.ldc+j0+nr]
+					trow := tile[r*gemmNR : r*gemmNR+nr]
+					if g.accum {
+						for j, v := range trow {
+							crow[j] += v
+						}
+					} else {
+						copy(crow, trow)
+					}
+				}
+			}
+		}
+	}
+	Put(abufT)
+}
+
+// gemm computes C (+)= A·B over strided views: C is row-major (ldc),
+// A[i][kk] = a[i*ars + kk*acs], and B is either the stored operand
+// B[kk][j] = b[kk*brs + j*bcs] (packB nil) or delivered panel-by-panel
+// by packB.
+func gemm(c []Elem, ldc, m, n, k int, a []Elem, ars, acs int, b []Elem, brs, bcs int, packB BPanelPacker, add bool) {
+	g := gemmRunPool.Get().(*gemmRun)
+	g.c, g.ldc, g.m, g.n, g.k = c, ldc, m, n, k
+	g.a, g.ars, g.acs = a, ars, acs
+	g.b, g.brs, g.bcs = b, brs, bcs
+	g.packB = packB
+
+	nPanA := (m + gemmMR - 1) / gemmMR
+	bbufCols := n
+	if bbufCols > gemmNC {
+		bbufCols = gemmNC
+	}
+	bPanMax := (bbufCols + gemmNR - 1) / gemmNR
+	kcMax := k
+	if kcMax > gemmKC {
+		kcMax = gemmKC
+	}
+	bbufT := Get(bPanMax * gemmNR * kcMax)
+	g.bbuf = bbufT.Data
+
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := n - jc
+		if nc > gemmNC {
+			nc = gemmNC
+		}
+		g.jc, g.nc = jc, nc
+		g.nPanB = (nc + gemmNR - 1) / gemmNR
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := k - pc
+			if kc > gemmKC {
+				kc = gemmKC
+			}
+			g.pc, g.kc = pc, kc
+			g.panVolB = kc * gemmNR
+			// Pack this (kc × nc) B block into NR panels, split on panel
+			// boundaries so the fill (possibly a fused im2col) fans out.
+			bGrain := gemmPackGrain / g.panVolB
+			if bGrain < 1 {
+				bGrain = 1
+			}
+			g.phase = gemmPhasePackB
+			parallel.ForGrainRanger(g.nPanB, bGrain, g)
+			g.accum = add || pc > 0
+			// Row split: units of MR panels, at least matMulGrain
+			// multiply-adds per task.
+			grain := matMulGrain / (gemmMR * kc * nc)
+			if grain < 1 {
+				grain = 1
+			}
+			g.phase = gemmPhaseRows
+			parallel.ForGrainRanger(nPanA, grain, g)
+		}
+	}
+	Put(bbufT)
+	*g = gemmRun{} // drop operand references before pooling
+	gemmRunPool.Put(g)
+}
+
+// gemmPackGrain is the element count one B-packing task should fill —
+// packing is a copy, so tasks are sized like the element-wise ops.
+const gemmPackGrain = 1 << 14

@@ -1,0 +1,67 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+import "os"
+
+// Runtime CPU feature detection for the AVX2+FMA micro-kernel. The
+// probe runs once at init: CPUID must report AVX, FMA, AVX2 and
+// OSXSAVE, and XGETBV must confirm the OS saves the XMM+YMM register
+// state — otherwise the first VEX instruction would fault. Build with
+// `-tags noasm` to compile the probe and the assembly out entirely
+// (gemm_noasm.go pins gemmUseAsm to false).
+
+// gemmKernelAsm is the AVX2+FMA micro-kernel (gemm_amd64_f64.s /
+// gemm_amd64_f32.s, one per compiled dtype): it computes the full
+// gemmMR×gemmNR tile from the packed panels at a and b and stores it to
+// (add=false) or accumulates it into (add=true) c with row stride ldc.
+// Only reachable when gemmUseAsm — the caller must have verified the
+// CPU features via detectGemmAsm.
+//
+//go:noescape
+func gemmKernelAsm(c *Elem, ldc int, a, b *Elem, kc int, add bool)
+
+// cpuidRaw executes CPUID for the given leaf/subleaf
+// (gemm_cpu_amd64.s).
+func cpuidRaw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvRaw reads XCR0 (gemm_cpu_amd64.s); only call it when CPUID
+// reports OSXSAVE.
+func xgetbvRaw() (eax, edx uint32)
+
+const gemmAsmCompiled = true
+
+// gemmAsmAvailable caches the CPU probe; gemmUseAsm gates microKernel
+// onto the assembly path (tests flip it via setGemmAsm to cover both
+// kernels in one binary, and MDGAN_GEMM_KERNEL=generic forces the
+// portable kernel without a rebuild — verify.sh uses it to run the
+// engine-equivalence gates under the pure-Go kernel on asm builds).
+var (
+	gemmAsmAvailable = detectGemmAsm()
+	gemmUseAsm       = gemmAsmAvailable && os.Getenv("MDGAN_GEMM_KERNEL") != "generic"
+)
+
+func detectAsmAvailable() bool { return gemmAsmAvailable }
+
+func detectGemmAsm() bool {
+	maxLeaf, _, _, _ := cpuidRaw(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidRaw(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	if ecx1&cpuidFMA == 0 || ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS context-switches YMM state.
+	if xcr0, _ := xgetbvRaw(); xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidRaw(7, 0)
+	const cpuidAVX2 = 1 << 5
+	return ebx7&cpuidAVX2 != 0
+}

@@ -1,0 +1,24 @@
+//go:build f32
+
+package tensor
+
+// Micro-kernel tile and cache-block sizes for the float32 build. See
+// gemm.go for the layer architecture and the meaning of each constant.
+const (
+	// gemmMR × gemmNR is the micro-kernel tile: 4 rows of 8 float32
+	// lanes, so the AVX2 kernel moves a full 8-lane YMM vector per FMA
+	// (the "8×4 float32" kernel — one 8-wide B row broadcast-multiplied
+	// into four row accumulators). The pure-Go kernel computes the same
+	// tile as two 4×4 register-resident passes over the column halves.
+	gemmMR = 4
+	gemmNR = 8
+	// gemmKC: the k extent of one packed block; float32 elements are
+	// half-width, so the panels stay L1-resident at twice the f64 depth.
+	gemmKC = 512
+	// gemmMC: the row extent of one packed A block (L2-sized), and the
+	// unit the parallel row split sub-blocks on.
+	gemmMC = 256
+	// gemmNC: the column extent of one packed B block; bounds the packed
+	// B buffer at gemmKC × gemmNC elements.
+	gemmNC = 4096
+)

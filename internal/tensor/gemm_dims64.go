@@ -1,0 +1,26 @@
+//go:build !f32
+
+package tensor
+
+// Micro-kernel tile and cache-block sizes for the float64 build. See
+// gemm.go for the layer architecture and the meaning of each constant.
+const (
+	// gemmMR × gemmNR is the micro-kernel tile: 4×4 float64 keeps the 16
+	// scalar accumulators of the pure-Go kernel in registers, and the
+	// AVX2 kernel holds the four 4-lane output rows in YMM registers
+	// (two interleaved accumulator sets hide the FMA latency).
+	gemmMR = 4
+	gemmNR = 4
+	// gemmKC: the k extent of one packed block. One A micro-panel
+	// (gemmMR × gemmKC) and one B micro-panel (gemmKC × gemmNR) are 8 KiB
+	// each at this depth — both resident in L1 while the micro-kernel
+	// streams them.
+	gemmKC = 256
+	// gemmMC: the row extent of one packed A block (gemmMC × gemmKC ×
+	// 8 B = 512 KiB, sized for L2), and the unit the parallel row split
+	// sub-blocks on.
+	gemmMC = 256
+	// gemmNC: the column extent of one packed B block; bounds the packed
+	// B buffer at gemmKC × gemmNC elements.
+	gemmNC = 4096
+)

@@ -1,0 +1,67 @@
+//go:build f32
+
+package tensor
+
+// gemmKernelGo is the portable float32 micro-kernel for the 8-lane × 4-
+// row tile (gemmMR=4, gemmNR=8). 32 scalar accumulators would spill, so
+// the tile is computed as two register-resident 4×4 passes over the
+// column halves of the packed B panel; per output element the k
+// accumulation order is identical to the legacy kernels. c is row-major
+// with stride ldc; add selects store vs accumulate.
+func gemmKernelGo(c []Elem, ldc int, a, b []Elem, kc int, add bool) {
+	for h := 0; h < 8; h += 4 {
+		var c00, c01, c02, c03 Elem
+		var c10, c11, c12, c13 Elem
+		var c20, c21, c22, c23 Elem
+		var c30, c31, c32, c33 Elem
+		for p := 0; p < kc; p++ {
+			ap := a[p*4 : p*4+4]
+			bp := b[p*8+h : p*8+h+4]
+			a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+			b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c22 += a2 * b2
+			c23 += a2 * b3
+			c30 += a3 * b0
+			c31 += a3 * b1
+			c32 += a3 * b2
+			c33 += a3 * b3
+		}
+		r0 := c[0*ldc+h : 0*ldc+h+4]
+		r1 := c[1*ldc+h : 1*ldc+h+4]
+		r2 := c[2*ldc+h : 2*ldc+h+4]
+		r3 := c[3*ldc+h : 3*ldc+h+4]
+		if add {
+			r0[0] += c00
+			r0[1] += c01
+			r0[2] += c02
+			r0[3] += c03
+			r1[0] += c10
+			r1[1] += c11
+			r1[2] += c12
+			r1[3] += c13
+			r2[0] += c20
+			r2[1] += c21
+			r2[2] += c22
+			r2[3] += c23
+			r3[0] += c30
+			r3[1] += c31
+			r3[2] += c32
+			r3[3] += c33
+			continue
+		}
+		r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+		r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+		r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+		r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !amd64 || noasm
+
+package tensor
+
+// Portable fallback: no assembly micro-kernel is compiled in, either
+// because the target is not amd64 or because the `noasm` build tag
+// asked for the pure-Go kernels (the reference the asm variants are
+// validated against).
+
+const gemmAsmCompiled = false
+
+// gemmUseAsm is permanently false on this build; microKernel always
+// takes the Go kernel.
+var gemmUseAsm = false
+
+func detectAsmAvailable() bool { return false }
+
+// gemmKernelAsm exists so microKernel links; gemmUseAsm can never be
+// true here.
+func gemmKernelAsm(c *Elem, ldc int, a, b *Elem, kc int, add bool) {
+	panic("tensor: assembly micro-kernel called on a noasm build")
+}

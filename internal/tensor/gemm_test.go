@@ -1,0 +1,305 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refMatMul is the triple-loop reference every kernel family is
+// checked against, with float64 accumulation so the reference is at
+// least as accurate as any kernel.
+func refMatMul(a, b *Tensor, tA, tB bool) *Tensor {
+	var m, k, n int
+	var av func(i, kk int) float64
+	var bv func(kk, j int) float64
+	if tA {
+		k, m = a.Dim(0), a.Dim(1)
+		av = func(i, kk int) float64 { return a.At(kk, i) }
+	} else {
+		m, k = a.Dim(0), a.Dim(1)
+		av = func(i, kk int) float64 { return a.At(i, kk) }
+	}
+	if tB {
+		n = b.Dim(0)
+		bv = func(kk, j int) float64 { return b.At(j, kk) }
+	} else {
+		n = b.Dim(1)
+		bv = func(kk, j int) float64 { return b.At(kk, j) }
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for kk := 0; kk < k; kk++ {
+				s += av(i, kk) * bv(kk, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+// sparseTensor is ~60% zeros, enough to trip the zero-skip dispatch.
+func sparseTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := randTensor(rng, shape...)
+	for i := range t.Data {
+		if rng.Float64() < 0.6 {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// kernelVariants runs fn under every micro-kernel available in this
+// binary: the portable Go kernel always, the assembly kernel when the
+// build and CPU have it.
+func kernelVariants(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	prev := gemmUseAsm
+	defer func() { gemmUseAsm = prev }()
+	t.Run("go", func(t *testing.T) {
+		setGemmAsm(false)
+		fn(t)
+	})
+	if !setGemmAsm(true) {
+		t.Logf("assembly kernel unavailable (%s); asm variant skipped", GemmKernel())
+		return
+	}
+	t.Run("asm", func(t *testing.T) {
+		setGemmAsm(true)
+		fn(t)
+	})
+}
+
+// gemmShapes covers the dispatch boundaries: below gemmMinWork (legacy
+// kernels), above it with M, N, K multiples of the tile, ragged
+// remainder shapes in every dimension, more than one KC block, more
+// than one MC block, and degenerate single-row/column operands.
+var gemmShapes = [][3]int{
+	{3, 5, 4},     // tiny: legacy path
+	{16, 64, 32},  // aligned, single block
+	{17, 63, 33},  // ragged in every dimension
+	{4, 300, 44},  // k spans two KC blocks (f64)
+	{37, 530, 29}, // k spans KC blocks at both dtypes
+	{300, 40, 24}, // m spans two MC blocks
+	{1, 128, 96},  // single output row
+	{70, 96, 1},   // single output column
+	{5, 1, 9},     // k = 1
+}
+
+// TestMatMulEntryPointsMatchReference checks all nine entry points
+// against the naive reference for dense and sparse left operands, at
+// every shape class, under every kernel variant.
+func TestMatMulEntryPointsMatchReference(t *testing.T) {
+	kernelVariants(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		for _, sh := range gemmShapes {
+			m, k, n := sh[0], sh[1], sh[2]
+			for _, sparse := range []bool{false, true} {
+				mk := func(shape ...int) *Tensor {
+					if sparse {
+						return sparseTensor(rng, shape...)
+					}
+					return randTensor(rng, shape...)
+				}
+				tol := Tol(1e-12, 2e-4) * float64(k)
+				name := fmt.Sprintf("%dx%dx%d/sparse=%v", m, k, n, sparse)
+
+				a, b := mk(m, k), mk(k, n)
+				want := refMatMul(a, b, false, false)
+				if got := MatMul(a, b); !got.Equal(want, tol) {
+					t.Fatalf("%s: MatMul mismatch", name)
+				}
+				got := New(m, n)
+				MatMulInto(got, a, b)
+				if !got.Equal(want, tol) {
+					t.Fatalf("%s: MatMulInto mismatch", name)
+				}
+				got = randTensor(rng, m, n)
+				base := got.Clone()
+				MatMulAdd(got, a, b)
+				base.AddInPlace(want)
+				if !got.Equal(base, tol) {
+					t.Fatalf("%s: MatMulAdd mismatch", name)
+				}
+
+				at, bt := mk(k, m), mk(k, n)
+				want = refMatMul(at, bt, true, false)
+				if got := MatMulT1(at, bt); !got.Equal(want, tol) {
+					t.Fatalf("%s: MatMulT1 mismatch", name)
+				}
+				got = New(m, n)
+				MatMulT1Into(got, at, bt)
+				if !got.Equal(want, tol) {
+					t.Fatalf("%s: MatMulT1Into mismatch", name)
+				}
+				got = randTensor(rng, m, n)
+				base = got.Clone()
+				MatMulT1Add(got, at, bt)
+				base.AddInPlace(want)
+				if !got.Equal(base, tol) {
+					t.Fatalf("%s: MatMulT1Add mismatch", name)
+				}
+
+				a2, b2 := mk(m, k), mk(n, k)
+				want = refMatMul(a2, b2, false, true)
+				if got := MatMulT2(a2, b2); !got.Equal(want, tol) {
+					t.Fatalf("%s: MatMulT2 mismatch", name)
+				}
+				got = New(m, n)
+				MatMulT2Into(got, a2, b2)
+				if !got.Equal(want, tol) {
+					t.Fatalf("%s: MatMulT2Into mismatch", name)
+				}
+				got = randTensor(rng, m, n)
+				base = got.Clone()
+				MatMulT2Add(got, a2, b2)
+				base.AddInPlace(want)
+				if !got.Equal(base, tol) {
+					t.Fatalf("%s: MatMulT2Add mismatch", name)
+				}
+			}
+		}
+	})
+}
+
+// TestGemmGoKernelBitwiseMatchesLegacy pins the property the packed-Go
+// path is documented to have: for k ≤ gemmKC (one k block) the per-
+// element accumulation order is identical to the legacy column-tiled
+// kernels, so the results are bitwise equal, not merely within
+// tolerance.
+func TestGemmGoKernelBitwiseMatchesLegacy(t *testing.T) {
+	prev := gemmUseAsm
+	defer func() { gemmUseAsm = prev }()
+	setGemmAsm(false)
+	rng := rand.New(rand.NewSource(11))
+	m, k, n := 21, gemmKC, 19 // above gemmMinWork, single k block, ragged edges
+	a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+	packed := New(m, n)
+	gemm(packed.Data, n, m, n, k, a.Data, k, 1, b.Data, n, 1, nil, false)
+	legacy := New(m, n)
+	matMulRows(legacy.Data, a.Data, b.Data, k, n, 0, m, false)
+	for i, v := range packed.Data {
+		if v != legacy.Data[i] {
+			t.Fatalf("packed Go kernel diverges from legacy at %d: %v vs %v", i, v, legacy.Data[i])
+		}
+	}
+}
+
+// TestGemmAsmWithinTolOfGo bounds the asm/Go cross-kernel error: the
+// FMA kernel skips intermediate roundings, so it is not bitwise equal,
+// but it must stay within tensor.Tol of the portable kernel.
+func TestGemmAsmWithinTolOfGo(t *testing.T) {
+	prev := gemmUseAsm
+	defer func() { gemmUseAsm = prev }()
+	if !setGemmAsm(true) {
+		t.Skipf("assembly kernel unavailable (%s)", GemmKernel())
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range gemmShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		setGemmAsm(true)
+		asm := MatMul(a, b)
+		setGemmAsm(false)
+		gop := MatMul(a, b)
+		tol := Tol(1e-12, 2e-4) * float64(k)
+		if !asm.Equal(gop, tol) {
+			t.Fatalf("%dx%dx%d: asm vs go kernel outside tolerance", m, k, n)
+		}
+	}
+}
+
+// TestMatMulPackedMatchesMaterialized checks the fused-packing entry
+// points (the conv im2col fusion hook) against materialise-then-
+// multiply, under every kernel variant.
+func TestMatMulPackedMatchesMaterialized(t *testing.T) {
+	kernelVariants(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(17))
+		for _, sh := range gemmShapes {
+			m, k, n := sh[0], sh[1], sh[2]
+			b := randTensor(rng, k, n)
+			packB := func(dst []Elem, k0, k1, j0, nr int) {
+				packBStrided(dst, b.Data, n, 1, n, k0, k1, j0, nr)
+			}
+			tol := Tol(1e-12, 2e-4) * float64(k)
+
+			a := randTensor(rng, m, k)
+			want := refMatMul(a, b, false, false)
+			got := New(m, n)
+			MatMulPacked(got, a, n, packB)
+			if !got.Equal(want, tol) {
+				t.Fatalf("%dx%dx%d: MatMulPacked mismatch", m, k, n)
+			}
+			got = randTensor(rng, m, n)
+			base := got.Clone()
+			MatMulPackedAdd(got, a, n, packB)
+			base.AddInPlace(want)
+			if !got.Equal(base, tol) {
+				t.Fatalf("%dx%dx%d: MatMulPackedAdd mismatch", m, k, n)
+			}
+
+			at := randTensor(rng, k, m)
+			want = refMatMul(at, b, true, false)
+			got = New(m, n)
+			MatMulT1Packed(got, at, n, packB)
+			if !got.Equal(want, tol) {
+				t.Fatalf("%dx%dx%d: MatMulT1Packed mismatch", m, k, n)
+			}
+		}
+	})
+}
+
+// TestGemmSteadyStateAllocs pins the pack buffers to the workspace
+// pool: the steady-state allocation count of a packed matmul must be a
+// small constant (the parallel-region closures) and must not grow with
+// the operand sizes — a pool miss on the KB–MB pack buffers would show
+// up immediately.
+func TestGemmSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	measure := func(m, k, n int) float64 {
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		out := New(m, n)
+		MatMulInto(out, a, b) // warm the pool buckets
+		return testing.AllocsPerRun(20, func() { MatMulInto(out, a, b) })
+	}
+	small := measure(16, 64, 32)
+	big := measure(320, 600, 256) // multiple MC, KC and (f64) two k blocks
+	budget := 6.0
+	if raceEnabled {
+		budget = 16 // sporadic pool misses under the race detector
+	}
+	if small > budget {
+		t.Fatalf("steady-state packed matmul allocates %v times, budget %v", small, budget)
+	}
+	if big > 2*small+budget {
+		t.Fatalf("allocations grew with operand size: %v (small) vs %v (big) — pack buffers not pooled?", small, big)
+	}
+}
+
+// BenchmarkGEMM measures the packed kernels at MD-GAN layer shapes;
+// the b.ReportMetric GFLOP/s figure is what mdgan-bench records into
+// the BENCH trajectory.
+func BenchmarkGEMM(b *testing.B) {
+	shapes := [][3]int{
+		{64, 800, 6272}, // conv2 forward: (OutC, C·KH·KW)·(ckk, N·oHW)
+		{32, 128, 784},  // MLP generator output layer at batch 32
+		{256, 256, 256}, // square reference point
+		{512, 512, 512}, // square reference point
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		x, y := randTensor(rng, m, k), randTensor(rng, k, n)
+		out := New(m, n)
+		b.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, x, y)
+			}
+			flops := 2 * float64(m) * float64(k) * float64(n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}

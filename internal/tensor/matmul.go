@@ -6,16 +6,20 @@ import (
 	"mdgan/internal/parallel"
 )
 
-// The matmul kernels share one design: the output is produced four rows
-// (or columns, for the Bᵀ variant) at a time so every element streamed
-// from the shared operand is reused from registers four times, and the
-// streamed dimension is tiled so the four accumulator rows stay
-// cache-resident. On dense operands (images, im2col workspaces,
-// weights) the inner loops carry no zero-skip branch — the branch costs
-// more than the multiplications it saves. But ReLU activations and
-// ReLU-gated gradients are ~half zeros, and there skipping is worth 2×;
-// each call therefore samples the left operand's zero fraction and
-// dispatches to a zero-skipping row kernel when it is markedly sparse.
+// Matmul dispatch. Every entry point samples the left operand and picks
+// one of three kernel families, in this order (see gemm.go for the
+// packed layer's architecture):
+//
+//  1. markedly sparse A → the legacy zero-skipping row kernels below
+//     (ReLU activations and ReLU-gated gradients are ~half zeros; the
+//     skip beats any dense kernel there, and packing would only bury
+//     the zeros);
+//  2. small products → the legacy column-tiled 4-wide kernels below
+//     (packing two operands costs more than it saves under
+//     gemmMinWork multiply-adds);
+//  3. everything else → the packed, register-blocked GEMM (gemm.go),
+//     which absorbs the T1/T2 transposes into packing and runs the
+//     AVX2+FMA micro-kernel when the CPU has it.
 
 const (
 	// matMulGrain is the m·k·n product below which a matmul runs inline
@@ -31,15 +35,27 @@ const (
 	mmTile = 512
 	// sparseSamples and sparseNum/sparseDen: sample up to sparseSamples
 	// elements of the left operand; at ≥ sparseNum/sparseDen zeros the
-	// zero-skip kernel wins.
+	// zero-skip kernel wins — against the *scalar* dense kernels. The
+	// skip saves work proportionally (~2× at ReLU's ~50% zeros), but the
+	// AVX2+FMA micro-kernel beats the scalar kernels by ~6×, so when the
+	// packed path would run the assembly kernel the skip only pays once
+	// the zero fraction clears sparseNumAsm/sparseDenAsm (~81%).
 	sparseSamples = 256
 	sparseNum     = 1
 	sparseDen     = 4
+	sparseNumAsm  = 13
+	sparseDenAsm  = 16
 )
 
 // leftSparse samples a and reports whether the zero-skip kernels should
-// handle it (ReLU activations hit ~50% zeros; dense data ~0%).
-func leftSparse(a []Elem) bool {
+// handle a matmul of the given m·k·n work (ReLU activations hit ~50%
+// zeros; dense data ~0%). The threshold is kernel-aware: see the
+// constant block above.
+func leftSparse(a []Elem, work int) bool {
+	num, den := sparseNum, sparseDen
+	if work >= gemmMinWork && gemmUseAsm {
+		num, den = sparseNumAsm, sparseDenAsm
+	}
 	n := len(a)
 	step := 1
 	if n > sparseSamples {
@@ -52,7 +68,7 @@ func leftSparse(a []Elem) bool {
 			zeros++
 		}
 	}
-	return zeros*sparseDen >= samples*sparseNum
+	return zeros*den >= samples*num
 }
 
 // MatMul computes the matrix product a·b of two rank-2 tensors
@@ -95,17 +111,21 @@ func checkOutShape(op string, out *Tensor, m, n int) {
 }
 
 func matMulInto(out, a, b *Tensor, m, k, n int, accumulate bool) {
-	rows := matMulRows
-	if leftSparse(a.Data) {
-		rows = matMulRowsSkip
-	}
-	if m*k*n < matMulGrain {
-		rows(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
+	if leftSparse(a.Data, m*k*n) {
+		if m*k*n < matMulGrain {
+			matMulRowsSkip(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
+			return
+		}
+		parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
+			matMulRowsSkip(out.Data, a.Data, b.Data, k, n, s, e, accumulate)
+		})
 		return
 	}
-	parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
-		rows(out.Data, a.Data, b.Data, k, n, s, e, accumulate)
-	})
+	if m*k*n >= gemmMinWork {
+		gemm(out.Data, n, m, n, k, a.Data, k, 1, b.Data, n, 1, nil, accumulate)
+		return
+	}
+	matMulRows(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
 }
 
 // mmRowGrain sizes the row ranges a matmul splits into so one task
@@ -232,17 +252,23 @@ func checkMatMulT1(a, b *Tensor) (k, m, n int) {
 }
 
 func matMulT1Into(out, a, b *Tensor, k, m, n int, accumulate bool) {
-	rows := matMulT1Rows
-	if leftSparse(a.Data) {
-		rows = matMulT1RowsSkip
-	}
-	if m*k*n < matMulGrain {
-		rows(out.Data, a.Data, b.Data, k, m, n, 0, m, accumulate)
+	if leftSparse(a.Data, m*k*n) {
+		if m*k*n < matMulGrain {
+			matMulT1RowsSkip(out.Data, a.Data, b.Data, k, m, n, 0, m, accumulate)
+			return
+		}
+		parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
+			matMulT1RowsSkip(out.Data, a.Data, b.Data, k, m, n, s, e, accumulate)
+		})
 		return
 	}
-	parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
-		rows(out.Data, a.Data, b.Data, k, m, n, s, e, accumulate)
-	})
+	if m*k*n >= gemmMinWork {
+		// Packing reads A through the (rs=1, cs=m) transposed view, so
+		// the backward passes never strided-read inside a kernel.
+		gemm(out.Data, n, m, n, k, a.Data, 1, m, b.Data, n, 1, nil, accumulate)
+		return
+	}
+	matMulT1Rows(out.Data, a.Data, b.Data, k, m, n, 0, m, accumulate)
 }
 
 // matMulT1RowsSkip is the sparse-A variant of the transposed-left
@@ -355,17 +381,23 @@ func checkMatMulT2(a, b *Tensor) (m, k, n int) {
 }
 
 func matMulT2Into(out, a, b *Tensor, m, k, n int, accumulate bool) {
-	rows := matMulT2Rows
-	if leftSparse(a.Data) {
-		rows = matMulT2RowsSkip
-	}
-	if m*k*n < matMulGrain {
-		rows(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
+	if leftSparse(a.Data, m*k*n) {
+		if m*k*n < matMulGrain {
+			matMulT2RowsSkip(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
+			return
+		}
+		parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
+			matMulT2RowsSkip(out.Data, a.Data, b.Data, k, n, s, e, accumulate)
+		})
 		return
 	}
-	parallel.ForGrain(m, mmRowGrain(k, n), func(s, e int) {
-		rows(out.Data, a.Data, b.Data, k, n, s, e, accumulate)
-	})
+	if m*k*n >= gemmMinWork {
+		// B is a stored transpose: packing reads it through the
+		// (rs=1, cs=k) view, one contiguous source run per column.
+		gemm(out.Data, n, m, n, k, a.Data, k, 1, b.Data, 1, k, nil, accumulate)
+		return
+	}
+	matMulT2Rows(out.Data, a.Data, b.Data, k, n, 0, m, accumulate)
 }
 
 // matMulT2RowsSkip is the sparse-A variant of a·bᵀ: the same 4-wide dot

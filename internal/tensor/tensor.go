@@ -15,6 +15,31 @@
 // other's frames (and the legacy pre-dtype float64 framing) with
 // per-element conversion. Tests select dtype-appropriate tolerances
 // with Tol(f64, f32).
+//
+// # Kernel architecture
+//
+// Matrix multiplication — the hot path under every layer — is a packed,
+// register-blocked GEMM (gemm.go), dispatched per call in this order:
+//
+//  1. markedly sparse left operands take the legacy zero-skip row
+//     kernels (matmul.go) — the skip threshold is kernel-aware, since
+//     the vector kernel moves the breakeven sparsity;
+//  2. small products take the legacy column-tiled scalar kernels
+//     (packing two operands costs more than it saves);
+//  3. everything else is packed: A and B blocks are copied once per
+//     cache block into pool-backed MR-row / NR-column panels whose
+//     layout matches the micro-kernel's streaming order exactly, with
+//     the MatMulT1/T2 transposes absorbed by the packing reads and the
+//     conv layers' im2col fill fused straight into B-panel packing
+//     (MatMulPacked). The micro-kernel — an MR×NR register tile over
+//     the packed panels — is either portable Go (gemm_kernel64.go /
+//     gemm_kernel32.go: 4×4 float64, 8-lane×4 float32) or AVX2+FMA
+//     assembly (gemm_amd64_*.s) selected by a runtime CPUID probe
+//     (gemm_cpu_amd64.go) and compiled out under the `noasm` build tag.
+//
+// gemm.go's file comment specifies the packing layout, the micro-kernel
+// contract, the parallel split (panel-aligned ForGrain tasks) and the
+// recipe for adding a new architecture's kernel.
 package tensor
 
 import (

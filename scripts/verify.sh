@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# verify.sh — the repo's tier-1 gate plus a perf smoke, run under BOTH
-# tensor dtypes: the default float64 build and the `-tags f32` float32
-# build (see internal/tensor/dtype64.go / dtype32.go).
+# verify.sh — the repo's tier-1 gate plus a perf smoke, run over the
+# kernel build matrix {float64, float32} × {asm, noasm}: both tensor
+# dtypes (see internal/tensor/dtype64.go / dtype32.go) and, for each,
+# the `noasm` build that compiles the AVX2+FMA GEMM micro-kernel out
+# (see internal/tensor/gemm.go). The primary (asm) suites additionally
+# re-run the engine-equivalence gates with MDGAN_GEMM_KERNEL=generic,
+# so the pure-Go micro-kernel on an asm build is gated too — every
+# kernel variant must hold the strict-engine bitwise pin.
 #
-#   scripts/verify.sh              # fmt, vet, build, test, bench smoke ×2 dtypes
+#   scripts/verify.sh              # fmt, vet, build, test, bench smoke × matrix
 #   MDGAN_DTYPES=float64 scripts/verify.sh
 #                                  # restrict to one dtype (float64|float32|both)
+#   MDGAN_KERNELS=asm scripts/verify.sh
+#                                  # restrict the kernel axis (asm|noasm|both);
+#                                  # noasm suites run vet/build/test + the
+#                                  # engine gates (no race, no bench rows)
 #   BENCH_JSON=BENCH_1.json scripts/verify.sh
 #                                  # additionally (re)generate the perf
 #                                  # trajectory file via cmd/mdgan-bench,
@@ -22,6 +31,21 @@ if [ -n "$fmt" ]; then
 fi
 
 dtypes=${MDGAN_DTYPES:-both}
+kernels=${MDGAN_KERNELS:-both}
+
+engine_gates() { # $1 = label, $2.. = go test args
+    local name=$1
+    shift
+    # Explicit gates for the round-engine contracts (also part of the
+    # plain test run, but named here so a failure is unmissable):
+    # strict mode must replay serial Algorithm 1 bitwise, and the
+    # pipelined driver must match strict at Iters=1 and converge with
+    # it at full length.
+    echo "== [$name] engine equivalence gates =="
+    go test "$@" -count=1 \
+        -run 'TestStrictEngineMatchesSerialReference|TestPipelinedOneIterationMatchesStrict|TestPipelinedConvergesLikeStrict' \
+        ./internal/core
+}
 
 run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
     local name=$1 tags=$2 tagargs=()
@@ -45,36 +69,63 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
     # both element widths.
     go test -race ${tagargs[@]+"${tagargs[@]}"} ./...
 
-    echo "== [$name] engine equivalence gates =="
-    # Explicit gates for the round-engine contracts (also part of the
-    # plain test run above, but named here so a failure is unmissable):
-    # strict mode must replay serial Algorithm 1 bitwise, and the
-    # pipelined driver must match strict at Iters=1 and converge with
-    # it at full length.
-    go test ${tagargs[@]+"${tagargs[@]}"} -count=1 \
-        -run 'TestStrictEngineMatchesSerialReference|TestPipelinedOneIterationMatchesStrict|TestPipelinedConvergesLikeStrict' \
-        ./internal/core
+    engine_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
+    # The same gates under the portable Go micro-kernel: the strict-
+    # engine pin must hold for every kernel variant the binary can
+    # dispatch to, not just the one the CPU probe picked.
+    MDGAN_GEMM_KERNEL=generic engine_gates "$name/generic-kernel" ${tagargs[@]+"${tagargs[@]}"}
 
     echo "== [$name] bench smoke (1 iteration) =="
     go test ${tagargs[@]+"${tagargs[@]}"} -run=NONE -bench='BenchmarkMDGANIteration$|BenchmarkGeneratorForward$|BenchmarkTableII$' -benchtime=1x -benchmem .
 
     if [ -n "${BENCH_JSON:-}" ]; then
         echo "== [$name] writing ${BENCH_JSON} rows =="
-        go run ${tagargs[@]+"${tagargs[@]}"} ./cmd/mdgan-bench -dtype "$name" -benchjson "${BENCH_JSON}"
+        go run ${tagargs[@]+"${tagargs[@]}"} ./cmd/mdgan-bench -dtype "${name%%-*}" -benchjson "${BENCH_JSON}"
     fi
 }
 
+run_noasm_suite() { # $1 = dtype name, $2 = go build tags (includes noasm)
+    # The noasm leg of the kernel matrix: vet, build, the full test
+    # suite and the engine gates with the assembly compiled out. Race
+    # and bench rows stay on the primary suites — this leg exists to
+    # prove the portable build is complete and correct on its own.
+    local name=$1 tags=$2
+    echo "== [$name] go vet =="
+    go vet -tags "$tags" ./...
+    echo "== [$name] go build =="
+    go build -tags "$tags" ./...
+    echo "== [$name] go test =="
+    go test -tags "$tags" ./...
+    engine_gates "$name" -tags "$tags"
+}
+
+want_dtype() { # $1 = float64|float32
+    [ "$dtypes" = both ] || [ "$dtypes" = "$1" ]
+}
+
 case "$dtypes" in
-float64) run_suite float64 "" ;;
-float32) run_suite float32 f32 ;;
-both)
-    run_suite float64 ""
-    run_suite float32 f32
-    ;;
+float64 | float32 | both) ;;
 *)
     echo "MDGAN_DTYPES must be float64, float32 or both (got '$dtypes')" >&2
     exit 1
     ;;
 esac
+
+case "$kernels" in
+asm | noasm | both) ;;
+*)
+    echo "MDGAN_KERNELS must be asm, noasm or both (got '$kernels')" >&2
+    exit 1
+    ;;
+esac
+
+if [ "$kernels" != noasm ]; then
+    if want_dtype float64; then run_suite float64 ""; fi
+    if want_dtype float32; then run_suite float32 f32; fi
+fi
+if [ "$kernels" != asm ]; then
+    if want_dtype float64; then run_noasm_suite float64-noasm noasm; fi
+    if want_dtype float32; then run_noasm_suite float32-noasm f32,noasm; fi
+fi
 
 echo "verify: OK"
