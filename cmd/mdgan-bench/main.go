@@ -50,6 +50,13 @@ type benchRow struct {
 	// kernel-level evidence behind the iteration-level rows.
 	GFlops float64 `json:"gflops,omitempty"`
 	Kernel string  `json:"kernel,omitempty"`
+	// Fault-summary annotations of the chaos row: the fault ledger of a
+	// short seeded-chaos run under a round deadline (ns_per_op is its
+	// wall time per applied iteration, faults included).
+	Timeouts  int   `json:"timeouts,omitempty"`
+	Rejoins   int   `json:"rejoins,omitempty"`
+	Demotions int   `json:"demotions,omitempty"`
+	Injected  int64 `json:"injected_faults,omitempty"`
 }
 
 // workerSweep aliases the canonical cluster-size axis shared with the
@@ -199,6 +206,41 @@ func writeBenchJSON(path string) {
 			Dtype:      tensor.DTypeName,
 			Iters:      int(msgs),
 			BytesPerOp: res.Traffic.Bytes[simnet.WtoW] / msgs,
+		})
+	}
+	// Fault summary: a short seeded-chaos run under a round deadline.
+	// The row records the wall cost per applied iteration with the
+	// suspect/rejoin machinery active (drops cost one RoundTimeout
+	// each) and the fault ledger the run survived — the robustness
+	// counterpart of the fault-free iteration rows above.
+	{
+		train := mdgan.SynthDigits(320, 1)
+		o := mdgan.Options{
+			Algorithm: mdgan.MDGAN, Workers: 4, Batch: 10, Iters: 60, Seed: 2, K: 2,
+			RoundTimeout: 150 * time.Millisecond, SuspectAfter: 8,
+			Chaos: &mdgan.ChaosConfig{
+				Seed: 7, Drop: 0.004, Delay: 0.02, MaxDelay: 2 * time.Millisecond,
+				Duplicate:    0.01,
+				ProtectTypes: map[string]bool{"stop": true, "swap": true},
+			},
+		}
+		start := time.Now()
+		res, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injected := res.Chaos.Dropped + res.Chaos.Corrupted + res.Chaos.Delayed + res.Chaos.Duplicated
+		log.Printf("FaultChaosSummary [%s]: %d iters, timeouts=%d rejoins=%d demotions=%d injected=%d",
+			tensor.DTypeName, res.Iters, res.Faults.Timeouts, res.Faults.Rejoins, res.Faults.Demotions, injected)
+		rows = append(rows, benchRow{
+			Name:      "FaultChaosSummary",
+			Dtype:     tensor.DTypeName,
+			Iters:     res.Iters,
+			NsPerOp:   float64(time.Since(start).Nanoseconds()) / float64(res.Iters),
+			Timeouts:  res.Faults.Timeouts,
+			Rejoins:   res.Faults.Rejoins,
+			Demotions: res.Faults.Demotions,
+			Injected:  injected,
 		})
 	}
 	// Merge with an existing report so the two dtype builds accumulate

@@ -8,6 +8,7 @@
 //	mdgan-train -algo fl-gan -dataset cifar -batch 50
 //	mdgan-train -algo md-gan -dataset ring -workers 4 -tcp
 //	mdgan-train -algo md-gan -dataset digits -pipeline
+//	mdgan-train -algo md-gan -dataset ring -chaos 0.01 -round-timeout 200ms
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"mdgan"
 )
@@ -43,6 +45,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		evalEvery  = flag.Int("eval", 100, "metric cadence in iterations (0 disables)")
 		useTCP     = flag.Bool("tcp", false, "run workers over loopback TCP sockets")
+		roundTO    = flag.Duration("round-timeout", 0, "MD-GAN round deadline: suspect missing workers and apply the round with a quorum (0 waits forever)")
+		quorum     = flag.Int("quorum", 0, "minimum feedbacks to apply a round after the deadline (0 = 1)")
+		suspectN   = flag.Int("suspect-after", 0, "consecutive misses before a suspect is demoted (0 = default, <0 = never)")
+		chaos      = flag.Float64("chaos", 0, "fault-injection intensity p in [0,1): drop=p, delay=2p, duplicate=p, corrupt=p/2 on worker→server frames (implies -round-timeout 250ms unless set)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream")
 		skew       = flag.Float64("skew", 0, "non-IID label skew in [0,1] (0 = i.i.d.)")
 		compress   = flag.String("compress", "none", "feedback compression: none | fp32 | topk")
 		samplesOut = flag.String("samples-out", "", "write a PNG grid of generated samples here")
@@ -87,6 +94,22 @@ func main() {
 		LRG: *lrG, LRD: *lrD, PaperLoss: *paperLoss,
 		Seed: *seed, EvalEvery: *evalEvery, UseTCP: *useTCP,
 		NonIIDSkew: *skew, Compress: comp, SwapPrec: swapPrec,
+		RoundTimeout: *roundTO, Quorum: *quorum, SuspectAfter: *suspectN,
+	}
+	if *chaos > 0 {
+		o.Chaos = &mdgan.ChaosConfig{
+			Seed:         *chaosSeed,
+			Drop:         *chaos,
+			Delay:        2 * *chaos,
+			MaxDelay:     2 * time.Millisecond,
+			Duplicate:    *chaos,
+			Corrupt:      *chaos / 2,
+			CorruptKinds: map[mdgan.LinkKind]bool{mdgan.LinkWtoC: true},
+			ProtectTypes: map[string]bool{"stop": true, "swap": true},
+		}
+		if o.RoundTimeout == 0 {
+			o.RoundTimeout = 250 * time.Millisecond
+		}
 	}
 	log.Printf("running %s on %s (%d samples, arch %s, N=%d, b=%d, I=%d)",
 		*algo, *ds, train.Len(), arch.Name, *workers, *batch, *iters)
@@ -103,6 +126,13 @@ func main() {
 	}
 	if len(res.Live) > 0 {
 		fmt.Fprintf(os.Stderr, "surviving workers: %v\n", res.Live)
+	}
+	if res.Faults.Any() {
+		fmt.Fprint(os.Stderr, res.Faults.String())
+	}
+	if c := res.Chaos; c.Dropped+c.Corrupted+c.Delayed+c.Duplicated+c.Partitioned > 0 {
+		fmt.Fprintf(os.Stderr, "chaos: dropped=%d corrupted=%d delayed=%d duplicated=%d partitioned=%d\n",
+			c.Dropped, c.Corrupted, c.Delayed, c.Duplicated, c.Partitioned)
 	}
 	if *samplesOut != "" && train.C > 0 {
 		rng := rand.New(rand.NewSource(*seed + 99))

@@ -3,7 +3,10 @@
 // iterations until none remain, and we compare against the crash-free
 // run. Since the shared membership layer landed, the same crash
 // schedule also runs through the FL-GAN baseline (round-granular) and
-// through MD-GAN's pipelined engine, so all three appear below.
+// through MD-GAN's pipelined engine, so all three appear below — plus
+// a transient-fault contrast: the same cluster under a seeded chaotic
+// transport with a round deadline, where suspects rejoin instead of
+// dying and no shard is ever lost.
 //
 //	go run ./examples/fault_tolerance
 package main
@@ -11,6 +14,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"mdgan"
 )
@@ -62,6 +66,29 @@ func main() {
 		curves = append(curves, res.Curve)
 		log.Printf("  survivors: %d of %d, %d generator updates applied", len(res.Live), workers, res.Iters)
 	}
+
+	// Transient faults: the same topology under a chaotic transport —
+	// seeded random drops, delays and duplicates with a round deadline.
+	// Unlike the fail-stop runs above, nobody dies: suspects are probed
+	// back in and every shard keeps contributing.
+	chaotic := base
+	chaotic.RoundTimeout = 250 * time.Millisecond
+	chaotic.SuspectAfter = 8
+	chaotic.Chaos = &mdgan.ChaosConfig{
+		Seed: seed, Drop: 0.002, Delay: 0.01, MaxDelay: 2 * time.Millisecond,
+		Duplicate:    0.005,
+		ProtectTypes: map[string]bool{"stop": true, "swap": true},
+	}
+	log.Printf("running md-gan (transient chaos, round deadline) ...")
+	cres, err := mdgan.Run(train, mdgan.MLPArch(64), chaotic, ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cres.Curve.Name = "md-gan (transient chaos)"
+	curves = append(curves, cres.Curve)
+	log.Printf("  survivors: %d of %d, faults: timeouts=%d rejoins=%d, injected: dropped=%d delayed=%d",
+		len(cres.Live), workers, cres.Faults.Timeouts, cres.Faults.Rejoins,
+		cres.Chaos.Dropped, cres.Chaos.Delayed)
 
 	// FL-GAN under the same failure model: CrashAt is round-granular
 	// there (a round is E·m/b local iterations), so crash one worker

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WorkerFaults is the per-worker fault accounting the membership layer
+// accumulates while a run tolerates transient failures.
+type WorkerFaults struct {
+	// Timeouts counts rounds in which the worker was dispatched to but
+	// produced no feedback before the round deadline expired.
+	Timeouts int
+	// Suspects counts transitions into (or escalation ticks while in)
+	// the suspect state.
+	Suspects int
+	// Demotions counts permanent removals: the escalation of a suspect
+	// after too many consecutive misses, or a direct fail-stop demotion
+	// (ErrNodeDown, corrupt-frame threshold).
+	Demotions int
+	// Rejoins counts re-admissions of a suspect whose feedback or
+	// transport reappeared.
+	Rejoins int
+	// CorruptFrames counts feedback frames from this worker that failed
+	// to decode.
+	CorruptFrames int
+}
+
+// FaultStats is a snapshot of a run's fault accounting: the per-worker
+// counters plus cluster-wide totals and the transport-level retry count
+// (fresh-dial retries on TCPNet).
+type FaultStats struct {
+	// Workers maps worker name → its fault counters. Only workers that
+	// experienced at least one fault event appear.
+	Workers map[string]WorkerFaults
+	// Totals over all workers.
+	Timeouts, Suspects, Demotions, Rejoins, CorruptFrames int
+	// TransportRetries counts transport-level send retries (TCPNet
+	// fresh-dial retries after a broken or timed-out write).
+	TransportRetries int64
+}
+
+// Any reports whether any fault event was recorded.
+func (s FaultStats) Any() bool {
+	return s.Timeouts+s.Suspects+s.Demotions+s.Rejoins+s.CorruptFrames > 0 ||
+		s.TransportRetries > 0
+}
+
+// String formats a one-block summary for CLI output: the totals line
+// followed by one line per affected worker.
+func (s FaultStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d retries=%d\n",
+		s.Timeouts, s.Suspects, s.Demotions, s.Rejoins, s.CorruptFrames, s.TransportRetries)
+	names := make([]string, 0, len(s.Workers))
+	for name := range s.Workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := s.Workers[name]
+		fmt.Fprintf(&b, "  %s: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d\n",
+			name, w.Timeouts, w.Suspects, w.Demotions, w.Rejoins, w.CorruptFrames)
+	}
+	return b.String()
+}
+
+// faults returns (allocating if needed) the counter struct for name.
+func (m *Membership) faults(name string) *WorkerFaults {
+	if m.workerFaults == nil {
+		m.workerFaults = make(map[string]*WorkerFaults)
+	}
+	f := m.workerFaults[name]
+	if f == nil {
+		f = &WorkerFaults{}
+		m.workerFaults[name] = f
+	}
+	return f
+}
+
+// NoteTimeout records a round-deadline expiry against name.
+func (m *Membership) NoteTimeout(name string) { m.faults(name).Timeouts++ }
+
+// NoteCorrupt records a feedback frame from name that failed to decode
+// and returns the worker's running corrupt-frame count, which the
+// engines compare against the suspect threshold to escalate a
+// persistent garbage sender to demotion.
+func (m *Membership) NoteCorrupt(name string) int {
+	f := m.faults(name)
+	f.CorruptFrames++
+	return f.CorruptFrames
+}
+
+// Faults snapshots the fault accounting. retries is the transport-level
+// retry count supplied by the caller (the membership does not own the
+// transport's counters).
+func (m *Membership) Faults(retries int64) FaultStats {
+	s := FaultStats{TransportRetries: retries}
+	if len(m.workerFaults) > 0 {
+		s.Workers = make(map[string]WorkerFaults, len(m.workerFaults))
+	}
+	for name, f := range m.workerFaults {
+		s.Workers[name] = *f
+		s.Timeouts += f.Timeouts
+		s.Suspects += f.Suspects
+		s.Demotions += f.Demotions
+		s.Rejoins += f.Rejoins
+		s.CorruptFrames += f.CorruptFrames
+	}
+	return s
+}

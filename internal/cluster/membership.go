@@ -3,9 +3,37 @@
 // in internal/core, FL-GAN in internal/flgan): one component that owns
 // the live set of workers, the fail-stop crash schedule (Fig. 5),
 // dynamic joins (paper §IV-A), per-round client sampling (the §VII.4
-// adaptation of federated learning), and straggler demotion (a worker
-// whose transport fails mid-round is removed instead of aborting the
-// run, the relaxation §VII.1 invites).
+// adaptation of federated learning), and the failure lifecycle below.
+//
+// # Failure model
+//
+// The layer distinguishes two failure classes:
+//
+//   - Fail-stop (Fig. 5): a scheduled crash or an unrecoverable
+//     transport death. The worker leaves the cluster permanently and
+//     its data shard disappears with it (Fail / ApplyCrashes).
+//   - Transient: a straggler, a dropped message, a short partition.
+//     The worker is *suspected* — skipped for dispatch, all state
+//     retained — and re-admitted (Reinstate) when its feedback or
+//     transport reappears. Only SuspectThreshold consecutive misses
+//     escalate a suspect to the permanent demotion above, so losing a
+//     worker's shard for the rest of the run is the last resort, not
+//     the only response (§VII.1's straggler relaxation).
+//
+// Lifecycle state diagram:
+//
+//	         Suspect (miss)            Suspect ×N (escalation)
+//	ACTIVE ------------------> SUSPECT -----------------------> DEMOTED
+//	   ^                          |                                ^
+//	   |        Reinstate         |                                |
+//	   +--------------------------+       Fail / ApplyCrashes      |
+//	   +-----------------------------------------------------------+
+//
+// ACTIVE workers are dispatched to every round; SUSPECT workers are
+// skipped (Sample/Active exclude them) but stay in the live set — their
+// goroutine, discriminator and shard survive — and are probed by the
+// engines; DEMOTED workers are gone fail-stop style (their transport
+// inbox is closed). Fault events are counted per worker (faults.go).
 //
 // Determinism contract: Live returns names in join order (the index
 // order workers were Added in), Sample consumes the injected *rand.Rand
@@ -14,7 +42,9 @@
 // against the join order. Two runs that Add the same names, share the
 // same schedule and draw from identically-seeded RNGs therefore observe
 // identical membership at every iteration — the property the engines'
-// bitwise-equivalence tests pin.
+// bitwise-equivalence tests pin. Suspicion and reinstatement only occur
+// in response to faults, so a fault-free run traverses exactly the
+// pre-lifecycle code paths.
 package cluster
 
 import (
@@ -47,7 +77,22 @@ type Membership struct {
 	// activePerRound, when in (0, live count), bounds how many workers
 	// a Sample activates.
 	activePerRound int
+	// suspect marks live workers currently excluded from dispatch
+	// (transient-fault state; see the package doc's lifecycle diagram).
+	suspect map[string]bool
+	// misses counts consecutive Suspect ticks since the last
+	// reinstatement; reaching suspectAfter escalates to demotion.
+	misses map[string]int
+	// suspectAfter is the escalation threshold N (0 = DefaultSuspectAfter,
+	// negative = never escalate).
+	suspectAfter int
+	// workerFaults accumulates per-worker fault counters (faults.go).
+	workerFaults map[string]*WorkerFaults
 }
+
+// DefaultSuspectAfter is the default number of consecutive misses after
+// which a suspect is demoted permanently.
+const DefaultSuspectAfter = 3
 
 // New builds a membership over an initially empty worker set. net may
 // be nil (no transport to signal crashes to), crashAt may be nil (no
@@ -59,6 +104,30 @@ func New(net simnet.Net, rng *rand.Rand, crashAt map[int][]int, activePerRound i
 		live:           make(map[string]bool),
 		crashAt:        crashAt,
 		activePerRound: activePerRound,
+		suspect:        make(map[string]bool),
+		misses:         make(map[string]int),
+	}
+}
+
+// SetSuspectThreshold configures the escalation threshold N: a suspect
+// accumulating n consecutive misses is demoted permanently. n == 0
+// selects DefaultSuspectAfter; n < 0 disables escalation entirely
+// (suspects are only demoted by an explicit Fail or crash schedule).
+func (m *Membership) SetSuspectThreshold(n int) { m.suspectAfter = n }
+
+// SuspectThreshold returns the resolved escalation threshold (the
+// engines also use it as the corrupt-frame strike budget).
+func (m *Membership) SuspectThreshold() int { return m.suspectThreshold() }
+
+// suspectThreshold resolves the configured escalation threshold.
+func (m *Membership) suspectThreshold() int {
+	switch {
+	case m.suspectAfter > 0:
+		return m.suspectAfter
+	case m.suspectAfter < 0:
+		return int(^uint(0) >> 1) // never
+	default:
+		return DefaultSuspectAfter
 	}
 }
 
@@ -109,40 +178,133 @@ func (m *Membership) Live() []string {
 // ApplyCrashes executes the fail-stop schedule for iteration it:
 // workers whose join-order index is listed die before the round starts,
 // taking their data shard with them (Fig. 5). Out-of-range and already-
-// dead indices are ignored.
+// dead indices are ignored. Scheduled crashes are not counted as
+// demotions in the fault stats — they are injected, not detected.
 func (m *Membership) ApplyCrashes(it int) {
 	for _, idx := range m.crashAt[it] {
 		if idx < 0 || idx >= len(m.order) {
 			continue
 		}
-		m.Fail(m.order[idx])
+		m.fail(m.order[idx], false)
 	}
 }
 
 // Fail demotes a worker fail-stop style: it leaves the live set and, on
 // a real transport, its inbox is closed so the worker goroutine (local
-// transports) observes the death. The engines call this both for
-// scheduled crashes and for stragglers discovered mid-round (a send
-// that returns simnet.ErrNodeDown).
-func (m *Membership) Fail(name string) {
+// transports) observes the death. The engines call this for stragglers
+// whose escalation budget is exhausted and for unrecoverable transport
+// deaths.
+func (m *Membership) Fail(name string) { m.fail(name, true) }
+
+func (m *Membership) fail(name string, counted bool) {
 	if !m.live[name] {
 		return
 	}
 	m.live[name] = false
+	delete(m.suspect, name)
+	delete(m.misses, name)
+	if counted {
+		m.faults(name).Demotions++
+	}
 	if m.net != nil {
 		m.net.Crash(name)
 	}
 }
 
-// Sample returns this round's active workers: all live workers in join
-// order, or — when ActivePerRound is set below the live count — a
-// uniform random subset of that size in lexicographic order (the §VII.4
-// client-sampling extension: fewer active discriminators than workers,
-// the whole dataset still covered over time). The RNG is consumed only
-// when sampling actually truncates, so runs without the knob draw an
-// identical stream to runs of a sampling-free build.
+// Suspect records a miss against a live worker: on the first miss the
+// worker enters the suspect state (skipped for dispatch, state
+// retained); each further miss ticks its escalation counter, and
+// reaching the threshold demotes it permanently. It reports whether
+// this call demoted the worker. Calls against dead workers are no-ops.
+func (m *Membership) Suspect(name string) (demoted bool) {
+	if !m.live[name] {
+		return false
+	}
+	m.suspect[name] = true
+	m.misses[name]++
+	m.faults(name).Suspects++
+	if m.misses[name] >= m.suspectThreshold() {
+		m.fail(name, true)
+		return true
+	}
+	return false
+}
+
+// Reinstate re-admits a suspect whose feedback or transport reappeared:
+// it returns to the active set with its miss counter cleared (misses
+// are consecutive). Returns false when the worker is not currently a
+// live suspect (already demoted, never suspected, or unknown).
+func (m *Membership) Reinstate(name string) bool {
+	if !m.live[name] || !m.suspect[name] {
+		return false
+	}
+	delete(m.suspect, name)
+	delete(m.misses, name)
+	m.faults(name).Rejoins++
+	return true
+}
+
+// IsSuspect reports whether the named worker is live but suspected.
+func (m *Membership) IsSuspect(name string) bool { return m.live[name] && m.suspect[name] }
+
+// Suspects returns the current suspects in join order.
+func (m *Membership) Suspects() []string {
+	out := make([]string, 0, len(m.suspect))
+	for _, name := range m.order {
+		if m.live[name] && m.suspect[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// NumSuspect returns the number of live suspects.
+func (m *Membership) NumSuspect() int {
+	n := 0
+	for name := range m.suspect {
+		if m.live[name] {
+			n++
+		}
+	}
+	return n
+}
+
+// Active returns the dispatchable workers — live minus suspects — in
+// join order. The slice is freshly allocated; callers may retain or
+// reorder it.
+func (m *Membership) Active() []string {
+	out := make([]string, 0, len(m.order))
+	for _, name := range m.order {
+		if m.live[name] && !m.suspect[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// NumActive returns the number of dispatchable (live, non-suspect)
+// workers.
+func (m *Membership) NumActive() int {
+	n := 0
+	for _, name := range m.order {
+		if m.live[name] && !m.suspect[name] {
+			n++
+		}
+	}
+	return n
+}
+
+// Sample returns this round's active workers: all dispatchable workers
+// in join order (suspects are skipped — their state is retained but
+// they receive no batches until reinstated), or — when ActivePerRound
+// is set below that count — a uniform random subset of that size in
+// lexicographic order (the §VII.4 client-sampling extension: fewer
+// active discriminators than workers, the whole dataset still covered
+// over time). The RNG is consumed only when sampling actually
+// truncates, so runs without the knob draw an identical stream to runs
+// of a sampling-free build.
 func (m *Membership) Sample() []string {
-	alive := m.Live()
+	alive := m.Active()
 	if m.activePerRound > 0 && m.activePerRound < len(alive) {
 		m.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
 		alive = alive[:m.activePerRound]
@@ -171,11 +333,11 @@ func (m *Membership) StopAll(from, stopType string) {
 }
 
 // ActiveBound returns an upper bound on the size of the next Sample —
-// min(ActivePerRound, live count) — without consuming the RNG. The
-// pipelined engine uses it to clamp k when generating a round ahead of
-// the membership decisions for that round.
+// min(ActivePerRound, dispatchable count) — without consuming the RNG.
+// The pipelined engine uses it to clamp k when generating a round ahead
+// of the membership decisions for that round.
 func (m *Membership) ActiveBound() int {
-	n := m.NumLive()
+	n := m.NumActive()
 	if m.activePerRound > 0 && m.activePerRound < n {
 		return m.activePerRound
 	}

@@ -234,3 +234,160 @@ func TestActiveBound(t *testing.T) {
 		t.Fatal("Name indexing broken")
 	}
 }
+
+// --- Transient-fault lifecycle (suspect → demote → rejoin) ---
+
+func TestSuspectLifecycle(t *testing.T) {
+	m, net := newM(t, 3, nil, 0)
+	defer net.Close()
+
+	// First miss: suspect, still live, excluded from Active/Sample.
+	if demoted := m.Suspect("worker1"); demoted {
+		t.Fatal("first miss must not demote")
+	}
+	if !m.IsSuspect("worker1") || !m.Alive("worker1") {
+		t.Fatal("suspect must stay live")
+	}
+	if got := m.Active(); !reflect.DeepEqual(got, []string{"worker0", "worker2"}) {
+		t.Fatalf("Active = %v", got)
+	}
+	if got := m.Sample(); !reflect.DeepEqual(got, []string{"worker0", "worker2"}) {
+		t.Fatalf("Sample = %v", got)
+	}
+	if got := m.Live(); !reflect.DeepEqual(got, names(3)) {
+		t.Fatalf("Live must retain the suspect: %v", got)
+	}
+	if m.NumActive() != 2 || m.NumSuspect() != 1 || m.NumLive() != 3 {
+		t.Fatalf("NumActive=%d NumSuspect=%d NumLive=%d", m.NumActive(), m.NumSuspect(), m.NumLive())
+	}
+	if got := m.Suspects(); !reflect.DeepEqual(got, []string{"worker1"}) {
+		t.Fatalf("Suspects = %v", got)
+	}
+
+	// Reinstatement clears the consecutive-miss counter.
+	if !m.Reinstate("worker1") {
+		t.Fatal("reinstating a live suspect must succeed")
+	}
+	if m.IsSuspect("worker1") || m.NumActive() != 3 {
+		t.Fatal("reinstated worker must be active again")
+	}
+	if m.Reinstate("worker1") {
+		t.Fatal("reinstating a non-suspect must report false")
+	}
+
+	// Escalation: DefaultSuspectAfter consecutive misses demote.
+	var demoted bool
+	for i := 0; i < DefaultSuspectAfter; i++ {
+		demoted = m.Suspect("worker1")
+	}
+	if !demoted {
+		t.Fatalf("%d consecutive misses must demote", DefaultSuspectAfter)
+	}
+	if m.Alive("worker1") || m.IsSuspect("worker1") {
+		t.Fatal("demoted worker must leave both live and suspect sets")
+	}
+	if m.Suspect("worker1") {
+		t.Fatal("suspecting a dead worker must be a no-op")
+	}
+	if m.Reinstate("worker1") {
+		t.Fatal("a demoted worker cannot be reinstated")
+	}
+
+	f := m.Faults(7)
+	if f.Suspects != DefaultSuspectAfter+1 || f.Rejoins != 1 || f.Demotions != 1 {
+		t.Fatalf("fault totals = %+v", f)
+	}
+	if f.TransportRetries != 7 || !f.Any() {
+		t.Fatalf("retries not carried through: %+v", f)
+	}
+	w1 := f.Workers["worker1"]
+	if w1.Suspects != DefaultSuspectAfter+1 || w1.Rejoins != 1 || w1.Demotions != 1 {
+		t.Fatalf("worker1 counters = %+v", w1)
+	}
+}
+
+func TestSuspectThresholdKnob(t *testing.T) {
+	m, net := newM(t, 2, nil, 0)
+	defer net.Close()
+	m.SetSuspectThreshold(1)
+	if !m.Suspect("worker0") {
+		t.Fatal("threshold 1 must demote on the first miss")
+	}
+	m.SetSuspectThreshold(-1)
+	for i := 0; i < 50; i++ {
+		if m.Suspect("worker1") {
+			t.Fatal("negative threshold must never escalate")
+		}
+	}
+	if !m.Alive("worker1") || !m.IsSuspect("worker1") {
+		t.Fatal("unescalated suspect must stay live")
+	}
+	if m.SuspectThreshold() != int(^uint(0)>>1) {
+		t.Fatalf("resolved threshold = %d", m.SuspectThreshold())
+	}
+	m.SetSuspectThreshold(0)
+	if m.SuspectThreshold() != DefaultSuspectAfter {
+		t.Fatalf("default threshold = %d", m.SuspectThreshold())
+	}
+}
+
+func TestScheduledCrashesAreNotCountedAsDemotions(t *testing.T) {
+	m, net := newM(t, 3, map[int][]int{2: {0}}, 0)
+	defer net.Close()
+	m.ApplyCrashes(2)
+	m.Fail("worker1")
+	f := m.Faults(0)
+	if f.Demotions != 1 {
+		t.Fatalf("demotions = %d: the scheduled crash is injected, not detected", f.Demotions)
+	}
+	if _, ok := f.Workers["worker0"]; ok {
+		t.Fatal("crashed worker must have no fault record")
+	}
+}
+
+func TestCorruptStrikesAccumulate(t *testing.T) {
+	m, net := newM(t, 2, nil, 0)
+	defer net.Close()
+	if n := m.NoteCorrupt("worker0"); n != 1 {
+		t.Fatalf("first strike = %d", n)
+	}
+	if n := m.NoteCorrupt("worker0"); n != 2 {
+		t.Fatalf("second strike = %d", n)
+	}
+	m.NoteTimeout("worker0")
+	f := m.Faults(0)
+	if f.CorruptFrames != 2 || f.Timeouts != 1 {
+		t.Fatalf("totals = %+v", f)
+	}
+	if s := f.String(); s == "" {
+		t.Fatal("summary must render")
+	}
+}
+
+func TestSuspectExcludedFromActiveBoundAndStopAllStillReaches(t *testing.T) {
+	m, net := newM(t, 3, nil, 2)
+	defer net.Close()
+	if err := net.Register("srv"); err != nil {
+		t.Fatal(err)
+	}
+	m.Suspect("worker2")
+	if b := m.ActiveBound(); b != 2 {
+		t.Fatalf("ActiveBound = %d", b)
+	}
+	m.Suspect("worker1")
+	if b := m.ActiveBound(); b != 1 {
+		t.Fatalf("ActiveBound with 2 suspects = %d", b)
+	}
+	// Shutdown must still reach suspects: their goroutines are alive.
+	m.StopAll("srv", "stop")
+	for _, name := range names(3) {
+		select {
+		case msg := <-net.Inbox(name):
+			if msg.Type != "stop" {
+				t.Fatalf("%s got %q", name, msg.Type)
+			}
+		default:
+			t.Fatalf("%s (suspect or not) must receive stop", name)
+		}
+	}
+}

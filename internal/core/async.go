@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"mdgan/internal/simnet"
 	"mdgan/internal/tensor"
@@ -24,6 +25,15 @@ import (
 // As the paper notes, a feedback may be computed against stale
 // generator parameters; the update is applied regardless, which is the
 // standard asynchronous parameter-server trade-off.
+//
+// Transient faults (Config.RoundTimeout > 0): when no feedback arrives
+// for a full timeout, every worker with an outstanding batch takes a
+// suspect miss (escalating to demotion after SuspectAfter ticks); a
+// suspect whose feedback does arrive is reinstated and re-fed. A
+// corrupt feedback frame strikes its sender — re-fed below the strike
+// budget, demoted at it — instead of aborting the run. There is no
+// ping/pong probing here: with no round barrier, the feedback itself
+// is the liveness signal.
 func (s *server) runAsync(iters int) (int, error) {
 	type genBatch struct {
 		z    *tensor.Tensor
@@ -31,6 +41,7 @@ func (s *server) runAsync(iters int) (int, error) {
 	}
 	cache := make(map[string]genBatch)  // worker → latents behind its X^(g)
 	workerIters := make(map[string]int) // worker → iterations completed
+	pending := make(map[string]bool)    // worker → batch outstanding, feedback awaited
 
 	send := func(name string) error {
 		zg, lg := s.g.SampleZ(s.batch, s.rng)
@@ -51,10 +62,14 @@ func (s *server) runAsync(iters int) (int, error) {
 		// No global round exists in async mode; the per-worker iteration
 		// count tags the (lazily applied) swaps instead.
 		payload := encodeBatches(batchesMsg{Xd: xd, Ld: ld, Xg: xg, Lg: lg, SwapTo: swapTo, Round: workerIters[name]})
-		return s.net.Send(simnet.Message{
+		if err := s.net.Send(simnet.Message{
 			From: serverName, To: name, Type: msgBatches,
 			Kind: simnet.CtoW, Payload: payload,
-		})
+		}); err != nil {
+			return err
+		}
+		pending[name] = true
+		return nil
 	}
 
 	for _, name := range s.m.Live() {
@@ -69,7 +84,33 @@ func (s *server) runAsync(iters int) (int, error) {
 		if s.m.NumLive() == 0 {
 			return updates, nil
 		}
-		msg, ok := <-inbox
+		var msg simnet.Message
+		var ok bool
+		if s.roundTimeout > 0 {
+			t := time.NewTimer(s.roundTimeout)
+			select {
+			case msg, ok = <-inbox:
+				t.Stop()
+			case <-t.C:
+				// A full timeout with no feedback at all: every worker
+				// with an outstanding batch takes a miss (join order for
+				// reproducibility). A demoted worker will never answer;
+				// a surviving suspect still might — its batch stays
+				// outstanding and its feedback reinstates it.
+				for _, name := range s.m.Live() {
+					if !pending[name] {
+						continue
+					}
+					s.m.NoteTimeout(name)
+					if s.m.Suspect(name) {
+						delete(pending, name)
+					}
+				}
+				continue
+			}
+		} else {
+			msg, ok = <-inbox
+		}
 		if !ok {
 			return updates, fmt.Errorf("core: server inbox closed")
 		}
@@ -78,8 +119,27 @@ func (s *server) runAsync(iters int) (int, error) {
 		}
 		f, err := decodeFeedbackAny(msg.Payload, s.feedbackShape)
 		if err != nil {
-			return updates, err
+			// Corrupt frame: strike the sender and keep training — this
+			// used to abort the whole run. Below the strike budget the
+			// worker is re-fed (its next clean feedback reinstates it);
+			// at the budget it is demoted.
+			delete(pending, msg.From)
+			strikes := s.m.NoteCorrupt(msg.From)
+			switch {
+			case s.roundTimeout <= 0 || strikes >= s.m.SuspectThreshold():
+				s.m.Fail(msg.From)
+			case s.m.Suspect(msg.From):
+				// escalated: nothing more to send
+			default:
+				if send(msg.From) != nil {
+					s.m.Fail(msg.From)
+				}
+			}
+			continue
 		}
+		// A suspect's feedback arriving is evidence of life.
+		s.m.Reinstate(msg.From)
+		delete(pending, msg.From)
 		gb, okc := cache[msg.From]
 		if !okc {
 			continue

@@ -18,6 +18,33 @@
 // staleness. Cluster membership (crashes, joins, sampling, straggler
 // demotion) lives in the shared internal/cluster package, which FL-GAN
 // uses too.
+//
+// # Failure model
+//
+// Two failure classes are tolerated (the taxonomy and the suspect
+// lifecycle diagram live in the cluster package doc):
+//
+//   - Fail-stop: scheduled crashes (Config.CrashAt, Fig. 5) and
+//     unrecoverable transport deaths. The worker and its shard are gone
+//     for the rest of the run.
+//   - Transient (Config.RoundTimeout > 0): stragglers, dropped or
+//     corrupt frames, short partitions. collect waits at most
+//     RoundTimeout per round; on expiry the missing workers become
+//     suspects — skipped for dispatch, state retained, probed each
+//     round (ping/pong) — and the round is applied with the feedbacks
+//     in hand once at least Config.Quorum (default 1) arrived, below
+//     that the wait continues. A suspect that shows evidence of life (a
+//     pong or feedback) is reinstated; Config.SuspectAfter consecutive
+//     misses escalate it to a permanent, fail-stop demotion. apply
+//     already scales by received count, so quorum rounds degrade
+//     gracefully rather than skewing the update.
+//
+// Determinism caveat: the fault paths activate only on actual faults.
+// A fault-free run with RoundTimeout set traverses exactly the
+// pre-deadline code path (no suspicion, no probes, identical RNG
+// stream), so the strict engine's bitwise pin holds with the deadline
+// armed; runs that DO hit faults are repeatable only to the extent the
+// fault schedule is (simnet.ChaosNet is seeded for that purpose).
 package core
 
 import (
@@ -25,6 +52,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"mdgan/internal/cluster"
 	"mdgan/internal/dataset"
@@ -99,6 +127,25 @@ type Config struct {
 	// Aggregate selects the server's feedback-merge rule: AggMean
 	// (the paper's averaging) or a Byzantine-tolerant alternative.
 	Aggregate Aggregation
+	// RoundTimeout, when > 0, bounds each round's wait for feedbacks:
+	// on expiry the missing workers are suspected (skipped for
+	// dispatch, state retained, probed back in) and the round is
+	// applied with the feedbacks it has, subject to Quorum. 0 (the
+	// default) waits forever — the strict fail-stop-only mode whose
+	// deterministic replay the bitwise pin tests. The deadline path
+	// activates only on actual faults, so a fault-free run is bitwise
+	// identical either way. In async mode the timeout bounds the wait
+	// for ANY feedback, ticking every outstanding worker on expiry.
+	RoundTimeout time.Duration
+	// Quorum is the minimum number of feedbacks needed to apply a round
+	// whose deadline expired (≤ 0 = 1). Below quorum the round keeps
+	// waiting — bounded by SuspectAfter escalations demoting the
+	// workers that never answer. Synchronous engines only.
+	Quorum int
+	// SuspectAfter is the number of consecutive misses that escalate a
+	// suspect to permanent demotion (0 = cluster.DefaultSuspectAfter,
+	// < 0 = never escalate). Also the corrupt-feedback strike budget.
+	SuspectAfter int
 }
 
 // EvalFunc observes the server's generator during training.
@@ -116,6 +163,10 @@ type Result struct {
 	Live []string
 	// Iters is the number of generator updates performed.
 	Iters int
+	// Faults is the run's fault accounting: per-worker timeout /
+	// suspect / demotion / rejoin / corrupt-frame counters plus the
+	// transport's send-retry count. Zero-valued on a fault-free run.
+	Faults cluster.FaultStats
 }
 
 // DefaultK returns the paper's k = max(1, ⌊ln N⌋) (§IV-B4 chooses
@@ -243,8 +294,12 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 		evalEvery:    cfg.EvalEvery,
 		aggregate:    cfg.Aggregate,
 		joinAt:       cfg.JoinAt,
+		roundTimeout: cfg.RoundTimeout,
+		quorum:       cfg.Quorum,
+		probes:       make(map[string]bool),
 	}
 	srv.m = cluster.New(net, srv.rng, cfg.CrashAt, cfg.ActivePerRound)
+	srv.m.SetSuspectThreshold(cfg.SuspectAfter)
 	for _, w := range workers {
 		srv.m.Add(w.name)
 	}
@@ -295,12 +350,20 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 	}
 	sort.Strings(liveNames)
 
+	// Transports that retry sends (TCPNet, or a chaos wrapper over one)
+	// expose the count for the fault accounting.
+	var retries int64
+	if rc, ok := net.(interface{ Retries() int64 }); ok {
+		retries = rc.Retries()
+	}
+
 	return &Result{
 		G:       g,
 		Discs:   discs,
 		Traffic: net.Snapshot(),
 		Live:    liveNames,
 		Iters:   iters,
+		Faults:  srv.m.Faults(retries),
 	}, nil
 }
 

@@ -10,9 +10,10 @@ package core
 //	            the per-worker payloads (frame concatenation) fanned
 //	            out on the work-stealing scheduler
 //	dispatch  — simnet.BroadcastEach; an ErrNodeDown destination is
-//	            demoted via membership (fail-stop straggler handling)
-//	            instead of aborting the run
-//	collect   — one feedback per successfully-dispatched worker
+//	            suspected (or, without a round deadline, demoted
+//	            fail-stop style) instead of aborting the run
+//	collect   — one feedback per successfully-dispatched worker,
+//	            bounded by RoundTimeout with quorum degradation
 //	apply     — aggregate per generated batch, backprop through G,
 //	            Adam step, eval hook
 //
@@ -38,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"mdgan/internal/cluster"
 	"mdgan/internal/dataset"
@@ -66,6 +68,16 @@ type server struct {
 	// feedbackShape validates async feedback decodes: the shape of the
 	// last generated batch, set before any feedback can arrive.
 	feedbackShape []int
+	// roundTimeout bounds collect's wait for feedbacks (0 = wait
+	// forever, the strict fail-stop-only mode the bitwise pin replays).
+	roundTimeout time.Duration
+	// quorum is the minimum feedback count needed to apply a round when
+	// the deadline expires (≤ 0 = 1).
+	quorum int
+	// probes tracks suspects pinged since the last probe tick; a pong or
+	// feedback clears the entry (reinstating the worker), an entry still
+	// present at the next tick is another miss.
+	probes map[string]bool
 	// updates counts generator updates applied (the engine's Iters).
 	updates int
 	// rounds are the engine-owned per-stage buffers: slot 0 for strict
@@ -135,7 +147,21 @@ func (s *server) prepare(r *round, clampK bool) error {
 	if err := s.processJoins(r.it, s.spawn); err != nil {
 		return err
 	}
+	if s.roundTimeout > 0 {
+		s.tickProbes()
+	}
 	r.active = append(r.active[:0], s.m.Sample()...)
+	// Every dispatchable worker is currently suspect: rather than ending
+	// training while live workers may yet rejoin, wait for evidence of
+	// life. Bounded: each fruitless wait ticks every suspect's
+	// escalation counter, so if nobody ever answers they all demote and
+	// the loop exits with an empty active set (training ends).
+	for len(r.active) == 0 && s.roundTimeout > 0 && s.m.NumSuspect() > 0 {
+		if !s.awaitRejoin() {
+			s.tickProbes()
+		}
+		r.active = append(r.active[:0], s.m.Sample()...)
+	}
 	if clampK {
 		r.k = s.k
 		if r.k > len(r.active) {
@@ -207,8 +233,11 @@ func (s *server) route(r *round) {
 
 // dispatch sends the routed payloads. A destination that is down
 // (simnet.ErrNodeDown — a fail-stop crash that raced the round, or a
-// dead peer on a real transport) is demoted via membership and its
-// swap receiver is released; any other transport error stays fatal.
+// dead peer on a real transport) loses this round and its swap receiver
+// is released; with a round deadline configured it is suspected
+// (transient until proven otherwise — TCPNet maps a retried-out peer
+// here too), without one it is demoted fail-stop style. Any other
+// transport error stays fatal.
 func (s *server) dispatch(r *round) error {
 	errs := simnet.BroadcastEach(s.net, r.msgs)
 	for i, err := range errs {
@@ -217,7 +246,11 @@ func (s *server) dispatch(r *round) error {
 		case err == nil:
 			r.sent[name] = true
 		case errors.Is(err, simnet.ErrNodeDown):
-			s.m.Fail(name)
+			if s.roundTimeout > 0 {
+				s.m.Suspect(name)
+			} else {
+				s.m.Fail(name)
+			}
 			s.cancelSwap(r, name)
 		default:
 			return fmt.Errorf("core: send batches: %w", err)
@@ -254,23 +287,120 @@ func (s *server) cancelSwap(r *round, name string) {
 	})
 }
 
-// collect gathers one feedback per successfully-dispatched worker.
-// Stale or unexpected messages are skipped; a closed server inbox (the
-// transport died under the engine) is fatal.
+// collect gathers one feedback per successfully-dispatched worker,
+// bounded by the round deadline. Without a deadline (RoundTimeout 0 —
+// the strict fail-stop-only mode the bitwise pin replays) it blocks
+// until every feedback is in. With one, a deadline expiry marks every
+// missing worker suspect (releasing its swap receiver) and, once at
+// least quorum feedbacks are in, applies the round with what it has
+// instead of deadlocking the run on a hung worker; below quorum the
+// timer re-arms and the wait continues — bounded, because each expiry
+// ticks the missing workers' escalation counters until they demote and
+// stop being waited for.
+//
+// Stale or unexpected messages are skipped, but any message from a
+// suspect — a pong, a late feedback — is evidence of life and
+// reinstates it. A corrupt feedback frame strikes its sender (suspect,
+// or demote past the threshold) and the round continues; this used to
+// abort the entire training run. A closed server inbox (the transport
+// died under the engine) is fatal.
 func (s *server) collect(r *round) error {
 	if len(r.sent) == 0 {
 		return nil
 	}
 	inbox := s.net.Inbox(serverName)
-	for len(r.feedbacks) < len(r.sent) {
-		msg, ok := <-inbox
+	// failed counts dispatched workers that will never answer this round
+	// (corrupt senders, suspects given up on, demotions); the round is
+	// complete when feedbacks + failed covers everyone dispatched to.
+	failed := 0
+	var failedSet, canceled map[string]bool
+	var timer *time.Timer
+	var deadline <-chan time.Time
+	if s.roundTimeout > 0 {
+		timer = time.NewTimer(s.roundTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for len(r.feedbacks)+failed < len(r.sent) {
+		var msg simnet.Message
+		var ok bool
+		if deadline == nil {
+			msg, ok = <-inbox
+		} else {
+			select {
+			case msg, ok = <-inbox:
+			case <-deadline:
+				if failedSet == nil {
+					failedSet = make(map[string]bool)
+					canceled = make(map[string]bool)
+				}
+				// Every missing worker takes a miss (r.active iteration
+				// keeps the order deterministic). Its swap receiver is
+				// released exactly once — the suspect, having never seen
+				// its batches, will never send the swap it owes.
+				for _, name := range r.active {
+					if !r.sent[name] || failedSet[name] {
+						continue
+					}
+					if _, got := r.feedbacks[name]; got {
+						continue
+					}
+					s.m.NoteTimeout(name)
+					demoted := s.m.Suspect(name)
+					if !canceled[name] {
+						canceled[name] = true
+						s.cancelSwap(r, name)
+					}
+					if demoted {
+						failedSet[name] = true
+						failed++
+					}
+				}
+				quorum := s.quorum
+				if quorum < 1 {
+					quorum = 1
+				}
+				if len(r.feedbacks) >= quorum {
+					// Quorum reached: apply the round without the
+					// missing (they stay suspect until probed back in).
+					for _, name := range r.active {
+						if !r.sent[name] || failedSet[name] {
+							continue
+						}
+						if _, got := r.feedbacks[name]; !got {
+							failedSet[name] = true
+							failed++
+						}
+					}
+				} else {
+					timer.Reset(s.roundTimeout)
+				}
+				continue
+			}
+		}
 		if !ok {
 			return fmt.Errorf("core: server inbox closed")
 		}
-		if msg.Type != msgFeedback || !r.sent[msg.From] {
-			continue // stale feedback from an inactive round
+		switch msg.Type {
+		case msgPong:
+			if s.m.Reinstate(msg.From) {
+				delete(s.probes, msg.From)
+			}
+			continue
+		case msgFeedback:
+		default:
+			continue
 		}
-		if _, dup := r.feedbacks[msg.From]; dup {
+		from := msg.From
+		if !r.sent[from] || failedSet[from] {
+			// Not usable this round (stale, or already given up on) —
+			// but a feedback from a suspect is evidence of life.
+			if s.m.Reinstate(from) {
+				delete(s.probes, from)
+			}
+			continue
+		}
+		if _, dup := r.feedbacks[from]; dup {
 			continue
 		}
 		// A feedback must have the shape of the generated batch it
@@ -278,11 +408,107 @@ func (s *server) collect(r *round) error {
 		// corrupt frame cannot over-allocate.
 		f, err := decodeFeedbackAny(msg.Payload, r.shape)
 		if err != nil {
-			return err
+			// Corrupt frame: strike the sender and continue the round.
+			// Its swap receiver needs no release — workers ship their
+			// swap before their feedback, so it is already in flight.
+			strikes := s.m.NoteCorrupt(from)
+			if s.roundTimeout <= 0 || strikes >= s.m.SuspectThreshold() {
+				s.m.Fail(from)
+			} else {
+				s.m.Suspect(from)
+			}
+			if failedSet == nil {
+				failedSet = make(map[string]bool)
+				canceled = make(map[string]bool)
+			}
+			failedSet[from] = true
+			failed++
+			continue
 		}
-		r.feedbacks[msg.From] = f
+		if s.m.Reinstate(from) {
+			// Suspected at an earlier expiry this round, answered after
+			// all — the feedback still counts.
+			delete(s.probes, from)
+		}
+		r.feedbacks[from] = f
 	}
 	return nil
+}
+
+// tickProbes advances the suspect probe cycle at a round boundary: a
+// probe that went unanswered since the last tick is another miss
+// (possibly escalating the suspect to demotion), then every remaining
+// suspect is (re)probed. Pongs are consumed by collect and awaitRejoin,
+// which reinstate the sender — a worker stuck outside its main loop
+// cannot answer, so reinstatement needs real evidence of life, never
+// mere send success (which would flap a dead-but-reachable worker in
+// and out of the active set forever).
+func (s *server) tickProbes() {
+	// A probe answer — or a straggler's own late feedback — may have
+	// arrived after the previous collect exited and be sitting unread
+	// in the inbox (with an unbuffered transport, the worker is parked
+	// mid-Send). Consume that evidence of life before ticking, so a
+	// prompt answer is never counted as a miss. No round is in flight
+	// at a prepare boundary, so anything queued here is a pong or a
+	// stale feedback frame.
+	inbox := s.net.Inbox(serverName)
+drain:
+	for {
+		select {
+		case msg, ok := <-inbox:
+			if !ok {
+				break drain
+			}
+			if msg.Type == msgPong || msg.Type == msgFeedback {
+				if s.m.Reinstate(msg.From) {
+					delete(s.probes, msg.From)
+				}
+			}
+		default:
+			break drain
+		}
+	}
+	for _, name := range s.m.Suspects() {
+		if s.probes[name] {
+			s.m.NoteTimeout(name)
+			s.m.Suspect(name)
+		}
+	}
+	clear(s.probes)
+	for _, name := range s.m.Suspects() {
+		if err := s.net.Send(simnet.Message{
+			From: serverName, To: name, Type: msgPing, Kind: simnet.CtoW,
+		}); err != nil {
+			s.m.NoteTimeout(name)
+			s.m.Suspect(name) // transport still refuses: another miss
+		} else {
+			s.probes[name] = true
+		}
+	}
+}
+
+// awaitRejoin blocks up to RoundTimeout for evidence of life from any
+// suspect, reinstating the first that answers; it reports whether one
+// did. Used when the active set drained entirely — the alternative to
+// ending training while suspects may still recover.
+func (s *server) awaitRejoin() bool {
+	inbox := s.net.Inbox(serverName)
+	timer := time.NewTimer(s.roundTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case msg, ok := <-inbox:
+			if !ok {
+				return false
+			}
+			if (msg.Type == msgPong || msg.Type == msgFeedback) && s.m.Reinstate(msg.From) {
+				delete(s.probes, msg.From)
+				return true
+			}
+		case <-timer.C:
+			return false
+		}
+	}
 }
 
 // apply merges the feedbacks per generated batch and backpropagates

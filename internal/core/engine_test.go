@@ -14,6 +14,7 @@ package core
 // convergent to the same ring at full length.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -430,35 +431,44 @@ func TestMidRoundSendFailureWithSwapsReleasesReceiver(t *testing.T) {
 	inner.Close()
 }
 
-// corruptNet wraps a Net and flips feedback payloads to garbage so the
-// server's decode fails — a deterministic way to drive Train down an
-// error return path with a caller-supplied transport.
-type corruptNet struct {
+// brokenNet wraps a Net and fails a batches send with a plain (non-
+// ErrNodeDown) transport error from a given send count onward — the
+// "transport itself is broken" class the engine treats as fatal, and a
+// deterministic way to drive Train down an error return path with a
+// caller-supplied transport. (A corrupt FEEDBACK no longer aborts the
+// run — see TestCorruptFeedbackDoesNotAbortRun — so the fatal path
+// must be driven from the dispatch side.)
+type brokenNet struct {
 	simnet.Net
+	after int // fail batches sends once this many succeeded
+	sent  int
 }
 
-func (c *corruptNet) Send(msg simnet.Message) error {
-	if msg.Type == msgFeedback {
-		msg.Payload = []byte{200, 1, 2, 3} // unknown compression byte
+func (b *brokenNet) Send(msg simnet.Message) error {
+	if msg.Type == msgBatches {
+		b.sent++
+		if b.sent > b.after {
+			return fmt.Errorf("injected transport failure")
+		}
 	}
-	return c.Net.Send(msg)
+	return b.Net.Send(msg)
 }
 
 // TestTrainErrorPathStopsWorkers is the goroutine-leak regression for
 // the shutdown satellite: with a caller-supplied net, an error return
-// from the round loop (here: a feedback that fails to decode) used to
-// leave every worker goroutine blocked on its inbox forever — no stop
-// was sent and wait() was never reached. The defer-based shutdown must
-// reap them on every exit path.
+// from the round loop (here: a fatal transport error at dispatch) used
+// to leave every worker goroutine blocked on its inbox forever — no
+// stop was sent and wait() was never reached. The defer-based shutdown
+// must reap them on every exit path.
 func TestTrainErrorPathStopsWorkers(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := goroutineBaseline()
 	inner := simnet.NewChannelNet(0)
 	shards := ringShards(4, 96, 353)
 	cfg := baseConfig()
 	cfg.Iters = 10
-	cfg.Net = &corruptNet{Net: inner}
+	cfg.Net = &brokenNet{Net: inner, after: 6}
 	if _, err := Train(shards, gan.RingMLP(), cfg, nil); err == nil {
-		t.Fatal("corrupted feedback must surface a decode error")
+		t.Fatal("a fatal transport error at dispatch must surface")
 	}
 	// The caller still owns the net: workers must be gone even before
 	// it is closed.

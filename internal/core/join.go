@@ -41,7 +41,13 @@ func (s *server) processJoins(it int, spawn func(shard *dataset.Dataset) (*worke
 		return nil
 	}
 	for _, shard := range shards {
-		donors := s.m.Live()
+		// Prefer an active (non-suspect) donor — a suspect may be
+		// unreachable right now; identical to Live on fault-free runs,
+		// so the RNG draw stays on the pinned stream.
+		donors := s.m.Active()
+		if len(donors) == 0 {
+			donors = s.m.Live()
+		}
 		if len(donors) == 0 {
 			return fmt.Errorf("core: worker join at iteration %d with no live donor", it)
 		}
@@ -67,6 +73,12 @@ func (s *server) processJoins(it int, spawn func(shard *dataset.Dataset) (*worke
 			}
 			if msg.Type == msgDParams && msg.From == donor {
 				params = msg.Payload
+			} else if msg.Type == msgPong || msg.Type == msgFeedback {
+				// Evidence of life from a probed suspect must not be
+				// silently discarded while we wait for the clone reply.
+				if s.m.Reinstate(msg.From) {
+					delete(s.probes, msg.From)
+				}
 			}
 		}
 		// Hand the pre-trained discriminator to the joiner before it

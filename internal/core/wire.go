@@ -21,6 +21,8 @@ const (
 	msgFeedback = "feedback" // W→C: error feedback F_n
 	msgSwap     = "swap"     // W→W: discriminator parameters
 	msgStop     = "stop"     // C→W: terminate
+	msgPing     = "ping"     // C→W: liveness probe of a suspect
+	msgPong     = "pong"     // W→C: probe reply (evidence of life)
 )
 
 // batchesMsg carries the per-worker payload of step 1 (§IV-A): the

@@ -72,6 +72,17 @@ func (w *worker) run() {
 		switch msg.Type {
 		case msgStop:
 			return
+		case msgPing:
+			// Liveness probe: the server suspects us (our feedback missed
+			// a round deadline). Answering from the main loop — and ONLY
+			// from here — is deliberate: a worker stuck in a swap
+			// rendezvous cannot pong, so the server keeps ticking its
+			// escalation counter and eventually demotes it, closing its
+			// inbox and unblocking the rendezvous. A pong is therefore
+			// real evidence of life, not just of a reachable transport.
+			_ = w.net.Send(simnet.Message{
+				From: w.name, To: serverName, Type: msgPong, Kind: simnet.WtoC,
+			})
 		case msgSwap:
 			// A swap that arrived outside a rendezvous: adopt the
 			// incoming discriminator if its round has already passed
@@ -87,7 +98,7 @@ func (w *worker) run() {
 			// immediately.)
 			r, params, err := decodeSwap(msg.Payload)
 			if err != nil {
-				return
+				continue // corrupt frame: a lost swap, not a death sentence
 			}
 			if r > w.lastRound && !w.lazySwap {
 				w.futureSwaps = append(w.futureSwaps, msg)
@@ -97,7 +108,7 @@ func (w *worker) run() {
 				continue
 			}
 			if err := decodeDiscParamsInto(w.d, params); err != nil {
-				return
+				continue // corrupt parameters: keep our own discriminator
 			}
 		case msgClone:
 			// The server asked for a copy of our discriminator to
@@ -132,9 +143,20 @@ func (w *worker) next(inbox <-chan simnet.Message) (simnet.Message, bool) {
 // and the swap when commanded. Returns false when the worker must stop.
 func (w *worker) handleBatches(msg simnet.Message) bool {
 	if err := decodeBatches(msg.Payload, &w.bm); err != nil {
-		return false
+		// A corrupt batches frame is a transient fault, not a reason to
+		// die: skip the round. The server's deadline will notice the
+		// missing feedback and suspect us; its probe finds us alive.
+		return true
 	}
 	bm := &w.bm
+	if bm.Round <= w.lastRound {
+		// Duplicate delivery (an at-least-once transport, or a chaos
+		// net): the round was already trained. Re-running it would send
+		// a second swap AND open a second rendezvous nothing will ever
+		// resolve. Rounds per worker are strictly increasing in every
+		// mode (global iterations, or the per-worker counter in async).
+		return true
+	}
 	w.lastRound = bm.Round
 	// Step 2 (§IV-A): L discriminator learning steps against the local
 	// shard. X^(r) is drawn once per global iteration (Algorithm 1
@@ -200,14 +222,14 @@ func (w *worker) awaitSwap(round int) bool {
 		r, params, err := decodeSwap(msg.Payload)
 		switch {
 		case err != nil:
-			return false
+			// Corrupt frame: discard it (its rendezvous, if any, is
+			// released by the server's deadline machinery).
 		case r == round && match == nil:
 			match = &msg
 		case r < round:
 			if len(params) > 0 {
-				if decodeDiscParamsInto(w.d, params) != nil {
-					return false
-				}
+				// Stray adoption; corrupt parameters → keep our own D.
+				_ = decodeDiscParamsInto(w.d, params)
 			}
 		default:
 			keep = append(keep, msg)
@@ -216,10 +238,12 @@ func (w *worker) awaitSwap(round int) bool {
 	w.futureSwaps = keep
 	if match != nil {
 		_, params, _ := decodeSwap(match.Payload)
-		if len(params) == 0 {
-			return true // swap cancelled: keep our discriminator
+		if len(params) > 0 {
+			// Corrupt parameters resolve the rendezvous like a
+			// cancellation: the swap is lost, our own D carries on.
+			_ = decodeDiscParamsInto(w.d, params)
 		}
-		return decodeDiscParamsInto(w.d, params) == nil
+		return true
 	}
 	inbox := w.net.Inbox(w.name)
 	for {
@@ -230,7 +254,7 @@ func (w *worker) awaitSwap(round int) bool {
 		if msg.Type == msgSwap {
 			r, params, err := decodeSwap(msg.Payload)
 			if err != nil {
-				return false
+				continue // corrupt frame: not this rendezvous's release
 			}
 			if r > round {
 				// A later rendezvous's traffic: hold it where only that
@@ -239,16 +263,18 @@ func (w *worker) awaitSwap(round int) bool {
 				continue
 			}
 			if r < round {
-				// Straggler from a resolved round: stray rules.
-				if len(params) > 0 && decodeDiscParamsInto(w.d, params) != nil {
-					return false
+				// Straggler from a resolved round: stray rules (corrupt
+				// parameters → keep our own discriminator).
+				if len(params) > 0 {
+					_ = decodeDiscParamsInto(w.d, params)
 				}
 				continue
 			}
-			if len(params) == 0 {
-				return true // swap cancelled: keep our discriminator
+			if len(params) > 0 {
+				// Corrupt parameters resolve like a cancellation.
+				_ = decodeDiscParamsInto(w.d, params)
 			}
-			return decodeDiscParamsInto(w.d, params) == nil
+			return true
 		}
 		if msg.Type == msgStop {
 			// Shutdown beats the swap: requeue so run() sees it next.

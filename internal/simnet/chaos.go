@@ -1,0 +1,243 @@
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosNet is a fault-injecting Net wrapper: a seeded, deterministic
+// adversary between the protocol and any real transport (ChannelNet or
+// TCPNet). Per message it can drop, delay, duplicate or corrupt the
+// payload, and whole nodes can be partitioned away and healed again —
+// the transient faults the round engines' deadline/quorum/suspect
+// machinery exists to survive. Tests, `mdgan-train -chaos` and
+// verify.sh's chaos gate all drive the trainers through it.
+//
+// Determinism: all fault decisions come from one seeded *rand.Rand
+// consumed under the net's lock, so a fixed seed and a fixed message
+// sequence yield the same faults. (Messages sent concurrently — e.g.
+// BroadcastEach fan-out — race for the stream, so runs are repeatable
+// rather than bitwise-pinned; the strict engine's bitwise tests run
+// without chaos.)
+//
+// Dropped and partitioned messages are lost SILENTLY: Send returns nil,
+// exactly like a real datagram loss or a peer behind a partition whose
+// kernel still ACKs. The sender finds out the way real systems do — by
+// a missing response and a deadline. Control-plane shutdown is exempt:
+// message types in ProtectTypes (by default just "stop") are never
+// dropped, corrupted or partitioned away, only delayed, so a chaotic
+// run can always be reaped without leaking worker goroutines.
+type ChaosNet struct {
+	inner Net
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	cfg      ChaosConfig
+	isolated map[string]bool // nodes currently partitioned from the rest
+
+	closed chan struct{}
+	wg     sync.WaitGroup // in-flight delayed deliveries
+
+	stats ChaosStats
+}
+
+// ChaosConfig configures the per-message fault probabilities. All
+// probabilities are in [0, 1] and evaluated independently per message
+// in a fixed order (drop, corrupt, delay, duplicate).
+type ChaosConfig struct {
+	// Seed seeds the fault stream.
+	Seed int64
+	// Drop is the probability a message is silently lost.
+	Drop float64
+	// Corrupt is the probability a message's payload is delivered with
+	// flipped bytes (exercising the wire decoders' hardening in anger).
+	Corrupt float64
+	// CorruptKinds restricts corruption to the given link kinds; nil
+	// corrupts every kind.
+	CorruptKinds map[Kind]bool
+	// Delay is the probability a message is held back before delivery.
+	Delay float64
+	// MaxDelay bounds the uniform random hold-back (default 5ms when
+	// Delay > 0 and MaxDelay == 0). Delayed messages are delivered
+	// asynchronously, so they reorder against later traffic — the
+	// round-tag machinery's reason to exist.
+	MaxDelay time.Duration
+	// Duplicate is the probability a message is delivered twice (the
+	// at-least-once failure mode of retrying transports).
+	Duplicate float64
+	// ProtectTypes lists message types exempt from drop/corrupt/
+	// partition (delay still applies). Nil selects {"stop": true};
+	// use an explicitly empty, non-nil map to protect nothing.
+	ProtectTypes map[string]bool
+}
+
+// ChaosStats counts the faults actually injected.
+type ChaosStats struct {
+	Dropped, Corrupted, Delayed, Duplicated int64
+	// Partitioned counts messages lost to an active partition
+	// (accounted separately from probabilistic drops).
+	Partitioned int64
+}
+
+// WrapChaos wraps inner in a ChaosNet with the given configuration.
+func WrapChaos(inner Net, cfg ChaosConfig) *ChaosNet {
+	if cfg.ProtectTypes == nil {
+		cfg.ProtectTypes = map[string]bool{"stop": true}
+	}
+	if cfg.Delay > 0 && cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &ChaosNet{
+		inner:    inner,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cfg:      cfg,
+		isolated: make(map[string]bool),
+		closed:   make(chan struct{}),
+	}
+}
+
+// Partition isolates the named nodes from every node not named: sends
+// crossing the boundary (either direction) are silently lost until the
+// nodes are healed. Messages between two isolated nodes still flow.
+func (c *ChaosNet) Partition(nodes ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range nodes {
+		c.isolated[n] = true
+	}
+}
+
+// Heal removes the named nodes from the partition; with no arguments it
+// heals every partitioned node.
+func (c *ChaosNet) Heal(nodes ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(nodes) == 0 {
+		clear(c.isolated)
+		return
+	}
+	for _, n := range nodes {
+		delete(c.isolated, n)
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (c *ChaosNet) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Retries exposes the inner transport's retry counter (0 when the
+// transport has none) so the fault accounting composes through the
+// wrapper.
+func (c *ChaosNet) Retries() int64 {
+	if r, ok := c.inner.(interface{ Retries() int64 }); ok {
+		return r.Retries()
+	}
+	return 0
+}
+
+// Register implements Net.
+func (c *ChaosNet) Register(node string) error { return c.inner.Register(node) }
+
+// Inbox implements Net.
+func (c *ChaosNet) Inbox(node string) <-chan Message { return c.inner.Inbox(node) }
+
+// Crash implements Net.
+func (c *ChaosNet) Crash(node string) { c.inner.Crash(node) }
+
+// Snapshot implements Net.
+func (c *ChaosNet) Snapshot() Traffic { return c.inner.Snapshot() }
+
+// Close implements Net: it aborts pending delayed deliveries, waits for
+// their goroutines, then closes the inner transport.
+func (c *ChaosNet) Close() error {
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return c.inner.Close()
+}
+
+// Send implements Net, applying the configured faults. The error
+// surface is the inner transport's: a dropped or partitioned message
+// reports success (the loss is silent, as on a real network).
+func (c *ChaosNet) Send(msg Message) error {
+	c.mu.Lock()
+	protected := c.cfg.ProtectTypes[msg.Type]
+	if !protected {
+		if c.isolated[msg.From] != c.isolated[msg.To] {
+			c.stats.Partitioned++
+			c.mu.Unlock()
+			return nil
+		}
+		if c.cfg.Drop > 0 && c.rng.Float64() < c.cfg.Drop {
+			c.stats.Dropped++
+			c.mu.Unlock()
+			return nil
+		}
+		if c.cfg.Corrupt > 0 &&
+			(c.cfg.CorruptKinds == nil || c.cfg.CorruptKinds[msg.Kind]) &&
+			c.rng.Float64() < c.cfg.Corrupt && len(msg.Payload) > 0 {
+			msg.Payload = c.corruptPayload(msg.Payload)
+			c.stats.Corrupted++
+		}
+	}
+	var delay time.Duration
+	if c.cfg.Delay > 0 && c.rng.Float64() < c.cfg.Delay {
+		delay = time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay))) + 1
+		c.stats.Delayed++
+	}
+	duplicate := !protected && c.cfg.Duplicate > 0 && c.rng.Float64() < c.cfg.Duplicate
+	if duplicate {
+		c.stats.Duplicated++
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		c.deliverLater(msg, delay, duplicate)
+		return nil
+	}
+	err := c.inner.Send(msg)
+	if duplicate && err == nil {
+		err = c.inner.Send(msg)
+	}
+	return err
+}
+
+// corruptPayload returns a copy of p with 1–4 random bytes flipped
+// (the original may be aliased by the caller's encode buffers).
+func (c *ChaosNet) corruptPayload(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	for i, n := 0, 1+c.rng.Intn(4); i < n; i++ {
+		out[c.rng.Intn(len(out))] ^= byte(1 + c.rng.Intn(255))
+	}
+	return out
+}
+
+// deliverLater hands msg to the inner transport after the delay, or
+// drops it if the net closes first. Delivery errors are discarded: by
+// the time a held-back message lands its destination may legitimately
+// be gone, exactly like a late datagram.
+func (c *ChaosNet) deliverLater(msg Message, delay time.Duration, duplicate bool) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			if err := c.inner.Send(msg); err == nil && duplicate {
+				_ = c.inner.Send(msg)
+			}
+		case <-c.closed:
+		}
+	}()
+}

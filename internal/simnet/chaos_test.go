@@ -1,0 +1,344 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// chaosPair builds a ChaosNet over a ChannelNet with two registered
+// nodes, a and b.
+func chaosPair(t *testing.T, cfg ChaosConfig) (*ChaosNet, func()) {
+	t.Helper()
+	inner := NewChannelNet(0)
+	for _, node := range []string{"a", "b"} {
+		if err := inner.Register(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := WrapChaos(inner, cfg)
+	return c, func() { c.Close() }
+}
+
+func chaosMsg(typ string, payload []byte) Message {
+	return Message{From: "a", To: "b", Type: typ, Kind: CtoW, Payload: payload}
+}
+
+func TestChaosPassThroughWithoutFaults(t *testing.T) {
+	c, done := chaosPair(t, ChaosConfig{Seed: 1})
+	defer done()
+	if err := c.Send(chaosMsg("batches", []byte("hello"))); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-c.Inbox("b")
+	if string(msg.Payload) != "hello" {
+		t.Fatalf("payload = %q", msg.Payload)
+	}
+	if s := c.Stats(); s != (ChaosStats{}) {
+		t.Fatalf("fault-free config injected faults: %+v", s)
+	}
+}
+
+func TestChaosDropIsSilent(t *testing.T) {
+	c, done := chaosPair(t, ChaosConfig{Seed: 1, Drop: 1})
+	defer done()
+	if err := c.Send(chaosMsg("batches", []byte("x"))); err != nil {
+		t.Fatalf("a dropped message must report success, got %v", err)
+	}
+	select {
+	case msg := <-c.Inbox("b"):
+		t.Fatalf("dropped message delivered: %+v", msg)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if s := c.Stats(); s.Dropped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestChaosProtectsStopFromDropAndPartition(t *testing.T) {
+	c, done := chaosPair(t, ChaosConfig{Seed: 1, Drop: 1, Corrupt: 1})
+	defer done()
+	c.Partition("b")
+	if err := c.Send(chaosMsg("stop", []byte("s"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-c.Inbox("b"):
+		if string(msg.Payload) != "s" {
+			t.Fatalf("stop payload corrupted: %q", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop message must survive drop+corrupt+partition (shutdown must always be reapable)")
+	}
+}
+
+func TestChaosPartitionAndHeal(t *testing.T) {
+	c, done := chaosPair(t, ChaosConfig{Seed: 1})
+	defer done()
+	c.Partition("b")
+	if err := c.Send(chaosMsg("batches", []byte("x"))); err != nil {
+		t.Fatalf("a partitioned message is silently lost, got %v", err)
+	}
+	// Both directions cross the boundary.
+	if err := c.Send(Message{From: "b", To: "a", Type: "feedback", Kind: WtoC, Payload: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Partitioned != 2 {
+		t.Fatalf("partitioned = %d, want 2", s.Partitioned)
+	}
+	c.Heal()
+	if err := c.Send(chaosMsg("batches", []byte("z"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-c.Inbox("b"):
+		if string(msg.Payload) != "z" {
+			t.Fatalf("post-heal payload = %q", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("healed link must deliver")
+	}
+}
+
+func TestChaosCorruptFlipsBytesOnSelectedKindsOnly(t *testing.T) {
+	c, done := chaosPair(t, ChaosConfig{
+		Seed: 3, Corrupt: 1, CorruptKinds: map[Kind]bool{WtoC: true},
+	})
+	defer done()
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	if err := c.Send(Message{From: "b", To: "a", Type: "feedback", Kind: WtoC, Payload: append([]byte(nil), orig...)}); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-c.Inbox("a")
+	if bytes.Equal(msg.Payload, orig) {
+		t.Fatal("WtoC payload must be corrupted")
+	}
+	if len(msg.Payload) != len(orig) {
+		t.Fatalf("corruption changed length: %d", len(msg.Payload))
+	}
+	// A kind outside CorruptKinds passes untouched.
+	if err := c.Send(chaosMsg("batches", append([]byte(nil), orig...))); err != nil {
+		t.Fatal(err)
+	}
+	if msg := <-c.Inbox("b"); !bytes.Equal(msg.Payload, orig) {
+		t.Fatal("CtoW payload must pass uncorrupted")
+	}
+	if s := c.Stats(); s.Corrupted != 1 {
+		t.Fatalf("corrupted = %d", s.Corrupted)
+	}
+}
+
+func TestChaosDuplicateDeliversTwice(t *testing.T) {
+	c, done := chaosPair(t, ChaosConfig{Seed: 1, Duplicate: 1})
+	defer done()
+	if err := c.Send(chaosMsg("batches", []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-c.Inbox("b"):
+		case <-time.After(2 * time.Second):
+			t.Fatalf("copy %d never arrived", i)
+		}
+	}
+	if s := c.Stats(); s.Duplicated != 1 {
+		t.Fatalf("duplicated = %d", s.Duplicated)
+	}
+}
+
+func TestChaosDelayedDeliveryArrives(t *testing.T) {
+	c, done := chaosPair(t, ChaosConfig{Seed: 1, Delay: 1, MaxDelay: 5 * time.Millisecond})
+	defer done()
+	if err := c.Send(chaosMsg("batches", []byte("late"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-c.Inbox("b"):
+		if string(msg.Payload) != "late" {
+			t.Fatalf("payload = %q", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed message never delivered")
+	}
+	if s := c.Stats(); s.Delayed != 1 {
+		t.Fatalf("delayed = %d", s.Delayed)
+	}
+}
+
+// TestChaosCloseAbortsPendingDelays: Close must not hang on (or panic
+// from) deliveries still held back, even when the destination inbox is
+// gone by then.
+func TestChaosCloseAbortsPendingDelays(t *testing.T) {
+	c, _ := chaosPair(t, ChaosConfig{Seed: 1, Delay: 1, MaxDelay: time.Hour})
+	for i := 0; i < 8; i++ {
+		if err := c.Send(chaosMsg("batches", []byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	donec := make(chan struct{})
+	go func() { c.Close(); close(donec) }()
+	select {
+	case <-donec:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on pending delayed deliveries")
+	}
+}
+
+// TestChaosDeterministicFaultStream: a fixed seed and a fixed message
+// sequence must reproduce the exact same faults.
+func TestChaosDeterministicFaultStream(t *testing.T) {
+	run := func(seed int64) ChaosStats {
+		c, done := chaosPair(t, ChaosConfig{Seed: seed, Drop: 0.3, Corrupt: 0.2, Duplicate: 0.2})
+		defer done()
+		for i := 0; i < 200; i++ {
+			if err := c.Send(chaosMsg("batches", []byte{byte(i), 1, 2, 3})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Dropped == 0 || a.Corrupted == 0 || a.Duplicated == 0 {
+		t.Fatalf("fault probabilities never fired: %+v", a)
+	}
+	if c := run(43); c == a {
+		t.Fatalf("different seeds produced identical fault streams: %+v", c)
+	}
+}
+
+// TestChaosRetriesComposeThroughWrapper: the wrapper forwards the inner
+// transport's retry counter for the fault accounting.
+func TestChaosRetriesComposeThroughWrapper(t *testing.T) {
+	inner := NewTCPNet()
+	c := WrapChaos(inner, ChaosConfig{Seed: 1})
+	defer c.Close()
+	if got := c.Retries(); got != 0 {
+		t.Fatalf("retries = %d", got)
+	}
+	inner.retries.Add(3)
+	if got := c.Retries(); got != 3 {
+		t.Fatalf("retries = %d, want 3 (delegated to inner)", got)
+	}
+	// A ChannelNet has no retry counter: the wrapper reports 0.
+	c2 := WrapChaos(NewChannelNet(0), ChaosConfig{Seed: 1})
+	defer c2.Close()
+	if got := c2.Retries(); got != 0 {
+		t.Fatalf("channel retries = %d", got)
+	}
+}
+
+// --- TCPNet hardening (dial/write deadlines, retry with backoff) ---
+
+// TestTCPWriteDeadlineUnblocksStalledPeer is the fails-on-pre-fix
+// regression for the write-deadline satellite: a peer that accepts the
+// connection but never reads (full receive window) used to block
+// Send — and with it the server's dispatch loop — forever. With
+// SetWriteDeadline armed per frame, the send must fail over to the
+// retry path and surface ErrNodeDown within a few timeouts.
+func TestTCPWriteDeadlineUnblocksStalledPeer(t *testing.T) {
+	n := NewTCPNet()
+	defer n.Close()
+	if err := n.Register("server"); err != nil {
+		t.Fatal(err)
+	}
+	// A raw listener that accepts and then never reads: the OS buffers
+	// fill and the sender's write blocks.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			<-stop // hold the conn open, read nothing
+		}
+	}()
+	n.mu.Lock()
+	n.addrs["stalled"] = l.Addr().String()
+	n.mu.Unlock()
+	n.WriteTimeout = 200 * time.Millisecond
+
+	// Larger than anything the kernel will buffer (tcp_wmem caps out at
+	// a few MB), so even a retry's fresh dial cannot absorb the frame —
+	// every attempt must hit the write deadline.
+	payload := make([]byte, 1<<26)
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			err := n.Send(Message{From: "server", To: "stalled", Type: "batches", Kind: CtoW, Payload: payload})
+			if err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("stalled-peer send error = %v, want ErrNodeDown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("send to a stalled peer never timed out (write deadline not armed)")
+	}
+	if n.Retries() == 0 {
+		t.Fatal("the timed-out write must be counted as retried")
+	}
+}
+
+// TestTCPDialFailureIsRetriedWithBackoff: a refused dial (peer mid-
+// restart) goes through the backoff retry path — and counts its
+// retries — before reporting the peer down.
+func TestTCPDialFailureIsRetriedWithBackoff(t *testing.T) {
+	n := NewTCPNet()
+	defer n.Close()
+	if err := n.Register("server"); err != nil {
+		t.Fatal(err)
+	}
+	// Grab a port with nothing listening on it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	n.mu.Lock()
+	n.addrs["gone"] = addr
+	n.mu.Unlock()
+
+	start := time.Now()
+	err = n.Send(Message{From: "server", To: "gone", Type: "batches", Kind: CtoW, Payload: []byte("x")})
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("send to refused port = %v, want ErrNodeDown", err)
+	}
+	if got := n.Retries(); got != tcpSendAttempts-1 {
+		t.Fatalf("retries = %d, want %d", got, tcpSendAttempts-1)
+	}
+	// The exponential backoff must actually have been slept.
+	if minimum := tcpRetryBase + 2*tcpRetryBase; time.Since(start) < minimum {
+		t.Fatalf("attempts returned after %v, backoff (≥ %v) not applied", time.Since(start), minimum)
+	}
+}
+
+func TestRetryBackoffGrowsWithJitter(t *testing.T) {
+	for attempt := 1; attempt <= 3; attempt++ {
+		base := tcpRetryBase << (attempt - 1)
+		for i := 0; i < 20; i++ {
+			d := retryBackoff(attempt)
+			if d < base || d > base+base/2 {
+				t.Fatalf("attempt %d backoff %v outside [%v, %v]", attempt, d, base, base+base/2)
+			}
+		}
+	}
+}

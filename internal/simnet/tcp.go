@@ -3,8 +3,31 @@ package simnet
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default socket deadlines and retry backoff. A SYN-blackholed peer (a
+// firewalled or partitioned host) otherwise blocks net.Dial for the
+// kernel's SYN-retry budget (minutes), and a stalled peer whose receive
+// window is full blocks a write forever — either one used to hang the
+// server's dispatch loop for the rest of the run.
+const (
+	// DefaultDialTimeout bounds connection establishment.
+	DefaultDialTimeout = 2 * time.Second
+	// DefaultWriteTimeout bounds each gob frame write (armed fresh
+	// before every encode, so long-lived idle connections are fine).
+	DefaultWriteTimeout = 5 * time.Second
+	// tcpSendAttempts is the total number of send attempts (the first
+	// try plus fresh-dial retries).
+	tcpSendAttempts = 3
+	// tcpRetryBase is the first retry's backoff; it doubles per attempt
+	// with up to 50% random jitter added (decorrelating the retry
+	// storms of many senders hitting one recovering peer).
+	tcpRetryBase = 20 * time.Millisecond
 )
 
 // TCPNet is a Net implementation over real loopback/LAN sockets using
@@ -13,6 +36,12 @@ import (
 // gob-framed messages. Traffic accounting counts application payload
 // bytes (identical to ChannelNet), so the communication tables are
 // transport-independent.
+//
+// Sends are hardened against transient peer stalls: dials are bounded
+// by DialTimeout, every frame write is bounded by WriteTimeout, and a
+// failed write is retried over a fresh connection with exponential
+// backoff and jitter before the peer is reported down. Retries() counts
+// those recovery attempts for the fault accounting.
 type TCPNet struct {
 	mu        sync.Mutex
 	addrs     map[string]string
@@ -23,6 +52,14 @@ type TCPNet struct {
 	down      map[string]bool
 	acct      *accounting
 	wg        sync.WaitGroup
+	retries   atomic.Int64
+
+	// DialTimeout and WriteTimeout bound connection establishment and
+	// per-frame writes. They default to DefaultDialTimeout /
+	// DefaultWriteTimeout and may be lowered before the first Send
+	// (tests use short deadlines to exercise the expiry paths).
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
 }
 
 type gobConn struct {
@@ -34,15 +71,21 @@ type gobConn struct {
 // NewTCPNet creates a TCP-backed network on loopback.
 func NewTCPNet() *TCPNet {
 	return &TCPNet{
-		addrs:     make(map[string]string),
-		listeners: make(map[string]net.Listener),
-		inboxes:   make(map[string]chan Message),
-		incoming:  make(map[string][]net.Conn),
-		conns:     make(map[string]*gobConn),
-		down:      make(map[string]bool),
-		acct:      newAccounting(),
+		addrs:        make(map[string]string),
+		listeners:    make(map[string]net.Listener),
+		inboxes:      make(map[string]chan Message),
+		incoming:     make(map[string][]net.Conn),
+		conns:        make(map[string]*gobConn),
+		down:         make(map[string]bool),
+		acct:         newAccounting(),
+		DialTimeout:  DefaultDialTimeout,
+		WriteTimeout: DefaultWriteTimeout,
 	}
 }
+
+// Retries returns the number of fresh-dial send retries performed so
+// far — the transport-level entry of the fault accounting.
+func (n *TCPNet) Retries() int64 { return n.retries.Load() }
 
 // Register implements Net: the node gets a listener on an ephemeral
 // loopback port and an accept loop feeding its inbox.
@@ -103,12 +146,20 @@ func (n *TCPNet) acceptLoop(node string, l net.Listener, inbox chan Message) {
 	}
 }
 
-// Send implements Net. A write failure on a pooled connection gets one
-// retry over a fresh dial before the destination is reported down: an
-// idle connection torn down by the peer's OS (or a NAT) must not read
-// as a worker death — the round engines demote ErrNodeDown
-// destinations permanently, so a stale socket would silently drop a
-// healthy worker and its shard from training.
+// retryBackoff returns the sleep before retry attempt (1-based):
+// exponential from tcpRetryBase with up to 50% random jitter.
+func retryBackoff(attempt int) time.Duration {
+	d := tcpRetryBase << (attempt - 1)
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// Send implements Net. A dial or write failure (including a deadline
+// expiry on a stalled peer) gets fresh-dial retries with exponential
+// backoff before the destination is reported down: an idle connection
+// torn down by the peer's OS (or a NAT) must not read as a worker death
+// — the round engines suspect/demote ErrNodeDown destinations, so a
+// stale socket would otherwise silently drop a healthy worker and its
+// shard from training.
 func (n *TCPNet) Send(msg Message) error {
 	n.mu.Lock()
 	addr, ok := n.addrs[msg.To]
@@ -119,18 +170,21 @@ func (n *TCPNet) Send(msg Message) error {
 		return fmt.Errorf("%w: %s", ErrNodeDown, msg.To)
 	}
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; attempt < tcpSendAttempts; attempt++ {
+		if attempt > 0 {
+			n.retries.Add(1)
+			time.Sleep(retryBackoff(attempt))
+		}
 		n.mu.Lock()
 		gc := n.conns[key]
 		n.mu.Unlock()
 		if gc == nil {
-			conn, err := net.Dial("tcp", addr)
+			conn, err := net.DialTimeout("tcp", addr, n.DialTimeout)
 			if err != nil {
-				// An unreachable peer is indistinguishable from a dead
-				// one in the fail-stop model: report ErrNodeDown so
-				// round engines demote the destination instead of
-				// aborting.
-				return fmt.Errorf("%w: dial %s: %v", ErrNodeDown, msg.To, err)
+				// Keep retrying: a refused or timed-out dial may be a
+				// transient partition or a peer mid-restart.
+				lastErr = err
+				continue
 			}
 			gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
 			n.mu.Lock()
@@ -138,6 +192,11 @@ func (n *TCPNet) Send(msg Message) error {
 			n.mu.Unlock()
 		}
 		gc.mu.Lock()
+		// Armed fresh per frame: a stalled peer (full receive window)
+		// fails this write with a timeout instead of hanging the
+		// server's dispatch loop forever; expiry falls through to the
+		// fresh-dial retry path like any other write error.
+		_ = gc.conn.SetWriteDeadline(time.Now().Add(n.WriteTimeout))
 		err := gc.enc.Encode(msg)
 		gc.mu.Unlock()
 		if err == nil {
@@ -153,8 +212,9 @@ func (n *TCPNet) Send(msg Message) error {
 		n.mu.Unlock()
 		gc.conn.Close()
 	}
-	// Both the pooled connection and a fresh one failed: the peer's
-	// process or listener is gone — the fail-stop mapping applies.
+	// Every attempt failed: the peer is unreachable right now — report
+	// the fail-stop mapping and let the membership lifecycle decide
+	// whether it is transient (suspect) or permanent (demote).
 	return fmt.Errorf("%w: send %s→%s: %v", ErrNodeDown, msg.From, msg.To, lastErr)
 }
 

@@ -21,7 +21,9 @@ package mdgan
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
+	"mdgan/internal/cluster"
 	"mdgan/internal/core"
 	"mdgan/internal/dataset"
 	"mdgan/internal/flgan"
@@ -64,6 +66,29 @@ type (
 	// payloads (SwapFP32 by default — half of Table III's W→W row on
 	// the float64 build).
 	SwapPrecision = core.SwapPrecision
+)
+
+// Fault-tolerance surface: transient-fault accounting and the seeded
+// chaos transport used to exercise it.
+type (
+	// FaultStats is a run's transient-fault accounting (timeouts,
+	// suspects, demotions, rejoins, corrupt frames, transport retries).
+	FaultStats = cluster.FaultStats
+	// ChaosConfig parameterises the seeded fault-injecting transport
+	// wrapper (drop/delay/duplicate/corrupt probabilities).
+	ChaosConfig = simnet.ChaosConfig
+	// ChaosStats counts the faults a ChaosNet actually injected.
+	ChaosStats = simnet.ChaosStats
+	// LinkKind classifies a message's link (CtoW, WtoC, WtoW) — used
+	// to scope ChaosConfig.CorruptKinds.
+	LinkKind = simnet.Kind
+)
+
+// Link kinds for ChaosConfig.CorruptKinds.
+const (
+	LinkCtoW = simnet.CtoW
+	LinkWtoC = simnet.WtoC
+	LinkWtoW = simnet.WtoW
 )
 
 // Re-exported extension constants.
@@ -251,6 +276,26 @@ type Options struct {
 	// fresh data shards, one new worker per shard, each entering with
 	// a copy of a live worker's discriminator. Synchronous MD-GAN only.
 	JoinAt map[int][]*Dataset
+
+	// Transient-fault tolerance (MD-GAN only).
+
+	// RoundTimeout, when > 0, bounds each round's wait for worker
+	// feedbacks: missing workers are suspected (skipped but retained,
+	// probed back in when they recover) and the round applies with the
+	// feedbacks in hand, subject to Quorum. 0 waits forever (the
+	// fail-stop-only behaviour).
+	RoundTimeout time.Duration
+	// Quorum is the minimum number of feedbacks needed to apply a
+	// round after the deadline expires (0 → 1).
+	Quorum int
+	// SuspectAfter demotes a suspect after this many consecutive
+	// misses (0 → the cluster default; < 0 → never demote).
+	SuspectAfter int
+	// Chaos, when non-nil, wraps the transport in a seeded
+	// fault-injecting ChaosNet (drops, delays, duplicates, payload
+	// corruption) — pair it with RoundTimeout to exercise the
+	// suspect/rejoin machinery deterministically.
+	Chaos *ChaosConfig
 }
 
 func (o Options) defaults() Options {
@@ -366,6 +411,12 @@ type RunResult struct {
 	G *Generator
 	// Iters is the number of generator updates performed.
 	Iters int
+	// Faults is the transient-fault accounting (MD-GAN only; zero on
+	// fault-free runs).
+	Faults FaultStats
+	// Chaos counts the faults injected by Options.Chaos (zero when no
+	// chaos transport was requested).
+	Chaos ChaosStats
 }
 
 // Run trains with the selected algorithm on ds and returns the result.
@@ -408,35 +459,66 @@ func Run(ds *Dataset, arch Arch, o Options, ev *Evaluator) (*RunResult, error) {
 		return &RunResult{Curve: curve, Traffic: res.Traffic, Live: res.Live, G: res.Model.G, Iters: res.Iters}, nil
 
 	case MDGAN:
-		shards := o.shard(ds)
-		cfg := core.Config{
-			TrainConfig:    o.trainConfig(),
-			K:              o.K,
-			SwapEvery:      o.SwapEvery,
-			CrashAt:        o.CrashAt,
-			Async:          o.Async,
-			Pipeline:       o.Pipeline,
-			Compress:       o.Compress,
-			SwapPrec:       o.SwapPrec,
-			ActivePerRound: o.ActivePerRound,
-			Byzantine:      o.Byzantine,
-			Aggregate:      o.Aggregate,
-			JoinAt:         o.JoinAt,
-		}
-		if o.UseTCP {
-			net := simnet.NewTCPNet()
-			defer net.Close()
-			cfg.Net = net
-		}
-		res, err := core.Train(shards, arch, cfg, core.EvalFunc(hook))
-		if err != nil {
-			return nil, err
-		}
-		return &RunResult{Curve: curve, Traffic: res.Traffic, Live: res.Live, G: res.G, Iters: res.Iters}, nil
+		return runMDGAN(o.shard(ds), arch, o, &curve, hook)
 
 	default:
 		return nil, fmt.Errorf("mdgan: unknown algorithm %q", o.Algorithm)
 	}
+}
+
+// mdganConfig maps the facade options onto the core configuration.
+func (o Options) mdganConfig() core.Config {
+	return core.Config{
+		TrainConfig:    o.trainConfig(),
+		K:              o.K,
+		SwapEvery:      o.SwapEvery,
+		CrashAt:        o.CrashAt,
+		Async:          o.Async,
+		Pipeline:       o.Pipeline,
+		Compress:       o.Compress,
+		SwapPrec:       o.SwapPrec,
+		ActivePerRound: o.ActivePerRound,
+		Byzantine:      o.Byzantine,
+		Aggregate:      o.Aggregate,
+		JoinAt:         o.JoinAt,
+		RoundTimeout:   o.RoundTimeout,
+		Quorum:         o.Quorum,
+		SuspectAfter:   o.SuspectAfter,
+	}
+}
+
+// runMDGAN wires the transport (loopback TCP and/or the chaos wrapper)
+// and runs the core engine, folding fault and chaos accounting into the
+// result.
+func runMDGAN(shards []*Dataset, arch Arch, o Options, curve *Curve, hook func(int, *Generator)) (*RunResult, error) {
+	cfg := o.mdganConfig()
+	var base simnet.Net
+	if o.UseTCP {
+		base = simnet.NewTCPNet()
+	}
+	var chaos *simnet.ChaosNet
+	if o.Chaos != nil {
+		if base == nil {
+			base = simnet.NewChannelNet(0)
+		}
+		chaos = simnet.WrapChaos(base, *o.Chaos)
+		cfg.Net = chaos
+	} else {
+		cfg.Net = base // nil selects the in-process default
+	}
+	if cfg.Net != nil {
+		defer cfg.Net.Close()
+	}
+	res, err := core.Train(shards, arch, cfg, core.EvalFunc(hook))
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{Curve: *curve, Traffic: res.Traffic, Live: res.Live,
+		G: res.G, Iters: res.Iters, Faults: res.Faults}
+	if chaos != nil {
+		out.Chaos = chaos.Stats()
+	}
+	return out, nil
 }
 
 // RunOnShards is Run for pre-split shards (scalability experiments that
@@ -468,25 +550,7 @@ func RunOnShards(shards []*Dataset, arch Arch, o Options, ev *Evaluator) (*RunRe
 		}
 		return &RunResult{Curve: curve, Traffic: res.Traffic, Live: res.Live, G: res.Model.G, Iters: res.Iters}, nil
 	case MDGAN:
-		cfg := core.Config{
-			TrainConfig:    o.trainConfig(),
-			K:              o.K,
-			SwapEvery:      o.SwapEvery,
-			CrashAt:        o.CrashAt,
-			Async:          o.Async,
-			Pipeline:       o.Pipeline,
-			Compress:       o.Compress,
-			SwapPrec:       o.SwapPrec,
-			ActivePerRound: o.ActivePerRound,
-			Byzantine:      o.Byzantine,
-			Aggregate:      o.Aggregate,
-			JoinAt:         o.JoinAt,
-		}
-		res, err := core.Train(shards, arch, cfg, core.EvalFunc(hook))
-		if err != nil {
-			return nil, err
-		}
-		return &RunResult{Curve: curve, Traffic: res.Traffic, Live: res.Live, G: res.G, Iters: res.Iters}, nil
+		return runMDGAN(shards, arch, o, &curve, hook)
 	default:
 		return nil, fmt.Errorf("mdgan: RunOnShards supports fl-gan and md-gan, not %q", o.Algorithm)
 	}

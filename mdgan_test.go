@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"mdgan"
 )
@@ -162,5 +163,30 @@ func TestMDGANImprovesFID(t *testing.T) {
 	_, fid := res.Curve.Last()
 	if math.IsNaN(fid) || fid >= fid0*0.6 {
 		t.Fatalf("trained FID %.1f must be well below untrained FID %.1f", fid, fid0)
+	}
+}
+
+// TestRunWithChaosAndDeadline: the facade's fault-tolerance knobs reach
+// the engine — a chaotic transport with a round deadline completes,
+// reports the injected faults, and keeps the curve plumbing intact.
+func TestRunWithChaosAndDeadline(t *testing.T) {
+	ds := mdgan.GaussianRing(600, 8, 2.0, 0.05, 1)
+	res, err := mdgan.Run(ds, mdgan.RingArch(), mdgan.Options{
+		Algorithm: mdgan.MDGAN, Workers: 3, Batch: 16, Iters: 25, Seed: 2,
+		RoundTimeout: 250 * time.Millisecond,
+		SuspectAfter: 8,
+		Chaos:        &mdgan.ChaosConfig{Seed: 11, Drop: 0.02, Delay: 0.05, Duplicate: 0.02},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 25 {
+		t.Fatalf("iters = %d, want 25 despite chaos", res.Iters)
+	}
+	if res.Chaos.Dropped+res.Chaos.Delayed+res.Chaos.Duplicated == 0 {
+		t.Fatal("chaos transport injected nothing — the wrapper was not wired")
+	}
+	if res.Faults.Timeouts == 0 {
+		t.Fatal("dropped frames never cost a timeout — fault accounting not wired")
 	}
 }

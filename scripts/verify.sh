@@ -15,6 +15,9 @@
 #                                  # restrict the kernel axis (asm|noasm|both);
 #                                  # noasm suites run vet/build/test + the
 #                                  # engine gates (no race, no bench rows)
+#   MDGAN_CHAOS=off scripts/verify.sh
+#                                  # skip the named chaos/fault gates (they
+#                                  # still run inside the plain test suites)
 #   BENCH_JSON=BENCH_1.json scripts/verify.sh
 #                                  # additionally (re)generate the perf
 #                                  # trajectory file via cmd/mdgan-bench,
@@ -32,6 +35,7 @@ fi
 
 dtypes=${MDGAN_DTYPES:-both}
 kernels=${MDGAN_KERNELS:-both}
+chaos=${MDGAN_CHAOS:-on}
 
 engine_gates() { # $1 = label, $2.. = go test args
     local name=$1
@@ -75,6 +79,8 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
     # dispatch to, not just the one the CPU probe picked.
     MDGAN_GEMM_KERNEL=generic engine_gates "$name/generic-kernel" ${tagargs[@]+"${tagargs[@]}"}
 
+    chaos_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
+
     echo "== [$name] bench smoke (1 iteration) =="
     go test ${tagargs[@]+"${tagargs[@]}"} -run=NONE -bench='BenchmarkMDGANIteration$|BenchmarkGeneratorForward$|BenchmarkTableII$' -benchtime=1x -benchmem .
 
@@ -82,6 +88,22 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
         echo "== [$name] writing ${BENCH_JSON} rows =="
         go run ${tagargs[@]+"${tagargs[@]}"} ./cmd/mdgan-bench -dtype "${name%%-*}" -benchjson "${BENCH_JSON}"
     fi
+}
+
+chaos_gates() { # $1 = label, $2.. = go test args
+    local name=$1
+    shift
+    [ "$chaos" = off ] && return 0
+    # Named fault-tolerance gates, under the race detector: the K=8
+    # chaos soaks (both synchronous drivers over a seeded ChaosNet),
+    # the deadline/suspect/rejoin and corrupt-frame regressions — all
+    # of which assert no goroutine leaks across Train's exit paths —
+    # and the bitwise strict pin with the round deadline armed.
+    echo "== [$name] chaos & fault-tolerance gates (-race) =="
+    go test -race "$@" -count=1 \
+        -run 'TestChaosSoak|TestRoundDeadlineSuspectsStragglerAndRejoins|TestRoundDeadlineEscalatesToDemotion|TestCorruptFeedbackKeepsTraining|TestAsyncTimeoutDemotesUnresponsiveWorkers|TestAsyncCorruptFeedbackKeepsTraining|TestDeadlineFaultFreeKeepsStrictPin|TestTrainErrorPathStopsWorkers' \
+        ./internal/core
+    go test -race "$@" -count=1 -run 'TestChaos|TestTCP' ./internal/simnet
 }
 
 run_noasm_suite() { # $1 = dtype name, $2 = go build tags (includes noasm)
