@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"mdgan/internal/render"
 )
@@ -18,22 +19,59 @@ import (
 // and still load: the tensor decoder accepts legacy frames natively.
 var checkpointMagic = []byte{'M', 'D', 'G', 2}
 
+// checkpointWriteWrap, when non-nil, wraps the checkpoint byte sink —
+// a test seam for injecting mid-write failures without touching the
+// filesystem semantics under test.
+var checkpointWriteWrap func(io.Writer) io.Writer
+
 // SaveGenerator checkpoints a trained generator's parameters to a file.
 // The architecture is not stored: reload into a generator built from
 // the same Arch and seed-independent shape.
-func SaveGenerator(g *Generator, path string) error {
-	f, err := os.Create(path)
+//
+// The write is atomic with respect to the destination path: parameters
+// land in a same-directory temp file which is fsynced and then renamed
+// over path, so a crash (or write error) mid-checkpoint can never leave
+// a truncated file where the last good checkpoint was. This is what
+// makes the serving tier's hot-reload safe to point at a path that a
+// trainer is still periodically rewriting.
+func SaveGenerator(g *Generator, path string) (err error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("mdgan: save generator: %w", err)
 	}
-	defer f.Close()
-	if _, err := f.Write(checkpointMagic); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	var w io.Writer = f
+	if checkpointWriteWrap != nil {
+		w = checkpointWriteWrap(f)
+	}
+	if _, err = w.Write(checkpointMagic); err != nil {
 		return fmt.Errorf("mdgan: save generator: %w", err)
 	}
-	if _, err := g.WriteParams(f); err != nil {
+	if _, err = g.WriteParams(w); err != nil {
 		return fmt.Errorf("mdgan: save generator: %w", err)
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("mdgan: save generator: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("mdgan: save generator: %w", err)
+	}
+	// CreateTemp's 0600 would tighten what os.Create used to grant;
+	// restore the conventional mode before publishing the file.
+	if err = os.Chmod(tmp, 0o644); err != nil {
+		return fmt.Errorf("mdgan: save generator: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("mdgan: save generator: %w", err)
+	}
+	return nil
 }
 
 // LoadGenerator restores parameters saved with SaveGenerator into g,
@@ -61,6 +99,15 @@ func LoadGenerator(g *Generator, path string) error {
 	}
 	if _, err := g.ReadParams(r); err != nil {
 		return fmt.Errorf("mdgan: load generator: %w", err)
+	}
+	// A well-formed checkpoint ends exactly where the parameters do.
+	// Trailing bytes mean the file is not what it claims to be — a
+	// concatenation, a partial overwrite by a larger older file, or a
+	// different architecture's checkpoint whose prefix happened to
+	// parse — and loading the prefix silently would serve garbage.
+	var tail [1]byte
+	if n, _ := io.ReadFull(f, tail[:]); n != 0 {
+		return fmt.Errorf("mdgan: load generator: %s: trailing bytes after parameters (truncated overwrite or wrong architecture?)", path)
 	}
 	return nil
 }

@@ -1,0 +1,101 @@
+package mdgan
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failAfterWriter errors once budget bytes have been written — the
+// shape of a crash or full-disk failure mid-checkpoint.
+type failAfterWriter struct {
+	w      io.Writer
+	budget int
+}
+
+func (fw *failAfterWriter) Write(p []byte) (int, error) {
+	if len(p) > fw.budget {
+		n, _ := fw.w.Write(p[:fw.budget])
+		fw.budget = 0
+		return n, errors.New("injected short write")
+	}
+	fw.budget -= len(p)
+	return fw.w.Write(p)
+}
+
+// TestSaveGeneratorAtomicOnWriteFailure: a save that dies mid-write
+// must leave the last good checkpoint untouched. Before SaveGenerator
+// wrote through a temp file + rename, the failed write truncated the
+// destination in place — the serving tier's hot-reload would then read
+// a half-checkpoint where a good one used to be.
+func TestSaveGeneratorAtomicOnWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.ckpt")
+	g1 := MLPArch(16).NewGAN(1, 0, 1)
+	g2 := MLPArch(16).NewGAN(2, 0, 1)
+	if err := SaveGenerator(g1.G, path); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkpointWriteWrap = func(w io.Writer) io.Writer {
+		return &failAfterWriter{w: w, budget: 64}
+	}
+	defer func() { checkpointWriteWrap = nil }()
+	if err := SaveGenerator(g2.G, path); err == nil {
+		t.Fatal("save with an injected short write reported success")
+	}
+	checkpointWriteWrap = nil
+
+	now, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, now) {
+		t.Fatalf("failed save clobbered the last good checkpoint (%d bytes, want %d)", len(now), len(orig))
+	}
+	g3 := MLPArch(16).NewGAN(3, 0, 1)
+	if err := LoadGenerator(g3.G, path); err != nil {
+		t.Fatalf("checkpoint no longer loads after failed save: %v", err)
+	}
+
+	// The aborted temp file must not litter the checkpoint directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("failed save left temp file %s behind", e.Name())
+		}
+	}
+}
+
+// A successful save must still be a plain readable file at path (the
+// rename landed) and must round-trip.
+func TestSaveGeneratorRenamesIntoPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.ckpt")
+	g := MLPArch(16).NewGAN(4, 0, 1)
+	if err := SaveGenerator(g.G, path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.ckpt" {
+		t.Fatalf("checkpoint dir contents = %v, want exactly g.ckpt", entries)
+	}
+	other := MLPArch(16).NewGAN(5, 0, 1)
+	if err := LoadGenerator(other.G, path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -62,6 +62,34 @@ func TestCheckpointRejectsFutureVersion(t *testing.T) {
 	}
 }
 
+// TestCheckpointRejectsTrailingGarbage: a checkpoint followed by bytes
+// the parameter frames do not account for is not a valid checkpoint —
+// it is a concatenation, a partial overwrite by a larger older file, or
+// a bigger architecture's checkpoint whose prefix happened to parse.
+// LoadGenerator used to return success with the unread tail silently
+// ignored; it must error instead.
+func TestCheckpointRejectsTrailingGarbage(t *testing.T) {
+	g := mdgan.MLPArch(32).NewGAN(1, 0, 1)
+	path := filepath.Join(t.TempDir(), "g.ckpt")
+	if err := mdgan.SaveGenerator(g.G, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := mdgan.MLPArch(32).NewGAN(2, 0, 1)
+	if err := mdgan.LoadGenerator(other.G, path); err == nil {
+		t.Fatal("checkpoint with trailing garbage loaded without error")
+	}
+}
+
 // A checkpoint saved by this build must lead with the version magic and
 // dtype-framed parameters (size pins the format).
 func TestCheckpointFormatPinned(t *testing.T) {

@@ -18,7 +18,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -57,6 +59,14 @@ type benchRow struct {
 	Rejoins   int   `json:"rejoins,omitempty"`
 	Demotions int   `json:"demotions,omitempty"`
 	Injected  int64 `json:"injected_faults,omitempty"`
+	// Serving-tier annotations (ServeThroughput/ServeLatency rows): the
+	// concurrent-load benchmark's aggregate sampling rate, request
+	// latency percentiles, and the mean fused-batch size the coalescer
+	// achieved under that load.
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	P50Ms         float64 `json:"latency_p50_ms,omitempty"`
+	P99Ms         float64 `json:"latency_p99_ms,omitempty"`
+	AvgBatch      float64 `json:"avg_batch,omitempty"`
 }
 
 // workerSweep aliases the canonical cluster-size axis shared with the
@@ -243,6 +253,7 @@ func writeBenchJSON(path string) {
 			Injected:  injected,
 		})
 	}
+	rows = append(rows, serveBenchRows()...)
 	// Merge with an existing report so the two dtype builds accumulate
 	// into one file: rows measured under the other dtype are kept, rows
 	// of this dtype are replaced.
@@ -272,6 +283,89 @@ func writeBenchJSON(path string) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%s rows)", path, tensor.DTypeName)
+}
+
+// serveBenchRows runs the serving-tier concurrent-load benchmark:
+// closed-loop clients hammering an in-process SampleServer (checkpoint
+// on disk, loaded through the real facade), measuring aggregate
+// samples/sec and per-request latency percentiles. Closed-loop clients
+// are the coalescer's worst case — each offers a new request only after
+// its previous response lands — so the achieved avg_batch is a lower
+// bound on what open-loop traffic would fuse.
+func serveBenchRows() []benchRow {
+	dir, err := os.MkdirTemp("", "mdgan-serve-bench-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "g.ckpt")
+	if err := mdgan.SaveGenerator(mdgan.MLPArch(128).NewGAN(2, 0, 1).G, ckpt); err != nil {
+		log.Fatal(err)
+	}
+	s, err := mdgan.NewSampleServer(mdgan.ServeOptions{
+		Arch: mdgan.MLPArch(128), Checkpoint: ckpt,
+		MaxBatch: 64, MaxWait: 500 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	const (
+		clients   = 32
+		perClient = 48
+		perReq    = 4 // samples per request
+	)
+	lats := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				x, _, err := s.Sample(perReq, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				s.Release(x)
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p50 := all[len(all)/2]
+	p99 := all[len(all)*99/100]
+	st := s.Status()
+	samplesPerSec := float64(st.Samples) / wall.Seconds()
+	log.Printf("ServeThroughput [%s]: %.0f samples/s over %d requests (%d clients, avg batch %.1f)",
+		tensor.DTypeName, samplesPerSec, st.Requests, clients, st.AvgBatch)
+	log.Printf("ServeLatency [%s]: p50 %v, p99 %v", tensor.DTypeName, p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	return []benchRow{
+		{
+			Name: "ServeThroughput", Dtype: tensor.DTypeName,
+			Iters:         int(st.Requests),
+			NsPerOp:       float64(wall.Nanoseconds()) / float64(st.Samples),
+			SamplesPerSec: samplesPerSec,
+			AvgBatch:      st.AvgBatch,
+		},
+		{
+			Name: "ServeLatency", Dtype: tensor.DTypeName,
+			Iters:   len(all),
+			NsPerOp: float64(p50.Nanoseconds()),
+			P50Ms:   float64(p50.Nanoseconds()) / 1e6,
+			P99Ms:   float64(p99.Nanoseconds()) / 1e6,
+		},
+	}
 }
 
 func main() {

@@ -17,7 +17,15 @@
 // reset — not reallocated — when a round slot is reused, and encodes
 // each generator output into its wire frame before the next Forward
 // clobbers it, so nothing there retains a layer buffer across passes
-// either (the clone-or-corrupt tests in core pin both levels).
+// either (the clone-or-corrupt tests in core pin both levels). The
+// serving tier (internal/serve) lives under the same rule: the request
+// coalescer answers every fused request with a pooled COPY of its
+// slice of the generator's output — response encoding (raw frames,
+// PNG) happens on the HTTP goroutine, concurrent with the replica's
+// next Forward, so a response that aliased the generator's buffer
+// would corrupt under exactly two overlapping requests. Its
+// contract_test.go pins the serve-side retention sites (responses,
+// the /preview cache) the way core's pins the engine's.
 //
 // The discipline extends DOWN the stack too, into the packed GEMM's
 // pack-panel pool: Conv2D's im2col operand is never materialised —

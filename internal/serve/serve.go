@@ -1,0 +1,533 @@
+// Package serve is the generator-serving tier: an HTTP front end that
+// loads a trained generator checkpoint and answers sampling requests at
+// batch efficiency. Training PRs made one Forward over a batch far
+// cheaper than many Forwards over singles (packed GEMM, batched
+// im2col); serving exploits exactly that by COALESCING concurrent
+// requests — callers park on a batch window (Config.MaxBatch samples or
+// Config.MaxWait, whichever fills/expires first) and their latent draws
+// are fused into ONE batched Generator.Forward call.
+//
+// Ownership: a generator is not safe for concurrent use, and its
+// Forward result is a module-owned buffer valid only until the next
+// Forward (the clone-or-corrupt contract of internal/nn). The coalescer
+// therefore owns its generator exclusively — one goroutine per replica,
+// no locks around the model — and copies each request's slice of the
+// fused output into a pooled per-request response tensor BEFORE the
+// next batch's Forward can clobber it. The /statusz sample preview is a
+// retained cache and clones for the same reason (contract_test.go pins
+// both sites). Config.Replicas > 1 runs that many independent
+// generator copies pulling from one shared request queue — the
+// multi-core layout; each replica owns its generator and latent RNG.
+//
+// Hot reload: Reload() builds a spare generator, fills it from the
+// checkpoint (Config.Load), and only then publishes it to the replicas,
+// which adopt it at a batch boundary — requests are always answered by
+// a fully-loaded generator, never a half-swapped one. A failed load
+// (missing, truncated, wrong-architecture checkpoint) leaves the
+// serving generator untouched. Reloads are cheap: the MDG\x02
+// checkpoint format loads either dtype's frames into either build.
+// Command mdgan-serve wires SIGHUP and POST /reload to Reload.
+//
+// Endpoints: POST /sample?n=&format=raw|png&labels=&cols= draws n
+// samples (raw = one tensor wire frame, shape (n, out...); png = a
+// rendered grid for image-shaped generators), GET /healthz is the
+// liveness probe, GET /statusz reports counters (samples/sec, batch
+// histogram, latency percentiles, reload count) as JSON, GET /preview
+// renders the cached last batch, POST /reload hot-reloads.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdgan/internal/gan"
+	"mdgan/internal/render"
+	"mdgan/internal/tensor"
+)
+
+// Config parameterises a Server. New and Load are required; zero values
+// elsewhere select the noted defaults.
+type Config struct {
+	// New builds a fresh generator of the served architecture (shapes
+	// only — parameters are overwritten by Load). Called once per
+	// replica at startup and once per reload.
+	New func() *gan.Generator
+	// Load fills a generator's parameters, typically from a checkpoint
+	// file. A Load error at reload time leaves the old generator
+	// serving.
+	Load func(*gan.Generator) error
+
+	MaxBatch int           // max samples fused into one Forward; default 64
+	MaxWait  time.Duration // batch-window length; default 2ms
+	Replicas int           // independent generator copies; default 1
+	Seed     int64         // latent-stream seed (replica i uses Seed+i); default 1
+	// PreviewSamples caps the cached /preview batch (0 → 16, <0
+	// disables the cache entirely).
+	PreviewSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PreviewSamples == 0 {
+		c.PreviewSamples = 16
+	}
+	return c
+}
+
+// request is one caller parked on the batch window.
+type request struct {
+	n      int
+	labels []int         // nil → drawn uniformly by the coalescer
+	done   chan response // buffered(1); exactly one response is sent
+}
+
+// response hands the caller its slice of the fused batch, copied into a
+// pooled tensor the caller releases via putResponse.
+type response struct {
+	x      *tensor.Tensor
+	labels []int
+	err    error
+}
+
+// replica is one exclusively-owned generator driven by its own
+// coalescer goroutine.
+type replica struct {
+	id    int
+	g     *gan.Generator
+	next  atomic.Pointer[gan.Generator] // pending hot-reload, adopted at batch boundary
+	carry *request                      // request received past the batch budget; leads the next batch
+}
+
+// Server coalesces sampling requests into batched generator forwards.
+// It implements http.Handler.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	reqs     chan *request
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	closed   sync.Once
+	replicas []*replica
+	stats    stats
+
+	zdim, classes int
+	outShape      []int // per-sample output shape
+	sampleVol     int
+
+	previewMu sync.Mutex
+	preview   *tensor.Tensor // cloned slice of the last fused batch
+
+	bufPool sync.Pool // *[]byte response-encode buffers
+}
+
+var errClosing = errors.New("serve: server shutting down")
+
+// NewServer loads the checkpoint into Config.Replicas generator copies
+// and starts the coalescer goroutines. The returned server is ready to
+// answer requests; stop it with Close.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.New == nil || cfg.Load == nil {
+		return nil, errors.New("serve: Config.New and Config.Load are required")
+	}
+	first := cfg.New()
+	if err := cfg.Load(first); err != nil {
+		return nil, fmt.Errorf("serve: initial checkpoint load: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		reqs:    make(chan *request),
+		stop:    make(chan struct{}),
+		zdim:    first.ZDim,
+		classes: first.Classes,
+	}
+	s.stats.start = time.Now()
+	s.bufPool.New = func() any { b := make([]byte, 0, 1024); return &b }
+	// Probe the per-sample output shape with a throwaway forward (its
+	// RNG is separate from the serving latent streams, which start
+	// fresh per replica).
+	probe := rand.New(rand.NewSource(cfg.Seed - 1))
+	z, labels := first.SampleZ(1, probe)
+	out := first.Forward(z, labels, false)
+	s.outShape = append([]int(nil), out.Shape()[1:]...)
+	s.sampleVol = out.Size()
+	for i := 0; i < cfg.Replicas; i++ {
+		g := first
+		if i > 0 {
+			g = first.Clone()
+		}
+		r := &replica{id: i, g: g}
+		s.replicas = append(s.replicas, r)
+		s.wg.Add(1)
+		go s.runReplica(r)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/sample", s.handleSample)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/preview", s.handlePreview)
+	return s, nil
+}
+
+// Close stops the coalescer goroutines and waits for in-flight batches
+// to be answered. Requests parked on the queue are failed with 503.
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+	})
+}
+
+// Reload builds a spare generator, loads the checkpoint into it, and
+// publishes it to every replica; each adopts at its next batch
+// boundary. On error the serving generators are untouched.
+func (s *Server) Reload() error {
+	g := s.cfg.New()
+	if err := s.cfg.Load(g); err != nil {
+		s.stats.reloadFails.Add(1)
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	for i, r := range s.replicas {
+		if i == 0 {
+			r.next.Store(g)
+		} else {
+			r.next.Store(g.Clone())
+		}
+	}
+	s.stats.reloads.Add(1)
+	return nil
+}
+
+// Stopped reports whether Close has begun.
+func (s *Server) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// runReplica is the coalescer loop: collect a batch of parked requests,
+// fuse their latent draws into one Forward, copy each request's slice
+// out of the module-owned output buffer, respond, repeat. The replica's
+// generator is touched by no other goroutine.
+func (s *Server) runReplica(r *replica) {
+	defer s.wg.Done()
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(r.id)))
+	for {
+		var first *request
+		if r.carry != nil {
+			first, r.carry = r.carry, nil
+		} else {
+			select {
+			case <-s.stop:
+				return
+			case first = <-s.reqs:
+			}
+		}
+		// Adopt a pending hot-reload strictly between batches: the
+		// batch below is served either fully by the old generator or
+		// fully by the new one.
+		if ng := r.next.Swap(nil); ng != nil {
+			r.g = ng
+		}
+		batch := []*request{first}
+		total := first.n
+		if total < s.cfg.MaxBatch {
+			timer := time.NewTimer(s.cfg.MaxWait)
+		collect:
+			for total < s.cfg.MaxBatch {
+				select {
+				case rq := <-s.reqs:
+					if total+rq.n > s.cfg.MaxBatch {
+						r.carry = rq // leads the next batch
+						break collect
+					}
+					batch = append(batch, rq)
+					total += rq.n
+				case <-timer.C:
+					break collect
+				case <-s.stop:
+					break collect // serve what we have, then exit
+				}
+			}
+			timer.Stop()
+		}
+
+		// One fused forward for the whole window. SampleZ draws the
+		// latents AND uniform labels from the replica's stream —
+		// exactly the serial draw order, so tests can replay it —
+		// and requests that pinned labels overwrite their region.
+		z, labels := r.g.SampleZ(total, rng)
+		off := 0
+		for _, rq := range batch {
+			if rq.labels != nil {
+				copy(labels[off:], rq.labels)
+			}
+			off += rq.n
+		}
+		out := r.g.Forward(z, labels, false)
+		s.stats.forwards.Add(1)
+		s.stats.samples.Add(int64(total))
+		s.stats.requests.Add(int64(len(batch)))
+		s.stats.batchHist[histBucket(total)].Add(1)
+
+		// Copy each request's slice out of the generator-owned buffer
+		// before this loop can run Forward again — the response tensors
+		// are pooled and released by the handler after encoding.
+		off = 0
+		for _, rq := range batch {
+			t := tensor.Get(append([]int{rq.n}, s.outShape...)...)
+			copy(t.Data, out.Data[off*s.sampleVol:(off+rq.n)*s.sampleVol])
+			var lab []int
+			if labels != nil {
+				lab = append([]int(nil), labels[off:off+rq.n]...)
+			}
+			rq.done <- response{x: t, labels: lab}
+			off += rq.n
+		}
+		s.cachePreview(out)
+
+		if s.stopped() {
+			if r.carry != nil {
+				r.carry.done <- response{err: errClosing}
+				r.carry = nil
+			}
+			return
+		}
+	}
+}
+
+// cachePreview clones the head of the fused batch for /preview — the
+// retained-across-batches site, so it must NOT alias the generator's
+// output buffer (contract_test.go corrupts a non-cloning cache).
+func (s *Server) cachePreview(out *tensor.Tensor) {
+	if s.cfg.PreviewSamples < 0 {
+		return
+	}
+	n := s.cfg.PreviewSamples
+	if n > out.Dim(0) {
+		n = out.Dim(0)
+	}
+	s.previewMu.Lock()
+	s.preview = tensor.Ensure(s.preview, append([]int{n}, s.outShape...)...)
+	copy(s.preview.Data, out.Data[:n*s.sampleVol])
+	s.previewMu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Sample draws n samples through the coalescer — the in-process
+// equivalent of POST /sample, used by tests and embedding callers. The
+// returned tensor is pooled; pass it to Release when done.
+func (s *Server) Sample(n int, labels []int) (*tensor.Tensor, []int, error) {
+	if n <= 0 || n > s.cfg.MaxBatch {
+		return nil, nil, fmt.Errorf("serve: n must be in 1..%d", s.cfg.MaxBatch)
+	}
+	if labels != nil && len(labels) != n {
+		return nil, nil, fmt.Errorf("serve: %d labels for %d samples", len(labels), n)
+	}
+	rq := &request{n: n, labels: labels, done: make(chan response, 1)}
+	select {
+	case s.reqs <- rq:
+	case <-s.stop:
+		return nil, nil, errClosing
+	}
+	resp := <-rq.done
+	return resp.x, resp.labels, resp.err
+}
+
+// Release returns a Sample result to the tensor pool.
+func (s *Server) Release(t *tensor.Tensor) { tensor.Put(t) }
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	n := 1
+	if v := q.Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+	}
+	if n <= 0 || n > s.cfg.MaxBatch {
+		http.Error(w, fmt.Sprintf("n must be in 1..%d", s.cfg.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	var labels []int
+	if v := q.Get("labels"); v != "" {
+		if s.classes == 0 {
+			http.Error(w, "generator is unconditional: labels not supported", http.StatusBadRequest)
+			return
+		}
+		for _, part := range strings.Split(v, ",") {
+			l, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || l < 0 || l >= s.classes {
+				http.Error(w, fmt.Sprintf("labels must be integers in 0..%d", s.classes-1), http.StatusBadRequest)
+				return
+			}
+			labels = append(labels, l)
+		}
+		if len(labels) != n {
+			http.Error(w, fmt.Sprintf("%d labels for n=%d", len(labels), n), http.StatusBadRequest)
+			return
+		}
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "raw"
+	}
+	if format != "raw" && format != "png" {
+		http.Error(w, "format must be raw or png", http.StatusBadRequest)
+		return
+	}
+
+	start := time.Now()
+	t, lab, err := s.Sample(n, labels)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer s.Release(t)
+	s.stats.recordLatency(time.Since(start))
+
+	switch format {
+	case "raw":
+		// One tensor wire frame (dtype byte, rank, dims, payload) —
+		// decodable by tensor.(*Tensor).ReadFrom in either build.
+		bp := s.bufPool.Get().(*[]byte)
+		buf := t.AppendBinary((*bp)[:0])
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+		w.Header().Set("X-MDGAN-Shape", shapeString(t.Shape()))
+		w.Header().Set("X-MDGAN-Dtype", tensor.DTypeName)
+		if lab != nil {
+			w.Header().Set("X-MDGAN-Labels", labelString(lab))
+		}
+		w.Write(buf)
+		*bp = buf
+		s.bufPool.Put(bp)
+	case "png":
+		cols := 8
+		if v := q.Get("cols"); v != "" {
+			if c, err := strconv.Atoi(v); err == nil && c > 0 {
+				cols = c
+			}
+		}
+		img, err := render.Grid(t, cols)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "image/png")
+		if err := encodePNG(w, img); err != nil {
+			return // client gone; nothing useful to add
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.stopped() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// Status snapshots the server's counters — the in-process equivalent
+// of GET /statusz, used by the load benchmark and embedding callers.
+func (s *Server) Status() Status {
+	st := s.stats.snapshot()
+	st.Dtype = tensor.DTypeName
+	st.Replicas = s.cfg.Replicas
+	st.MaxBatch = s.cfg.MaxBatch
+	st.MaxWaitMs = float64(s.cfg.MaxWait) / 1e6
+	st.OutShape = s.outShape
+	return st
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	st := s.Status()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.Reload(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintf(w, "reloaded (%d total)\n", s.stats.reloads.Load())
+}
+
+func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
+	s.previewMu.Lock()
+	defer s.previewMu.Unlock()
+	if s.preview == nil {
+		http.Error(w, "no samples served yet", http.StatusNotFound)
+		return
+	}
+	img, err := render.Grid(s.preview, 8)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	encodePNG(w, img)
+}
+
+func shapeString(shape []int) string {
+	var sb strings.Builder
+	for i, d := range shape {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(d))
+	}
+	return sb.String()
+}
+
+func labelString(labels []int) string {
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(l))
+	}
+	return sb.String()
+}

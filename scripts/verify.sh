@@ -18,6 +18,11 @@
 #   MDGAN_CHAOS=off scripts/verify.sh
 #                                  # skip the named chaos/fault gates (they
 #                                  # still run inside the plain test suites)
+#   MDGAN_SERVE=off scripts/verify.sh
+#                                  # skip the serving smoke gate (train a
+#                                  # tiny checkpoint, boot mdgan-serve,
+#                                  # sample raw + PNG, SIGHUP hot-reload,
+#                                  # clean shutdown)
 #   BENCH_JSON=BENCH_1.json scripts/verify.sh
 #                                  # additionally (re)generate the perf
 #                                  # trajectory file via cmd/mdgan-bench,
@@ -36,6 +41,7 @@ fi
 dtypes=${MDGAN_DTYPES:-both}
 kernels=${MDGAN_KERNELS:-both}
 chaos=${MDGAN_CHAOS:-on}
+serve=${MDGAN_SERVE:-on}
 
 engine_gates() { # $1 = label, $2.. = go test args
     local name=$1
@@ -81,6 +87,8 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
 
     chaos_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
 
+    serve_smoke "$name" ${tagargs[@]+"${tagargs[@]}"}
+
     echo "== [$name] bench smoke (1 iteration) =="
     go test ${tagargs[@]+"${tagargs[@]}"} -run=NONE -bench='BenchmarkMDGANIteration$|BenchmarkGeneratorForward$|BenchmarkTableII$' -benchtime=1x -benchmem .
 
@@ -104,6 +112,83 @@ chaos_gates() { # $1 = label, $2.. = go test args
         -run 'TestChaosSoak|TestRoundDeadlineSuspectsStragglerAndRejoins|TestRoundDeadlineEscalatesToDemotion|TestCorruptFeedbackKeepsTraining|TestAsyncTimeoutDemotesUnresponsiveWorkers|TestAsyncCorruptFeedbackKeepsTraining|TestDeadlineFaultFreeKeepsStrictPin|TestTrainErrorPathStopsWorkers' \
         ./internal/core
     go test -race "$@" -count=1 -run 'TestChaos|TestTCP' ./internal/simnet
+}
+
+# serve_smoke scratch state, reaped by the EXIT trap if a smoke step
+# aborts the script mid-flight (a RETURN trap would persist beyond the
+# function and fire on every later function return).
+smoke_dir=""
+smoke_pid=""
+smoke_cleanup() {
+    if [ -n "$smoke_pid" ]; then
+        kill "$smoke_pid" 2>/dev/null || true
+        smoke_pid=""
+    fi
+    if [ -n "$smoke_dir" ]; then
+        rm -rf "$smoke_dir"
+        smoke_dir=""
+    fi
+}
+trap smoke_cleanup EXIT
+
+serve_smoke() { # $1 = label, $2.. = go build tag args
+    local name=$1
+    shift
+    [ "$serve" = off ] && return 0
+    # End-to-end smoke of the serving tier as a user runs it: train a
+    # tiny checkpoint, boot the daemon on a kernel-assigned port, pull
+    # a raw sample and a PNG grid over HTTP, hot-reload via SIGHUP, and
+    # shut down cleanly. Everything in-process is already unit-tested;
+    # this gate is for the process plumbing (flags, signals, listener,
+    # ready-file) that unit tests cannot reach.
+    echo "== [$name] serve smoke (daemon, HTTP, SIGHUP reload) =="
+    local dir
+    smoke_dir=$(mktemp -d)
+    dir=$smoke_dir
+    go build "$@" -o "$dir/mdgan-train" ./cmd/mdgan-train
+    go build "$@" -o "$dir/mdgan-serve" ./cmd/mdgan-serve
+    "$dir/mdgan-train" -algo standalone -dataset digits -samples 64 \
+        -iters 1 -eval 0 -ckpt-out "$dir/g.ckpt" >/dev/null
+    "$dir/mdgan-serve" -ckpt "$dir/g.ckpt" -arch mlp:128 \
+        -addr 127.0.0.1:0 -ready-file "$dir/ready" -max-wait 1ms \
+        >"$dir/serve.log" 2>&1 &
+    smoke_pid=$!
+    local i addr=""
+    for i in $(seq 1 100); do
+        [ -s "$dir/ready" ] && break
+        sleep 0.05
+    done
+    if ! [ -s "$dir/ready" ]; then
+        echo "serve smoke: daemon never became ready" >&2
+        cat "$dir/serve.log" >&2
+        return 1
+    fi
+    addr=$(cat "$dir/ready")
+    curl -fsS "http://$addr/healthz" | grep -q ok
+    curl -fsS -X POST "http://$addr/sample?n=2" -o "$dir/raw.bin"
+    [ -s "$dir/raw.bin" ]
+    curl -fsS -X POST "http://$addr/sample?n=4&format=png" -o "$dir/grid.png"
+    head -c 8 "$dir/grid.png" | grep -q PNG
+    curl -fsS "http://$addr/statusz" | grep -q '"forwards"'
+    kill -HUP "$smoke_pid"
+    for i in $(seq 1 100); do
+        curl -fsS "http://$addr/statusz" | grep -q '"reloads": 1' && break
+        sleep 0.05
+    done
+    curl -fsS "http://$addr/statusz" | grep -q '"reloads": 1'
+    # The reloaded daemon must still serve.
+    curl -fsS -X POST "http://$addr/sample?n=1" -o "$dir/raw2.bin"
+    [ -s "$dir/raw2.bin" ]
+    kill -TERM "$smoke_pid"
+    local status=0
+    wait "$smoke_pid" || status=$?
+    smoke_pid=""
+    if [ "$status" -ne 0 ]; then
+        echo "serve smoke: daemon exited with status $status" >&2
+        cat "$dir/serve.log" >&2
+        return 1
+    fi
+    smoke_cleanup
 }
 
 run_noasm_suite() { # $1 = dtype name, $2 = go build tags (includes noasm)
