@@ -36,6 +36,13 @@ var checkpointWriteWrap func(io.Writer) io.Writer
 // trainer is still periodically rewriting.
 func SaveGenerator(g *Generator, path string) (err error) {
 	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage its temp file in the destination's
+		// directory (the cwd), not os.TempDir() — rename across
+		// filesystems (tmpfs /tmp) fails with EXDEV, and a cross-dir
+		// rename is not the atomic same-directory replace promised above.
+		dir = "."
+	}
 	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("mdgan: save generator: %w", err)

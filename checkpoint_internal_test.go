@@ -78,6 +78,51 @@ func TestSaveGeneratorAtomicOnWriteFailure(t *testing.T) {
 	}
 }
 
+// TestSaveGeneratorBareRelativePath: a path with no directory component
+// must stage its temp file in the current directory, not os.TempDir().
+// Before the fix, filepath.Split handed dir="" to os.CreateTemp, which
+// falls back to os.TempDir() — the rename into the cwd then fails with
+// EXDEV whenever /tmp is a different filesystem (tmpfs, the common
+// Linux default), and even when it succeeds the replace is not the
+// documented same-directory atomic rename.
+func TestSaveGeneratorBareRelativePath(t *testing.T) {
+	dir := t.TempDir()
+	t.Chdir(dir)
+	g := MLPArch(16).NewGAN(6, 0, 1)
+	if err := SaveGenerator(g.G, "g.ckpt"); err != nil {
+		t.Fatalf("save with bare relative path: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.ckpt" {
+		t.Fatalf("cwd contents = %v, want exactly g.ckpt", entries)
+	}
+	other := MLPArch(16).NewGAN(7, 0, 1)
+	if err := LoadGenerator(other.G, "g.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	// The temp file must have been staged next to the destination: a
+	// failed save with a bare path must abort without touching the
+	// destination and without leaving droppings in either directory.
+	checkpointWriteWrap = func(w io.Writer) io.Writer {
+		return &failAfterWriter{w: w, budget: 64}
+	}
+	defer func() { checkpointWriteWrap = nil }()
+	if err := SaveGenerator(other.G, "g.ckpt"); err == nil {
+		t.Fatal("save with an injected short write reported success")
+	}
+	checkpointWriteWrap = nil
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.ckpt" {
+		t.Fatalf("cwd contents after failed save = %v, want exactly g.ckpt", entries)
+	}
+}
+
 // A successful save must still be a plain readable file at path (the
 // rename landed) and must round-trip.
 func TestSaveGeneratorRenamesIntoPlace(t *testing.T) {

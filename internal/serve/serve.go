@@ -207,12 +207,17 @@ func (s *Server) Reload() error {
 		s.stats.reloadFails.Add(1)
 		return fmt.Errorf("serve: reload: %w", err)
 	}
+	// Build every replica's copy BEFORE publishing any of them: once a
+	// pointer is stored, that replica may adopt it and start Forward
+	// concurrently, and cloning a generator another goroutine is using
+	// would couple correctness to Forward never mutating parameters.
+	gs := make([]*gan.Generator, len(s.replicas))
+	gs[0] = g
+	for i := 1; i < len(gs); i++ {
+		gs[i] = g.Clone()
+	}
 	for i, r := range s.replicas {
-		if i == 0 {
-			r.next.Store(g)
-		} else {
-			r.next.Store(g.Clone())
-		}
+		r.next.Store(gs[i])
 	}
 	s.stats.reloads.Add(1)
 	return nil
@@ -348,8 +353,22 @@ func (s *Server) Sample(n int, labels []int) (*tensor.Tensor, []int, error) {
 	if n <= 0 || n > s.cfg.MaxBatch {
 		return nil, nil, fmt.Errorf("serve: n must be in 1..%d", s.cfg.MaxBatch)
 	}
-	if labels != nil && len(labels) != n {
-		return nil, nil, fmt.Errorf("serve: %d labels for %d samples", len(labels), n)
+	if labels != nil {
+		// Mirror handleSample's validation: a bad label that reaches the
+		// coalescer panics in the replica goroutine (nil-slice copy on an
+		// unconditional generator, embedding index out of range on a
+		// conditional one) and takes the whole server down.
+		if s.classes == 0 {
+			return nil, nil, errors.New("serve: generator is unconditional: labels not supported")
+		}
+		if len(labels) != n {
+			return nil, nil, fmt.Errorf("serve: %d labels for %d samples", len(labels), n)
+		}
+		for _, l := range labels {
+			if l < 0 || l >= s.classes {
+				return nil, nil, fmt.Errorf("serve: label %d out of range 0..%d", l, s.classes-1)
+			}
+		}
 	}
 	rq := &request{n: n, labels: labels, done: make(chan response, 1)}
 	select {
@@ -495,13 +514,21 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
+	// Copy the cached batch under the lock, then render and encode to
+	// the client without it: cachePreview takes previewMu after every
+	// fused batch on every replica, so holding it across a PNG write to
+	// a slow client would stall all sampling.
 	s.previewMu.Lock()
-	defer s.previewMu.Unlock()
 	if s.preview == nil {
+		s.previewMu.Unlock()
 		http.Error(w, "no samples served yet", http.StatusNotFound)
 		return
 	}
-	img, err := render.Grid(s.preview, 8)
+	t := tensor.Get(s.preview.Shape()...)
+	copy(t.Data, s.preview.Data)
+	s.previewMu.Unlock()
+	defer tensor.Put(t)
+	img, err := render.Grid(t, 8)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

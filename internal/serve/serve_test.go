@@ -515,3 +515,50 @@ func TestHTTPValidation(t *testing.T) {
 		t.Fatalf("invalid requests reached the generator (%d forwards)", got)
 	}
 }
+
+// TestSampleValidatesLabels: the exported Go API must reject bad labels
+// just like the HTTP handler does. Before the fix, an out-of-range
+// label panicked inside the embedding lookup and a labeled request on
+// an unconditional generator could panic slicing the nil label stream —
+// both inside the replica goroutine, taking the whole server down.
+func TestSampleValidatesLabels(t *testing.T) {
+	s, _ := newTestServer(t, nil) // conditional: 10 classes
+	for _, labels := range [][]int{{10}, {-1}, {0, 3}} {
+		if _, _, err := s.Sample(1, labels); err == nil {
+			t.Errorf("Sample(1, %v) on a 10-class generator succeeded, want error", labels)
+		}
+	}
+	if got := s.stats.forwards.Load(); got != 0 {
+		t.Fatalf("invalid labels reached the generator (%d forwards)", got)
+	}
+	// The server must still serve after rejecting garbage.
+	x, _, err := s.Sample(1, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(x)
+
+	// Unconditional generator: any labels are an error, and a labeled
+	// request must never park on the coalescer (where a batch offset > 0
+	// would slice the nil label stream).
+	ref := gan.RingMLP().NewGAN(9, nn.GenLossNonSaturating, 1).G
+	u, err := NewServer(Config{
+		New:  func() *gan.Generator { return gan.RingMLP().NewGAN(1, nn.GenLossNonSaturating, 1).G },
+		Load: func(g *gan.Generator) error { copyParams(g, ref); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	if _, _, err := u.Sample(1, []int{0}); err == nil {
+		t.Fatal("labeled Sample on an unconditional generator succeeded, want error")
+	}
+	x, lab, err := u.Sample(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab != nil {
+		t.Fatalf("unconditional Sample returned labels %v", lab)
+	}
+	u.Release(x)
+}
