@@ -46,6 +46,11 @@ type benchRow struct {
 	// global iterations per second): the headline number for how worker-
 	// and kernel-level parallelism compose.
 	WorkerStepsPerSec float64 `json:"worker_steps_per_sec,omitempty"`
+	// Topology tags the cluster-size sweep rows measured under a
+	// non-flat aggregation overlay; SpeedupVsFlat is that row's
+	// flat-ns/tree-ns ratio at the same K (> 1 means the tree won).
+	Topology      string  `json:"topology,omitempty"`
+	SpeedupVsFlat float64 `json:"speedup_vs_flat,omitempty"`
 	// GFlops and Kernel annotate the GEMM micro-benchmark rows: the
 	// achieved GFLOP/s at an MD-GAN layer shape, and which micro-kernel
 	// produced it ("avx2+fma", "generic", "generic (noasm)") — the
@@ -58,6 +63,7 @@ type benchRow struct {
 	Timeouts  int   `json:"timeouts,omitempty"`
 	Rejoins   int   `json:"rejoins,omitempty"`
 	Demotions int   `json:"demotions,omitempty"`
+	Reparents int   `json:"reparents,omitempty"`
 	Injected  int64 `json:"injected_faults,omitempty"`
 	// Serving-tier annotations (ServeThroughput/ServeLatency rows): the
 	// concurrent-load benchmark's aggregate sampling rate, request
@@ -84,8 +90,9 @@ type benchReport struct {
 
 // writeBenchJSON runs the hot-path micro-benchmarks in-process (the
 // same bodies as the go-test benchmarks of the repo root) and records
-// ns/op and allocs/op.
-func writeBenchJSON(path string) {
+// ns/op and allocs/op. topoSpec/fanin select the aggregation overlay of
+// the topology-tagged cluster-size rows ("flat" suppresses them).
+func writeBenchJSON(path, topoSpec string, fanin int) {
 	run := func(name string, fn func(b *testing.B)) benchRow {
 		r := testing.Benchmark(fn)
 		log.Printf("%s [%s]: %v ns/op, %d B/op, %d allocs/op", name, tensor.DTypeName, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
@@ -141,21 +148,53 @@ func writeBenchJSON(path string) {
 	// iteration at K simulated workers, all driving their kernels
 	// through the work-stealing scheduler concurrently. Row names match
 	// the go-test sub-benchmarks (BenchmarkMDGANIterationK/K=…), which
-	// share this body and mdgan.WorkerSweep.
-	for _, k := range workerSweep {
-		k := k
-		row := run(fmt.Sprintf("BenchmarkMDGANIterationK/K=%d", k), func(b *testing.B) {
+	// share this body and mdgan.WorkerSweep. Each K is measured under
+	// the flat star AND under the -topology overlay (default tree:2),
+	// tree rows carrying the flat-vs-tree speedup at the same K.
+	iterKBench := func(k int, topoSpec string) func(b *testing.B) {
+		return func(b *testing.B) {
 			train := mdgan.SynthDigits(1600, 1)
 			o := mdgan.Options{
 				Algorithm: mdgan.MDGAN, Workers: k, Batch: 10, Iters: b.N, Seed: 2,
+				Topology: topoSpec, Fanin: fanin,
 			}
 			b.ResetTimer()
 			if _, err := mdgan.Run(train, mdgan.MLPArch(48), o, nil); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+	var lastFlat, lastTree benchRow
+	for _, k := range workerSweep {
+		flat := run(fmt.Sprintf("BenchmarkMDGANIterationK/K=%d", k), iterKBench(k, ""))
+		flat.WorkerStepsPerSec = float64(k) * 1e9 / flat.NsPerOp
+		rows = append(rows, flat)
+		lastFlat = flat
+		if topoSpec == "" || topoSpec == "flat" {
+			continue
+		}
+		tree := run(fmt.Sprintf("BenchmarkMDGANIterationK/K=%d/topology=%s", k, topoSpec),
+			iterKBench(k, topoSpec))
+		tree.WorkerStepsPerSec = float64(k) * 1e9 / tree.NsPerOp
+		tree.Topology = topoSpec
+		tree.SpeedupVsFlat = flat.NsPerOp / tree.NsPerOp
+		rows = append(rows, tree)
+		lastTree = tree
+	}
+	// The headline comparison row: flat vs the overlay at the sweep's
+	// largest K, where the server-ingress bound matters most.
+	if lastTree.Name != "" {
+		maxK := workerSweep[len(workerSweep)-1]
+		log.Printf("TopologyFlatVsTree/K=%d [%s]: flat %.0f ns/op vs %s %.0f ns/op (speedup %.2fx)",
+			maxK, tensor.DTypeName, lastFlat.NsPerOp, topoSpec, lastTree.NsPerOp, lastFlat.NsPerOp/lastTree.NsPerOp)
+		rows = append(rows, benchRow{
+			Name:          fmt.Sprintf("TopologyFlatVsTree/K=%d", maxK),
+			Dtype:         tensor.DTypeName,
+			Iters:         lastTree.Iters,
+			NsPerOp:       lastTree.NsPerOp,
+			Topology:      topoSpec,
+			SpeedupVsFlat: lastFlat.NsPerOp / lastTree.NsPerOp,
 		})
-		row.WorkerStepsPerSec = float64(k) * 1e9 / row.NsPerOp
-		rows = append(rows, row)
 	}
 	// GEMM micro-benchmarks at MD-GAN layer shapes (names match the
 	// go-test sub-benchmarks in internal/tensor): the kernel-level
@@ -218,15 +257,18 @@ func writeBenchJSON(path string) {
 			BytesPerOp: res.Traffic.Bytes[simnet.WtoW] / msgs,
 		})
 	}
-	// Fault summary: a short seeded-chaos run under a round deadline.
-	// The row records the wall cost per applied iteration with the
-	// suspect/rejoin machinery active (drops cost one RoundTimeout
-	// each) and the fault ledger the run survived — the robustness
-	// counterpart of the fault-free iteration rows above.
+	// Fault summary: a short seeded-chaos run under a round deadline,
+	// on a depth-2 aggregation tree so the mid-tree fault paths
+	// (aggregator suspected → leaves reparented) are part of what the
+	// row survives. It records the wall cost per applied iteration with
+	// the suspect/rejoin machinery active (drops cost one RoundTimeout
+	// each) and the fault ledger — the robustness counterpart of the
+	// fault-free iteration rows above.
 	{
-		train := mdgan.SynthDigits(320, 1)
+		train := mdgan.SynthDigits(640, 1)
 		o := mdgan.Options{
-			Algorithm: mdgan.MDGAN, Workers: 4, Batch: 10, Iters: 60, Seed: 2, K: 2,
+			Algorithm: mdgan.MDGAN, Workers: 9, Batch: 10, Iters: 60, Seed: 2, K: 2,
+			Topology:     "tree:2",
 			RoundTimeout: 150 * time.Millisecond, SuspectAfter: 8,
 			Chaos: &mdgan.ChaosConfig{
 				Seed: 7, Drop: 0.004, Delay: 0.02, MaxDelay: 2 * time.Millisecond,
@@ -240,16 +282,18 @@ func writeBenchJSON(path string) {
 			log.Fatal(err)
 		}
 		injected := res.Chaos.Dropped + res.Chaos.Corrupted + res.Chaos.Delayed + res.Chaos.Duplicated
-		log.Printf("FaultChaosSummary [%s]: %d iters, timeouts=%d rejoins=%d demotions=%d injected=%d",
-			tensor.DTypeName, res.Iters, res.Faults.Timeouts, res.Faults.Rejoins, res.Faults.Demotions, injected)
+		log.Printf("FaultChaosSummary [%s]: %d iters, timeouts=%d rejoins=%d demotions=%d reparents=%d injected=%d",
+			tensor.DTypeName, res.Iters, res.Faults.Timeouts, res.Faults.Rejoins, res.Faults.Demotions, res.Faults.Reparents, injected)
 		rows = append(rows, benchRow{
 			Name:      "FaultChaosSummary",
 			Dtype:     tensor.DTypeName,
 			Iters:     res.Iters,
 			NsPerOp:   float64(time.Since(start).Nanoseconds()) / float64(res.Iters),
+			Topology:  "tree:2",
 			Timeouts:  res.Faults.Timeouts,
 			Rejoins:   res.Faults.Rejoins,
 			Demotions: res.Faults.Demotions,
+			Reparents: res.Faults.Reparents,
 			Injected:  injected,
 		})
 	}
@@ -379,6 +423,8 @@ func main() {
 		benchJSON = flag.String("benchjson", "", "write hot-path micro-benchmark results to this JSON file and exit")
 		dtype     = flag.String("dtype", "", "assert the compiled tensor element type (float64 | float32); the dtype is a build-time property, so a mismatch is fatal with a rebuild hint")
 		pipeline  = flag.Bool("pipeline", false, "run the MD-GAN competitors of the training-backed experiments through the pipelined engine (one-iteration parameter staleness) instead of strict Algorithm 1")
+		topology  = flag.String("topology", "tree:2", "aggregation overlay of the topology-tagged -benchjson rows: tree:<depth> | flat (flat suppresses them)")
+		fanin     = flag.Int("fanin", 0, "tree per-node child bound for -topology (0 = auto)")
 	)
 	flag.Parse()
 
@@ -392,7 +438,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		writeBenchJSON(*benchJSON)
+		writeBenchJSON(*benchJSON, *topology, *fanin)
 		return
 	}
 
@@ -457,7 +503,24 @@ func main() {
 		}
 	}
 	if want("fig4") {
-		rows, err := mdgan.RunFig4(workerSweep, sc)
+		// Figure 4 trains to convergence at every point, so quick scale
+		// caps the axis at 50 workers; -scale full runs the whole sweep
+		// (the 100–500 tail is otherwise covered by the per-iteration
+		// BenchmarkMDGANIterationK rows).
+		ns := workerSweep
+		if *scale != "full" {
+			var capped []int
+			for _, n := range ns {
+				if n <= 50 {
+					capped = append(capped, n)
+				}
+			}
+			if len(capped) < len(ns) {
+				log.Printf("fig4: quick scale caps the worker axis at 50 (dropped %v); use -scale full for the whole sweep", ns[len(capped):])
+			}
+			ns = capped
+		}
+		rows, err := mdgan.RunFig4(ns, sc)
 		if err != nil {
 			log.Fatal(err)
 		}

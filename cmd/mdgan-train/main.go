@@ -54,6 +54,9 @@ func main() {
 		compress   = flag.String("compress", "none", "feedback compression: none | fp32 | topk")
 		samplesOut = flag.String("samples-out", "", "write a PNG grid of generated samples here")
 		ckptOut    = flag.String("ckpt-out", "", "write a generator checkpoint here")
+		topology   = flag.String("topology", "", "MD-GAN feedback aggregation overlay: flat (default) | tree:<depth> — tree reduces feedbacks through worker-side aggregators, bounding server ingress by its fan-in")
+		fanin      = flag.Int("fanin", 0, "tree topology per-node child bound (0 = auto ceil(N^(1/depth)))")
+		swapSched  = flag.String("swap-schedule", "", "discriminator swap plan: ring (default) | shuffle | gossip[:pairs]")
 	)
 	flag.Parse()
 
@@ -95,6 +98,7 @@ func main() {
 		Seed: *seed, EvalEvery: *evalEvery, UseTCP: *useTCP,
 		NonIIDSkew: *skew, Compress: comp, SwapPrec: swapPrec,
 		RoundTimeout: *roundTO, Quorum: *quorum, SuspectAfter: *suspectN,
+		Topology: *topology, Fanin: *fanin, SwapSchedule: *swapSched,
 	}
 	if *chaos > 0 {
 		o.Chaos = &mdgan.ChaosConfig{

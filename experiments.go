@@ -131,8 +131,11 @@ func with(o Options, f func(*Options)) Options {
 // WorkerSweep is the canonical cluster-size axis of the per-K
 // throughput benchmarks and the BENCH_<n>.json trajectory rows
 // (BenchmarkMDGANIterationK and cmd/mdgan-bench share it, so the two
-// can never drift apart).
-var WorkerSweep = []int{1, 5, 10, 25, 50}
+// can never drift apart). The tail (100–500) is where the flat star's
+// server ingress saturates and the tree topology starts paying off;
+// the training-backed Figure 4 sweep caps itself at 50 workers in
+// quick scale because it trains to convergence at every point.
+var WorkerSweep = []int{1, 5, 10, 25, 50, 100, 250, 500}
 
 // Fig4Row is one point of Figure 4: final score and FID for a worker
 // count under one of the four variants.

@@ -25,6 +25,11 @@ type WorkerFaults struct {
 	// CorruptFrames counts feedback frames from this worker that failed
 	// to decode.
 	CorruptFrames int
+	// Reparents counts rounds in which this worker had to be rehomed
+	// under a new parent because the aggregator it reported to died or
+	// went suspect mid-round (tree topologies only; the next round's
+	// plan reparents it automatically).
+	Reparents int
 }
 
 // FaultStats is a snapshot of a run's fault accounting: the per-worker
@@ -35,7 +40,7 @@ type FaultStats struct {
 	// experienced at least one fault event appear.
 	Workers map[string]WorkerFaults
 	// Totals over all workers.
-	Timeouts, Suspects, Demotions, Rejoins, CorruptFrames int
+	Timeouts, Suspects, Demotions, Rejoins, CorruptFrames, Reparents int
 	// TransportRetries counts transport-level send retries (TCPNet
 	// fresh-dial retries after a broken or timed-out write).
 	TransportRetries int64
@@ -43,7 +48,7 @@ type FaultStats struct {
 
 // Any reports whether any fault event was recorded.
 func (s FaultStats) Any() bool {
-	return s.Timeouts+s.Suspects+s.Demotions+s.Rejoins+s.CorruptFrames > 0 ||
+	return s.Timeouts+s.Suspects+s.Demotions+s.Rejoins+s.CorruptFrames+s.Reparents > 0 ||
 		s.TransportRetries > 0
 }
 
@@ -51,8 +56,8 @@ func (s FaultStats) Any() bool {
 // followed by one line per affected worker.
 func (s FaultStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "faults: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d retries=%d\n",
-		s.Timeouts, s.Suspects, s.Demotions, s.Rejoins, s.CorruptFrames, s.TransportRetries)
+	fmt.Fprintf(&b, "faults: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d reparents=%d retries=%d\n",
+		s.Timeouts, s.Suspects, s.Demotions, s.Rejoins, s.CorruptFrames, s.Reparents, s.TransportRetries)
 	names := make([]string, 0, len(s.Workers))
 	for name := range s.Workers {
 		names = append(names, name)
@@ -60,8 +65,8 @@ func (s FaultStats) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		w := s.Workers[name]
-		fmt.Fprintf(&b, "  %s: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d\n",
-			name, w.Timeouts, w.Suspects, w.Demotions, w.Rejoins, w.CorruptFrames)
+		fmt.Fprintf(&b, "  %s: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d reparents=%d\n",
+			name, w.Timeouts, w.Suspects, w.Demotions, w.Rejoins, w.CorruptFrames, w.Reparents)
 	}
 	return b.String()
 }
@@ -81,6 +86,10 @@ func (m *Membership) faults(name string) *WorkerFaults {
 
 // NoteTimeout records a round-deadline expiry against name.
 func (m *Membership) NoteTimeout(name string) { m.faults(name).Timeouts++ }
+
+// NoteReparent records that name lost its aggregator mid-round and is
+// rehomed under a new parent by the next round's topology plan.
+func (m *Membership) NoteReparent(name string) { m.faults(name).Reparents++ }
 
 // NoteCorrupt records a feedback frame from name that failed to decode
 // and returns the worker's running corrupt-frame count, which the
@@ -107,6 +116,7 @@ func (m *Membership) Faults(retries int64) FaultStats {
 		s.Demotions += f.Demotions
 		s.Rejoins += f.Rejoins
 		s.CorruptFrames += f.CorruptFrames
+		s.Reparents += f.Reparents
 	}
 	return s
 }

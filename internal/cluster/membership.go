@@ -45,6 +45,48 @@
 // bitwise-equivalence tests pin. Suspicion and reinstatement only occur
 // in response to faults, so a fault-free run traverses exactly the
 // pre-lifecycle code paths.
+//
+// # Topology contract
+//
+// Since PR 8 the package also owns the communication Topology
+// (topology.go): a pluggable plan for how per-round feedback flows
+// back to the server. Three node roles exist, all implicit in the
+// Plan a Topology produces each round:
+//
+//   - server — the root; consumes the final reduced contributions.
+//   - aggregator — a worker with Children in the plan; it reduces its
+//     children's feedback frames (summing per generated batch) before
+//     forwarding one combined frame to its own parent. Aggregators
+//     are ordinary workers: they hold a shard, train a discriminator,
+//     and add their own feedback to the reduction.
+//   - worker (leaf) — sends its single contribution to its parent.
+//
+// Rules implementations and consumers must uphold:
+//
+//   - Plans are recomputed from the active set every round and MUST be
+//     a deterministic, RNG-free function of (server, active order).
+//     This is also the reparenting rule: when an aggregator dies or
+//     goes suspect, it simply drops out of the next round's active
+//     set and the fresh plan rehomes its children (counted per child
+//     as WorkerFaults.Reparents by the engines). No explicit tree
+//     surgery happens mid-round — the engines instead account the
+//     dead aggregator's Subtree as missing for that round.
+//   - The suspect/demote/rejoin lifecycle above composes unchanged: a
+//     child stranded by a dead aggregator is suspected at the round
+//     deadline like any straggler and reinstated by its next pong.
+//   - The flat star (Flat, the default) must keep the engines on
+//     their pre-topology code paths bitwise — enabling the topology
+//     layer may not shift any pinned RNG stream or wire byte the
+//     serial-reference equivalence test observes.
+//
+// To add a topology: implement Topology (Name + a deterministic Plan),
+// extend ParseTopology's spec grammar, and rely on the engines'
+// generic plan routing — dispatch/collect consume only Parent,
+// Children and Subtree, never the concrete topology type. The swap
+// counterpart (which worker ships its discriminator where) is the
+// separate SwapSchedule interface in internal/core, deliberately
+// decoupled so aggregation trees and gossip/shuffle swap patterns
+// compose freely.
 package cluster
 
 import (

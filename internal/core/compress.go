@@ -60,19 +60,42 @@ func (c Compression) String() string {
 // topKFraction is the fraction of entries CompressTopK keeps.
 const topKFraction = 0.1
 
-// encodeFeedbackCompressed frames F_n under the given mode.
+// encodeFeedbackCompressed frames F_n under the given mode with one
+// exact-size allocation.
 func encodeFeedbackCompressed(f *tensor.Tensor, mode Compression) []byte {
+	return appendFeedbackCompressed(make([]byte, 0, feedbackEncodedSize(f, mode)), f, mode)
+}
+
+// feedbackEncodedSize returns the exact encoded size of F_n under mode.
+func feedbackEncodedSize(f *tensor.Tensor, mode Compression) int64 {
 	switch mode {
 	case CompressNone:
-		// The per-iteration default: one exact-size allocation.
-		out := make([]byte, 0, 1+f.EncodedSize())
+		return 1 + f.EncodedSize()
+	case CompressFP32:
+		return 1 + f.EncodedSizeAs(tensor.DTypeF32)
+	case CompressTopK:
+		k := int(float64(f.Size()) * topKFraction)
+		if k < 1 {
+			k = 1
+		}
+		return int64(1 + 4 + 4*f.Rank() + 4 + 8*k)
+	default:
+		panic(fmt.Sprintf("core: unknown compression %d", mode))
+	}
+}
+
+// appendFeedbackCompressed appends F_n's frame under the given mode —
+// the allocation-free form the aggregate encoder builds its multi-entry
+// payloads from (size the destination with feedbackEncodedSize).
+func appendFeedbackCompressed(out []byte, f *tensor.Tensor, mode Compression) []byte {
+	switch mode {
+	case CompressNone:
 		out = append(out, byte(CompressNone))
 		return f.AppendBinary(out)
 	case CompressFP32:
 		// The payload is the ordinary tensor framing pinned to the f32
-		// wire dtype: one exact-size allocation, decoded by the same
-		// tensor decoder as CompressNone.
-		out := make([]byte, 0, 1+f.EncodedSizeAs(tensor.DTypeF32))
+		// wire dtype, decoded by the same tensor decoder as
+		// CompressNone.
 		out = append(out, byte(CompressFP32))
 		return f.AppendBinaryAs(out, tensor.DTypeF32)
 	case CompressTopK:
@@ -82,7 +105,6 @@ func encodeFeedbackCompressed(f *tensor.Tensor, mode Compression) []byte {
 		}
 		idx := topKIndices(f.Data, k)
 		shape := f.Shape()
-		out := make([]byte, 0, 1+4+4*len(shape)+4+8*len(idx))
 		out = append(out, byte(CompressTopK))
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(shape)))
 		for _, d := range shape {

@@ -146,6 +146,20 @@ type Config struct {
 	// suspect to permanent demotion (0 = cluster.DefaultSuspectAfter,
 	// < 0 = never escalate). Also the corrupt-feedback strike budget.
 	SuspectAfter int
+	// Topology selects the feedback-aggregation topology (see the
+	// cluster package's topology contract). nil or cluster.Flat keeps
+	// the paper's flat star — every worker feeds the server directly,
+	// byte-for-byte the pre-topology engine. cluster.Tree routes
+	// feedbacks through worker-hosted aggregators, bounding the server's
+	// per-round ingress by its fan-in instead of N. Synchronous engines
+	// only, and AggMean only (partial sums commute with the mean, not
+	// with median-style rules).
+	Topology cluster.Topology
+	// SwapSched selects the SWAP pairing (nil = RingSwap, the paper's
+	// cyclic permutation). Non-ring schedules are synchronous-only: the
+	// async engine picks its swap peers per-feedback rather than
+	// per-round.
+	SwapSched SwapSchedule
 }
 
 // EvalFunc observes the server's generator during training.
@@ -252,6 +266,23 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 	if cfg.Async && cfg.Pipeline {
 		return nil, fmt.Errorf("core: Pipeline applies to the synchronous engine only")
 	}
+	// A Flat topology is identity — drop it to nil so the engine stays
+	// on the pre-topology code paths (the bitwise pin's configuration).
+	topo := cfg.Topology
+	if topo != nil && topo.Name() == "flat" {
+		topo = nil
+	}
+	if topo != nil {
+		if cfg.Async {
+			return nil, fmt.Errorf("core: topology %q requires synchronous mode", topo.Name())
+		}
+		if cfg.Aggregate != AggMean {
+			return nil, fmt.Errorf("core: topology %q requires mean aggregation (partial sums do not commute with %s)", topo.Name(), cfg.Aggregate)
+		}
+	}
+	if cfg.SwapSched != nil && cfg.SwapSched.Name() != "ring" && cfg.Async {
+		return nil, fmt.Errorf("core: swap schedule %q requires synchronous mode", cfg.SwapSched.Name())
+	}
 
 	net := cfg.Net
 	if net == nil {
@@ -296,6 +327,8 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 		joinAt:       cfg.JoinAt,
 		roundTimeout: cfg.RoundTimeout,
 		quorum:       cfg.Quorum,
+		topo:         topo,
+		swapSched:    cfg.SwapSched,
 		probes:       make(map[string]bool),
 	}
 	srv.m = cluster.New(net, srv.rng, cfg.CrashAt, cfg.ActivePerRound)

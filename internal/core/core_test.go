@@ -244,10 +244,12 @@ func TestTrafficMatchesAnalyticModel(t *testing.T) {
 	}
 	// Payload sizes: a batch tensor (b, 2) is 1 (dtype byte) + 4 + 4·2
 	// + ElemBytes·b·2 bytes; labels are 4 bytes (zero count) each ×2;
-	// swap-target string is 4 bytes, plus the 4-byte round tag.
+	// swap-target string is 4 bytes, plus the 4-byte round tag, plus the
+	// topology trailer (empty parent string + zero child count + batch
+	// index + aggregation wait = 16 bytes on the flat star).
 	// Feedback = one tensor frame.
 	batchFrame := int64(1 + 4 + 4*2 + tensor.ElemBytes*b*2)
-	batchesPayload := 2*batchFrame + 2*4 + 4 + 4
+	batchesPayload := 2*batchFrame + 2*4 + 4 + 4 + 16
 	feedbackPayload := batchFrame + 1 // +1: compression-mode prefix byte
 	wantCtoW := int64(n*iters) * batchesPayload
 	// The final stop messages are zero-payload, so bytes are unaffected.

@@ -74,6 +74,13 @@ type server struct {
 	// quorum is the minimum feedback count needed to apply a round when
 	// the deadline expires (≤ 0 = 1).
 	quorum int
+	// topo computes the per-round aggregation plan. nil = the flat star,
+	// which keeps the pre-topology dispatch/collect/apply paths
+	// byte-for-byte (the bitwise pin's configuration).
+	topo cluster.Topology
+	// swapSched plans the SWAP step over the active workers (RingSwap —
+	// the paper's cyclic permutation — when nil).
+	swapSched SwapSchedule
 	// probes tracks suspects pinged since the last probe tick; a pong or
 	// feedback clears the entry (reinstating the worker), an entry still
 	// present at the next tick is another miss.
@@ -105,6 +112,25 @@ type round struct {
 	frames [][]byte
 
 	feedbacks map[string]*tensor.Tensor
+
+	// Tree-collect state, all nil/empty on the flat path (lazily
+	// allocated so a flat round's reset stays allocation-identical to
+	// the pre-topology engine).
+	plan *cluster.Plan // this round's aggregation plan (nil = flat)
+	// acctGot is the contributor set: every worker whose feedback
+	// arrived inside some aggregate frame this round.
+	acctGot map[string]bool
+	// aggEnts holds the decoded entries of each direct child's
+	// aggregate frame; apply merges them in plan order.
+	aggEnts map[string][]aggEntry
+	// preFailed marks the planned subtrees of workers whose dispatch
+	// failed — their contributions are unreachable this round.
+	preFailed map[string]bool
+	// reparented dedups the per-round reparent charge per aggregator.
+	reparented map[string]bool
+	// agg is the apply-stage merge accumulator; its sum tensors come
+	// from the workspace pool and are recycled every round.
+	agg aggAccum
 }
 
 // reset prepares the round slot for iteration it, reusing backing
@@ -134,6 +160,19 @@ func (r *round) reset(it int) {
 		r.feedbacks = make(map[string]*tensor.Tensor)
 	} else {
 		clear(r.feedbacks)
+	}
+	r.plan = nil
+	if r.acctGot != nil {
+		clear(r.acctGot)
+	}
+	if r.aggEnts != nil {
+		clear(r.aggEnts)
+	}
+	if r.preFailed != nil {
+		clear(r.preFailed)
+	}
+	if r.reparented != nil {
+		clear(r.reparented)
 	}
 }
 
@@ -203,7 +242,30 @@ func (s *server) generate(r *round) {
 func (s *server) route(r *round) {
 	r.swapTo = nil
 	if s.swapInterval > 0 && r.it%s.swapInterval == 0 && len(r.active) > 1 {
-		r.swapTo = sattolo(r.active, s.rng)
+		sched := s.swapSched
+		if sched == nil {
+			sched = RingSwap{}
+		}
+		r.swapTo = sched.Plan(r.active, s.rng)
+	}
+	// The aggregation plan is recomputed fresh every round from the
+	// active set — deterministic and RNG-free (the Topology contract),
+	// so a membership change reparents orphans as a plain side effect of
+	// replanning, without disturbing the pinned RNG streams.
+	r.plan = nil
+	if s.topo != nil {
+		r.plan = s.topo.Plan(serverName, r.active)
+	}
+	// Aggregators bound their own wait at half the round deadline so a
+	// partial reduction (a child's frame was lost) still reaches the
+	// server before ITS timer expires — otherwise every lost child frame
+	// would cost the aggregator's whole accounted subtree a timeout.
+	aggWait := 0
+	if s.roundTimeout > 0 {
+		aggWait = int(s.roundTimeout / 2 / time.Millisecond)
+		if aggWait < 1 {
+			aggWait = 1
+		}
 	}
 	for i, name := range r.active {
 		r.gIdx[name] = i % r.k
@@ -218,11 +280,29 @@ func (s *server) route(r *round) {
 			gi := i % r.k
 			di := (i + 1) % r.k
 			swap := r.swapTo[name]
-			payload := make([]byte, 0, len(r.frames[di])+len(r.frames[gi])+4+len(swap)+4)
+			var parent string
+			var kids []string
+			if r.plan != nil {
+				parent = r.plan.Parent[name]
+				kids = r.plan.Children[name]
+			}
+			size := len(r.frames[di]) + len(r.frames[gi]) + 4 + len(swap) + 4 +
+				4 + len(parent) + 4 + 8
+			for _, c := range kids {
+				size += 4 + len(c)
+			}
+			payload := make([]byte, 0, size)
 			payload = append(payload, r.frames[di]...) // X^(d) ++ L^(d)
 			payload = append(payload, r.frames[gi]...) // X^(g) ++ L^(g)
 			payload = appendString(payload, swap)
 			payload = binary.LittleEndian.AppendUint32(payload, uint32(r.it))
+			payload = appendString(payload, parent)
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(kids)))
+			for _, c := range kids {
+				payload = appendString(payload, c)
+			}
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(gi))
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(aggWait))
 			r.msgs[i] = simnet.Message{
 				From: serverName, To: name, Type: msgBatches,
 				Kind: simnet.CtoW, Payload: payload,
@@ -252,11 +332,60 @@ func (s *server) dispatch(r *round) error {
 				s.m.Fail(name)
 			}
 			s.cancelSwap(r, name)
+			if r.plan != nil {
+				s.preFailSubtree(r, name)
+			}
 		default:
 			return fmt.Errorf("core: send batches: %w", err)
 		}
 	}
 	return nil
+}
+
+// preFailSubtree gives up on everything routed through name this round:
+// a worker whose dispatch failed never aggregates, so the contributions
+// of its whole planned subtree can never reach the server (the children
+// address their frames to a parent that has no round to collect them
+// into — those frames die in its future-round stash). The subtree is
+// marked failed for collect's accounting in BOTH timeout modes, name's
+// own parent gets a skip release so it stops waiting for the slot, and
+// name's direct children are charged a reparent (the next round's plan
+// rehomes them).
+//
+// BroadcastEach completes every send before dispatch examines the
+// errors, so on a FIFO per-pair transport the skip can never overtake
+// the parent's own batches frame.
+func (s *server) preFailSubtree(r *round, name string) {
+	if r.preFailed == nil {
+		r.preFailed = make(map[string]bool)
+	}
+	for _, n := range r.plan.Subtree(name) {
+		r.preFailed[n] = true
+	}
+	s.noteReparented(r, name)
+	if parent := r.plan.Parent[name]; parent != "" && parent != serverName && !r.preFailed[parent] {
+		_ = s.net.Send(simnet.Message{
+			From: serverName, To: parent, Type: msgAggSkip, Kind: simnet.CtoW,
+			Payload: encodeAggSkip(r.it, name),
+		})
+	}
+}
+
+// noteReparented charges one reparent per direct child of a failed or
+// suspect aggregator, at most once per round per aggregator (a deadline
+// can expire several times while the same aggregator stays missing).
+func (s *server) noteReparented(r *round, aggName string) {
+	kids := r.plan.Children[aggName]
+	if len(kids) == 0 || r.reparented[aggName] {
+		return
+	}
+	if r.reparented == nil {
+		r.reparented = make(map[string]bool)
+	}
+	r.reparented[aggName] = true
+	for _, c := range kids {
+		s.m.NoteReparent(c)
+	}
 }
 
 // cancelSwap releases the worker that was routed to receive the demoted
@@ -305,6 +434,9 @@ func (s *server) cancelSwap(r *round, name string) {
 // abort the entire training run. A closed server inbox (the transport
 // died under the engine) is fatal.
 func (s *server) collect(r *round) error {
+	if r.plan != nil {
+		return s.collectTree(r)
+	}
 	if len(r.sent) == 0 {
 		return nil
 	}
@@ -435,6 +567,189 @@ func (s *server) collect(r *round) error {
 	return nil
 }
 
+// collectTree is collect for a round with an aggregation plan: instead
+// of one feedback frame per worker, the server ingests one aggregate
+// frame per DIRECT child — fan-in-bounded ingress, the scaling win of
+// the tree — and accounts every contributor named inside. Completion
+// still covers every dispatched worker: contributors arrive, or their
+// subtree fails, or the deadline machinery gives up on them exactly
+// like the flat path (timeout strikes, suspect escalation, quorum on
+// the contributor count). A corrupt aggregate strikes its sender and
+// fails everything routed through it; a suspect or corrupt aggregator
+// additionally charges its direct children a reparent.
+func (s *server) collectTree(r *round) error {
+	if len(r.sent) == 0 {
+		return nil
+	}
+	if r.acctGot == nil {
+		r.acctGot = make(map[string]bool)
+	}
+	if r.aggEnts == nil {
+		r.aggEnts = make(map[string][]aggEntry)
+	}
+	// Workers whose planned route died at dispatch are failed from the
+	// start (preFailSubtree); collect never waits for them.
+	failed := 0
+	var failedSet, canceled map[string]bool
+	if len(r.preFailed) > 0 {
+		failedSet = make(map[string]bool, len(r.preFailed))
+		for name := range r.preFailed {
+			if r.sent[name] {
+				failedSet[name] = true
+				failed++
+			}
+		}
+	}
+	inbox := s.net.Inbox(serverName)
+	var timer *time.Timer
+	var deadline <-chan time.Time
+	if s.roundTimeout > 0 {
+		timer = time.NewTimer(s.roundTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for len(r.acctGot)+failed < len(r.sent) {
+		var msg simnet.Message
+		var ok bool
+		if deadline == nil {
+			msg, ok = <-inbox
+		} else {
+			select {
+			case msg, ok = <-inbox:
+			case <-deadline:
+				if failedSet == nil {
+					failedSet = make(map[string]bool)
+				}
+				if canceled == nil {
+					canceled = make(map[string]bool)
+				}
+				for _, name := range r.active {
+					if !r.sent[name] || failedSet[name] || r.acctGot[name] {
+						continue
+					}
+					s.m.NoteTimeout(name)
+					demoted := s.m.Suspect(name)
+					if !canceled[name] {
+						canceled[name] = true
+						s.cancelSwap(r, name)
+					}
+					// A missing aggregator strands its direct children's
+					// only route to the server; the next plan rehomes
+					// them.
+					if r.plan.IsAggregator(name) {
+						s.noteReparented(r, name)
+					}
+					if demoted {
+						failedSet[name] = true
+						failed++
+					}
+				}
+				quorum := s.quorum
+				if quorum < 1 {
+					quorum = 1
+				}
+				if len(r.acctGot) >= quorum {
+					for _, name := range r.active {
+						if !r.sent[name] || failedSet[name] || r.acctGot[name] {
+							continue
+						}
+						failedSet[name] = true
+						failed++
+					}
+				} else {
+					timer.Reset(s.roundTimeout)
+				}
+				continue
+			}
+		}
+		if !ok {
+			return fmt.Errorf("core: server inbox closed")
+		}
+		switch msg.Type {
+		case msgPong, msgFeedback:
+			// A pong — or a stray flat-style feedback — is evidence of
+			// life, never a tree contribution.
+			if s.m.Reinstate(msg.From) {
+				delete(s.probes, msg.From)
+			}
+			continue
+		case msgAgg:
+		default:
+			continue
+		}
+		from := msg.From
+		// Only this round's direct children feed the server.
+		if r.plan.Parent[from] != serverName || !r.sent[from] || failedSet[from] {
+			if s.m.Reinstate(from) {
+				delete(s.probes, from)
+			}
+			continue
+		}
+		if _, dup := r.aggEnts[from]; dup {
+			continue
+		}
+		if rt, tagged := aggRound(msg.Payload); tagged && rt != r.it {
+			// A straggler from an earlier round (quorum moved on without
+			// it): evidence of life, not a contribution.
+			if s.m.Reinstate(from) {
+				delete(s.probes, from)
+			}
+			continue
+		}
+		var ents []aggEntry
+		_, err := decodeAggInto(msg.Payload, r.shape, func(gIdx int, contribs []string, sum *tensor.Tensor) error {
+			if gIdx >= r.k {
+				return fmt.Errorf("core: aggregate batch index %d out of range", gIdx)
+			}
+			ents = append(ents, aggEntry{
+				GIdx:     gIdx,
+				Contribs: append([]string(nil), contribs...),
+				Sum:      sum,
+			})
+			return nil
+		})
+		if err != nil {
+			// Corrupt aggregate: strike the sender like a corrupt flat
+			// feedback, and give up on everything routed through it this
+			// round.
+			strikes := s.m.NoteCorrupt(from)
+			if s.roundTimeout <= 0 || strikes >= s.m.SuspectThreshold() {
+				s.m.Fail(from)
+			} else {
+				s.m.Suspect(from)
+			}
+			if r.plan.IsAggregator(from) {
+				s.noteReparented(r, from)
+			}
+			if failedSet == nil {
+				failedSet = make(map[string]bool)
+			}
+			for _, n := range r.plan.Subtree(from) {
+				if r.sent[n] && !failedSet[n] && !r.acctGot[n] {
+					failedSet[n] = true
+					failed++
+				}
+			}
+			continue
+		}
+		r.aggEnts[from] = ents
+		for _, e := range ents {
+			for _, name := range e.Contribs {
+				if !r.sent[name] || failedSet[name] || r.acctGot[name] {
+					continue
+				}
+				r.acctGot[name] = true
+				// A named contributor computed a feedback this round —
+				// evidence of life for a suspect.
+				if s.m.Reinstate(name) {
+					delete(s.probes, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // tickProbes advances the suspect probe cycle at a round boundary: a
 // probe that went unanswered since the last tick is another miss
 // (possibly escalating the suspect to demotion), then every remaining
@@ -459,9 +774,20 @@ drain:
 			if !ok {
 				break drain
 			}
-			if msg.Type == msgPong || msg.Type == msgFeedback {
+			if msg.Type == msgPong || msg.Type == msgFeedback || msg.Type == msgAgg {
 				if s.m.Reinstate(msg.From) {
 					delete(s.probes, msg.From)
+				}
+				if msg.Type == msgAgg {
+					// A stale aggregate carries evidence of life for
+					// every contributor it names, not just its sender.
+					if _, names, err := aggContribNames(msg.Payload, nil); err == nil {
+						for _, n := range names {
+							if s.m.Reinstate(n) {
+								delete(s.probes, n)
+							}
+						}
+					}
 				}
 			}
 		default:
@@ -501,7 +827,8 @@ func (s *server) awaitRejoin() bool {
 			if !ok {
 				return false
 			}
-			if (msg.Type == msgPong || msg.Type == msgFeedback) && s.m.Reinstate(msg.From) {
+			if (msg.Type == msgPong || msg.Type == msgFeedback || msg.Type == msgAgg) &&
+				s.m.Reinstate(msg.From) {
 				delete(s.probes, msg.From)
 				return true
 			}
@@ -519,6 +846,10 @@ func (s *server) awaitRejoin() bool {
 // groupSize/received to keep the global 1/N scaling. A round with no
 // feedbacks (every dispatch failed) applies no update.
 func (s *server) apply(r *round) {
+	if r.plan != nil {
+		s.applyTree(r)
+		return
+	}
 	if len(r.feedbacks) == 0 {
 		return
 	}
@@ -552,6 +883,50 @@ func (s *server) apply(r *round) {
 	}
 	s.optG.Step(s.g.Params())
 	s.updates++
+
+	if s.eval != nil && s.evalEvery > 0 && r.it%s.evalEvery == 0 {
+		s.eval(r.it, s.g)
+	}
+}
+
+// applyTree merges the direct children's aggregate entries and
+// backpropagates through G. The per-batch gradient is the global
+// contribution SUM scaled by 1/received — exactly the flat path's
+// groupMean · groupSize/received decomposed (summing is associative),
+// so a tree round's update matches the flat round's within
+// floating-point reassociation (TestTreeAggregationMatchesFlat pins the
+// tolerance). Merge order is the plan's child order, never arrival
+// order, so the result is scheduling-independent; the running sums come
+// from the workspace pool and are recycled via the round accumulator.
+// Tree mode is restricted to AggMean (Train validates): a median over
+// pre-summed subtrees would not be the median over workers.
+func (s *server) applyTree(r *round) {
+	if len(r.acctGot) == 0 {
+		return
+	}
+	a := &r.agg
+	a.reset()
+	for _, c := range r.plan.Children[serverName] {
+		for _, e := range r.aggEnts[c] {
+			a.add(e.GIdx, e.Contribs, e.Sum)
+		}
+	}
+	total := float64(len(r.acctGot))
+	s.g.ZeroGrads()
+	for j := 0; j < r.k; j++ {
+		i, ok := a.byIdx[j]
+		if !ok {
+			continue
+		}
+		g := a.entries[i].Sum.ScaleInPlace(1 / total)
+		// Re-forward to restore layer caches for batch j (they were
+		// clobbered when batch j+1.. were generated).
+		s.g.Forward(r.zs[j], r.labs[j], true)
+		s.g.Backward(g)
+	}
+	s.optG.Step(s.g.Params())
+	s.updates++
+	a.reset()
 
 	if s.eval != nil && s.evalEvery > 0 && r.it%s.evalEvery == 0 {
 		s.eval(r.it, s.g)

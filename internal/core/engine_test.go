@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"mdgan/internal/cluster"
 	"mdgan/internal/dataset"
 	"mdgan/internal/gan"
 	"mdgan/internal/opt"
@@ -165,7 +167,29 @@ func sortStrings(s []string) {
 	}
 }
 
+// strictTopologyOverride reads the MDGAN_TOPOLOGY gate (set by
+// scripts/verify.sh, e.g. "tree:2"): when it names a non-flat topology
+// the strict test re-runs every case as a topology-vs-flat equivalence
+// check instead of the serial-reference bitwise pin — the serial
+// reference models the flat star, and tree aggregation is only
+// reassociation-equivalent, not bitwise.
+func strictTopologyOverride(t *testing.T) cluster.Topology {
+	spec := os.Getenv("MDGAN_TOPOLOGY")
+	if spec == "" {
+		return nil
+	}
+	topo, err := cluster.ParseTopology(spec, 0)
+	if err != nil {
+		t.Fatalf("MDGAN_TOPOLOGY=%q: %v", spec, err)
+	}
+	if topo.Name() == "flat" {
+		return nil
+	}
+	return topo
+}
+
 func TestStrictEngineMatchesSerialReference(t *testing.T) {
+	topo := strictTopologyOverride(t)
 	cases := []struct {
 		name string
 		mut  func(*Config)
@@ -191,6 +215,34 @@ func TestStrictEngineMatchesSerialReference(t *testing.T) {
 				cfg.SwapEvery = -1
 				tc.mut(&cfg)
 				return shards, cfg
+			}
+			if topo != nil {
+				// Topology gate: same config, hierarchical vs flat
+				// aggregation, over a short horizon (reassociation
+				// drift compounds chaotically through Adam beyond a
+				// couple of updates). Crash schedules land past iter 2
+				// and so reduce to fault-free runs here, which is the
+				// point — the gate pins the fault-free reduce path.
+				run := func(top cluster.Topology) []float64 {
+					shards, cfg := mk()
+					cfg.Iters = 2
+					cfg.Topology = top
+					res, err := Train(shards, gan.RingMLP(), cfg, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res.G.Net.ParamVector()
+				}
+				got, want := run(topo), run(nil)
+				tol := tensor.Tol(1e-9, 2e-3)
+				for i := range want {
+					scale := math.Max(1, math.Abs(want[i]))
+					if d := math.Abs(got[i] - want[i]); d > tol*scale {
+						t.Fatalf("topology %s diverged from flat at param %d: %g vs %g (Δ=%g)",
+							topo.Name(), i, got[i], want[i], d)
+					}
+				}
+				return
 			}
 			shards, cfg := mk()
 			res, err := Train(shards, gan.RingMLP(), cfg, nil)

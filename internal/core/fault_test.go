@@ -247,7 +247,12 @@ func TestCorruptFeedbackKeepsTraining(t *testing.T) {
 		cfg := baseConfig()
 		cfg.Iters = 8
 		cfg.Net = net
-		cfg.RoundTimeout = 200 * time.Millisecond
+		// The victim garbles frames but still answers every round, so
+		// the deadline should never fire — it is armed only to select
+		// the suspect-then-demote strike path. Keep it generous: under
+		// -race on a 1-CPU host a GC pause can overrun a tight budget
+		// and add a spurious timeout-suspect.
+		cfg.RoundTimeout = 2 * time.Second
 		cfg.SuspectAfter = 2
 		res, err := Train(shards, gan.RingMLP(), cfg, nil)
 		if err != nil {

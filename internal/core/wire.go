@@ -33,11 +33,27 @@ const (
 // msgSwap, and its rendezvous only accepts swap traffic carrying the
 // same tag (see awaitSwap), so a cancellation or late frame from an
 // adjacent round can never resolve the wrong rendezvous.
+// The topology fields route the W→C feedback through the round's
+// aggregation plan. Parent names where this worker sends its round
+// contribution: empty = directly to the server as a legacy msgFeedback
+// (the flat star), anything else = fold it into an msgAgg frame
+// addressed to Parent. Children lists the workers whose msgAgg/
+// msgFeedback frames this worker must reduce before forwarding (so a
+// non-empty Children makes the worker an aggregator this round), GIdx
+// is the generated-batch index the worker's own feedback answers (the
+// flat path keeps that mapping server-side), and AggWait bounds in
+// milliseconds how long an aggregator waits for its children before
+// forwarding a partial reduction (0 = wait until every child reports or
+// is skipped — strict fail-stop).
 type batchesMsg struct {
-	Xd, Xg *tensor.Tensor
-	Ld, Lg []int
-	SwapTo string
-	Round  int
+	Xd, Xg   *tensor.Tensor
+	Ld, Lg   []int
+	SwapTo   string
+	Round    int
+	Parent   string
+	Children []string
+	GIdx     int
+	AggWait  int
 }
 
 // readLabels decodes a label list, appending into buf (pass a
@@ -67,14 +83,25 @@ func readLabels(r *bytes.Reader, buf []int) ([]int, error) {
 
 func encodeBatches(m batchesMsg) []byte {
 	size := m.Xd.EncodedSize() + m.Xg.EncodedSize() +
-		int64(8+4*len(m.Ld)+4*len(m.Lg)) + int64(4+len(m.SwapTo)) + 4
+		int64(8+4*len(m.Ld)+4*len(m.Lg)) + int64(4+len(m.SwapTo)) + 4 +
+		int64(4+len(m.Parent)) + 4 + 8
+	for _, c := range m.Children {
+		size += int64(4 + len(c))
+	}
 	buf := make([]byte, 0, size)
 	buf = m.Xd.AppendBinary(buf)
 	buf = appendLabels(buf, m.Ld)
 	buf = m.Xg.AppendBinary(buf)
 	buf = appendLabels(buf, m.Lg)
 	buf = appendString(buf, m.SwapTo)
-	return binary.LittleEndian.AppendUint32(buf, uint32(m.Round))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Round))
+	buf = appendString(buf, m.Parent)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Children)))
+	for _, c := range m.Children {
+		buf = appendString(buf, c)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.GIdx))
+	return binary.LittleEndian.AppendUint32(buf, uint32(m.AggWait))
 }
 
 func appendLabels(buf []byte, labels []int) []byte {
@@ -123,6 +150,32 @@ func decodeBatches(p []byte, m *batchesMsg) error {
 		return fmt.Errorf("core: read batches round: %w", err)
 	}
 	m.Round = int(binary.LittleEndian.Uint32(tmp[:]))
+	if m.Parent, err = readString(r); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return fmt.Errorf("core: read child count: %w", err)
+	}
+	nc := int(binary.LittleEndian.Uint32(tmp[:]))
+	if nc > r.Len()/4 {
+		return fmt.Errorf("core: child count %d exceeds remaining payload", nc)
+	}
+	m.Children = m.Children[:0]
+	for i := 0; i < nc; i++ {
+		c, err := readString(r)
+		if err != nil {
+			return err
+		}
+		m.Children = append(m.Children, c)
+	}
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return fmt.Errorf("core: read batch index: %w", err)
+	}
+	m.GIdx = int(binary.LittleEndian.Uint32(tmp[:]))
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return fmt.Errorf("core: read aggregation wait: %w", err)
+	}
+	m.AggWait = int(binary.LittleEndian.Uint32(tmp[:]))
 	return nil
 }
 

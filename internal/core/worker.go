@@ -3,11 +3,13 @@ package core
 import (
 	"math/rand"
 	"sync"
+	"time"
 
 	"mdgan/internal/dataset"
 	"mdgan/internal/gan"
 	"mdgan/internal/opt"
 	"mdgan/internal/simnet"
+	"mdgan/internal/tensor"
 )
 
 // worker is one MD-GAN participant: it hosts a discriminator D_n and a
@@ -47,9 +49,27 @@ type worker struct {
 	// loop would discard a future rendezvous's release and deadlock
 	// that rendezvous.
 	futureSwaps []simnet.Message
+	// futureAggs holds aggregation traffic (msgAgg contributions from
+	// children, msgAggSkip releases from the server) tagged with a round
+	// whose batches have not arrived yet — a child's contribution can
+	// overtake its aggregator's own batches on TCP. Only collectChildren
+	// consumes it.
+	futureAggs []simnet.Message
 	// lastRound is the most recent batches round handled; swap traffic
 	// tagged beyond it belongs to a rendezvous that has not opened yet.
 	lastRound int
+
+	// agg accumulates this worker's aggregation round (own feedback +
+	// children's sums) when the topology plan names it a parent; its sum
+	// tensors come from the workspace pool and are recycled each round.
+	agg aggAccum
+	// aggGot buffers raw child frames during collectChildren so the
+	// merge can run in bm.Children order — merging at arrival order
+	// would make the forwarded sums scheduling-dependent.
+	aggGot map[string][]byte
+	// ownName caches the single-element contributor slice for the
+	// worker's own aggregate entry.
+	ownName []string
 
 	// bm is the reusable decode target for incoming batch messages: the
 	// tensors and label slices are overwritten in place each iteration.
@@ -119,6 +139,17 @@ func (w *worker) run() {
 			}); err != nil {
 				return
 			}
+		case msgAgg, msgAggSkip:
+			// Aggregation traffic outside a collect window: a child's
+			// contribution (or the server's skip release) for a round
+			// whose batches have not reached us yet — hold it where
+			// collectChildren will look for it. Anything tagged with a
+			// round we already forwarded is a straggler whose
+			// contribution is lost (the server's deadline machinery
+			// accounts for the missing contributors).
+			if r, ok := aggRound(msg.Payload); ok && r > w.lastRound {
+				w.futureAggs = append(w.futureAggs, msg)
+			}
 		case msgBatches:
 			if !w.handleBatches(msg) {
 				return
@@ -185,16 +216,200 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 			_ = err
 		}
 	}
-	if err := w.net.Send(simnet.Message{
-		From: w.name, To: serverName, Type: msgFeedback,
-		Kind: simnet.WtoC, Payload: encodeFeedbackCompressed(fn, w.compress),
-	}); err != nil {
+	if bm.Parent == "" {
+		// Flat star: the legacy direct feedback frame to the server.
+		if err := w.net.Send(simnet.Message{
+			From: w.name, To: serverName, Type: msgFeedback,
+			Kind: simnet.WtoC, Payload: encodeFeedbackCompressed(fn, w.compress),
+		}); err != nil {
+			return false
+		}
+	} else if !w.sendAggregate(fn) {
 		return false
 	}
 	if bm.SwapTo != "" && !w.lazySwap {
 		return w.awaitSwap(bm.Round)
 	}
 	return true
+}
+
+// sendAggregate runs the worker's side of the round's aggregation plan:
+// collect the children's contributions (none for a leaf), fold in our
+// own feedback, and forward the reduced frame to bm.Parent. Returns
+// false when the worker must stop (crashed inbox, or the parent IS the
+// server and it is gone — the same death the legacy feedback path
+// takes).
+func (w *worker) sendAggregate(fn *tensor.Tensor) bool {
+	bm := &w.bm
+	send, alive := w.collectChildren()
+	if !alive {
+		return false
+	}
+	if !send {
+		return true // stopping: run() pops the requeued msgStop next
+	}
+	w.agg.reset()
+	if w.ownName == nil {
+		w.ownName = []string{w.name}
+	}
+	w.agg.add(bm.GIdx, w.ownName, fn)
+	want := bm.Xg.Shape()
+	for _, c := range bm.Children {
+		p, ok := w.aggGot[c]
+		if !ok {
+			continue
+		}
+		// A frame that corrupts mid-decode keeps its already-decoded
+		// entries (they are real sums); the contributors lost to the
+		// corrupt tail miss the round and the server's deadline
+		// machinery accounts for them.
+		_, _ = decodeAggInto(p, want, func(gIdx int, names []string, sum *tensor.Tensor) error {
+			w.agg.add(gIdx, names, sum)
+			return nil
+		})
+	}
+	// An aggregator re-encodes SUMS: top-k of a sum would re-sparsify
+	// the children's already-lossy contributions, compounding the loss
+	// at every tree level, so the aggregate frame falls back to the
+	// dense fp32 encoding. A leaf's single-contribution frame keeps the
+	// configured mode — same loss profile as the flat star.
+	mode := w.compress
+	if len(bm.Children) > 0 && mode == CompressTopK {
+		mode = CompressFP32
+	}
+	payload := w.agg.encode(bm.Round, mode)
+	kind := simnet.WtoW
+	if bm.Parent == serverName {
+		kind = simnet.WtoC
+	}
+	err := w.net.Send(simnet.Message{
+		From: w.name, To: bm.Parent, Type: msgAgg, Kind: kind, Payload: payload,
+	})
+	w.agg.reset()
+	if err != nil {
+		if bm.Parent == serverName {
+			return false
+		}
+		// A dead peer parent loses this subtree's round; the next
+		// round's plan reparents us.
+	}
+	return true
+}
+
+// collectChildren gathers this round's msgAgg frames from bm.Children
+// (buffering the raw payloads in aggGot for the in-order merge),
+// honouring msgAggSkip releases and the AggWait deadline. send=false
+// means skip the upstream forward (stopping); alive=false means the
+// worker crashed (inbox closed).
+func (w *worker) collectChildren() (send, alive bool) {
+	bm := &w.bm
+	if w.aggGot == nil {
+		w.aggGot = make(map[string][]byte, len(bm.Children))
+	} else {
+		clear(w.aggGot)
+	}
+	if len(bm.Children) == 0 {
+		return true, true
+	}
+	need := make(map[string]bool, len(bm.Children))
+	for _, c := range bm.Children {
+		need[c] = true
+	}
+	// This round's contributions may already be stashed: a child's
+	// frame can overtake our own batches on TCP. Flush stale stragglers
+	// along the way.
+	keep := w.futureAggs[:0]
+	for _, msg := range w.futureAggs {
+		r, ok := aggRound(msg.Payload)
+		switch {
+		case !ok || r < bm.Round:
+			// Corrupt or stale: its round already closed.
+		case r > bm.Round:
+			keep = append(keep, msg)
+		default:
+			w.absorbAgg(msg, need)
+		}
+	}
+	w.futureAggs = keep
+	if len(need) == 0 {
+		return true, true
+	}
+	var expire <-chan time.Time
+	if bm.AggWait > 0 {
+		timer := time.NewTimer(time.Duration(bm.AggWait) * time.Millisecond)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	inbox := w.net.Inbox(w.name)
+	for len(need) > 0 {
+		select {
+		case msg, ok := <-inbox:
+			if !ok {
+				return false, false
+			}
+			switch msg.Type {
+			case msgAgg, msgAggSkip:
+				r, ok := aggRound(msg.Payload)
+				switch {
+				case !ok || r < bm.Round:
+				case r > bm.Round:
+					w.futureAggs = append(w.futureAggs, msg)
+				default:
+					w.absorbAgg(msg, need)
+				}
+			case msgSwap:
+				// Swap traffic tagged with this round or later belongs
+				// to a rendezvous that has not opened yet (ours opens
+				// after the upstream forward) — adopting it here would
+				// eat the release awaitSwap will block on. Earlier
+				// rounds follow the stray rules.
+				r, params, err := decodeSwap(msg.Payload)
+				if err != nil {
+					continue
+				}
+				if r >= bm.Round {
+					w.futureSwaps = append(w.futureSwaps, msg)
+					continue
+				}
+				if len(params) > 0 {
+					_ = decodeDiscParamsInto(w.d, params)
+				}
+			case msgStop:
+				// Shutdown beats the forward: requeue so run() exits on
+				// it next.
+				w.pending = append(w.pending, msg)
+				return false, true
+			default:
+				// Pings included: a collect-blocked aggregator must not
+				// pong (see run) — the probe escalation is what breaks a
+				// wedged collect once the server gives up on us.
+				w.pending = append(w.pending, msg)
+			}
+		case <-expire:
+			// Deadline: forward the partial reduction. Missing children
+			// miss the round; the server's accounting notices.
+			return true, true
+		}
+	}
+	return true, true
+}
+
+// absorbAgg accounts one in-round aggregation message against the
+// outstanding-children set: a child's frame is buffered for the merge,
+// a skip releases the slot of a child whose dispatch failed. A skip
+// racing behind the child's real frame is stale and ignored.
+func (w *worker) absorbAgg(msg simnet.Message, need map[string]bool) {
+	if msg.Type == msgAggSkip {
+		if _, child, err := decodeAggSkip(msg.Payload); err == nil && w.aggGot[child] == nil {
+			delete(need, child)
+		}
+		return
+	}
+	if !need[msg.From] {
+		return // not our child this round, or a duplicate: drop
+	}
+	delete(need, msg.From)
+	w.aggGot[msg.From] = msg.Payload
 }
 
 // awaitSwap blocks until round's replacement discriminator arrives. A

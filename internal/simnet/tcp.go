@@ -1,8 +1,9 @@
 package simnet
 
 import (
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -18,8 +19,11 @@ import (
 const (
 	// DefaultDialTimeout bounds connection establishment.
 	DefaultDialTimeout = 2 * time.Second
-	// DefaultWriteTimeout bounds each gob frame write (armed fresh
-	// before every encode, so long-lived idle connections are fine).
+	// DefaultWriteTimeout bounds each chunk write (armed fresh before
+	// every chunk, so a multi-hundred-MB frame to a healthy-but-slow
+	// peer streams chunk by chunk instead of having to land whole
+	// within one deadline, while a genuinely stalled peer still fails
+	// at the first unbuffered chunk).
 	DefaultWriteTimeout = 5 * time.Second
 	// tcpSendAttempts is the total number of send attempts (the first
 	// try plus fresh-dial retries).
@@ -30,15 +34,51 @@ const (
 	tcpRetryBase = 20 * time.Millisecond
 )
 
+// Stream framing bounds.
+const (
+	// tcpChunkSize is the payload budget of one chunk. 64 KiB keeps
+	// per-chunk latency (and the deadline granularity) small while
+	// amortising the 9-byte chunk header to noise.
+	tcpChunkSize = 64 << 10
+	// tcpMaxFrame bounds a single message's payload: anything claiming
+	// more is hostile or corrupt, and the receiver drops the connection
+	// before allocating for the claim.
+	tcpMaxFrame = 256 << 20
+	// tcpMaxPartialStreams bounds the per-connection reassembly map: a
+	// peer opening streams without finishing them cannot grow receiver
+	// memory past this many in-flight frames.
+	tcpMaxPartialStreams = 1024
+	// tcpMaxNameLen bounds the node-name and type strings in a stream
+	// header.
+	tcpMaxNameLen = 4096
+
+	tcpFlagFirst = 1 << 0
+	tcpFlagLast  = 1 << 1
+)
+
 // TCPNet is a Net implementation over real loopback/LAN sockets using
 // the stdlib net package: every registered node owns a TCP listener and
-// senders keep one persistent connection per (from, to) pair with
-// gob-framed messages. Traffic accounting counts application payload
-// bytes (identical to ChannelNet), so the communication tables are
-// transport-independent.
+// senders keep one persistent connection per (from, to) pair. Traffic
+// accounting counts application payload bytes (identical to
+// ChannelNet), so the communication tables are transport-independent.
+//
+// Messages travel as multiplexed chunked streams. Each frame is cut
+// into ≤ 64 KiB chunks tagged [u32 streamID ++ u8 flags ++ u32 len];
+// the first chunk additionally carries the message header (from, to,
+// type, kind, payload length) and concurrent sends over the same
+// connection interleave their chunks rather than serialising whole
+// frames. That is what makes K=500 tractable: the sender never builds
+// a second full copy of a frame (the old gob encoder buffered every
+// message wholesale), the write deadline applies per chunk instead of
+// per frame, and backpressure propagates per connection through the
+// TCP window — a slow worker throttles its own stream at chunk
+// granularity instead of forcing hundreds of complete frames to queue
+// in memory. The receiver reassembles streams into exactly one
+// payload-sized buffer each, with every header length bounded before
+// any proportional allocation.
 //
 // Sends are hardened against transient peer stalls: dials are bounded
-// by DialTimeout, every frame write is bounded by WriteTimeout, and a
+// by DialTimeout, every chunk write is bounded by WriteTimeout, and a
 // failed write is retried over a fresh connection with exponential
 // backoff and jitter before the peer is reported down. Retries() counts
 // those recovery attempts for the fault accounting.
@@ -48,24 +88,28 @@ type TCPNet struct {
 	listeners map[string]net.Listener
 	inboxes   map[string]chan Message
 	incoming  map[string][]net.Conn // accepted conns per node, closed on Crash
-	conns     map[string]*gobConn   // sender side, key: from+"→"+to
+	conns     map[string]*tcpConn   // sender side, key: from+"→"+to
 	down      map[string]bool
 	acct      *accounting
 	wg        sync.WaitGroup
 	retries   atomic.Int64
 
 	// DialTimeout and WriteTimeout bound connection establishment and
-	// per-frame writes. They default to DefaultDialTimeout /
+	// per-chunk writes. They default to DefaultDialTimeout /
 	// DefaultWriteTimeout and may be lowered before the first Send
 	// (tests use short deadlines to exercise the expiry paths).
 	DialTimeout  time.Duration
 	WriteTimeout time.Duration
 }
 
-type gobConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+// tcpConn is the sender half of one (from, to) connection. The mutex
+// guards individual chunk writes, not whole frames — that is the
+// multiplexing: concurrent Sends on the same pair interleave at chunk
+// boundaries, each chunk atomic under the lock.
+type tcpConn struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID atomic.Uint32
 }
 
 // NewTCPNet creates a TCP-backed network on loopback.
@@ -75,7 +119,7 @@ func NewTCPNet() *TCPNet {
 		listeners:    make(map[string]net.Listener),
 		inboxes:      make(map[string]chan Message),
 		incoming:     make(map[string][]net.Conn),
-		conns:        make(map[string]*gobConn),
+		conns:        make(map[string]*tcpConn),
 		down:         make(map[string]bool),
 		acct:         newAccounting(),
 		DialTimeout:  DefaultDialTimeout,
@@ -134,16 +178,174 @@ func (n *TCPNet) acceptLoop(node string, l net.Listener, inbox chan Message) {
 		go func() {
 			defer connWG.Done()
 			defer c.Close()
-			dec := gob.NewDecoder(c)
-			for {
-				var msg Message
-				if err := dec.Decode(&msg); err != nil {
-					return
-				}
-				inbox <- msg
-			}
+			readStreams(c, inbox)
 		}()
 	}
+}
+
+// partialStream is one in-flight reassembly: the decoded header plus
+// how much of the payload buffer has arrived.
+type partialStream struct {
+	msg Message
+	got int
+}
+
+// readStreams is the per-connection receive loop: it demultiplexes
+// chunks into per-stream reassembly buffers and delivers each message
+// once its LAST chunk lands. Any framing violation — oversized chunk,
+// unknown continuation, length claims past the declared payload, too
+// many open streams — drops the connection (the sender's next chunk
+// write fails and takes the fresh-dial retry path). Partial streams
+// die with the connection.
+func readStreams(c net.Conn, inbox chan Message) {
+	streams := make(map[uint32]*partialStream)
+	var hdr [9]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		id := binary.LittleEndian.Uint32(hdr[0:4])
+		flags := hdr[4]
+		size := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		if size > tcpChunkSize {
+			return
+		}
+		p := streams[id]
+		if flags&tcpFlagFirst != 0 {
+			if p != nil || len(streams) >= tcpMaxPartialStreams {
+				return
+			}
+			chunk := make([]byte, size)
+			if _, err := io.ReadFull(c, chunk); err != nil {
+				return
+			}
+			msg, body, ok := parseStreamHeader(chunk)
+			if !ok || len(body) > len(msg.Payload) {
+				return
+			}
+			p = &partialStream{msg: msg, got: copy(msg.Payload, body)}
+			streams[id] = p
+		} else {
+			if p == nil || p.got+size > len(p.msg.Payload) {
+				return
+			}
+			if _, err := io.ReadFull(c, p.msg.Payload[p.got:p.got+size]); err != nil {
+				return
+			}
+			p.got += size
+		}
+		if flags&tcpFlagLast != 0 {
+			if p.got != len(p.msg.Payload) {
+				return
+			}
+			delete(streams, id)
+			inbox <- p.msg
+		}
+	}
+}
+
+// appendStreamHeader frames a message's envelope: three length-prefixed
+// strings, the kind byte and the payload length.
+func appendStreamHeader(b []byte, msg *Message) []byte {
+	for _, s := range []string{msg.From, msg.To, msg.Type} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+		b = append(b, s...)
+	}
+	b = append(b, byte(msg.Kind))
+	return binary.LittleEndian.AppendUint32(b, uint32(len(msg.Payload)))
+}
+
+// parseStreamHeader decodes the envelope from a first chunk, allocates
+// the (bounded) payload buffer, and returns the chunk's remaining bytes
+// — the payload prefix that shared the first chunk with the header.
+func parseStreamHeader(chunk []byte) (msg Message, body []byte, ok bool) {
+	fields := [3]string{}
+	for i := range fields {
+		if len(chunk) < 4 {
+			return msg, nil, false
+		}
+		l := int(binary.LittleEndian.Uint32(chunk[:4]))
+		chunk = chunk[4:]
+		if l > tcpMaxNameLen || l > len(chunk) {
+			return msg, nil, false
+		}
+		fields[i] = string(chunk[:l])
+		chunk = chunk[l:]
+	}
+	if len(chunk) < 5 {
+		return msg, nil, false
+	}
+	msg.From, msg.To, msg.Type = fields[0], fields[1], fields[2]
+	msg.Kind = Kind(chunk[0])
+	size := int(binary.LittleEndian.Uint32(chunk[1:5]))
+	if size > tcpMaxFrame {
+		return msg, nil, false
+	}
+	msg.Payload = make([]byte, size)
+	return msg, chunk[5:], true
+}
+
+// writeChunk sends one framed chunk under the connection lock, with a
+// fresh write deadline. Holding the lock only per chunk is what lets
+// concurrent frames to the same destination interleave.
+func (gc *tcpConn) writeChunk(id uint32, flags byte, data []byte, timeout time.Duration) error {
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], id)
+	hdr[4] = flags
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(data)))
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	// Armed fresh per chunk: a stalled peer (full receive window) fails
+	// this write with a timeout instead of hanging the server's dispatch
+	// loop forever; expiry falls through to the fresh-dial retry path
+	// like any other write error.
+	_ = gc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := gc.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := gc.conn.Write(data)
+	return err
+}
+
+// writeMessage streams one message as chunks. The first chunk carries
+// the envelope plus as much payload as fits; the rest of the payload is
+// sliced directly from the caller's buffer — no full-frame copy is ever
+// built on the send side.
+func (gc *tcpConn) writeMessage(msg *Message, timeout time.Duration) error {
+	id := gc.nextID.Add(1)
+	first := appendStreamHeader(make([]byte, 0, tcpChunkSize), msg)
+	rest := msg.Payload
+	if room := tcpChunkSize - len(first); len(rest) <= room {
+		first = append(first, rest...)
+		rest = nil
+	} else {
+		first = append(first, rest[:room]...)
+		rest = rest[room:]
+	}
+	flags := byte(tcpFlagFirst)
+	if rest == nil {
+		flags |= tcpFlagLast
+	}
+	if err := gc.writeChunk(id, flags, first, timeout); err != nil {
+		return err
+	}
+	for rest != nil {
+		chunk := rest
+		if len(chunk) > tcpChunkSize {
+			chunk = chunk[:tcpChunkSize]
+		}
+		flags = 0
+		if len(rest) == len(chunk) {
+			flags = tcpFlagLast
+			rest = nil
+		} else {
+			rest = rest[len(chunk):]
+		}
+		if err := gc.writeChunk(id, flags, chunk, timeout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // retryBackoff returns the sleep before retry attempt (1-based):
@@ -159,7 +361,10 @@ func retryBackoff(attempt int) time.Duration {
 // torn down by the peer's OS (or a NAT) must not read as a worker death
 // — the round engines suspect/demote ErrNodeDown destinations, so a
 // stale socket would otherwise silently drop a healthy worker and its
-// shard from training.
+// shard from training. A write that fails mid-stream leaves a torn
+// frame on the wire, so the connection is always evicted and the whole
+// message resent over a fresh dial (the receiver discards the partial
+// stream with the dropped connection).
 func (n *TCPNet) Send(msg Message) error {
 	n.mu.Lock()
 	addr, ok := n.addrs[msg.To]
@@ -168,6 +373,9 @@ func (n *TCPNet) Send(msg Message) error {
 	n.mu.Unlock()
 	if !ok || dead {
 		return fmt.Errorf("%w: %s", ErrNodeDown, msg.To)
+	}
+	if len(msg.Payload) > tcpMaxFrame {
+		return fmt.Errorf("simnet: payload %d exceeds frame bound %d", len(msg.Payload), tcpMaxFrame)
 	}
 	var lastErr error
 	for attempt := 0; attempt < tcpSendAttempts; attempt++ {
@@ -186,19 +394,12 @@ func (n *TCPNet) Send(msg Message) error {
 				lastErr = err
 				continue
 			}
-			gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+			gc = &tcpConn{conn: conn}
 			n.mu.Lock()
 			n.conns[key] = gc
 			n.mu.Unlock()
 		}
-		gc.mu.Lock()
-		// Armed fresh per frame: a stalled peer (full receive window)
-		// fails this write with a timeout instead of hanging the
-		// server's dispatch loop forever; expiry falls through to the
-		// fresh-dial retry path like any other write error.
-		_ = gc.conn.SetWriteDeadline(time.Now().Add(n.WriteTimeout))
-		err := gc.enc.Encode(msg)
-		gc.mu.Unlock()
+		err := gc.writeMessage(&msg, n.WriteTimeout)
 		if err == nil {
 			n.acct.record(&msg)
 			return nil
@@ -253,7 +454,7 @@ func (n *TCPNet) Close() error {
 	for name := range n.listeners {
 		nodes = append(nodes, name)
 	}
-	senders := make([]*gobConn, 0, len(n.conns))
+	senders := make([]*tcpConn, 0, len(n.conns))
 	for _, c := range n.conns {
 		senders = append(senders, c)
 	}

@@ -277,6 +277,23 @@ type Options struct {
 	// a copy of a live worker's discriminator. Synchronous MD-GAN only.
 	JoinAt map[int][]*Dataset
 
+	// Topology-aware aggregation (MD-GAN only).
+
+	// Topology selects the feedback-aggregation overlay: "" or "flat"
+	// is the paper's star (every worker reports straight to the
+	// server), "tree:<depth>" reduces feedbacks through a tree of
+	// worker-side aggregators so server ingress is bounded by its
+	// fan-in instead of the cluster size. Synchronous engines only.
+	Topology string
+	// Fanin overrides the tree's per-node child bound (≥ 2); 0 picks
+	// ceil(N^(1/depth)) automatically.
+	Fanin int
+	// SwapSchedule selects the discriminator-swap plan: "" or "ring"
+	// is the paper's cyclic permutation (Sattolo), "shuffle" a random
+	// pairwise exchange, "gossip[:pairs]" a sparse subset of pairs per
+	// swap. Non-ring schedules are synchronous-only.
+	SwapSchedule string
+
 	// Transient-fault tolerance (MD-GAN only).
 
 	// RoundTimeout, when > 0, bounds each round's wait for worker
@@ -467,7 +484,15 @@ func Run(ds *Dataset, arch Arch, o Options, ev *Evaluator) (*RunResult, error) {
 }
 
 // mdganConfig maps the facade options onto the core configuration.
-func (o Options) mdganConfig() core.Config {
+func (o Options) mdganConfig() (core.Config, error) {
+	topo, err := cluster.ParseTopology(o.Topology, o.Fanin)
+	if err != nil {
+		return core.Config{}, err
+	}
+	sched, err := core.ParseSwapSchedule(o.SwapSchedule)
+	if err != nil {
+		return core.Config{}, err
+	}
 	return core.Config{
 		TrainConfig:    o.trainConfig(),
 		K:              o.K,
@@ -484,14 +509,19 @@ func (o Options) mdganConfig() core.Config {
 		RoundTimeout:   o.RoundTimeout,
 		Quorum:         o.Quorum,
 		SuspectAfter:   o.SuspectAfter,
-	}
+		Topology:       topo,
+		SwapSched:      sched,
+	}, nil
 }
 
 // runMDGAN wires the transport (loopback TCP and/or the chaos wrapper)
 // and runs the core engine, folding fault and chaos accounting into the
 // result.
 func runMDGAN(shards []*Dataset, arch Arch, o Options, curve *Curve, hook func(int, *Generator)) (*RunResult, error) {
-	cfg := o.mdganConfig()
+	cfg, err := o.mdganConfig()
+	if err != nil {
+		return nil, err
+	}
 	var base simnet.Net
 	if o.UseTCP {
 		base = simnet.NewTCPNet()

@@ -18,6 +18,11 @@
 #   MDGAN_CHAOS=off scripts/verify.sh
 #                                  # skip the named chaos/fault gates (they
 #                                  # still run inside the plain test suites)
+#   MDGAN_TOPO=off scripts/verify.sh
+#                                  # skip the topology gates (tree-vs-flat
+#                                  # engine equivalence under
+#                                  # MDGAN_TOPOLOGY=tree:2 and the depth-2
+#                                  # tree chaos soak)
 #   MDGAN_SERVE=off scripts/verify.sh
 #                                  # skip the serving smoke gate (train a
 #                                  # tiny checkpoint, boot mdgan-serve,
@@ -42,6 +47,7 @@ dtypes=${MDGAN_DTYPES:-both}
 kernels=${MDGAN_KERNELS:-both}
 chaos=${MDGAN_CHAOS:-on}
 serve=${MDGAN_SERVE:-on}
+topo=${MDGAN_TOPO:-on}
 
 engine_gates() { # $1 = label, $2.. = go test args
     local name=$1
@@ -85,6 +91,8 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
     # dispatch to, not just the one the CPU probe picked.
     MDGAN_GEMM_KERNEL=generic engine_gates "$name/generic-kernel" ${tagargs[@]+"${tagargs[@]}"}
 
+    topology_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
+
     chaos_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
 
     serve_smoke "$name" ${tagargs[@]+"${tagargs[@]}"}
@@ -96,6 +104,26 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
         echo "== [$name] writing ${BENCH_JSON} rows =="
         go run ${tagargs[@]+"${tagargs[@]}"} ./cmd/mdgan-bench -dtype "${name%%-*}" -benchjson "${BENCH_JSON}"
     fi
+}
+
+topology_gates() { # $1 = label, $2.. = go test args
+    local name=$1
+    shift
+    [ "$topo" = off ] && return 0
+    # Named topology gates: the engine-equivalence suite re-run under a
+    # depth-2 aggregation tree (MDGAN_TOPOLOGY flips the strict test
+    # into a tree-vs-flat tolerance comparison — hierarchical partial
+    # sums are reassociation-equivalent to the flat mean, not bitwise),
+    # plus the tree-specific fault paths: ingress reduction, aggregator
+    # failure → leaf reparenting, goroutine reaping on every tree exit
+    # path, and the seeded chaos soak with a partitioned aggregator.
+    echo "== [$name] topology gates (tree:2) =="
+    MDGAN_TOPOLOGY=tree:2 go test "$@" -count=1 \
+        -run 'TestStrictEngineMatchesSerialReference' ./internal/core
+    go test -race "$@" -count=1 \
+        -run 'TestTreeAggregationMatchesFlat|TestTreeServerIngressReduction|TestAggregatorFailureReparentsChildren|TestTreeTrainExitPathsReapWorkers|TestChaosSoakTree' \
+        ./internal/core
+    go test "$@" -count=1 -run 'TestTreePlan|TestSubtree|TestParseTopology' ./internal/cluster
 }
 
 chaos_gates() { # $1 = label, $2.. = go test args
