@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+// runBenchDiff compares two -benchjson reports row by row and prints
+// the perf-trajectory deltas: ns/op (and GFLOP/s or bytes/op where the
+// row carries them), with regressions beyond regressionPct flagged.
+// The diff is advisory — rows present on only one side are counted,
+// not errors, and the exit code never signals a regression (perf on
+// shared hosts is noisy; verify.sh runs this as a non-gating step).
+func runBenchDiff(newPath, basePath string) {
+	newRep, baseRep := loadReport(newPath), loadReport(basePath)
+	base := make(map[string]benchRow, len(baseRep.Benchmarks))
+	for _, r := range baseRep.Benchmarks {
+		base[r.Dtype+"\x00"+r.Name] = r
+	}
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+
+	const regressionPct = 10.0
+	compared, regressions, onlyNew := 0, 0, 0
+	fmt.Printf("benchdiff: %s -> %s\n", basePath, newPath)
+	for _, nr := range newRep.Benchmarks {
+		key := nr.Dtype + "\x00" + nr.Name
+		seen[key] = true
+		br, ok := base[key]
+		if !ok {
+			onlyNew++
+			continue
+		}
+		line, worst := diffRow(br, nr)
+		if line == "" {
+			continue // no comparable metric on this row pair
+		}
+		compared++
+		mark := "  "
+		if worst > regressionPct {
+			mark = "!! "
+			regressions++
+		}
+		fmt.Printf("%s%s [%s]: %s\n", mark, nr.Name, nr.Dtype, line)
+	}
+	onlyBase := 0
+	for key := range base {
+		if !seen[key] {
+			onlyBase++
+		}
+	}
+	fmt.Printf("benchdiff: %d rows compared, %d regressions (>%.0f%% worse), %d only in %s, %d only in %s\n",
+		compared, regressions, regressionPct, onlyNew, newPath, onlyBase, basePath)
+}
+
+func loadReport(path string) benchReport {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("benchdiff: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		log.Fatalf("benchdiff: %s: %v", path, err)
+	}
+	return rep
+}
+
+// diffRow formats the metric deltas of one (baseline, new) row pair and
+// returns the worst regression among them in percent (positive = new is
+// worse). An empty line means the pair shares no comparable metric.
+func diffRow(br, nr benchRow) (string, float64) {
+	line, worst := "", 0.0
+	add := func(s string, regress float64) {
+		if line != "" {
+			line += ", "
+		}
+		line += s
+		if regress > worst {
+			worst = regress
+		}
+	}
+	pct := func(old, new float64) float64 { return (new - old) / old * 100 }
+	if br.NsPerOp > 0 && nr.NsPerOp > 0 {
+		d := pct(br.NsPerOp, nr.NsPerOp)
+		add(fmt.Sprintf("%.3g -> %.3g ns/op (%+.1f%%)", br.NsPerOp, nr.NsPerOp, d), d)
+	}
+	if br.GFlops > 0 && nr.GFlops > 0 {
+		d := pct(br.GFlops, nr.GFlops)
+		// Higher is better: a GFLOP/s drop is the regression.
+		add(fmt.Sprintf("%.2f -> %.2f GFLOP/s (%+.1f%%)", br.GFlops, nr.GFlops, d), -d)
+	}
+	if br.NsPerOp == 0 && br.BytesPerOp > 0 && nr.BytesPerOp > 0 {
+		d := pct(float64(br.BytesPerOp), float64(nr.BytesPerOp))
+		add(fmt.Sprintf("%d -> %d B/op (%+.1f%%)", br.BytesPerOp, nr.BytesPerOp, d), d)
+	}
+	return line, worst
+}

@@ -7,6 +7,9 @@
 //	mdgan-bench -scale full           # paper-closer scale (hours on CPU)
 //	mdgan-bench -csv results/         # also write CSV series
 //	mdgan-bench -benchjson BENCH.json # perf-trajectory micro-benchmarks
+//	mdgan-bench -list-kernels         # GEMM kernel tiers this host can run
+//	mdgan-bench -benchdiff NEW.json -baseline OLD.json
+//	                                  # advisory diff of two -benchjson files
 package main
 
 import (
@@ -51,12 +54,17 @@ type benchRow struct {
 	// flat-ns/tree-ns ratio at the same K (> 1 means the tree won).
 	Topology      string  `json:"topology,omitempty"`
 	SpeedupVsFlat float64 `json:"speedup_vs_flat,omitempty"`
-	// GFlops and Kernel annotate the GEMM micro-benchmark rows: the
-	// achieved GFLOP/s at an MD-GAN layer shape, and which micro-kernel
-	// produced it ("avx2+fma", "generic", "generic (noasm)") — the
-	// kernel-level evidence behind the iteration-level rows.
+	// GFlops, Kernel and Lanes annotate the GEMM micro-benchmark rows:
+	// the achieved GFLOP/s at an MD-GAN layer shape, which micro-kernel
+	// produced it ("avx512", "avx2+fma", "generic", "generic (noasm)"),
+	// and that kernel's SIMD width in elements — the kernel-level
+	// evidence behind the iteration-level rows. The bare-named row is
+	// measured under the dispatched (best) kernel so the trajectory
+	// stays comparable across PRs; rows suffixed /kernel=<name> pin the
+	// other tiers the host can force.
 	GFlops float64 `json:"gflops,omitempty"`
 	Kernel string  `json:"kernel,omitempty"`
+	Lanes  int     `json:"lanes,omitempty"`
 	// Fault-summary annotations of the chaos row: the fault ledger of a
 	// short seeded-chaos run under a round deadline (ns_per_op is its
 	// wall time per applied iteration, faults included).
@@ -198,13 +206,16 @@ func writeBenchJSON(path, topoSpec string, fanin int) {
 	}
 	// GEMM micro-benchmarks at MD-GAN layer shapes (names match the
 	// go-test sub-benchmarks in internal/tensor): the kernel-level
-	// GFLOP/s behind the iteration rows, attributable to the dispatched
-	// micro-kernel.
+	// GFLOP/s behind the iteration rows. Each shape runs once per
+	// forcible kernel tier — the row under the dispatched (best) kernel
+	// keeps the bare name so the trajectory stays comparable across
+	// PRs, the others carry a /kernel=<name> suffix.
 	gemmShapes := [][3]int{
 		{64, 800, 6272}, // conv2 forward: (OutC, C·KH·KW)·(ckk, N·oHW)
 		{32, 128, 784},  // MLP generator output layer at batch 32
 		{512, 512, 512}, // square reference point
 	}
+	dispatched := tensor.GemmKernel()
 	for _, sh := range gemmShapes {
 		m, k, n := sh[0], sh[1], sh[2]
 		rng := rand.New(rand.NewSource(2))
@@ -216,16 +227,32 @@ func writeBenchJSON(path, topoSpec string, fanin int) {
 			return t
 		}
 		x, y, out := mk(m, k), mk(k, n), tensor.New(m, n)
-		row := run(fmt.Sprintf("BenchmarkGEMM/%dx%dx%d", m, k, n), func(b *testing.B) {
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				tensor.MatMulInto(out, x, y)
+		for _, force := range tensor.GemmKernels() {
+			if !tensor.ForceGemmKernel(force) {
+				continue
 			}
-		})
-		row.GFlops = 2 * float64(m) * float64(k) * float64(n) / row.NsPerOp
-		row.Kernel = tensor.GemmKernel()
-		log.Printf("%s [%s]: %.2f GFLOP/s (%s kernel)", row.Name, tensor.DTypeName, row.GFlops, row.Kernel)
-		rows = append(rows, row)
+			name := fmt.Sprintf("BenchmarkGEMM/%dx%dx%d", m, k, n)
+			if tensor.GemmKernel() != dispatched {
+				name += "/kernel=" + force
+			}
+			row := run(name, func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.MatMulInto(out, x, y)
+				}
+			})
+			row.GFlops = 2 * float64(m) * float64(k) * float64(n) / row.NsPerOp
+			row.Kernel = tensor.GemmKernel()
+			row.Lanes = tensor.GemmLanes()
+			log.Printf("%s [%s]: %.2f GFLOP/s (%s kernel, %d lanes)", row.Name, tensor.DTypeName, row.GFlops, row.Kernel, row.Lanes)
+			rows = append(rows, row)
+		}
+	}
+	// Restore the dispatched kernel for the remaining benchmark rows.
+	for _, force := range tensor.GemmKernels() {
+		if tensor.ForceGemmKernel(force) && tensor.GemmKernel() == dispatched {
+			break
+		}
 	}
 	// Table III W→W traffic delta of the FP32-swap default: one short
 	// swap-heavy run per precision, recorded as bytes per swap message
@@ -425,8 +452,25 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "run the MD-GAN competitors of the training-backed experiments through the pipelined engine (one-iteration parameter staleness) instead of strict Algorithm 1")
 		topology  = flag.String("topology", "tree:2", "aggregation overlay of the topology-tagged -benchjson rows: tree:<depth> | flat (flat suppresses them)")
 		fanin     = flag.Int("fanin", 0, "tree per-node child bound for -topology (0 = auto)")
+		listKerns = flag.Bool("list-kernels", false, "print the GEMM kernel tiers this host can force (one per line, see MDGAN_GEMM_KERNEL) and exit")
+		benchDiff = flag.String("benchdiff", "", "diff this -benchjson report against -baseline and exit (advisory: regressions are flagged in the output, not the exit code)")
+		baseline  = flag.String("baseline", "", "baseline -benchjson report for -benchdiff")
 	)
 	flag.Parse()
+
+	if *listKerns {
+		for _, k := range tensor.GemmKernels() {
+			fmt.Println(k)
+		}
+		return
+	}
+	if *benchDiff != "" {
+		if *baseline == "" {
+			log.Fatal("-benchdiff needs -baseline")
+		}
+		runBenchDiff(*benchDiff, *baseline)
+		return
+	}
 
 	if *dtype != "" && *dtype != tensor.DTypeName {
 		hint, example := "-tags f32", "go run -tags f32 ./cmd/mdgan-bench …"

@@ -249,9 +249,16 @@ func TestCorruptFeedbackKeepsTraining(t *testing.T) {
 		cfg.Net = net
 		// The victim garbles frames but still answers every round, so
 		// the deadline should never fire — it is armed only to select
-		// the suspect-then-demote strike path. Keep it generous: under
-		// -race on a 1-CPU host a GC pause can overrun a tight budget
-		// and add a spurious timeout-suspect.
+		// the suspect-then-demote strike path (generous, so it really
+		// never expires). Strikes are asserted as corrupt + timeout
+		// misses, not corrupt frames alone: after the first corrupt
+		// strike the victim is probed, and on a loaded 1-CPU host its
+		// pong can legitimately lose the scheduling race against the
+		// next round's probe sweep, ticking a timeout miss that
+		// consumes part of the budget. Demotion still must not come
+		// before SuspectAfter total misses, and at least one of them
+		// must be the corrupt-strike path this regression test exists
+		// for.
 		cfg.RoundTimeout = 2 * time.Second
 		cfg.SuspectAfter = 2
 		res, err := Train(shards, gan.RingMLP(), cfg, nil)
@@ -261,8 +268,8 @@ func TestCorruptFeedbackKeepsTraining(t *testing.T) {
 		if res.Iters != cfg.Iters {
 			t.Fatalf("applied %d updates, want %d", res.Iters, cfg.Iters)
 		}
-		if res.Faults.CorruptFrames < cfg.SuspectAfter {
-			t.Fatalf("faults = %+v, want >=%d corrupt strikes before demotion", res.Faults, cfg.SuspectAfter)
+		if res.Faults.CorruptFrames < 1 || res.Faults.CorruptFrames+res.Faults.Timeouts < cfg.SuspectAfter {
+			t.Fatalf("faults = %+v, want a corrupt strike and >=%d total misses before demotion", res.Faults, cfg.SuspectAfter)
 		}
 		if res.Faults.Demotions != 1 || contains(res.Live, net.victim) {
 			t.Fatalf("faults = %+v live = %v: the striker must be demoted at the budget", res.Faults, res.Live)

@@ -9,15 +9,15 @@ import (
 	"mdgan/internal/tensor"
 )
 
-// The convolution layers are batched end to end: one im2col workspace
-// of shape (C·KH·KW, N·outH·outW) is filled in parallel across the
-// batch (image i owns the column block [i·outH·outW, (i+1)·outH·outW)),
-// followed by a single large matmul per layer per batch. The backward
-// pass runs the transposed matmuls (MatMulT1/MatMulT2) straight into
-// preallocated gradient buffers, so no per-image col matrices,
-// transposes or gradient shards are ever materialised. Workspaces come
-// from the tensor pool and are released after Backward (or immediately,
-// for evaluation-mode forwards).
+// The convolution layers are batched end to end: one matmul per layer
+// per batch, with every im2col-shaped operand consumed through fused
+// GEMM packers (im2colSeg / the channel-major x̂ pack) that produce the
+// values directly inside the packed B panels the micro-kernel reads —
+// neither Conv2D's col(x) nor ConvTranspose2D's x̂/gcol matrices are
+// ever materialised. The backward passes run the transposed products
+// straight into preallocated gradient buffers. The few remaining
+// workspaces come from the tensor pool and are released before the
+// pass returns.
 
 // convGeom describes a convolution geometry shared by Conv2D (as its
 // forward map) and ConvTranspose2D (as its backward map).
@@ -36,45 +36,6 @@ func newConvGeom(inC, inH, inW, kh, kw, stride, pad int) convGeom {
 		panic(fmt.Sprintf("nn: conv geometry collapses: in %dx%d k %dx%d s %d p %d", inH, inW, kh, kw, stride, pad))
 	}
 	return g
-}
-
-// im2col unrolls a single image x (C*H*W flat) into one column block of
-// a batched col matrix: row r of the patch matrix lands at
-// dst[r*rowStride+colOff : r*rowStride+colOff+outH*outW]. With
-// rowStride = outH*outW and colOff = 0 this is the classic single-image
-// unroll.
-func (g convGeom) im2col(x, dst []tensor.Elem, rowStride, colOff int) {
-	oHW := g.outH * g.outW
-	idx := 0
-	for c := 0; c < g.inC; c++ {
-		for ki := 0; ki < g.kh; ki++ {
-			for kj := 0; kj < g.kw; kj++ {
-				row := dst[idx*rowStride+colOff : idx*rowStride+colOff+oHW]
-				idx++
-				o := 0
-				for oy := 0; oy < g.outH; oy++ {
-					iy := oy*g.stride + ki - g.pad
-					if iy < 0 || iy >= g.inH {
-						for ox := 0; ox < g.outW; ox++ {
-							row[o] = 0
-							o++
-						}
-						continue
-					}
-					base := (c*g.inH + iy) * g.inW
-					for ox := 0; ox < g.outW; ox++ {
-						ix := ox*g.stride + kj - g.pad
-						if ix < 0 || ix >= g.inW {
-							row[o] = 0
-						} else {
-							row[o] = x[base+ix]
-						}
-						o++
-					}
-				}
-			}
-		}
-	}
 }
 
 // im2colSeg fills one row of the batched im2col matrix — row idx, the
@@ -163,14 +124,86 @@ func forImages(n, perImageWork int, fn func(s, e int)) {
 	parallel.ForGrain(n, 1<<14/(perImageWork+1), fn)
 }
 
-// takeWorkspace returns a (rows, cols) workspace, reusing buf when the
-// layer still holds one from a previous pass and drawing from the pool
-// otherwise.
-func takeWorkspace(buf *tensor.Tensor, rows, cols int) *tensor.Tensor {
-	if buf != nil {
-		return tensor.Ensure(buf, rows, cols)
+// packIm2col returns the fused forward B-panel packer over xd, a batch
+// of n images with per-image volume inVol viewed through geometry g:
+// panel columns are batched output positions (cols = n·outH·outW),
+// panel rows are (c, ki, kj) patch coordinates, and each row segment is
+// one contiguous im2colSeg fill. Conv2D consumes x this way; the
+// ConvTranspose2D backward consumes its output gradient the same way.
+func (g convGeom) packIm2col(xd []tensor.Elem, inVol, cols int) tensor.BPanelPacker {
+	return func(dst []tensor.Elem, k0, k1, j0, nr int) {
+		j1 := j0 + nr
+		if j1 > cols {
+			// Zero-pad the panel columns past the batch edge.
+			for kk := k0; kk < k1; kk++ {
+				row := dst[(kk-k0)*nr : (kk-k0)*nr+nr]
+				for j := cols - j0; j < nr; j++ {
+					row[j] = 0
+				}
+			}
+			j1 = cols
+		}
+		for kk := k0; kk < k1; kk++ {
+			g.im2colSeg(xd, inVol, kk, j0, j1, dst[(kk-k0)*nr:], 1)
+		}
 	}
-	return tensor.Get(rows, cols)
+}
+
+// packIm2colT returns the fused dW B-panel packer for ·col(x)ᵀ
+// products: panel columns are (c, ki, kj) patch coordinates, panel rows
+// are batched output positions, so each panel column is one strided
+// im2colSeg fill.
+func (g convGeom) packIm2colT(xd []tensor.Elem, inVol, ckk int) tensor.BPanelPacker {
+	return func(dst []tensor.Elem, k0, k1, j0, nr int) {
+		for jj := 0; jj < nr; jj++ {
+			idx := j0 + jj
+			if idx >= ckk {
+				for kk := k0; kk < k1; kk++ {
+					dst[(kk-k0)*nr+jj] = 0
+				}
+				continue
+			}
+			g.im2colSeg(xd, inVol, idx, k0, k1, dst[jj:], nr)
+		}
+	}
+}
+
+// packXhat returns the fused B-panel packer for the channel-major view
+// x̂ (C, n·hw) of a batch x (n, C, hw): x̂[c][i·hw+rem] =
+// xd[i·inVol+c·hw+rem]. Panel rows are channels, panel columns are
+// batched spatial positions, and each row is filled by contiguous
+// per-image copies (zero-padded past cols = n·hw). ConvTranspose2D
+// consumes its input through this packer instead of materialising x̂.
+func packXhat(xd []tensor.Elem, inVol, hw, cols int) tensor.BPanelPacker {
+	return func(dst []tensor.Elem, k0, k1, j0, nr int) {
+		j1 := j0 + nr
+		if j1 > cols {
+			// Zero-pad the panel columns past the batch edge.
+			for kk := k0; kk < k1; kk++ {
+				row := dst[(kk-k0)*nr : (kk-k0)*nr+nr]
+				for j := cols - j0; j < nr; j++ {
+					row[j] = 0
+				}
+			}
+			j1 = cols
+		}
+		for kk := k0; kk < k1; kk++ {
+			row := dst[(kk-k0)*nr:]
+			o := 0
+			for p := j0; p < j1; {
+				i := p / hw
+				rem := p - i*hw
+				run := hw - rem // stay within one image's plane
+				if p+run > j1 {
+					run = j1 - p
+				}
+				src := xd[i*inVol+kk*hw+rem:]
+				copy(row[o:o+run], src[:run])
+				o += run
+				p += run
+			}
+		}
+	}
 }
 
 // Conv2D is a standard 2-D convolution over NCHW tensors. The im2col
@@ -215,48 +248,6 @@ func heUniform(w *tensor.Tensor, fanIn int, rng *rand.Rand) {
 // OutShape returns the per-image output dimensions (C, H, W).
 func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.geom.outH, c.geom.outW }
 
-// packIm2col returns the fused forward B-panel packer: panel columns
-// are batched output positions, panel rows are (c, ki, kj) patch
-// coordinates, and each row segment is one contiguous im2colSeg fill.
-func (c *Conv2D) packIm2col(xd []tensor.Elem, inVol, cols int) tensor.BPanelPacker {
-	g := c.geom
-	return func(dst []tensor.Elem, k0, k1, j0, nr int) {
-		j1 := j0 + nr
-		if j1 > cols {
-			// Zero-pad the panel columns past the batch edge.
-			for kk := k0; kk < k1; kk++ {
-				row := dst[(kk-k0)*nr : (kk-k0)*nr+nr]
-				for j := cols - j0; j < nr; j++ {
-					row[j] = 0
-				}
-			}
-			j1 = cols
-		}
-		for kk := k0; kk < k1; kk++ {
-			g.im2colSeg(xd, inVol, kk, j0, j1, dst[(kk-k0)*nr:], 1)
-		}
-	}
-}
-
-// packIm2colT returns the fused dW B-panel packer for g·col(x)ᵀ: panel
-// columns are (c, ki, kj) patch coordinates, panel rows are batched
-// output positions, so each panel column is one strided im2colSeg fill.
-func (c *Conv2D) packIm2colT(xd []tensor.Elem, inVol, ckk int) tensor.BPanelPacker {
-	g := c.geom
-	return func(dst []tensor.Elem, k0, k1, j0, nr int) {
-		for jj := 0; jj < nr; jj++ {
-			idx := j0 + jj
-			if idx >= ckk {
-				for kk := k0; kk < k1; kk++ {
-					dst[(kk-k0)*nr+jj] = 0
-				}
-				continue
-			}
-			g.im2colSeg(xd, inVol, idx, k0, k1, dst[jj:], nr)
-		}
-	}
-}
-
 // Forward applies the convolution to x (N, inC, inH, inW). The returned
 // tensor is a layer-owned buffer, valid until the next Forward call.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -273,7 +264,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	// One fused matmul for the whole batch: (OutC, ckk)·(ckk, n·oHW),
 	// the im2col operand produced inside the GEMM's packed B panels.
 	y := tensor.Get(c.OutC, n*oHW)
-	tensor.MatMulPacked(y, c.W.W, n*oHW, c.packIm2col(x.Data, inVol, n*oHW))
+	tensor.MatMulPacked(y, c.W.W, n*oHW, g.packIm2col(x.Data, inVol, n*oHW))
 
 	// Scatter (OutC, n·oHW) → (n, OutC, oHW), adding the bias.
 	c.out = tensor.Ensure(c.out, n, c.OutC, g.outH, g.outW)
@@ -327,7 +318,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW += gy·col(x)ᵀ and dB += per-channel sums: one fused matmul (the
 	// transposed im2col packed straight from x), one contiguous
 	// reduction.
-	tensor.MatMulPackedAdd(c.W.Grad, gy, ckk, c.packIm2colT(c.x.Data, inVol, ckk))
+	tensor.MatMulPackedAdd(c.W.Grad, gy, ckk, g.packIm2colT(c.x.Data, inVol, ckk))
 	db := c.B.Grad.Data
 	for oc := 0; oc < c.OutC; oc++ {
 		sum := 0.0
@@ -376,9 +367,12 @@ type ConvTranspose2D struct {
 	inH, inW  int
 	W, B      *Param // W: (InC, OutC*KH*KW), B: (1, OutC)
 	x         *tensor.Tensor
-	xhat      *tensor.Tensor // packed input (InC, n·hw), held for Backward
-	out       *tensor.Tensor
-	dx        *tensor.Tensor
+	// trained records whether the last Forward ran in training mode
+	// (Backward re-reads c.x through the fused packers, so it needs no
+	// retained workspace — just the mode check).
+	trained bool
+	out     *tensor.Tensor
+	dx      *tensor.Tensor
 }
 
 // NewConvTranspose2D maps (N, inC, inH, inW) to (N, outC, outH, outW)
@@ -414,8 +408,10 @@ func NewConvTranspose2D(inC, inH, inW, outC, k, stride, pad, outPad int, rng *ra
 func (c *ConvTranspose2D) OutShape() (int, int, int) { return c.OutC, c.geom.inH, c.geom.inW }
 
 // Forward computes y = col2im(Wᵀ·x̂) + b for the whole batch at once:
-// the input is packed to (InC, n·hw), one transposed matmul produces
-// every patch column, and col2im scatters them per image.
+// one transposed matmul consumes the channel-major view x̂ (InC, n·hw)
+// of the input through the fused packXhat packer, producing every patch
+// column, and col2im scatters them per image. x̂ itself is never
+// materialised.
 func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.geom
 	n := x.Dim(0)
@@ -425,24 +421,13 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: ConvTranspose2D input %v, want per-image volume %d", x.Shape(), inVol))
 	}
 	c.x = x
+	c.trained = train
 	outVol := c.OutC * g.inH * g.inW
 	oPlane := g.inH * g.inW
 
-	// Pack x (n, InC, hw) → x̂ (InC, n·hw).
-	c.xhat = takeWorkspace(c.xhat, c.InC, n*hw)
-	xd, xh := x.Data, c.xhat.Data
-	inC := c.InC
-	forImages(n, inVol, func(s, e int) {
-		for i := s; i < e; i++ {
-			for ic := 0; ic < inC; ic++ {
-				copy(xh[ic*n*hw+i*hw:ic*n*hw+(i+1)*hw], xd[i*inVol+ic*hw:i*inVol+(ic+1)*hw])
-			}
-		}
-	})
-
-	// col = Wᵀ·x̂: (OutC·k·k, n·hw) in one matmul.
+	// col = Wᵀ·x̂: (OutC·k·k, n·hw) in one fused matmul.
 	col := tensor.Get(c.OutC*g.kh*g.kw, n*hw)
-	tensor.MatMulT1Into(col, c.W.W, c.xhat)
+	tensor.MatMulT1Packed(col, c.W.W, n*hw, packXhat(x.Data, inVol, hw, n*hw))
 
 	// Per image: start from the bias plane, then scatter the columns.
 	c.out = tensor.Ensure(c.out, n, c.OutC, g.inH, g.inW)
@@ -462,15 +447,14 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	})
 	tensor.Put(col)
-	if !train {
-		tensor.Put(c.xhat)
-		c.xhat = nil
-	}
 	return c.out
 }
 
 // Backward: dx = W·im2col(grad); dW += x̂·im2col(grad)ᵀ; db sums grad
-// per channel — all batched, with the packed x̂ released afterwards.
+// per channel — all batched. The gradient's im2col matrix (the old
+// gcol workspace, the largest buffer of the pass) is never
+// materialised: both products consume it through the fused
+// packIm2col/packIm2colT packers shared with Conv2D.
 func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
 	n := c.x.Dim(0)
@@ -478,22 +462,16 @@ func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	inVol := c.InC * hw
 	outVol := c.OutC * g.inH * g.inW
 	oPlane := g.inH * g.inW
-	if c.xhat == nil {
+	ckk := c.OutC * g.kh * g.kw
+	if !c.trained {
 		panic("nn: ConvTranspose2D.Backward without a training-mode Forward")
 	}
+	gd := grad.Data
 
-	// gcol = batched im2col of the output gradient: (OutC·k·k, n·hw).
-	gcol := tensor.Get(c.OutC*g.kh*g.kw, n*hw)
-	gd, gc := grad.Data, gcol.Data
-	forImages(n, outVol*g.kh*g.kw, func(s, e int) {
-		for i := s; i < e; i++ {
-			g.im2col(gd[i*outVol:(i+1)*outVol], gc, n*hw, i*hw)
-		}
-	})
-
-	// dx̂ = W·gcol (InC, n·hw), unpacked to (n, InC, hw).
+	// dx̂ = W·im2col(grad) (InC, n·hw), the gradient unrolled straight
+	// into the GEMM's packed B panels, then unpacked to (n, InC, hw).
 	dxhat := tensor.Get(c.InC, n*hw)
-	tensor.MatMulInto(dxhat, c.W.W, gcol)
+	tensor.MatMulPacked(dxhat, c.W.W, n*hw, g.packIm2col(gd, outVol, n*hw))
 	c.dx = tensor.Ensure(c.dx, c.x.Shape()...)
 	dxd, dh := c.dx.Data, dxhat.Data
 	inC := c.InC
@@ -506,9 +484,23 @@ func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	})
 	tensor.Put(dxhat)
 
-	// dW += x̂·gcolᵀ in one batched matmul; dB sums the gradient per
-	// output channel.
-	tensor.MatMulT2Add(c.W.Grad, c.xhat, gcol)
+	// dW += x̂·im2col(grad)ᵀ: the left operand is the channel-major
+	// repack of x (a cheap transient, InC·n·hw — released before
+	// returning), and the transposed im2col of the gradient is packed
+	// straight into B panels.
+	xhat := tensor.Get(c.InC, n*hw)
+	xd, xh := c.x.Data, xhat.Data
+	forImages(n, inVol, func(s, e int) {
+		for i := s; i < e; i++ {
+			for ic := 0; ic < inC; ic++ {
+				copy(xh[ic*n*hw+i*hw:ic*n*hw+(i+1)*hw], xd[i*inVol+ic*hw:i*inVol+(ic+1)*hw])
+			}
+		}
+	})
+	tensor.MatMulPackedAdd(c.W.Grad, xhat, ckk, g.packIm2colT(gd, outVol, ckk))
+	tensor.Put(xhat)
+
+	// dB sums the gradient per output channel.
 	db := c.B.Grad.Data
 	for i := 0; i < n; i++ {
 		gi := gd[i*outVol : (i+1)*outVol]
@@ -520,9 +512,7 @@ func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			db[oc] += tensor.Elem(sum)
 		}
 	}
-	tensor.Put(gcol)
-	tensor.Put(c.xhat)
-	c.xhat = nil
+	c.trained = false
 	return c.dx
 }
 

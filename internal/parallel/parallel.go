@@ -100,16 +100,30 @@ func (f funcRanger) Range(lo, hi int) { f(lo, hi) }
 
 // region is one For/ForceFor/Do invocation: the loop body, the split
 // grain, and the completion state shared by every task split from it.
+// Regions are pooled (steady-state kernels submit thousands per
+// iteration), so completion is a cond broadcast rather than a one-shot
+// channel close: whoever drives pending to zero broadcasts, and the
+// submitting goroutine — the only possible waiter — always re-checks
+// pending, so a stray broadcast delivered to a recycled region is a
+// harmless spurious wake.
 type region struct {
 	fn      Ranger
 	grain   int
-	pending atomic.Int64  // index units not yet executed
-	done    chan struct{} // closed by whoever drives pending to zero
+	pending atomic.Int64 // index units not yet executed
+
+	mu   sync.Mutex
+	cond sync.Cond // signalled when pending reaches zero; L is &mu
 
 	panicMu  sync.Mutex
 	panicked bool
 	panicV   any
 }
+
+var regionPool = sync.Pool{New: func() any {
+	r := &region{}
+	r.cond.L = &r.mu
+	return r
+}}
 
 func (r *region) recordPanic(p any) {
 	r.panicMu.Lock()
@@ -277,7 +291,12 @@ func (w *wctx) runTask(t task) {
 	}
 	runBody(r, lo, hi)
 	if r.pending.Add(int64(lo-hi)) == 0 {
-		close(r.done) // pending is monotonically decreasing: exactly one closer
+		// pending is monotonically decreasing: exactly one broadcaster.
+		// Taking mu orders the broadcast against the waiter's
+		// check-then-Wait, so the wakeup cannot be lost.
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
 	}
 }
 
@@ -428,11 +447,21 @@ func ctx() (w *wctx, id uint64, top bool) {
 	if v, ok := ctxs.Load(id); ok {
 		return v.(*wctx), id, false
 	}
-	w = &wctx{rnd: helperSeed.Add(0x9E3779B97F4A7C15) | 1}
+	w = helperPool.Get().(*wctx)
 	ctxs.Store(id, w)
 	addVictim(w)
 	return w, id, true
 }
+
+// helperPool recycles helper contexts across outermost regions: the
+// deque and steal buffers keep their capacity, so a goroutine that
+// repeatedly submits regions (every training iteration does) stops
+// allocating them after warm-up. A pooled wctx is safe to hand to
+// another goroutine: release drained its deque and deregistered it
+// before the Put, so no thief can still reach it.
+var helperPool = sync.Pool{New: func() any {
+	return &wctx{rnd: helperSeed.Add(0x9E3779B97F4A7C15) | 1}
+}}
 
 // release drains any leftover stolen tasks and deregisters a helper
 // context. The deque must be drained before deregistering: it may hold
@@ -447,21 +476,27 @@ func (w *wctx) release(id uint64) {
 	}
 	removeVictim(w)
 	ctxs.Delete(id)
+	helperPool.Put(w)
 }
 
 // runRegion executes fn over [0, n) with the given split grain on the
 // work-stealing scheduler, returning when every index has executed.
 func runRegion(n, grain int, fn Ranger) {
 	w, id, top := ctx()
-	r := &region{fn: fn, grain: grain, done: make(chan struct{})}
+	r := regionPool.Get().(*region)
+	r.fn, r.grain = fn, grain
 	r.pending.Store(int64(n))
 	w.runTask(task{r: r, lo: 0, hi: n})
 	// Help until the region completes: own subtasks first (LIFO), then
-	// steal. With nothing runnable anywhere, park on the region's done
-	// channel — the remaining bodies are in flight on other goroutines
-	// (possibly blocked in sends), and polling for them would burn the
-	// very core they need. A goroutine only parks here with an empty
-	// deque, so no task is ever stranded behind a parked owner.
+	// steal. With nothing runnable anywhere, park on the region's cond —
+	// the remaining bodies are in flight on other goroutines (possibly
+	// blocked in sends), and polling for them would burn the very core
+	// they need. A goroutine only parks here with an empty deque, so no
+	// task is ever stranded behind a parked owner. The check-then-Wait
+	// under mu pairs with the completion broadcast under the same mu, so
+	// the wakeup cannot be lost; the outer loop absorbs spurious wakes
+	// (including stray broadcasts from a previous life of the pooled
+	// region).
 	for r.pending.Load() > 0 {
 		if t, ok := w.dq.pop(); ok {
 			w.runTask(t)
@@ -478,13 +513,22 @@ func runRegion(n, grain int, fn Ranger) {
 			w.runTask(t)
 			continue
 		}
-		<-r.done
+		r.mu.Lock()
+		if r.pending.Load() > 0 {
+			r.cond.Wait()
+		}
+		r.mu.Unlock()
 	}
 	if top {
 		w.release(id)
 	}
-	if r.panicked {
-		panic(r.panicV)
+	// The final pending decrement happened-before the loop exit, so the
+	// panic record (written before that decrement) is visible here.
+	panicked, pv := r.panicked, r.panicV
+	r.fn, r.panicked, r.panicV = nil, false, nil
+	regionPool.Put(r)
+	if panicked {
+		panic(pv)
 	}
 }
 

@@ -3,8 +3,9 @@ package tensor
 // Packed, register-blocked GEMM. This file is the macro layer: cache
 // blocking, operand packing and the parallel split. The MR×NR
 // micro-kernels live in gemm_kernel64.go / gemm_kernel32.go (portable
-// Go) and gemm_amd64_*.s (AVX2+FMA, selected at runtime — see
-// gemm_cpu_amd64.go and the `noasm` build tag).
+// Go), gemm_amd64_f64.s / gemm_amd64_f32.s (AVX2+FMA) and
+// gemm_amd64_f64_avx512.s / gemm_amd64_f32_avx512.s (AVX-512), selected
+// at runtime — see gemm_cpu_amd64.go and the `noasm` build tag.
 //
 // # Architecture
 //
@@ -12,12 +13,12 @@ package tensor
 // loop nest (the gonum/BLIS structure):
 //
 //	for jc over n in gemmNC columns:        // bound the packed-B buffer
-//	  for pc over k in gemmKC depths:       // L1-sized panel depth
-//	    pack B[pc:pc+kc, jc:jc+nc]          // → NR-wide column panels
+//	  for pc over k in gemmKC depths:       // cache-sized panel depth
 //	    parallel over MR-row panels of A:   // the ForGrain split
 //	      for bp over the task's panels in gemmMC blocks:  // L2-sized
 //	        pack A[rows, pc:pc+kc]          // → MR-tall row panels
 //	        for each NR panel × MR panel:   // macro-kernel
+//	          cooperatively pack B panel on first touch
 //	          micro-kernel: MR×NR tile over kc
 //
 // Packing copies each operand block once per (pc, jc) block into a
@@ -34,8 +35,9 @@ package tensor
 // MatMulT1/T2 backward passes) are absorbed here: packing reads through
 // an (rs, cs) strided view, so aᵀ·b and a·bᵀ never strided-read inside
 // the kernel and never materialise a transpose. Panels at the m/n edges
-// are zero-padded to full MR/NR width; their micro-kernel output lands
-// in an on-stack tile and only the valid region is merged into C.
+// are zero-padded to full MR/NR width; on the AVX-512 tier the kernel
+// itself masks the ragged C store, on the other tiers the edge tile is
+// computed into an on-stack buffer and only the valid region merged.
 //
 // The k dimension is never split across tasks: block pc accumulates
 // into C before block pc+1 starts, so every C element is produced by a
@@ -44,12 +46,29 @@ package tensor
 //
 // # Parallel split
 //
-// The row loop fans out on parallel.ForGrain in units of MR-row
-// packed panels — the natural stealing boundary, since a task packs
-// exactly the panels it owns into its own pool buffer. The grain is
-// sized so one task carries at least matMulGrain multiply-adds (cf.
-// mmRowGrain for the legacy kernels). B packing fans out the same way
-// over NR-column panels.
+// A single GEMM call fans out across the worker pool on
+// parallel.ForGrainRanger in units of MR-row packed panels — the
+// natural stealing boundary, since a task packs exactly the A panels it
+// owns into its own pool buffer. The grain is sized so one task carries
+// at least matMulGrain multiply-adds (cf. mmRowGrain for the legacy
+// kernels).
+//
+// B panels are packed cooperatively inside the same region: each panel
+// carries an atomic state (empty → packing → ready) and the first row
+// task to need it claims and fills it; later tasks that hit a panel
+// mid-pack yield until it is ready. Tasks walk the B panels starting at
+// an offset derived from their row range, so concurrent tasks touch
+// disjoint panels first and the pack work itself spreads across the
+// pool instead of stampeding panel 0. This replaces a separate
+// pack-B region + barrier per (jc, pc) block with zero extra
+// synchronisation points.
+//
+// Determinism: a packed B panel's bytes depend only on the operands and
+// the block coordinates — never on which task packed it or in what
+// order panels were visited — and each C tile is written by exactly one
+// micro-kernel call per pc block. Results are therefore bitwise
+// identical across GOMAXPROCS values and task split boundaries; the
+// strict-engine bitwise pin relies on this.
 //
 // # Dispatch order (see matMulInto and friends in matmul.go)
 //
@@ -57,23 +76,60 @@ package tensor
 //     (ReLU activations are ~half zeros; skipping beats packing)
 //  2. small products (m·k·n < gemmMinWork) → legacy column-tiled
 //     kernels (packing overhead dominates)
-//  3. everything else → this file, with the AVX2+FMA micro-kernel when
-//     the CPU has it and the build allows it, the portable Go
-//     micro-kernel otherwise
+//  3. everything else → this file, with the widest micro-kernel the CPU
+//     and build allow:
+//
+//	tier      tile (f64)  tile (f32)  requires
+//	avx512    8×8         8×16        avx512 f+vl+dq+bw, XCR0 opmask+ZMM
+//	avx2      4×4         4×8         AVX2 + FMA, XCR0 YMM
+//	generic   4×4         4×8         nothing (pure Go)
+//
+// MDGAN_GEMM_KERNEL={generic,avx2,avx512} forces a tier at startup
+// (ignored, falling back to the best available, when the CPU or build
+// lacks it); ForceGemmKernel does the same at runtime for tests and
+// benchmarks. verify.sh re-runs the engine-equivalence gates under
+// every available tier this way.
 //
 // # Adding a new architecture
 //
-// Implement the micro-kernel contract (gemmKernelAsm in the *_amd64.s
-// files) for the new ISA: given packed panels a (MR·kc) and b (NR·kc),
-// compute the full MR×NR tile t[r][j] = Σ_kk a[kk*MR+r]·b[kk*NR+j] and
-// either store it to or accumulate it into c (row stride ldc). Supply a
-// feature probe in a gemm_cpu_<arch>.go, gate both behind
-// `<arch> && !noasm`, and extend gemm_noasm.go's constraint so every
-// other build keeps the Go kernel. Tile sizes are per-dtype constants
-// in gemm_dims64.go / gemm_dims32.go; packing adapts automatically.
+// Implement the micro-kernel contract for the new ISA: given packed
+// panels a (MR·kc) and b (NR·kc), compute the full MR×NR tile
+// t[r][j] = Σ_kk a[kk*MR+r]·b[kk*NR+j] and either store it to or
+// accumulate it into c (row stride ldc). Supply a feature probe in a
+// gemm_cpu_<arch>.go, gate both behind `<arch> && !noasm`, extend
+// gemm_noasm.go's constraint so every other build keeps the Go kernel,
+// and add a tier to the dispatch below. Tile sizes are per-dtype,
+// per-tier constants in gemm_dims64.go / gemm_dims32.go; packing adapts
+// automatically to the live gemmMR/gemmNR/gemmKC.
+//
+// The AVX-512 kernels are the worked example of every step:
+//
+//   - Why MR×NR changed: a ZMM vector holds 8 f64 / 16 f32, so one
+//     vector is a full accumulator row and the tile grows to 8×8 f64 /
+//     8×16 f32 — 16 accumulator registers out of 32 ZMM, still leaving
+//     two B vectors, two broadcast temps and a C temp. The wider tile
+//     quadruples the flops per packed element streamed, which is where
+//     the ≥1.5× over AVX2 comes from. KC shrinks on the f32 tier
+//     (gemm_dims32.go) to keep the packed panels cache-resident.
+//   - Interleaved accumulators: like the AVX2 kernels, the k loop is
+//     unrolled ×2 with even k feeding Z0–Z7 and odd k feeding Z8–Z15,
+//     hiding the 4-cycle FMA latency; the sets are summed once after
+//     the loop. A kc tail of 1 runs the even set only.
+//   - Mask registers replace the stack-tile edge path: the kernel takes
+//     (mr, nr) and builds K1 = (1<<nr)-1 with KMOVW, so ragged C edges
+//     load (VMOVUPD.Z zero-masking) and store through the mask while
+//     the packed operands stay zero-padded to full width. rowRange
+//     therefore calls the AVX-512 kernel directly for edge tiles
+//     instead of merging an on-stack tile; rows are handled by simply
+//     stopping the store loop at mr.
+//   - Probe: detectGemmAVX512 requires CPUID leaf 7 EBX avx512
+//     {f,dq,bw,vl} and XCR0 0xE6 (SSE+AVX+opmask+ZMM state saved by the
+//     OS) — the same belt-and-braces shape as the AVX2 probe.
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mdgan/internal/parallel"
 )
@@ -83,32 +139,131 @@ import (
 // instead.
 const gemmMinWork = 1 << 14
 
-// GemmKernel names the micro-kernel the packed GEMM dispatches to:
-// "avx2+fma" when the runtime CPU probe enabled the assembly kernel,
-// "generic" for the portable Go kernel, with "(noasm)" marking builds
-// that compiled the assembly out. Benchmarks record it so BENCH rows
-// are attributable to a kernel variant.
-func GemmKernel() string {
-	switch {
-	case gemmUseAsm:
-		return "avx2+fma"
-	case gemmAsmCompiled:
-		return "generic"
-	default:
-		return "generic (noasm)"
+// gemmTierID enumerates the micro-kernel tiers in ascending width.
+type gemmTierID int
+
+const (
+	tierGeneric gemmTierID = iota
+	tierAVX2
+	tierAVX512
+)
+
+// Live kernel tier and its tile geometry. Mutated only by
+// applyGemmTier, which callers (env init, ForceGemmKernel) must not
+// invoke concurrently with running GEMMs — the same contract the old
+// boolean asm switch had.
+var (
+	gemmTier = tierGeneric
+	gemmMR   = gemmMRBase
+	gemmNR   = gemmNRBase
+	gemmKC   = gemmKCBase
+)
+
+func applyGemmTier(t gemmTierID) {
+	gemmTier = t
+	if t == tierAVX512 {
+		gemmMR, gemmNR, gemmKC = gemmMR512, gemmNR512, gemmKC512
+	} else {
+		gemmMR, gemmNR, gemmKC = gemmMRBase, gemmNRBase, gemmKCBase
 	}
 }
 
-// setGemmAsm flips the micro-kernel dispatch at runtime so tests can
-// cover both kernels in one binary; it reports whether the assembly
-// kernel is actually available (compiled in and CPU-supported). Enabling
-// it on a build or CPU without the kernel is ignored.
-func setGemmAsm(on bool) bool {
-	if on && (!gemmAsmCompiled || !detectAsmAvailable()) {
-		return false
+// gemmTierAvailable reports whether this build + CPU can run tier t.
+func gemmTierAvailable(t gemmTierID) bool {
+	switch t {
+	case tierAVX2:
+		return gemmHasAVX2
+	case tierAVX512:
+		return gemmHasAVX512
+	default:
+		return true
 	}
-	gemmUseAsm = on
-	return on || detectAsmAvailable()
+}
+
+func bestGemmTier() gemmTierID {
+	switch {
+	case gemmHasAVX512:
+		return tierAVX512
+	case gemmHasAVX2:
+		return tierAVX2
+	default:
+		return tierGeneric
+	}
+}
+
+// ForceGemmKernel selects the micro-kernel tier at runtime: "generic",
+// "avx2", "avx512", or ""/"best" for the widest available. It reports
+// whether the request was honoured; asking for a tier the CPU or build
+// lacks leaves the dispatch unchanged and returns false, so callers
+// (tests, verify.sh via MDGAN_GEMM_KERNEL, mdgan-bench's per-kernel
+// rows) skip gracefully. Not safe to call concurrently with running
+// GEMMs.
+func ForceGemmKernel(name string) bool {
+	switch name {
+	case "", "best":
+		applyGemmTier(bestGemmTier())
+		return true
+	case "generic":
+		applyGemmTier(tierGeneric)
+		return true
+	case "avx2":
+		if !gemmTierAvailable(tierAVX2) {
+			return false
+		}
+		applyGemmTier(tierAVX2)
+		return true
+	case "avx512":
+		if !gemmTierAvailable(tierAVX512) {
+			return false
+		}
+		applyGemmTier(tierAVX512)
+		return true
+	}
+	return false
+}
+
+// GemmKernel names the micro-kernel the packed GEMM currently
+// dispatches to: "avx512", "avx2+fma", or "generic", with "(noasm)"
+// marking builds that compiled the assembly out. Benchmarks record it
+// so BENCH rows are attributable to a kernel variant.
+func GemmKernel() string {
+	switch gemmTier {
+	case tierAVX512:
+		return "avx512"
+	case tierAVX2:
+		return "avx2+fma"
+	}
+	if gemmAsmCompiled {
+		return "generic"
+	}
+	return "generic (noasm)"
+}
+
+// GemmKernels lists the tier names this build + CPU can run, in the
+// order verify.sh's kernel matrix iterates them. Each entry is a valid
+// ForceGemmKernel argument.
+func GemmKernels() []string {
+	ks := []string{"generic"}
+	if gemmHasAVX2 {
+		ks = append(ks, "avx2")
+	}
+	if gemmHasAVX512 {
+		ks = append(ks, "avx512")
+	}
+	return ks
+}
+
+// GemmLanes is the vector width, in elements of the compiled dtype, of
+// the current micro-kernel tier (1 for the scalar generic kernel).
+func GemmLanes() int {
+	switch gemmTier {
+	case tierAVX512:
+		return 64 / ElemBytes
+	case tierAVX2:
+		return 32 / ElemBytes
+	default:
+		return 1
+	}
 }
 
 // BPanelPacker fills one packed B panel for MatMulPacked: dst holds
@@ -122,7 +277,7 @@ type BPanelPacker func(dst []Elem, k0, k1, j0, nr int)
 // MatMulPacked computes out = a·B for a (m, k) and a virtual (k, n)
 // right operand produced directly in packed-panel form by packB,
 // skipping the materialise-then-pack copy (internal/nn fuses the conv
-// im2col fill this way). out must be (m, n).
+// im2col and conv-transpose fills this way). out must be (m, n).
 func MatMulPacked(out, a *Tensor, n int, packB BPanelPacker) {
 	m, k := mustRank2(a, "MatMulPacked")
 	checkOutShape("MatMulPacked", out, m, n)
@@ -205,13 +360,14 @@ func packBStrided(dst []Elem, b []Elem, rs, cs, n, k0, k1, j0, nr int) {
 // A[i][kk] = a[i*rs + kk*cs].
 func packAPanels(dst []Elem, a []Elem, rs, cs, m, p0, p1, k0, k1 int) {
 	kc := k1 - k0
+	mr := gemmMR
 	for p := p0; p < p1; p++ {
-		i0 := p * gemmMR
-		pan := dst[(p-p0)*gemmMR*kc : (p-p0+1)*gemmMR*kc]
+		i0 := p * mr
+		pan := dst[(p-p0)*mr*kc : (p-p0+1)*mr*kc]
 		rows := m - i0
-		if rows >= gemmMR && cs == 1 {
-			// Full panel of row-major A: interleave gemmMR (= 4 at both
-			// dtypes) contiguous source rows.
+		if rows >= mr && cs == 1 && mr == 4 {
+			// Full panel of row-major A: interleave the 4 contiguous
+			// source rows of the base tile.
 			r0 := a[(i0+0)*rs+k0 : (i0+0)*rs+k1]
 			r1 := a[(i0+1)*rs+k0 : (i0+1)*rs+k1][:kc]
 			r2 := a[(i0+2)*rs+k0 : (i0+2)*rs+k1][:kc]
@@ -226,45 +382,78 @@ func packAPanels(dst []Elem, a []Elem, rs, cs, m, p0, p1, k0, k1 int) {
 			}
 			continue
 		}
-		if rows >= gemmMR && rs == 1 {
-			// Full panel of a stored transpose (aᵀ·b): the gemmMR panel
-			// rows are contiguous in the source at each k.
-			for kk := k0; kk < k1; kk++ {
-				copy(pan[(kk-k0)*gemmMR:(kk-k0)*gemmMR+gemmMR], a[kk*cs+i0:kk*cs+i0+gemmMR])
+		if rows >= mr && cs == 1 && mr == 8 {
+			// Full panel of row-major A at the AVX-512 tile height.
+			r0 := a[(i0+0)*rs+k0 : (i0+0)*rs+k1]
+			r1 := a[(i0+1)*rs+k0 : (i0+1)*rs+k1][:kc]
+			r2 := a[(i0+2)*rs+k0 : (i0+2)*rs+k1][:kc]
+			r3 := a[(i0+3)*rs+k0 : (i0+3)*rs+k1][:kc]
+			r4 := a[(i0+4)*rs+k0 : (i0+4)*rs+k1][:kc]
+			r5 := a[(i0+5)*rs+k0 : (i0+5)*rs+k1][:kc]
+			r6 := a[(i0+6)*rs+k0 : (i0+6)*rs+k1][:kc]
+			r7 := a[(i0+7)*rs+k0 : (i0+7)*rs+k1][:kc]
+			o := 0
+			for kk, v := range r0 {
+				pan[o] = v
+				pan[o+1] = r1[kk]
+				pan[o+2] = r2[kk]
+				pan[o+3] = r3[kk]
+				pan[o+4] = r4[kk]
+				pan[o+5] = r5[kk]
+				pan[o+6] = r6[kk]
+				pan[o+7] = r7[kk]
+				o += 8
 			}
 			continue
 		}
-		if rows > gemmMR {
-			rows = gemmMR
+		if rows >= mr && rs == 1 {
+			// Full panel of a stored transpose (aᵀ·b): the mr panel
+			// rows are contiguous in the source at each k.
+			for kk := k0; kk < k1; kk++ {
+				copy(pan[(kk-k0)*mr:(kk-k0)*mr+mr], a[kk*cs+i0:kk*cs+i0+mr])
+			}
+			continue
+		}
+		if rows > mr {
+			rows = mr
 		}
 		for kk := k0; kk < k1; kk++ {
-			o := (kk - k0) * gemmMR
+			o := (kk - k0) * mr
 			for r := 0; r < rows; r++ {
 				pan[o+r] = a[(i0+r)*rs+kk*cs]
 			}
-			for r := rows; r < gemmMR; r++ {
+			for r := rows; r < mr; r++ {
 				pan[o+r] = 0
 			}
 		}
 	}
 }
 
-// microKernel computes (or accumulates) one MR×NR tile from packed
-// panels, selecting the assembly kernel when the CPU dispatch enabled
-// it.
+// microKernel computes (or accumulates) one full MR×NR tile from packed
+// panels, selecting the widest kernel the dispatch enabled.
 func microKernel(c []Elem, ldc int, a, b []Elem, kc int, add bool) {
-	if gemmUseAsm {
+	switch gemmTier {
+	case tierAVX512:
+		gemmKernelAsm512(&c[0], ldc, &a[0], &b[0], kc, add, gemmMR, gemmNR)
+	case tierAVX2:
 		gemmKernelAsm(&c[0], ldc, &a[0], &b[0], kc, add)
-		return
+	default:
+		gemmKernelGo(c, ldc, a, b, kc, add)
 	}
-	gemmKernelGo(c, ldc, a, b, kc, add)
 }
 
+// B panel pack states for the cooperative first-touch protocol.
+const (
+	bPanelEmpty uint32 = iota
+	bPanelPacking
+	bPanelReady
+)
+
 // gemmRun is the pooled per-call state of one gemm invocation. The
-// parallel phases pass it to ForGrainRanger as a Ranger, so a
+// parallel row region passes it to ForGrainRanger as a Ranger, so a
 // steady-state training iteration's matmuls perform no heap allocation:
-// the run state, the pack buffers and the per-task A buffers all come
-// from pools.
+// the run state, the pack buffers, the per-task A buffers and the panel
+// state array all come from pools.
 type gemmRun struct {
 	c        []Elem
 	ldc      int
@@ -283,81 +472,102 @@ type gemmRun struct {
 	panVolB int
 	nPanB   int
 	accum   bool
-	phase   int
+	// bState[q] tracks the cooperative pack of B panel q: empty →
+	// packing → ready. Retained across pool cycles (it holds no operand
+	// references) so steady-state runs do not reallocate it.
+	bState []atomic.Uint32
 }
-
-const (
-	gemmPhasePackB = iota
-	gemmPhaseRows
-)
 
 var gemmRunPool = sync.Pool{New: func() any { return new(gemmRun) }}
 
-// Range implements parallel.Ranger, dispatching on the current phase.
-func (g *gemmRun) Range(lo, hi int) {
-	if g.phase == gemmPhasePackB {
-		g.packBRange(lo, hi)
-		return
+// panel returns packed B panel q of the current block, packing it first
+// if this task is the first to touch it. Tasks that lose the claim race
+// yield until the winner finishes — the pack is bounded work already
+// running on another goroutine, so this cannot deadlock.
+func (g *gemmRun) panel(q int) []Elem {
+	st := &g.bState[q]
+	if st.Load() != bPanelReady {
+		g.fillPanel(q, st)
 	}
-	g.rowRange(lo, hi)
+	return g.bbuf[q*g.panVolB : (q+1)*g.panVolB]
 }
 
-// packBRange packs B panels [lo, hi) of the current block.
-func (g *gemmRun) packBRange(lo, hi int) {
-	for q := lo; q < hi; q++ {
+func (g *gemmRun) fillPanel(q int, st *atomic.Uint32) {
+	if st.CompareAndSwap(bPanelEmpty, bPanelPacking) {
 		dst := g.bbuf[q*g.panVolB : (q+1)*g.panVolB]
 		if g.packB != nil {
 			g.packB(dst, g.pc, g.pc+g.kc, g.jc+q*gemmNR, gemmNR)
 		} else {
 			packBStrided(dst, g.b, g.brs, g.bcs, g.n, g.pc, g.pc+g.kc, g.jc+q*gemmNR, gemmNR)
 		}
+		// Release: the atomic store publishes the packed bytes to every
+		// task that observes bPanelReady.
+		st.Store(bPanelReady)
+		return
+	}
+	for st.Load() != bPanelReady {
+		runtime.Gosched()
 	}
 }
 
-// rowRange runs the macro-kernel over A row panels [ps, pe) of the
+// Range implements parallel.Ranger over A row panels [ps, pe) of the
 // current block: pack an MC-bounded group of panels, then stream the
-// packed B panels through the micro-kernel.
-func (g *gemmRun) rowRange(ps, pe int) {
+// packed B panels through the micro-kernel. Tasks start their B-panel
+// walk at an offset derived from ps so concurrent tasks first-touch
+// disjoint panels; the C tiles a task writes are its own regardless of
+// panel order, so the rotation cannot change results.
+func (g *gemmRun) Range(ps, pe int) {
 	kc := g.kc
-	mcPan := gemmMC / gemmMR
+	mr, nrFull := gemmMR, gemmNR
+	mcPan := gemmMC / mr
 	span := pe - ps
 	if span > mcPan {
 		span = mcPan
 	}
-	abufT := Get(span * gemmMR * kc)
+	abufT := Get(span * mr * kc)
 	abuf := abufT.Data
-	var tile [gemmMR * gemmNR]Elem
+	var tile [gemmMRMax * gemmNRMax]Elem
+	qoff := ps % g.nPanB
 	for bp := ps; bp < pe; bp += mcPan {
 		bpe := bp + mcPan
 		if bpe > pe {
 			bpe = pe
 		}
 		packAPanels(abuf, g.a, g.ars, g.acs, g.m, bp, bpe, g.pc, g.pc+kc)
-		for q := 0; q < g.nPanB; q++ {
-			j0 := g.jc + q*gemmNR
-			nr := g.n - j0
-			if nr > gemmNR {
-				nr = gemmNR
+		for qi := 0; qi < g.nPanB; qi++ {
+			q := qi + qoff
+			if q >= g.nPanB {
+				q -= g.nPanB
 			}
-			bpan := g.bbuf[q*g.panVolB : (q+1)*g.panVolB]
+			j0 := g.jc + q*nrFull
+			nr := g.n - j0
+			if nr > nrFull {
+				nr = nrFull
+			}
+			bpan := g.panel(q)
 			for ip := bp; ip < bpe; ip++ {
-				i0 := ip * gemmMR
-				mr := g.m - i0
-				if mr > gemmMR {
-					mr = gemmMR
+				i0 := ip * mr
+				rows := g.m - i0
+				if rows > mr {
+					rows = mr
 				}
-				apan := abuf[(ip-bp)*gemmMR*kc : (ip-bp+1)*gemmMR*kc]
-				if mr == gemmMR && nr == gemmNR {
+				apan := abuf[(ip-bp)*mr*kc : (ip-bp+1)*mr*kc]
+				if gemmTier == tierAVX512 {
+					// The AVX-512 kernel masks ragged edges natively.
+					gemmKernelAsm512(&g.c[i0*g.ldc+j0], g.ldc, &apan[0], &bpan[0], kc, g.accum, rows, nr)
+					continue
+				}
+				if rows == mr && nr == nrFull {
 					microKernel(g.c[i0*g.ldc+j0:], g.ldc, apan, bpan, kc, g.accum)
 					continue
 				}
 				// Edge tile: full-size kernel into the stack tile
 				// (packing zero-padded the operands), then merge the
 				// valid region.
-				microKernel(tile[:], gemmNR, apan, bpan, kc, false)
-				for r := 0; r < mr; r++ {
+				microKernel(tile[:mr*nrFull], nrFull, apan, bpan, kc, false)
+				for r := 0; r < rows; r++ {
 					crow := g.c[(i0+r)*g.ldc+j0 : (i0+r)*g.ldc+j0+nr]
-					trow := tile[r*gemmNR : r*gemmNR+nr]
+					trow := tile[r*nrFull : r*nrFull+nr]
 					if g.accum {
 						for j, v := range trow {
 							crow[j] += v
@@ -395,6 +605,10 @@ func gemm(c []Elem, ldc, m, n, k int, a []Elem, ars, acs int, b []Elem, brs, bcs
 	}
 	bbufT := Get(bPanMax * gemmNR * kcMax)
 	g.bbuf = bbufT.Data
+	if cap(g.bState) < bPanMax {
+		g.bState = make([]atomic.Uint32, bPanMax)
+	}
+	g.bState = g.bState[:bPanMax]
 
 	for jc := 0; jc < n; jc += gemmNC {
 		nc := n - jc
@@ -410,30 +624,26 @@ func gemm(c []Elem, ldc, m, n, k int, a []Elem, ars, acs int, b []Elem, brs, bcs
 			}
 			g.pc, g.kc = pc, kc
 			g.panVolB = kc * gemmNR
-			// Pack this (kc × nc) B block into NR panels, split on panel
-			// boundaries so the fill (possibly a fused im2col) fans out.
-			bGrain := gemmPackGrain / g.panVolB
-			if bGrain < 1 {
-				bGrain = 1
+			// No task from the previous block can still be running here
+			// (ForGrainRanger returns only when the region completes),
+			// so the plain reset cannot race with panel claims.
+			for q := 0; q < g.nPanB; q++ {
+				g.bState[q].Store(bPanelEmpty)
 			}
-			g.phase = gemmPhasePackB
-			parallel.ForGrainRanger(g.nPanB, bGrain, g)
 			g.accum = add || pc > 0
 			// Row split: units of MR panels, at least matMulGrain
-			// multiply-adds per task.
+			// multiply-adds per task. B panels are packed cooperatively
+			// by the same tasks on first touch.
 			grain := matMulGrain / (gemmMR * kc * nc)
 			if grain < 1 {
 				grain = 1
 			}
-			g.phase = gemmPhaseRows
 			parallel.ForGrainRanger(nPanA, grain, g)
 		}
 	}
 	Put(bbufT)
-	*g = gemmRun{} // drop operand references before pooling
+	// Drop operand references before pooling; bState is retained so the
+	// steady state does not reallocate it.
+	g.c, g.a, g.b, g.bbuf, g.packB = nil, nil, nil, nil, nil
 	gemmRunPool.Put(g)
 }
-
-// gemmPackGrain is the element count one B-packing task should fill —
-// packing is a copy, so tasks are sized like the element-wise ops.
-const gemmPackGrain = 1 << 14

@@ -1,0 +1,209 @@
+//go:build amd64 && !noasm && f32
+
+#include "textflag.h"
+
+// func gemmKernelAsm512(c *float32, ldc int, a, b *float32, kc int, add bool, mr, nr int)
+//
+// 8×16 float32 AVX-512 micro-kernel. The packed A panel holds 8 row
+// elements per k (32 B), the packed B panel 16 column elements per k
+// (one full ZMM, 64 B). Eight ZMM accumulators hold the output rows;
+// the k loop is unrolled by two with a second accumulator set (Z8–Z15)
+// so sixteen independent FMA chains cover the FMA latency. Per k: one
+// 16-lane B load, eight broadcasts of A, eight FMAs.
+//
+// Ragged edges are handled in-kernel: K1 = (1<<nr)-1 masks every C
+// load/store to the valid columns (packing zero-padded the operands),
+// and the store walk stops after mr rows.
+TEXT ·gemmKernelAsm512(SB), NOSPLIT, $0-64
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), R8
+	SHLQ $2, R8            // row stride in bytes
+	MOVQ a+16(FP), SI
+	MOVQ b+24(FP), BX
+	MOVQ kc+32(FP), CX
+
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+	VPXORQ Z8, Z8, Z8
+	VPXORQ Z9, Z9, Z9
+	VPXORQ Z10, Z10, Z10
+	VPXORQ Z11, Z11, Z11
+	VPXORQ Z12, Z12, Z12
+	VPXORQ Z13, Z13, Z13
+	VPXORQ Z14, Z14, Z14
+	VPXORQ Z15, Z15, Z15
+
+	MOVQ CX, DX
+	SHRQ $1, DX
+	JZ   tail
+
+loop2:
+	VMOVUPS      (BX), Z16
+	VMOVUPS      64(BX), Z17
+	VBROADCASTSS (SI), Z18
+	VFMADD231PS  Z16, Z18, Z0
+	VBROADCASTSS 4(SI), Z19
+	VFMADD231PS  Z16, Z19, Z1
+	VBROADCASTSS 8(SI), Z18
+	VFMADD231PS  Z16, Z18, Z2
+	VBROADCASTSS 12(SI), Z19
+	VFMADD231PS  Z16, Z19, Z3
+	VBROADCASTSS 16(SI), Z18
+	VFMADD231PS  Z16, Z18, Z4
+	VBROADCASTSS 20(SI), Z19
+	VFMADD231PS  Z16, Z19, Z5
+	VBROADCASTSS 24(SI), Z18
+	VFMADD231PS  Z16, Z18, Z6
+	VBROADCASTSS 28(SI), Z19
+	VFMADD231PS  Z16, Z19, Z7
+	VBROADCASTSS 32(SI), Z18
+	VFMADD231PS  Z17, Z18, Z8
+	VBROADCASTSS 36(SI), Z19
+	VFMADD231PS  Z17, Z19, Z9
+	VBROADCASTSS 40(SI), Z18
+	VFMADD231PS  Z17, Z18, Z10
+	VBROADCASTSS 44(SI), Z19
+	VFMADD231PS  Z17, Z19, Z11
+	VBROADCASTSS 48(SI), Z18
+	VFMADD231PS  Z17, Z18, Z12
+	VBROADCASTSS 52(SI), Z19
+	VFMADD231PS  Z17, Z19, Z13
+	VBROADCASTSS 56(SI), Z18
+	VFMADD231PS  Z17, Z18, Z14
+	VBROADCASTSS 60(SI), Z19
+	VFMADD231PS  Z17, Z19, Z15
+	ADDQ $64, SI
+	ADDQ $128, BX
+	DECQ DX
+	JNZ  loop2
+
+tail:
+	TESTQ $1, CX
+	JZ    reduce
+	VMOVUPS      (BX), Z16
+	VBROADCASTSS (SI), Z18
+	VFMADD231PS  Z16, Z18, Z0
+	VBROADCASTSS 4(SI), Z19
+	VFMADD231PS  Z16, Z19, Z1
+	VBROADCASTSS 8(SI), Z18
+	VFMADD231PS  Z16, Z18, Z2
+	VBROADCASTSS 12(SI), Z19
+	VFMADD231PS  Z16, Z19, Z3
+	VBROADCASTSS 16(SI), Z18
+	VFMADD231PS  Z16, Z18, Z4
+	VBROADCASTSS 20(SI), Z19
+	VFMADD231PS  Z16, Z19, Z5
+	VBROADCASTSS 24(SI), Z18
+	VFMADD231PS  Z16, Z18, Z6
+	VBROADCASTSS 28(SI), Z19
+	VFMADD231PS  Z16, Z19, Z7
+
+reduce:
+	VADDPS Z8, Z0, Z0
+	VADDPS Z9, Z1, Z1
+	VADDPS Z10, Z2, Z2
+	VADDPS Z11, Z3, Z3
+	VADDPS Z12, Z4, Z4
+	VADDPS Z13, Z5, Z5
+	VADDPS Z14, Z6, Z6
+	VADDPS Z15, Z7, Z7
+
+	// K1 = (1<<nr)-1: the valid output columns (nr ≤ 16).
+	MOVQ  nr+56(FP), CX
+	MOVL  $1, AX
+	SHLL  CX, AX
+	DECL  AX
+	KMOVW AX, K1
+
+	MOVQ    mr+48(FP), R9
+	MOVBLZX add+40(FP), AX
+	TESTB   AL, AL
+	JZ      store
+
+	VMOVUPS.Z (DI), K1, Z20
+	VADDPS    Z20, Z0, Z0
+	VMOVUPS   Z0, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPS.Z (DI), K1, Z20
+	VADDPS    Z20, Z1, Z1
+	VMOVUPS   Z1, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPS.Z (DI), K1, Z20
+	VADDPS    Z20, Z2, Z2
+	VMOVUPS   Z2, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPS.Z (DI), K1, Z20
+	VADDPS    Z20, Z3, Z3
+	VMOVUPS   Z3, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPS.Z (DI), K1, Z20
+	VADDPS    Z20, Z4, Z4
+	VMOVUPS   Z4, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPS.Z (DI), K1, Z20
+	VADDPS    Z20, Z5, Z5
+	VMOVUPS   Z5, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPS.Z (DI), K1, Z20
+	VADDPS    Z20, Z6, Z6
+	VMOVUPS   Z6, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPS.Z (DI), K1, Z20
+	VADDPS    Z20, Z7, Z7
+	VMOVUPS   Z7, K1, (DI)
+	JMP       done
+
+store:
+	VMOVUPS Z0, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPS Z1, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPS Z2, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPS Z3, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPS Z4, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPS Z5, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPS Z6, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPS Z7, K1, (DI)
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,210 @@
+//go:build amd64 && !noasm && !f32
+
+#include "textflag.h"
+
+// func gemmKernelAsm512(c *float64, ldc int, a, b *float64, kc int, add bool, mr, nr int)
+//
+// 8×8 float64 AVX-512 micro-kernel. The packed A panel holds 8 row
+// elements per k (64 B), the packed B panel 8 column elements per k
+// (one full ZMM, 64 B). Eight ZMM accumulators hold the output rows;
+// the k loop is unrolled by two with a second accumulator set (Z8–Z15)
+// so sixteen independent FMA chains cover the FMA latency. Per k: one
+// 8-lane B load, eight broadcasts of A, eight FMAs.
+//
+// Ragged edges are handled in-kernel: K1 = (1<<nr)-1 masks every C
+// load/store to the valid columns (packing zero-padded the operands,
+// so lanes past nr compute garbage that is never written), and the
+// store walk simply stops after mr rows.
+TEXT ·gemmKernelAsm512(SB), NOSPLIT, $0-64
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), R8
+	SHLQ $3, R8            // row stride in bytes
+	MOVQ a+16(FP), SI
+	MOVQ b+24(FP), BX
+	MOVQ kc+32(FP), CX
+
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+	VPXORQ Z8, Z8, Z8
+	VPXORQ Z9, Z9, Z9
+	VPXORQ Z10, Z10, Z10
+	VPXORQ Z11, Z11, Z11
+	VPXORQ Z12, Z12, Z12
+	VPXORQ Z13, Z13, Z13
+	VPXORQ Z14, Z14, Z14
+	VPXORQ Z15, Z15, Z15
+
+	MOVQ CX, DX
+	SHRQ $1, DX
+	JZ   tail
+
+loop2:
+	VMOVUPD      (BX), Z16
+	VMOVUPD      64(BX), Z17
+	VBROADCASTSD (SI), Z18
+	VFMADD231PD  Z16, Z18, Z0
+	VBROADCASTSD 8(SI), Z19
+	VFMADD231PD  Z16, Z19, Z1
+	VBROADCASTSD 16(SI), Z18
+	VFMADD231PD  Z16, Z18, Z2
+	VBROADCASTSD 24(SI), Z19
+	VFMADD231PD  Z16, Z19, Z3
+	VBROADCASTSD 32(SI), Z18
+	VFMADD231PD  Z16, Z18, Z4
+	VBROADCASTSD 40(SI), Z19
+	VFMADD231PD  Z16, Z19, Z5
+	VBROADCASTSD 48(SI), Z18
+	VFMADD231PD  Z16, Z18, Z6
+	VBROADCASTSD 56(SI), Z19
+	VFMADD231PD  Z16, Z19, Z7
+	VBROADCASTSD 64(SI), Z18
+	VFMADD231PD  Z17, Z18, Z8
+	VBROADCASTSD 72(SI), Z19
+	VFMADD231PD  Z17, Z19, Z9
+	VBROADCASTSD 80(SI), Z18
+	VFMADD231PD  Z17, Z18, Z10
+	VBROADCASTSD 88(SI), Z19
+	VFMADD231PD  Z17, Z19, Z11
+	VBROADCASTSD 96(SI), Z18
+	VFMADD231PD  Z17, Z18, Z12
+	VBROADCASTSD 104(SI), Z19
+	VFMADD231PD  Z17, Z19, Z13
+	VBROADCASTSD 112(SI), Z18
+	VFMADD231PD  Z17, Z18, Z14
+	VBROADCASTSD 120(SI), Z19
+	VFMADD231PD  Z17, Z19, Z15
+	ADDQ $128, SI
+	ADDQ $128, BX
+	DECQ DX
+	JNZ  loop2
+
+tail:
+	TESTQ $1, CX
+	JZ    reduce
+	VMOVUPD      (BX), Z16
+	VBROADCASTSD (SI), Z18
+	VFMADD231PD  Z16, Z18, Z0
+	VBROADCASTSD 8(SI), Z19
+	VFMADD231PD  Z16, Z19, Z1
+	VBROADCASTSD 16(SI), Z18
+	VFMADD231PD  Z16, Z18, Z2
+	VBROADCASTSD 24(SI), Z19
+	VFMADD231PD  Z16, Z19, Z3
+	VBROADCASTSD 32(SI), Z18
+	VFMADD231PD  Z16, Z18, Z4
+	VBROADCASTSD 40(SI), Z19
+	VFMADD231PD  Z16, Z19, Z5
+	VBROADCASTSD 48(SI), Z18
+	VFMADD231PD  Z16, Z18, Z6
+	VBROADCASTSD 56(SI), Z19
+	VFMADD231PD  Z16, Z19, Z7
+
+reduce:
+	VADDPD Z8, Z0, Z0
+	VADDPD Z9, Z1, Z1
+	VADDPD Z10, Z2, Z2
+	VADDPD Z11, Z3, Z3
+	VADDPD Z12, Z4, Z4
+	VADDPD Z13, Z5, Z5
+	VADDPD Z14, Z6, Z6
+	VADDPD Z15, Z7, Z7
+
+	// K1 = (1<<nr)-1: the valid output columns.
+	MOVQ  nr+56(FP), CX
+	MOVL  $1, AX
+	SHLL  CX, AX
+	DECL  AX
+	KMOVW AX, K1
+
+	MOVQ    mr+48(FP), R9
+	MOVBLZX add+40(FP), AX
+	TESTB   AL, AL
+	JZ      store
+
+	VMOVUPD.Z (DI), K1, Z20
+	VADDPD    Z20, Z0, Z0
+	VMOVUPD   Z0, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPD.Z (DI), K1, Z20
+	VADDPD    Z20, Z1, Z1
+	VMOVUPD   Z1, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPD.Z (DI), K1, Z20
+	VADDPD    Z20, Z2, Z2
+	VMOVUPD   Z2, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPD.Z (DI), K1, Z20
+	VADDPD    Z20, Z3, Z3
+	VMOVUPD   Z3, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPD.Z (DI), K1, Z20
+	VADDPD    Z20, Z4, Z4
+	VMOVUPD   Z4, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPD.Z (DI), K1, Z20
+	VADDPD    Z20, Z5, Z5
+	VMOVUPD   Z5, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPD.Z (DI), K1, Z20
+	VADDPD    Z20, Z6, Z6
+	VMOVUPD   Z6, K1, (DI)
+	DECQ      R9
+	JZ        done
+	ADDQ      R8, DI
+	VMOVUPD.Z (DI), K1, Z20
+	VADDPD    Z20, Z7, Z7
+	VMOVUPD   Z7, K1, (DI)
+	JMP       done
+
+store:
+	VMOVUPD Z0, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPD Z1, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPD Z2, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPD Z3, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPD Z4, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPD Z5, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPD Z6, K1, (DI)
+	DECQ    R9
+	JZ      done
+	ADDQ    R8, DI
+	VMOVUPD Z7, K1, (DI)
+
+done:
+	VZEROUPPER
+	RET

@@ -4,22 +4,33 @@ package tensor
 
 import "os"
 
-// Runtime CPU feature detection for the AVX2+FMA micro-kernel. The
-// probe runs once at init: CPUID must report AVX, FMA, AVX2 and
-// OSXSAVE, and XGETBV must confirm the OS saves the XMM+YMM register
-// state — otherwise the first VEX instruction would fault. Build with
-// `-tags noasm` to compile the probe and the assembly out entirely
-// (gemm_noasm.go pins gemmUseAsm to false).
+// Runtime CPU feature detection for the assembly micro-kernels. The
+// probes run once at init: CPUID must report the ISA bits and OSXSAVE,
+// and XGETBV must confirm the OS context-switches the corresponding
+// register state — otherwise the first VEX/EVEX instruction would
+// fault. Build with `-tags noasm` to compile the probes and the
+// assembly out entirely (gemm_noasm.go pins the generic tier).
 
 // gemmKernelAsm is the AVX2+FMA micro-kernel (gemm_amd64_f64.s /
 // gemm_amd64_f32.s, one per compiled dtype): it computes the full
-// gemmMR×gemmNR tile from the packed panels at a and b and stores it to
-// (add=false) or accumulates it into (add=true) c with row stride ldc.
-// Only reachable when gemmUseAsm — the caller must have verified the
-// CPU features via detectGemmAsm.
+// base-tile gemmMR×gemmNR block from the packed panels at a and b and
+// stores it to (add=false) or accumulates it into (add=true) c with row
+// stride ldc. Only reachable on the tierAVX2 dispatch — the probe must
+// have passed.
 //
 //go:noescape
 func gemmKernelAsm(c *Elem, ldc int, a, b *Elem, kc int, add bool)
+
+// gemmKernelAsm512 is the AVX-512 micro-kernel
+// (gemm_amd64_f64_avx512.s / gemm_amd64_f32_avx512.s): it computes an
+// mr×nr tile (mr ≤ gemmMR512 rows, nr ≤ gemmNR512 columns) from packed
+// full-width panels, masking the C loads/stores to the first nr lanes
+// via a K register and stopping the row walk at mr — so ragged edge
+// tiles need no stack-tile merge. Only reachable on the tierAVX512
+// dispatch.
+//
+//go:noescape
+func gemmKernelAsm512(c *Elem, ldc int, a, b *Elem, kc int, add bool, mr, nr int)
 
 // cpuidRaw executes CPUID for the given leaf/subleaf
 // (gemm_cpu_amd64.s).
@@ -31,19 +42,25 @@ func xgetbvRaw() (eax, edx uint32)
 
 const gemmAsmCompiled = true
 
-// gemmAsmAvailable caches the CPU probe; gemmUseAsm gates microKernel
-// onto the assembly path (tests flip it via setGemmAsm to cover both
-// kernels in one binary, and MDGAN_GEMM_KERNEL=generic forces the
-// portable kernel without a rebuild — verify.sh uses it to run the
-// engine-equivalence gates under the pure-Go kernel on asm builds).
+// Cached CPU probes; gemm.go's tier dispatch (bestGemmTier,
+// ForceGemmKernel) consumes them.
 var (
-	gemmAsmAvailable = detectGemmAsm()
-	gemmUseAsm       = gemmAsmAvailable && os.Getenv("MDGAN_GEMM_KERNEL") != "generic"
+	gemmHasAVX2   = detectGemmAVX2()
+	gemmHasAVX512 = detectGemmAVX512()
 )
 
-func detectAsmAvailable() bool { return gemmAsmAvailable }
+// The env override runs at init so MDGAN_GEMM_KERNEL forces a tier for
+// a whole process (verify.sh's kernel matrix); an unknown or
+// unavailable name falls back to the best available tier.
+func init() {
+	if !ForceGemmKernel(os.Getenv("MDGAN_GEMM_KERNEL")) {
+		applyGemmTier(bestGemmTier())
+	}
+}
 
-func detectGemmAsm() bool {
+// osSavesAVX reports OSXSAVE + AVX CPU support and YMM state saving;
+// both VEX tiers require it.
+func osSavesAVX() bool {
 	maxLeaf, _, _, _ := cpuidRaw(0, 0)
 	if maxLeaf < 7 {
 		return false
@@ -58,10 +75,36 @@ func detectGemmAsm() bool {
 		return false
 	}
 	// XCR0 bits 1 (SSE) and 2 (AVX): the OS context-switches YMM state.
-	if xcr0, _ := xgetbvRaw(); xcr0&0x6 != 0x6 {
+	xcr0, _ := xgetbvRaw()
+	return xcr0&0x6 == 0x6
+}
+
+func detectGemmAVX2() bool {
+	if !osSavesAVX() {
 		return false
 	}
 	_, ebx7, _, _ := cpuidRaw(7, 0)
 	const cpuidAVX2 = 1 << 5
 	return ebx7&cpuidAVX2 != 0
+}
+
+func detectGemmAVX512() bool {
+	if !osSavesAVX() {
+		return false
+	}
+	_, ebx7, _, _ := cpuidRaw(7, 0)
+	const (
+		cpuidAVX512F  = 1 << 16
+		cpuidAVX512DQ = 1 << 17
+		cpuidAVX512BW = 1 << 30
+		cpuidAVX512VL = 1 << 31
+	)
+	const need = cpuidAVX512F | cpuidAVX512DQ | cpuidAVX512BW | cpuidAVX512VL
+	if ebx7&need != need {
+		return false
+	}
+	// XCR0 0xE6: SSE+AVX plus opmask (bit 5), ZMM_Hi256 (bit 6) and
+	// Hi16_ZMM (bit 7) — the OS context-switches K and ZMM state.
+	xcr0, _ := xgetbvRaw()
+	return xcr0&0xE6 == 0xE6
 }

@@ -4,21 +4,40 @@ package tensor
 
 // Micro-kernel tile and cache-block sizes for the float32 build. See
 // gemm.go for the layer architecture and the meaning of each constant.
+// MR/NR/KC are per-tier: the AVX-512 kernel runs a wider tile than the
+// AVX2 and portable kernels, so the live values are the gemmMR/gemmNR/
+// gemmKC variables in gemm.go, switched by applyGemmTier.
 const (
-	// gemmMR × gemmNR is the micro-kernel tile: 4 rows of 8 float32
+	// Base tile (portable Go and AVX2+FMA kernels): 4 rows of 8 float32
 	// lanes, so the AVX2 kernel moves a full 8-lane YMM vector per FMA
 	// (the "8×4 float32" kernel — one 8-wide B row broadcast-multiplied
 	// into four row accumulators). The pure-Go kernel computes the same
 	// tile as two 4×4 register-resident passes over the column halves.
-	gemmMR = 4
-	gemmNR = 8
-	// gemmKC: the k extent of one packed block; float32 elements are
+	gemmMRBase = 4
+	gemmNRBase = 8
+	// gemmKCBase: the k extent of one packed block; float32 elements are
 	// half-width, so the panels stay L1-resident at twice the f64 depth.
-	gemmKC = 512
+	gemmKCBase = 512
+
+	// AVX-512 tile: 8 rows × 16 f32 lanes — one full ZMM vector per row
+	// accumulator, two interleaved accumulator sets (16 ZMM registers)
+	// hiding the FMA latency. 128 FMAs per (8+16)-element panel read
+	// versus 32 per (4+8) at the base tile.
+	gemmMR512 = 8
+	gemmNR512 = 16
+	// The 16-lane B panel is twice as wide, so kc halves to keep the
+	// packed working set (8 KiB A + 16 KiB B) at the base tile's cache
+	// footprint.
+	gemmKC512 = 256
+
+	// Upper bounds across tiers, for stack tiles and buffer sizing.
+	gemmMRMax = 8
+	gemmNRMax = 16
+
 	// gemmMC: the row extent of one packed A block (L2-sized), and the
 	// unit the parallel row split sub-blocks on.
 	gemmMC = 256
 	// gemmNC: the column extent of one packed B block; bounds the packed
-	// B buffer at gemmKC × gemmNC elements.
+	// B buffer at kc × gemmNC elements.
 	gemmNC = 4096
 )

@@ -4,23 +4,43 @@ package tensor
 
 // Micro-kernel tile and cache-block sizes for the float64 build. See
 // gemm.go for the layer architecture and the meaning of each constant.
+// MR/NR/KC are per-tier: the AVX-512 kernel runs a wider tile than the
+// AVX2 and portable kernels, so the live values are the gemmMR/gemmNR/
+// gemmKC variables in gemm.go, switched by applyGemmTier.
 const (
-	// gemmMR × gemmNR is the micro-kernel tile: 4×4 float64 keeps the 16
-	// scalar accumulators of the pure-Go kernel in registers, and the
-	// AVX2 kernel holds the four 4-lane output rows in YMM registers
+	// Base tile (portable Go and AVX2+FMA kernels): 4×4 float64 keeps
+	// the 16 scalar accumulators of the pure-Go kernel in registers, and
+	// the AVX2 kernel holds the four 4-lane output rows in YMM registers
 	// (two interleaved accumulator sets hide the FMA latency).
-	gemmMR = 4
-	gemmNR = 4
-	// gemmKC: the k extent of one packed block. One A micro-panel
-	// (gemmMR × gemmKC) and one B micro-panel (gemmKC × gemmNR) are 8 KiB
-	// each at this depth — both resident in L1 while the micro-kernel
-	// streams them.
-	gemmKC = 256
-	// gemmMC: the row extent of one packed A block (gemmMC × gemmKC ×
-	// 8 B = 512 KiB, sized for L2), and the unit the parallel row split
-	// sub-blocks on.
+	gemmMRBase = 4
+	gemmNRBase = 4
+	// gemmKCBase: the k extent of one packed block. One A micro-panel
+	// (MR × KC) and one B micro-panel (KC × NR) are 8 KiB each at this
+	// depth — both resident in L1 while the micro-kernel streams them.
+	gemmKCBase = 256
+
+	// AVX-512 tile: 8 rows × 8 f64 lanes — one full ZMM vector per row
+	// accumulator, two interleaved accumulator sets (16 of the 32 ZMM
+	// registers) hiding the FMA latency exactly like the AVX2 kernel,
+	// but at twice the width and twice the rows. The wider tile raises
+	// the flop:load ratio: 64 FMAs per (8+8)-element panel read versus
+	// 16 per (4+4) at the base tile.
+	gemmMR512 = 8
+	gemmNR512 = 8
+	// Panels are 16 KiB each at kc=256 — past a 32 KiB L1d they stream
+	// with the hardware prefetcher from L2; deeper kc amortises the C
+	// tile traffic better than strict L1 residency here.
+	gemmKC512 = 256
+
+	// Upper bounds across tiers, for stack tiles and buffer sizing.
+	gemmMRMax = 8
+	gemmNRMax = 8
+
+	// gemmMC: the row extent of one packed A block (gemmMC × kc × 8 B =
+	// 512 KiB at kc=256, sized for L2), and the unit the parallel row
+	// split sub-blocks on.
 	gemmMC = 256
 	// gemmNC: the column extent of one packed B block; bounds the packed
-	// B buffer at gemmKC × gemmNC elements.
+	// B buffer at kc × gemmNC elements.
 	gemmNC = 4096
 )

@@ -5,18 +5,24 @@ package tensor
 // Portable fallback: no assembly micro-kernel is compiled in, either
 // because the target is not amd64 or because the `noasm` build tag
 // asked for the pure-Go kernels (the reference the asm variants are
-// validated against).
+// validated against). Only the generic tier exists here, so the tier
+// dispatch in gemm.go never leaves its zero value and
+// MDGAN_GEMM_KERNEL has nothing to force.
 
-const gemmAsmCompiled = false
+const (
+	gemmAsmCompiled = false
+	gemmHasAVX2     = false
+	gemmHasAVX512   = false
+)
 
-// gemmUseAsm is permanently false on this build; microKernel always
-// takes the Go kernel.
-var gemmUseAsm = false
-
-func detectAsmAvailable() bool { return false }
-
-// gemmKernelAsm exists so microKernel links; gemmUseAsm can never be
-// true here.
+// gemmKernelAsm exists so microKernel links; the tierAVX2 dispatch is
+// unreachable on this build.
 func gemmKernelAsm(c *Elem, ldc int, a, b *Elem, kc int, add bool) {
 	panic("tensor: assembly micro-kernel called on a noasm build")
+}
+
+// gemmKernelAsm512 exists so the tierAVX512 dispatch links; it is
+// unreachable on this build.
+func gemmKernelAsm512(c *Elem, ldc int, a, b *Elem, kc int, add bool, mr, nr int) {
+	panic("tensor: AVX-512 micro-kernel called on a noasm build")
 }

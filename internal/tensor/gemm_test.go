@@ -3,7 +3,10 @@ package tensor
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+
+	"mdgan/internal/parallel"
 )
 
 // refMatMul is the triple-loop reference every kernel family is
@@ -51,31 +54,36 @@ func sparseTensor(rng *rand.Rand, shape ...int) *Tensor {
 	return t
 }
 
-// kernelVariants runs fn under every micro-kernel available in this
-// binary: the portable Go kernel always, the assembly kernel when the
-// build and CPU have it.
+// restoreKernel reverts any ForceGemmKernel the test performed when it
+// finishes.
+func restoreKernel(t testing.TB) {
+	prev := gemmTier
+	t.Cleanup(func() { applyGemmTier(prev) })
+}
+
+// kernelVariants runs fn under every micro-kernel tier available in
+// this binary on this CPU: the portable Go kernel always, the AVX2 and
+// AVX-512 kernels when the build and CPU have them.
 func kernelVariants(t *testing.T, fn func(t *testing.T)) {
 	t.Helper()
-	prev := gemmUseAsm
-	defer func() { gemmUseAsm = prev }()
-	t.Run("go", func(t *testing.T) {
-		setGemmAsm(false)
-		fn(t)
-	})
-	if !setGemmAsm(true) {
-		t.Logf("assembly kernel unavailable (%s); asm variant skipped", GemmKernel())
-		return
+	restoreKernel(t)
+	for _, name := range GemmKernels() {
+		t.Run(name, func(t *testing.T) {
+			if !ForceGemmKernel(name) {
+				t.Fatalf("ForceGemmKernel(%q) refused an advertised tier", name)
+			}
+			fn(t)
+		})
 	}
-	t.Run("asm", func(t *testing.T) {
-		setGemmAsm(true)
-		fn(t)
-	})
 }
 
 // gemmShapes covers the dispatch boundaries: below gemmMinWork (legacy
 // kernels), above it with M, N, K multiples of the tile, ragged
 // remainder shapes in every dimension, more than one KC block, more
-// than one MC block, and degenerate single-row/column operands.
+// than one MC block, and degenerate single-row/column operands. The
+// last group targets the AVX-512 tile (8 rows, 8/16 lanes): M%8, N%16
+// and K%KC remainders that exercise every masked-edge combination of
+// the wider kernel.
 var gemmShapes = [][3]int{
 	{3, 5, 4},     // tiny: legacy path
 	{16, 64, 32},  // aligned, single block
@@ -86,6 +94,11 @@ var gemmShapes = [][3]int{
 	{1, 128, 96},  // single output row
 	{70, 96, 1},   // single output column
 	{5, 1, 9},     // k = 1
+	// AVX-512 ragged edges:
+	{15, 530, 17}, // m%8=7, n%16=1, k spans the avx512 KC
+	{8, 256, 16},  // exactly one 8×16 tile (f32) / two 8×8 tiles (f64), k=KC
+	{33, 100, 31}, // m%8=1, n%16=15 — widest masked tail
+	{65, 260, 72}, // m%8=1, n%16=8 — half-ZMM f32 tail, aligned f64, k%KC=4
 }
 
 // TestMatMulEntryPointsMatchReference checks all nine entry points
@@ -170,9 +183,8 @@ func TestMatMulEntryPointsMatchReference(t *testing.T) {
 // kernels, so the results are bitwise equal, not merely within
 // tolerance.
 func TestGemmGoKernelBitwiseMatchesLegacy(t *testing.T) {
-	prev := gemmUseAsm
-	defer func() { gemmUseAsm = prev }()
-	setGemmAsm(false)
+	restoreKernel(t)
+	ForceGemmKernel("generic")
 	rng := rand.New(rand.NewSource(11))
 	m, k, n := 21, gemmKC, 19 // above gemmMinWork, single k block, ragged edges
 	a, b := randTensor(rng, m, k), randTensor(rng, k, n)
@@ -187,27 +199,82 @@ func TestGemmGoKernelBitwiseMatchesLegacy(t *testing.T) {
 	}
 }
 
-// TestGemmAsmWithinTolOfGo bounds the asm/Go cross-kernel error: the
-// FMA kernel skips intermediate roundings, so it is not bitwise equal,
-// but it must stay within tensor.Tol of the portable kernel.
+// TestGemmAsmWithinTolOfGo bounds the asm/Go cross-kernel error for
+// every assembly tier: the FMA kernels skip intermediate roundings and
+// interleave two accumulator sets, so they are not bitwise equal to the
+// portable kernel, but must stay within tensor.Tol of it.
 func TestGemmAsmWithinTolOfGo(t *testing.T) {
-	prev := gemmUseAsm
-	defer func() { gemmUseAsm = prev }()
-	if !setGemmAsm(true) {
-		t.Skipf("assembly kernel unavailable (%s)", GemmKernel())
+	restoreKernel(t)
+	asmTiers := GemmKernels()[1:] // "generic" is the reference
+	if len(asmTiers) == 0 {
+		t.Skipf("no assembly kernel available (%s)", GemmKernel())
 	}
 	rng := rand.New(rand.NewSource(13))
-	for _, sh := range gemmShapes {
-		m, k, n := sh[0], sh[1], sh[2]
-		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
-		setGemmAsm(true)
-		asm := MatMul(a, b)
-		setGemmAsm(false)
-		gop := MatMul(a, b)
-		tol := Tol(1e-12, 2e-4) * float64(k)
-		if !asm.Equal(gop, tol) {
-			t.Fatalf("%dx%dx%d: asm vs go kernel outside tolerance", m, k, n)
-		}
+	for _, tier := range asmTiers {
+		t.Run(tier, func(t *testing.T) {
+			for _, sh := range gemmShapes {
+				m, k, n := sh[0], sh[1], sh[2]
+				a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+				ForceGemmKernel(tier)
+				asm := MatMul(a, b)
+				ForceGemmKernel("generic")
+				gop := MatMul(a, b)
+				tol := Tol(1e-12, 2e-4) * float64(k)
+				if !asm.Equal(gop, tol) {
+					t.Fatalf("%dx%dx%d: %s vs go kernel outside tolerance", m, k, n, tier)
+				}
+			}
+		})
+	}
+}
+
+// TestGemmBitwiseAcrossGOMAXPROCS pins the determinism contract the
+// strict engine relies on: a packed matmul fans out inside one call,
+// but the k dimension is never split and every C tile is produced by
+// exactly one micro-kernel call over identical packed bytes, so the
+// result must be bitwise identical across GOMAXPROCS values and task
+// splits — under every kernel tier. (On a 1-core host GOMAXPROCS>1
+// still schedules the pool workers concurrently, so split boundaries
+// and the cooperative B-pack race are genuinely exercised.)
+func TestGemmBitwiseAcrossGOMAXPROCS(t *testing.T) {
+	restoreKernel(t)
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer func() {
+		runtime.GOMAXPROCS(prevProcs)
+		parallel.SetMaxProcs(0)
+	}()
+	rng := rand.New(rand.NewSource(29))
+	shapes := [][3]int{
+		{37, 530, 129}, // ragged everywhere, multiple KC blocks
+		{64, 256, 96},  // aligned
+		{130, 300, 60}, // multiple MC blocks
+	}
+	for _, name := range GemmKernels() {
+		t.Run(name, func(t *testing.T) {
+			ForceGemmKernel(name)
+			for _, sh := range shapes {
+				m, k, n := sh[0], sh[1], sh[2]
+				a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+				runtime.GOMAXPROCS(1)
+				parallel.SetMaxProcs(1) // serial reference: regions inline
+				want := New(m, n)
+				MatMulInto(want, a, b)
+				for _, procs := range []int{2, 4, 8} {
+					runtime.GOMAXPROCS(procs)
+					parallel.SetMaxProcs(procs)
+					got := New(m, n)
+					MatMulInto(got, a, b)
+					for i, v := range got.Data {
+						if v != want.Data[i] {
+							t.Fatalf("%dx%dx%d at GOMAXPROCS=%d: element %d differs from serial: %v vs %v",
+								m, k, n, procs, i, v, want.Data[i])
+						}
+					}
+				}
+				runtime.GOMAXPROCS(prevProcs)
+				parallel.SetMaxProcs(0)
+			}
+		})
 	}
 }
 
@@ -275,6 +342,41 @@ func TestGemmSteadyStateAllocs(t *testing.T) {
 	}
 	if big > 2*small+budget {
 		t.Fatalf("allocations grew with operand size: %v (small) vs %v (big) — pack buffers not pooled?", small, big)
+	}
+}
+
+// TestGemmParallelSteadyStateAllocs pins the fanned-out run-state: with
+// GOMAXPROCS>1 a packed matmul submits real parallel regions, and the
+// pooled gemmRun, the pooled scheduler regions and helper contexts, and
+// the pooled pack buffers must keep the steady state at a small
+// constant (goroutine-id registration in the scheduler's sync.Map is
+// the only remaining per-region cost; zero run-state allocations per
+// se). ×2 under -race per the established convention.
+func TestGemmParallelSteadyStateAllocs(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	parallel.SetMaxProcs(4)
+	defer func() {
+		runtime.GOMAXPROCS(prevProcs)
+		parallel.SetMaxProcs(0)
+	}()
+	rng := rand.New(rand.NewSource(31))
+	m, k, n := 256, 300, 192 // multiple MC blocks, two KC blocks, fans out
+	a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+	out := New(m, n)
+	for i := 0; i < 3; i++ {
+		MatMulInto(out, a, b) // warm pools across the worker set
+	}
+	allocs := testing.AllocsPerRun(20, func() { MatMulInto(out, a, b) })
+	budget := 12.0
+	if raceEnabled {
+		// The race-mode sync.Pool fakes misses at random, and a fanned-
+		// out matmul cycles several pooled objects per region (gemmRun,
+		// pack buffers, scheduler regions and helper contexts), so the
+		// flat ×2 convention undercounts here.
+		budget = 80
+	}
+	if allocs > budget {
+		t.Fatalf("fanned-out packed matmul allocates %v times steady-state, budget %v", allocs, budget)
 	}
 }
 

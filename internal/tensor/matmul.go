@@ -37,14 +37,17 @@ const (
 	// elements of the left operand; at ≥ sparseNum/sparseDen zeros the
 	// zero-skip kernel wins — against the *scalar* dense kernels. The
 	// skip saves work proportionally (~2× at ReLU's ~50% zeros), but the
-	// AVX2+FMA micro-kernel beats the scalar kernels by ~6×, so when the
-	// packed path would run the assembly kernel the skip only pays once
-	// the zero fraction clears sparseNumAsm/sparseDenAsm (~81%).
+	// AVX2+FMA micro-kernel beats the scalar kernels by ~6× (and the
+	// AVX-512 kernel by more), so when the packed path would run an
+	// assembly kernel the skip only pays once the zero fraction clears a
+	// per-tier threshold: ~81% for AVX2, ~92% for AVX-512.
 	sparseSamples = 256
 	sparseNum     = 1
 	sparseDen     = 4
 	sparseNumAsm  = 13
 	sparseDenAsm  = 16
+	sparseNum512  = 11
+	sparseDen512  = 12
 )
 
 // leftSparse samples a and reports whether the zero-skip kernels should
@@ -53,8 +56,13 @@ const (
 // constant block above.
 func leftSparse(a []Elem, work int) bool {
 	num, den := sparseNum, sparseDen
-	if work >= gemmMinWork && gemmUseAsm {
-		num, den = sparseNumAsm, sparseDenAsm
+	if work >= gemmMinWork {
+		switch gemmTier {
+		case tierAVX512:
+			num, den = sparseNum512, sparseDen512
+		case tierAVX2:
+			num, den = sparseNumAsm, sparseDenAsm
+		}
 	}
 	n := len(a)
 	step := 1

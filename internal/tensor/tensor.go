@@ -31,15 +31,27 @@
 //     layout matches the micro-kernel's streaming order exactly, with
 //     the MatMulT1/T2 transposes absorbed by the packing reads and the
 //     conv layers' im2col fill fused straight into B-panel packing
-//     (MatMulPacked). The micro-kernel — an MR×NR register tile over
-//     the packed panels — is either portable Go (gemm_kernel64.go /
-//     gemm_kernel32.go: 4×4 float64, 8-lane×4 float32) or AVX2+FMA
-//     assembly (gemm_amd64_*.s) selected by a runtime CPUID probe
-//     (gemm_cpu_amd64.go) and compiled out under the `noasm` build tag.
+//     (MatMulPacked). One GEMM call additionally fans its macro loops
+//     out across the worker pool: tasks split on packed-panel
+//     boundaries and pack the shared B panels cooperatively, so the
+//     result stays bitwise identical at every GOMAXPROCS.
+//
+// The micro-kernel — an MR×NR register tile over the packed panels —
+// is picked per process by a runtime CPUID+XGETBV probe
+// (gemm_cpu_amd64.go), overridable with MDGAN_GEMM_KERNEL and at
+// runtime via ForceGemmKernel:
+//
+//	tier      f64 tile  f32 tile  selected when
+//	generic   4×4       4×8       always available (pure Go; the only
+//	                              tier under the `noasm` build tag)
+//	avx2      4×4       4×8       AVX2+FMA assembly (gemm_amd64_*.s)
+//	avx512    8×8       8×16      AVX-512 F/DQ/BW/VL assembly
+//	                              (gemm_amd64_*_avx512.s) with ZMM
+//	                              state OS-enabled
 //
 // gemm.go's file comment specifies the packing layout, the micro-kernel
-// contract, the parallel split (panel-aligned ForGrain tasks) and the
-// recipe for adding a new architecture's kernel.
+// contract, the parallel split (panel-aligned, cooperatively packed
+// tasks) and the recipe for adding a new architecture's kernel.
 package tensor
 
 import (

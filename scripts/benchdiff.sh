@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# benchdiff.sh — advisory perf-trajectory diff between two BENCH_<n>.json
+# reports (the cmd/mdgan-bench -benchjson output).
+#
+#   scripts/benchdiff.sh                           # newest BENCH_<n> vs BENCH_<n-1>
+#   scripts/benchdiff.sh BENCH_9.json              # explicit new, baseline auto-picked as n-1
+#   scripts/benchdiff.sh BENCH_9.json BENCH_7.json # both explicit
+#
+# Regressions (>10% worse ns/op, GFLOP/s or B/op) are flagged with a
+# "!!" prefix in the output, but the exit status stays 0 whenever the
+# diff could run — perf on shared hosts is noisy, so verify.sh wires
+# this in as a non-gating step. Missing files or rows are tolerated:
+# with no baseline to compare against the script says so and exits 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+new="${1:-}"
+base="${2:-}"
+if [ -z "$new" ]; then
+    new=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)
+fi
+if [ -z "$new" ] || [ ! -f "$new" ]; then
+    echo "benchdiff: no BENCH_<n>.json report to diff (nothing to do)"
+    exit 0
+fi
+if [ -z "$base" ]; then
+    n=$(basename "$new" | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p')
+    if [ -n "$n" ] && [ "$n" -gt 0 ]; then
+        base="BENCH_$((n - 1)).json"
+    fi
+fi
+if [ -z "$base" ] || [ ! -f "$base" ]; then
+    echo "benchdiff: no baseline for $new (nothing to compare against)"
+    exit 0
+fi
+exec go run ./cmd/mdgan-bench -benchdiff "$new" -baseline "$base"

@@ -2,11 +2,14 @@
 # verify.sh — the repo's tier-1 gate plus a perf smoke, run over the
 # kernel build matrix {float64, float32} × {asm, noasm}: both tensor
 # dtypes (see internal/tensor/dtype64.go / dtype32.go) and, for each,
-# the `noasm` build that compiles the AVX2+FMA GEMM micro-kernel out
-# (see internal/tensor/gemm.go). The primary (asm) suites additionally
-# re-run the engine-equivalence gates with MDGAN_GEMM_KERNEL=generic,
-# so the pure-Go micro-kernel on an asm build is gated too — every
-# kernel variant must hold the strict-engine bitwise pin.
+# the `noasm` build that compiles the AVX2/AVX-512 GEMM micro-kernels
+# out (see internal/tensor/gemm.go). The primary (asm) suites
+# additionally re-run the engine-equivalence gates once per runtime-
+# forcible kernel tier (MDGAN_GEMM_KERNEL=<tier>, tiers discovered via
+# mdgan-bench -list-kernels so hosts without AVX2/AVX-512 just narrow
+# the axis), and once with GOMAXPROCS=4 so the intra-GEMM macro-loop
+# parallelism actually fans out — every kernel × parallelism variant
+# must hold the strict-engine bitwise pin.
 #
 #   scripts/verify.sh              # fmt, vet, build, test, bench smoke × matrix
 #   MDGAN_DTYPES=float64 scripts/verify.sh
@@ -86,10 +89,19 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
     go test -race ${tagargs[@]+"${tagargs[@]}"} ./...
 
     engine_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
-    # The same gates under the portable Go micro-kernel: the strict-
-    # engine pin must hold for every kernel variant the binary can
-    # dispatch to, not just the one the CPU probe picked.
-    MDGAN_GEMM_KERNEL=generic engine_gates "$name/generic-kernel" ${tagargs[@]+"${tagargs[@]}"}
+    # The same gates under every kernel tier the host can force: the
+    # strict-engine pin must hold for every micro-kernel the binary can
+    # dispatch to, not just the one the CPU probe picked. The tier list
+    # comes from the binary itself (-list-kernels), so a host without
+    # AVX2 or AVX-512 shrinks the axis instead of failing.
+    local kern
+    for kern in $(go run ${tagargs[@]+"${tagargs[@]}"} ./cmd/mdgan-bench -list-kernels); do
+        MDGAN_GEMM_KERNEL=$kern engine_gates "$name/kernel=$kern" ${tagargs[@]+"${tagargs[@]}"}
+    done
+    # And once with GOMAXPROCS=4: one GEMM call then fans out across
+    # the worker pool (the macro-loop split), and the strict replay
+    # must stay bitwise despite the parallel packing.
+    GOMAXPROCS=4 engine_gates "$name/gomaxprocs=4" ${tagargs[@]+"${tagargs[@]}"}
 
     topology_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
 
@@ -103,6 +115,8 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
     if [ -n "${BENCH_JSON:-}" ]; then
         echo "== [$name] writing ${BENCH_JSON} rows =="
         go run ${tagargs[@]+"${tagargs[@]}"} ./cmd/mdgan-bench -dtype "${name%%-*}" -benchjson "${BENCH_JSON}"
+        echo "== [$name] benchdiff vs previous trajectory (advisory) =="
+        scripts/benchdiff.sh "${BENCH_JSON}" || true
     fi
 }
 
