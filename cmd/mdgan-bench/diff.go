@@ -94,5 +94,10 @@ func diffRow(br, nr benchRow) (string, float64) {
 		d := pct(float64(br.BytesPerOp), float64(nr.BytesPerOp))
 		add(fmt.Sprintf("%d -> %d B/op (%+.1f%%)", br.BytesPerOp, nr.BytesPerOp, d), d)
 	}
+	if br.ScoreDefenseOn > 0 && nr.ScoreDefenseOn > 0 {
+		d := pct(br.ScoreDefenseOn, nr.ScoreDefenseOn)
+		// Higher is better: a defended-score drop is the regression.
+		add(fmt.Sprintf("%.3f -> %.3f defended score (%+.1f%%)", br.ScoreDefenseOn, nr.ScoreDefenseOn, d), -d)
+	}
 	return line, worst
 }

@@ -81,6 +81,17 @@ type benchRow struct {
 	P50Ms         float64 `json:"latency_p50_ms,omitempty"`
 	P99Ms         float64 `json:"latency_p99_ms,omitempty"`
 	AvgBatch      float64 `json:"avg_batch,omitempty"`
+	// Free-rider summary annotations (FreeRiderSummary/<variant> rows):
+	// final classifier scores of a short non-IID run attacked by 2/8
+	// free-riders with the defense off and on, the attack-free baseline
+	// score of the same configuration, and the defense's demotion split
+	// (free-riders vs honest workers removed). ns_per_op is the
+	// defense-on run's wall cost per iteration, scoring included.
+	ScoreBaseline     float64 `json:"score_baseline,omitempty"`
+	ScoreDefenseOff   float64 `json:"score_defense_off,omitempty"`
+	ScoreDefenseOn    float64 `json:"score_defense_on,omitempty"`
+	FreeRidersDemoted int     `json:"free_riders_demoted,omitempty"`
+	HonestDemoted     int     `json:"honest_demoted,omitempty"`
 }
 
 // workerSweep aliases the canonical cluster-size axis shared with the
@@ -324,6 +335,7 @@ func writeBenchJSON(path, topoSpec string, fanin int) {
 			Injected:  injected,
 		})
 	}
+	rows = append(rows, freeRiderBenchRows()...)
 	rows = append(rows, serveBenchRows()...)
 	// Merge with an existing report so the two dtype builds accumulate
 	// into one file: rows measured under the other dtype are kept, rows
@@ -354,6 +366,103 @@ func writeBenchJSON(path, topoSpec string, fanin int) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%s rows)", path, tensor.DTypeName)
+}
+
+// freeRiderBenchRows measures the free-rider arms race end to end: for
+// each attack variant, a short non-IID digit run with 2/8 workers
+// free-riding, once with the defense off and once with it on, against
+// one shared attack-free baseline. The rows record the final
+// classifier scores of all three runs and the defense's demotion split
+// — the defended score should sit measurably closer to the baseline
+// than the undefended one, with only free-riders removed.
+func freeRiderBenchRows() []benchRow {
+	train := mdgan.SynthDigits(640, 1)
+	test := mdgan.SynthDigits(800, 2)
+	scorer := mdgan.TrainScorer(test, 3)
+	ev := mdgan.NewEvaluator(scorer, test, 500)
+	const iters = 60
+	run := func(fr map[int]mdgan.ByzantineMode, defense bool) *mdgan.RunResult {
+		o := mdgan.Options{
+			Algorithm: mdgan.MDGAN, Workers: 8, Batch: 10, Iters: iters,
+			Seed: 2, K: 2, NonIIDSkew: 0.8, EvalEvery: iters,
+			FreeRiders: fr, Defense: defense,
+		}
+		res, err := mdgan.Run(train, mdgan.MLPArch(48), o, ev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	baseScore, _ := run(nil, false).Curve.Last()
+	var rows []benchRow
+	for _, v := range []struct {
+		name string
+		mode mdgan.ByzantineMode
+	}{
+		{"random", mdgan.FreeRiderRandom},
+		{"replay", mdgan.FreeRiderReplay},
+		{"noise", mdgan.FreeRiderScaledNoise},
+	} {
+		fr := map[int]mdgan.ByzantineMode{2: v.mode, 5: v.mode}
+		offScore, _ := run(fr, false).Curve.Last()
+		start := time.Now()
+		on := run(fr, true)
+		elapsed := time.Since(start)
+		onScore, _ := on.Curve.Last()
+		honest := on.Faults.Demotions - on.Faults.FreeRidersDemoted
+		log.Printf("FreeRiderSummary/%s [%s]: score base=%.3f off=%.3f on=%.3f, demoted freeriders=%d honest=%d",
+			v.name, tensor.DTypeName, baseScore, offScore, onScore, on.Faults.FreeRidersDemoted, honest)
+		rows = append(rows, benchRow{
+			Name:              "FreeRiderSummary/" + v.name,
+			Dtype:             tensor.DTypeName,
+			Iters:             on.Iters,
+			NsPerOp:           float64(elapsed.Nanoseconds()) / float64(on.Iters),
+			ScoreBaseline:     baseScore,
+			ScoreDefenseOff:   offScore,
+			ScoreDefenseOn:    onScore,
+			FreeRidersDemoted: on.Faults.FreeRidersDemoted,
+			HonestDemoted:     honest,
+		})
+	}
+	return rows
+}
+
+// runRobustness is the -free-riders/-defense/-lifetimes one-off: a
+// short scored non-IID digit run under the given attack, defense and
+// retirement schedule, its final classifier score and fault ledger
+// printed — the CLI-driveable version of the FreeRiderSummary rows.
+func runRobustness(frSpec string, defense bool, ltSpec string, workers int) {
+	fr, err := mdgan.ParseFreeRiders(frSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lts, err := mdgan.ParseLifetimes(ltSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if workers == 0 {
+		workers = 8
+	}
+	train := mdgan.SynthDigits(640, 1)
+	test := mdgan.SynthDigits(800, 2)
+	log.Printf("robustness run: N=%d free-riders=%d defense=%v lifetimes=%d", workers, len(fr), defense, len(lts))
+	scorer := mdgan.TrainScorer(test, 3)
+	ev := mdgan.NewEvaluator(scorer, test, 500)
+	const iters = 60
+	o := mdgan.Options{
+		Algorithm: mdgan.MDGAN, Workers: workers, Batch: 10, Iters: iters,
+		Seed: 2, K: 2, NonIIDSkew: 0.8, EvalEvery: iters,
+		FreeRiders: fr, Defense: defense, Lifetimes: lts,
+	}
+	res, err := mdgan.Run(train, mdgan.MLPArch(48), o, ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	score, fid := res.Curve.Last()
+	fmt.Printf("iters=%d score=%.3f fid=%.2f surviving=%d\n", res.Iters, score, fid, len(res.Live))
+	if res.Faults.Any() || res.Faults.Retirements > 0 {
+		fmt.Print(res.Faults.String())
+	}
 }
 
 // serveBenchRows runs the serving-tier concurrent-load benchmark:
@@ -455,6 +564,9 @@ func main() {
 		listKerns = flag.Bool("list-kernels", false, "print the GEMM kernel tiers this host can force (one per line, see MDGAN_GEMM_KERNEL) and exit")
 		benchDiff = flag.String("benchdiff", "", "diff this -benchjson report against -baseline and exit (advisory: regressions are flagged in the output, not the exit code)")
 		baseline  = flag.String("baseline", "", "baseline -benchjson report for -benchdiff")
+		freeRider = flag.String("free-riders", "", "robustness one-off: free-riding workers as N[:variant] or i=variant,... (variant random | replay | noise); runs a short scored non-IID digit run and exits")
+		defense   = flag.Bool("defense", false, "enable the feedback-quality defense in the robustness one-off")
+		lifetimes = flag.String("lifetimes", "", "robustness one-off: retirement windows i=join:retire,... (join must be 0 without a join schedule)")
 	)
 	flag.Parse()
 
@@ -483,6 +595,11 @@ func main() {
 
 	if *benchJSON != "" {
 		writeBenchJSON(*benchJSON, *topology, *fanin)
+		return
+	}
+
+	if *freeRider != "" || *defense || *lifetimes != "" {
+		runRobustness(*freeRider, *defense, *lifetimes, *workers)
 		return
 	}
 

@@ -57,6 +57,10 @@ func main() {
 		topology   = flag.String("topology", "", "MD-GAN feedback aggregation overlay: flat (default) | tree:<depth> — tree reduces feedbacks through worker-side aggregators, bounding server ingress by its fan-in")
 		fanin      = flag.Int("fanin", 0, "tree topology per-node child bound (0 = auto ceil(N^(1/depth)))")
 		swapSched  = flag.String("swap-schedule", "", "discriminator swap plan: ring (default) | shuffle | gossip[:pairs]")
+		freeRiders = flag.String("free-riders", "", "free-riding workers: N[:variant] (first N workers) or i=variant,... with variant random | replay | noise")
+		defense    = flag.Bool("defense", false, "enable the server-side feedback-quality defense (down-weights, then demotes, free-riders)")
+		lifetimes  = flag.String("lifetimes", "", "temporary-discriminator windows: i=join:retire,... (join 0 = from start, retire 0 = never)")
+		joinWarmup = flag.Int("join-warmup", 0, "ramp a dynamic joiner's aggregation weight over its first N rounds (0 = full weight at once)")
 	)
 	flag.Parse()
 
@@ -99,6 +103,13 @@ func main() {
 		NonIIDSkew: *skew, Compress: comp, SwapPrec: swapPrec,
 		RoundTimeout: *roundTO, Quorum: *quorum, SuspectAfter: *suspectN,
 		Topology: *topology, Fanin: *fanin, SwapSchedule: *swapSched,
+		Defense: *defense, JoinWarmup: *joinWarmup,
+	}
+	if o.FreeRiders, err = mdgan.ParseFreeRiders(*freeRiders); err != nil {
+		log.Fatal(err)
+	}
+	if o.Lifetimes, err = mdgan.ParseLifetimes(*lifetimes); err != nil {
+		log.Fatal(err)
 	}
 	if *chaos > 0 {
 		o.Chaos = &mdgan.ChaosConfig{
@@ -131,7 +142,7 @@ func main() {
 	if len(res.Live) > 0 {
 		fmt.Fprintf(os.Stderr, "surviving workers: %v\n", res.Live)
 	}
-	if res.Faults.Any() {
+	if res.Faults.Any() || res.Faults.Retirements > 0 {
 		fmt.Fprint(os.Stderr, res.Faults.String())
 	}
 	if c := res.Chaos; c.Dropped+c.Corrupted+c.Delayed+c.Duplicated+c.Partitioned > 0 {

@@ -30,6 +30,19 @@ type WorkerFaults struct {
 	// went suspect mid-round (tree topologies only; the next round's
 	// plan reparents it automatically).
 	Reparents int
+	// DownWeighted counts rounds in which the feedback-quality defense
+	// reduced this worker's aggregation weight below 1 (the first,
+	// reversible rung of the free-rider response).
+	DownWeighted int
+	// FreeRiderDemotions counts permanent removals initiated by the
+	// feedback-quality defense (a subset of Demotions: the defense
+	// demotes through the same strike-budget machinery as corrupt
+	// frames).
+	FreeRiderDemotions int
+	// Retirements counts graceful scheduled departures (temporary
+	// discriminators reaching the end of their Lifetime). A planned
+	// retirement is not a fault: it does not trip FaultStats.Any.
+	Retirements int
 }
 
 // FaultStats is a snapshot of a run's fault accounting: the per-worker
@@ -41,14 +54,49 @@ type FaultStats struct {
 	Workers map[string]WorkerFaults
 	// Totals over all workers.
 	Timeouts, Suspects, Demotions, Rejoins, CorruptFrames, Reparents int
+	// DownWeighted totals the rounds in which the feedback-quality
+	// defense reduced some worker's aggregation weight;
+	// FreeRidersDemoted counts the workers the defense removed
+	// permanently. Both zero when the defense is off or never fired.
+	DownWeighted, FreeRidersDemoted int
+	// Retirements totals graceful scheduled departures (not faults:
+	// excluded from Any).
+	Retirements int
+	// Defense holds the per-worker feedback-quality score snapshots of
+	// a defense-enabled run (nil otherwise). Keys match Workers.
+	Defense map[string]DefenseScore
 	// TransportRetries counts transport-level send retries (TCPNet
 	// fresh-dial retries after a broken or timed-out write).
 	TransportRetries int64
 }
 
-// Any reports whether any fault event was recorded.
+// DefenseScore is the end-of-run feedback-quality snapshot of one
+// worker, as tracked by the server-side free-rider defense
+// (internal/core/defense.go).
+type DefenseScore struct {
+	// Suspicion is the final EWMA suspicion in [0, 1] (0 = looks
+	// honest every round, 1 = flagged every recent round).
+	Suspicion float64
+	// AvgCosine is the mean cosine similarity of the worker's feedback
+	// to the leave-one-out group aggregate over the rounds it was
+	// scored against a reference.
+	AvgCosine float64
+	// ReplayHits counts rounds whose feedback fingerprint exactly
+	// repeated an earlier round's (replay attack evidence).
+	ReplayHits int
+	// ScoredRounds counts rounds the defense observed a feedback from
+	// this worker.
+	ScoredRounds int
+	// Demoted reports whether the defense removed the worker.
+	Demoted bool
+}
+
+// Any reports whether any fault event was recorded. Scheduled
+// retirements are planned departures, not faults, and are excluded —
+// like scheduled crashes, which are not recorded at all.
 func (s FaultStats) Any() bool {
 	return s.Timeouts+s.Suspects+s.Demotions+s.Rejoins+s.CorruptFrames+s.Reparents > 0 ||
+		s.DownWeighted+s.FreeRidersDemoted > 0 ||
 		s.TransportRetries > 0
 }
 
@@ -56,8 +104,15 @@ func (s FaultStats) Any() bool {
 // followed by one line per affected worker.
 func (s FaultStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "faults: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d reparents=%d retries=%d\n",
+	fmt.Fprintf(&b, "faults: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d reparents=%d retries=%d",
 		s.Timeouts, s.Suspects, s.Demotions, s.Rejoins, s.CorruptFrames, s.Reparents, s.TransportRetries)
+	if s.DownWeighted+s.FreeRidersDemoted > 0 {
+		fmt.Fprintf(&b, " downweighted=%d freeriders=%d", s.DownWeighted, s.FreeRidersDemoted)
+	}
+	if s.Retirements > 0 {
+		fmt.Fprintf(&b, " retired=%d", s.Retirements)
+	}
+	b.WriteByte('\n')
 	names := make([]string, 0, len(s.Workers))
 	for name := range s.Workers {
 		names = append(names, name)
@@ -65,8 +120,18 @@ func (s FaultStats) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		w := s.Workers[name]
-		fmt.Fprintf(&b, "  %s: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d reparents=%d\n",
+		fmt.Fprintf(&b, "  %s: timeouts=%d suspects=%d demotions=%d rejoins=%d corrupt=%d reparents=%d",
 			name, w.Timeouts, w.Suspects, w.Demotions, w.Rejoins, w.CorruptFrames, w.Reparents)
+		if w.DownWeighted+w.FreeRiderDemotions > 0 {
+			fmt.Fprintf(&b, " downweighted=%d freerider-demotions=%d", w.DownWeighted, w.FreeRiderDemotions)
+		}
+		if w.Retirements > 0 {
+			fmt.Fprintf(&b, " retired=%d", w.Retirements)
+		}
+		if d, ok := s.Defense[name]; ok {
+			fmt.Fprintf(&b, " suspicion=%.2f avg-cos=%.2f replays=%d", d.Suspicion, d.AvgCosine, d.ReplayHits)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -101,6 +166,16 @@ func (m *Membership) NoteCorrupt(name string) int {
 	return f.CorruptFrames
 }
 
+// NoteDownWeight records a round in which the feedback-quality defense
+// reduced name's aggregation weight below 1.
+func (m *Membership) NoteDownWeight(name string) { m.faults(name).DownWeighted++ }
+
+// NoteFreeRiderDemotion records that the feedback-quality defense
+// removed name permanently. The engines call it alongside Fail, which
+// counts the underlying Demotion; this counter distinguishes
+// defense-initiated removals from straggler escalations.
+func (m *Membership) NoteFreeRiderDemotion(name string) { m.faults(name).FreeRiderDemotions++ }
+
 // Faults snapshots the fault accounting. retries is the transport-level
 // retry count supplied by the caller (the membership does not own the
 // transport's counters).
@@ -117,6 +192,9 @@ func (m *Membership) Faults(retries int64) FaultStats {
 		s.Rejoins += f.Rejoins
 		s.CorruptFrames += f.CorruptFrames
 		s.Reparents += f.Reparents
+		s.DownWeighted += f.DownWeighted
+		s.FreeRidersDemoted += f.FreeRiderDemotions
+		s.Retirements += f.Retirements
 	}
 	return s
 }

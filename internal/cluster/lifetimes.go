@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Temporary discriminators (Qu et al., "Learn Distributed GAN with
+// Temporary Discriminators"): a worker's participation can be bounded
+// by a lifetime — it joins at a scheduled round (riding the existing
+// dynamic-join machinery) and later RETIRES gracefully, rather than
+// crashing. Retirement differs from the fail-stop path in every
+// observable way the paper's Fig. 5 model cares about:
+//
+//   - the final round's feedback is counted (retirement happens at a
+//     round boundary, after the previous round applied);
+//   - the worker is stopped with a protocol message, not an inbox
+//     close, so any swap rendezvous it participates in has already
+//     resolved and its goroutine exits through its own main loop;
+//   - aggregation reweights automatically — the retiree simply leaves
+//     the active set, and the engines' groupSize/received scaling
+//     absorbs the change like any other membership shift;
+//   - fault accounting records a Retirement, never a Demotion, and
+//     FaultStats.Any() stays false (a planned departure is not a
+//     fault, exactly like a scheduled crash).
+
+// Lifetime bounds one worker's participation window. The zero value
+// means "present from the start, never retires" — the default every
+// worker had before lifetimes existed.
+type Lifetime struct {
+	// Join is the iteration at which the worker enters through the
+	// dynamic-join protocol (0 = present from the start). For joining
+	// workers this must match the iteration their JoinAt shard is
+	// scheduled at — the schedule validation cross-checks the two.
+	Join int
+	// Retire is the iteration at whose START the worker retires
+	// gracefully (0 = never). Its feedback from iteration Retire-1 is
+	// the last one counted.
+	Retire int
+}
+
+// ValidateLifetimes checks a lifetime schedule keyed by worker index
+// against the initial cluster size and the join schedule's implied
+// index → iteration assignment (joinIters; nil when no joins are
+// scheduled). Initial workers (index < initialN) must not declare a
+// Join round; later indices must, and it must match the join schedule.
+func ValidateLifetimes(lifetimes map[int]Lifetime, initialN int, joinIters map[int]int) error {
+	for idx, lt := range lifetimes {
+		if idx < 0 {
+			return fmt.Errorf("cluster: lifetime for negative worker index %d", idx)
+		}
+		if lt.Join < 0 || lt.Retire < 0 {
+			return fmt.Errorf("cluster: worker %d lifetime has negative round (join=%d retire=%d)", idx, lt.Join, lt.Retire)
+		}
+		if lt.Retire > 0 && lt.Retire <= lt.Join {
+			return fmt.Errorf("cluster: worker %d retires at %d, not after its join at %d", idx, lt.Retire, lt.Join)
+		}
+		if idx < initialN {
+			if lt.Join != 0 {
+				return fmt.Errorf("cluster: initial worker %d cannot schedule a join (join=%d)", idx, lt.Join)
+			}
+			continue
+		}
+		want, scheduled := joinIters[idx]
+		if !scheduled {
+			return fmt.Errorf("cluster: worker %d has a lifetime but no scheduled join shard", idx)
+		}
+		if lt.Join != want {
+			return fmt.Errorf("cluster: worker %d lifetime joins at %d but its shard is scheduled at %d", idx, lt.Join, want)
+		}
+	}
+	return nil
+}
+
+// RetireesAt returns the worker indices scheduled to retire at the
+// start of iteration it, in ascending index order (deterministic
+// processing order for the engines). Retire 0 means "never", so no
+// iteration — including 0 — retires a zero-valued Lifetime.
+func RetireesAt(lifetimes map[int]Lifetime, it int) []int {
+	var out []int
+	for idx, lt := range lifetimes {
+		if lt.Retire == it && lt.Retire > 0 {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

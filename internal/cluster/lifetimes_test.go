@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLifetimeValidation(t *testing.T) {
+	joinIters := map[int]int{3: 5, 4: 5}
+	cases := []struct {
+		name      string
+		lifetimes map[int]Lifetime
+		ok        bool
+	}{
+		{"empty", nil, true},
+		{"initial-retire-only", map[int]Lifetime{1: {Retire: 7}}, true},
+		{"joiner-window", map[int]Lifetime{3: {Join: 5, Retire: 9}}, true},
+		{"joiner-never-retires", map[int]Lifetime{4: {Join: 5}}, true},
+		{"negative-index", map[int]Lifetime{-1: {Retire: 3}}, false},
+		{"negative-round", map[int]Lifetime{1: {Retire: -2}}, false},
+		{"retire-not-after-join", map[int]Lifetime{3: {Join: 5, Retire: 5}}, false},
+		{"initial-declares-join", map[int]Lifetime{1: {Join: 2, Retire: 7}}, false},
+		{"no-scheduled-shard", map[int]Lifetime{9: {Join: 5, Retire: 9}}, false},
+		{"join-iteration-mismatch", map[int]Lifetime{3: {Join: 4, Retire: 9}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateLifetimes(tc.lifetimes, 3, joinIters)
+			if (err == nil) != tc.ok {
+				t.Fatalf("ValidateLifetimes(%v) = %v, want ok=%v", tc.lifetimes, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestLifetimeRetireesAtSortsIndices(t *testing.T) {
+	lts := map[int]Lifetime{
+		4: {Retire: 5},
+		1: {Retire: 5},
+		2: {Retire: 7},
+		3: {}, // never retires
+	}
+	if got := RetireesAt(lts, 5); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Fatalf("RetireesAt(5) = %v, want [1 4]", got)
+	}
+	if got := RetireesAt(lts, 6); got != nil {
+		t.Fatalf("RetireesAt(6) = %v, want none", got)
+	}
+	// Retire 0 means never, not "at iteration 0".
+	if got := RetireesAt(lts, 0); got != nil {
+		t.Fatalf("RetireesAt(0) = %v — the zero Lifetime must never retire", got)
+	}
+}
+
+// TestRetireLeavesTransportUpAndRecordsNoFault: retirement removes the
+// worker from the live set without crashing its transport endpoint (the
+// worker drains its inbox and exits through its own main loop), records
+// a Retirement, and — unlike every demotion path — trips no fault.
+func TestRetireLeavesTransportUpAndRecordsNoFault(t *testing.T) {
+	m, net := newM(t, 3, nil, 0)
+	defer net.Close()
+	if !m.Retire("worker1") {
+		t.Fatal("Retire of a live worker must succeed")
+	}
+	if m.Alive("worker1") {
+		t.Fatal("retiree still alive")
+	}
+	if net.Down("worker1") {
+		t.Fatal("retirement must not crash the transport endpoint")
+	}
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"worker0", "worker2"}) {
+		t.Fatalf("Live = %v", got)
+	}
+	if m.Retire("worker1") {
+		t.Fatal("re-retiring a departed worker must be a no-op")
+	}
+	if m.Retire("ghost") {
+		t.Fatal("retiring an unknown worker must be a no-op")
+	}
+	s := m.Faults(0)
+	if s.Retirements != 1 || s.Workers["worker1"].Retirements != 1 {
+		t.Fatalf("faults = %+v, want one recorded retirement", s)
+	}
+	if s.Demotions != 0 || s.Any() {
+		t.Fatalf("faults = %+v: a retirement is not a fault", s)
+	}
+}
+
+// TestDefenseScoreRendering: the CLI fault summary must surface the
+// defense columns — totals line counters plus the per-worker suspicion
+// snapshot — and retirements must render without tripping Any.
+func TestDefenseScoreRendering(t *testing.T) {
+	s := FaultStats{
+		Workers: map[string]WorkerFaults{
+			"worker2": {Demotions: 1, DownWeighted: 3, FreeRiderDemotions: 1},
+			"worker4": {Retirements: 1},
+		},
+		Demotions: 1, DownWeighted: 3, FreeRidersDemoted: 1, Retirements: 1,
+		Defense: map[string]DefenseScore{
+			"worker2": {Suspicion: 0.97, AvgCosine: -0.01, ReplayHits: 4, ScoredRounds: 9, Demoted: true},
+		},
+	}
+	out := s.String()
+	for _, want := range []string{
+		"downweighted=3 freeriders=1",
+		"retired=1",
+		"suspicion=0.97",
+		"replays=4",
+		"freerider-demotions=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fault summary missing %q:\n%s", want, out)
+		}
+	}
+	retiredOnly := FaultStats{Retirements: 2}
+	if retiredOnly.Any() {
+		t.Fatal("retirements alone must not count as faults")
+	}
+	if !s.Any() {
+		t.Fatal("a down-weighted, demoted free-rider is a fault event")
+	}
+}

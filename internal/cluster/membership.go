@@ -253,6 +253,26 @@ func (m *Membership) fail(name string, counted bool) {
 	}
 }
 
+// Retire removes a worker gracefully at the end of its scheduled
+// lifetime (lifetimes.go): it leaves the live set like a fail-stop
+// death, but its transport inbox is NOT closed — the engine stops it
+// with a protocol message so the goroutine drains its queue and exits
+// through its own main loop, letting any in-flight swap traffic
+// resolve first. A retirement is a planned departure, so it is counted
+// as a Retirement, never a Demotion, and does not trip FaultStats.Any.
+// Retiring a dead or unknown worker is a no-op (reported by the return
+// value).
+func (m *Membership) Retire(name string) bool {
+	if !m.live[name] {
+		return false
+	}
+	m.live[name] = false
+	delete(m.suspect, name)
+	delete(m.misses, name)
+	m.faults(name).Retirements++
+	return true
+}
+
 // Suspect records a miss against a live worker: on the first miss the
 // worker enters the suspect state (skipped for dispatch, state
 // retained); each further miss ticks its escalation counter, and

@@ -12,12 +12,18 @@ import (
 // learning process is most likely prone to workers having their
 // discriminator lie to the server's generator (by sending erroneous or
 // manipulated feedback)". This file implements both sides of that
-// arms race: Byzantine feedback corruption at workers, and robust
-// aggregation rules at the server in the spirit of Byzantine-tolerant
-// gradient descent (Blanchard et al., cited by the paper as [46]).
+// arms race: Byzantine feedback corruption at workers, free-rider
+// feedback fabrication (Zhao et al., "Attacks and Defenses for
+// Free-Riders in Multi-Discriminator GAN"), and robust aggregation
+// rules at the server in the spirit of Byzantine-tolerant gradient
+// descent (Blanchard et al., cited by the paper as [46]). The
+// cross-round feedback-quality defense that catches the quiet
+// free-rider modes lives in defense.go.
 
-// ByzantineMode describes how a compromised worker corrupts its error
-// feedback before sending it.
+// ByzantineMode describes how a compromised worker lies in its error
+// feedback: the loud modes corrupt an honestly-computed feedback, the
+// free-rider modes fabricate one without running the discriminator at
+// all.
 type ByzantineMode int
 
 // Attack modes.
@@ -32,6 +38,20 @@ const (
 	// ByzantineScale multiplies the feedback by a large factor
 	// (magnitude attack: dominates a mean aggregation).
 	ByzantineScale
+	// FreeRiderRandom fabricates small-variance Gaussian noise in the
+	// magnitude range of real feedback — plausible enough to slip past
+	// a naive magnitude filter, unlike ByzantineRandom's unit noise —
+	// without ever running the discriminator.
+	FreeRiderRandom
+	// FreeRiderReplay fabricates one plausible feedback on its first
+	// round and re-sends that identical stale tensor every round after
+	// (the replay free-rider: zero compute, stable-looking statistics).
+	FreeRiderReplay
+	// FreeRiderScaledNoise fabricates a fresh noise direction each
+	// round, rescaled to track the received generated batch's norm —
+	// mimicking the magnitude trajectory of honest feedback so norm
+	// tests alone cannot spot it.
+	FreeRiderScaledNoise
 )
 
 // String implements fmt.Stringer.
@@ -45,16 +65,47 @@ func (m ByzantineMode) String() string {
 		return "invert"
 	case ByzantineScale:
 		return "scale"
+	case FreeRiderRandom:
+		return "freerider-random"
+	case FreeRiderReplay:
+		return "freerider-replay"
+	case FreeRiderScaledNoise:
+		return "freerider-noise"
 	default:
 		return fmt.Sprintf("ByzantineMode(%d)", int(m))
 	}
 }
 
+// IsFreeRider reports whether the mode fabricates feedback without
+// running the discriminator (the quiet attack class the cross-round
+// defense exists for), as opposed to corrupting an honest feedback.
+func (m ByzantineMode) IsFreeRider() bool {
+	return m == FreeRiderRandom || m == FreeRiderReplay || m == FreeRiderScaledNoise
+}
+
 // byzantineScaleFactor is the magnitude of the ByzantineScale attack.
 const byzantineScaleFactor = 100.0
 
-// corruptFeedback applies the attack in place.
-func corruptFeedback(f *tensor.Tensor, mode ByzantineMode, rng *rand.Rand) {
+// Free-rider fabrication constants: honest error feedback on the
+// architectures here has per-element magnitudes around 1e-2 (it is a
+// per-sample loss gradient, not a raw activation), so the fabricated
+// noise targets that range rather than unit variance.
+const (
+	// freeRiderSigma is the per-element standard deviation of the
+	// FreeRiderRandom / FreeRiderReplay fabrication.
+	freeRiderSigma = 0.01
+	// freeRiderNormFrac scales the FreeRiderScaledNoise target norm as
+	// a fraction of the received generated batch's norm — the only
+	// honest quantity a non-training worker can observe and track.
+	freeRiderNormFrac = 0.02
+)
+
+// corruptFeedback applies a loud attack in place. An unknown mode is an
+// error (never a panic: a misconfigured mode must not kill a worker
+// goroutine mid-run — the caller surfaces it through the corrupt-frame
+// strike path instead). Free-rider modes never reach here: they
+// fabricate instead of corrupting (fabricateFreeRiderFeedback).
+func corruptFeedback(f *tensor.Tensor, mode ByzantineMode, rng *rand.Rand) error {
 	switch mode {
 	case ByzantineNone:
 	case ByzantineRandom:
@@ -66,8 +117,29 @@ func corruptFeedback(f *tensor.Tensor, mode ByzantineMode, rng *rand.Rand) {
 	case ByzantineScale:
 		f.ScaleInPlace(byzantineScaleFactor)
 	default:
-		panic(fmt.Sprintf("core: unknown byzantine mode %d", mode))
+		return fmt.Errorf("core: unknown byzantine mode %d", int(mode))
 	}
+	return nil
+}
+
+// fabricateFreeRiderFeedback builds a free-rider's feedback for the
+// received generated batch xg without running any discriminator. The
+// result is freshly allocated (FreeRiderReplay retains it across
+// rounds, so it must not alias pooled or network-owned storage).
+func fabricateFreeRiderFeedback(xg *tensor.Tensor, mode ByzantineMode, rng *rand.Rand) *tensor.Tensor {
+	f := tensor.New(xg.Shape()...)
+	for i := range f.Data {
+		f.Data[i] = tensor.Elem(rng.NormFloat64())
+	}
+	switch mode {
+	case FreeRiderScaledNoise:
+		if n := f.Norm2(); n > 0 {
+			f.ScaleInPlace(freeRiderNormFrac * xg.Norm2() / n)
+		}
+	default: // FreeRiderRandom, FreeRiderReplay: plausible-variance noise
+		f.ScaleInPlace(freeRiderSigma)
+	}
+	return f
 }
 
 // Aggregation selects the server-side rule for merging the feedbacks
@@ -101,35 +173,64 @@ func (a Aggregation) String() string {
 	}
 }
 
+// aggScratch recycles the per-coordinate scratch buffer of the robust
+// aggregation rules across rounds; the zero value is ready to use.
+// (The buffer is []float64, not []Elem, so it cannot ride the tensor
+// pool on the f32 build — it lives here instead.)
+type aggScratch struct{ vals []float64 }
+
+// ensure returns a scratch slice of length n, growing the backing
+// array only when a larger group arrives.
+func (sc *aggScratch) ensure(n int) []float64 {
+	if cap(sc.vals) < n {
+		sc.vals = make([]float64, n)
+	}
+	return sc.vals[:n]
+}
+
 // aggregateFeedbacks merges the feedback tensors of the workers that
 // shared one generated batch into a single per-sample gradient. The
 // result plays the role of the group's "mean feedback"; the caller
 // weights it by groupSize/N to recover the paper's global scaling.
-func aggregateFeedbacks(fs []*tensor.Tensor, mode Aggregation) *tensor.Tensor {
+//
+// The result is drawn from the workspace pool — the caller owns it and
+// must tensor.Put it once consumed. sc may be nil (a local scratch is
+// allocated); the engines pass their per-server scratch so a
+// steady-state robust-aggregation round allocates nothing.
+func aggregateFeedbacks(fs []*tensor.Tensor, mode Aggregation, sc *aggScratch) *tensor.Tensor {
 	if len(fs) == 0 {
 		return nil
 	}
-	if len(fs) == 1 {
-		return fs[0].Clone()
+	if sc == nil {
+		sc = &aggScratch{}
 	}
-	out := tensor.New(fs[0].Shape()...)
+	if len(fs) == 1 {
+		out := tensor.Get(fs[0].Shape()...)
+		copy(out.Data, fs[0].Data)
+		return out
+	}
 	switch mode {
 	case AggMean:
+		out := tensor.GetZeroed(fs[0].Shape()...)
 		inv := 1 / float64(len(fs))
 		for _, f := range fs {
 			out.AxpyInPlace(inv, f)
 		}
+		return out
 	case AggMedian:
-		vals := make([]float64, len(fs))
+		out := tensor.Get(fs[0].Shape()...)
+		vals := sc.ensure(len(fs))
 		for i := range out.Data {
 			for j, f := range fs {
 				vals[j] = float64(f.Data[i])
 			}
 			out.Data[i] = tensor.Elem(median(vals))
 		}
+		return out
 	case AggTrimmedMean:
+		out := tensor.Get(fs[0].Shape()...)
 		trim := len(fs) / 4
-		vals := make([]float64, len(fs))
+		vals := sc.ensure(len(fs))
 		for i := range out.Data {
 			for j, f := range fs {
 				vals[j] = float64(f.Data[i])
@@ -142,10 +243,47 @@ func aggregateFeedbacks(fs []*tensor.Tensor, mode Aggregation) *tensor.Tensor {
 			}
 			out.Data[i] = tensor.Elem(s / float64(len(kept)))
 		}
+		return out
 	default:
 		panic(fmt.Sprintf("core: unknown aggregation %d", mode))
 	}
-	return out
+}
+
+// aggregateFeedbacksWeighted is aggregateFeedbacks with per-feedback
+// trust weights in [0, 1] (the defense's down-weighting and the
+// joiner warm-up ramp). For AggMean the result is the weighted mean
+// Σ wᵢFᵢ / Σ wᵢ. The robust order-statistic rules have no meaningful
+// fractional weighting — a median's breakdown point counts members,
+// not mass — so they EXCLUDE zero-weight feedbacks and rank the rest
+// unweighted. The returned weight is the total included mass (the
+// caller's group-scaling numerator); a nil tensor (weight 0) means
+// every feedback was excluded. The result is pool-owned like
+// aggregateFeedbacks'.
+func aggregateFeedbacksWeighted(fs []*tensor.Tensor, ws []float64, mode Aggregation, sc *aggScratch) (*tensor.Tensor, float64) {
+	totalW := 0.0
+	for _, w := range ws {
+		totalW += w
+	}
+	if len(fs) == 0 || totalW <= 0 {
+		return nil, 0
+	}
+	if mode == AggMean {
+		out := tensor.GetZeroed(fs[0].Shape()...)
+		for i, f := range fs {
+			if ws[i] > 0 {
+				out.AxpyInPlace(ws[i]/totalW, f)
+			}
+		}
+		return out, totalW
+	}
+	// Robust rules: drop the excluded members, rank the rest.
+	kept := fs[:0:0]
+	for i, f := range fs {
+		if ws[i] > 0 {
+			kept = append(kept, f)
+		}
+	}
+	return aggregateFeedbacks(kept, mode, sc), totalW
 }
 
 // median returns the middle value (average of the two middle values for

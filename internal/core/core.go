@@ -160,6 +160,23 @@ type Config struct {
 	// async engine picks its swap peers per-feedback rather than
 	// per-round.
 	SwapSched SwapSchedule
+	// Defense configures the server-side feedback-quality defense
+	// against free-riders (defense.go). Synchronous flat-topology
+	// engines only: the server must see per-worker feedbacks, which a
+	// tree pre-sums away. Attack-free runs stay on the bitwise-pinned
+	// arithmetic path whether the defense is on or off.
+	Defense DefenseConfig
+	// Lifetimes bounds workers' participation windows (temporary
+	// discriminators, Qu et al.): worker index → Lifetime. Joining
+	// workers' Join rounds must match their JoinAt schedule; Retire
+	// rounds end participation gracefully at the start of that
+	// iteration. Synchronous engines only.
+	Lifetimes map[int]cluster.Lifetime
+	// JoinWarmup, when > 0, ramps a dynamic joiner's aggregation weight
+	// linearly over its first JoinWarmup rounds (Qu et al.'s
+	// generator-stability rule: a fresh discriminator's feedback is
+	// noise to the generator at first). Flat topology only.
+	JoinWarmup int
 }
 
 // EvalFunc observes the server's generator during training.
@@ -195,6 +212,49 @@ func DefaultK(n int) int {
 
 // workerName formats the canonical node name of worker i.
 func workerName(i int) string { return fmt.Sprintf("worker%d", i) }
+
+// joinIters derives the worker index → join iteration assignment the
+// engine will make for a JoinAt schedule: processJoins runs at
+// ascending iterations and spawnJoiner hands out indices n, n+1, … in
+// shard order, so the mapping is fully determined up front. Used to
+// cross-check Lifetimes.
+func joinIters(n int, joinAt map[int][]*dataset.Dataset) map[int]int {
+	if len(joinAt) == 0 {
+		return nil
+	}
+	its := make([]int, 0, len(joinAt))
+	for it := range joinAt {
+		its = append(its, it)
+	}
+	sort.Ints(its)
+	out := make(map[int]int)
+	idx := n
+	for _, it := range its {
+		for range joinAt[it] {
+			out[idx] = it
+			idx++
+		}
+	}
+	return out
+}
+
+// retireSchedule resolves a Lifetimes map into the engine's iteration →
+// worker-name retirement schedule (ascending index order per
+// iteration, cluster.RetireesAt's contract).
+func retireSchedule(lifetimes map[int]cluster.Lifetime) map[int][]string {
+	if len(lifetimes) == 0 {
+		return nil
+	}
+	out := make(map[int][]string)
+	for _, lt := range lifetimes {
+		if lt.Retire > 0 && out[lt.Retire] == nil {
+			for _, idx := range cluster.RetireesAt(lifetimes, lt.Retire) {
+				out[lt.Retire] = append(out[lt.Retire], workerName(idx))
+			}
+		}
+	}
+	return out
+}
 
 // shardSizes lists the per-worker shard lengths.
 func shardSizes(shards []*dataset.Dataset) []int {
@@ -283,6 +343,28 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 	if cfg.SwapSched != nil && cfg.SwapSched.Name() != "ring" && cfg.Async {
 		return nil, fmt.Errorf("core: swap schedule %q requires synchronous mode", cfg.SwapSched.Name())
 	}
+	if cfg.Defense.Enabled {
+		if cfg.Async {
+			return nil, fmt.Errorf("core: feedback-quality defense requires synchronous mode")
+		}
+		if topo != nil {
+			return nil, fmt.Errorf("core: feedback-quality defense requires the flat topology (a %s pre-sums per-worker feedbacks away)", topo.Name())
+		}
+	}
+	if cfg.JoinWarmup < 0 {
+		return nil, fmt.Errorf("core: negative JoinWarmup %d", cfg.JoinWarmup)
+	}
+	if cfg.JoinWarmup > 0 && topo != nil {
+		return nil, fmt.Errorf("core: joiner warm-up requires the flat topology (a %s cannot reweight pre-summed contributions)", topo.Name())
+	}
+	if len(cfg.Lifetimes) > 0 {
+		if cfg.Async {
+			return nil, fmt.Errorf("core: worker lifetimes require synchronous mode")
+		}
+		if err := cluster.ValidateLifetimes(cfg.Lifetimes, n, joinIters(n, cfg.JoinAt)); err != nil {
+			return nil, err
+		}
+	}
 
 	net := cfg.Net
 	if net == nil {
@@ -330,8 +412,13 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 		topo:         topo,
 		swapSched:    cfg.SwapSched,
 		probes:       make(map[string]bool),
+		joinWarmup:   cfg.JoinWarmup,
+		retireAt:     retireSchedule(cfg.Lifetimes),
 	}
 	srv.m = cluster.New(net, srv.rng, cfg.CrashAt, cfg.ActivePerRound)
+	if cfg.Defense.Enabled {
+		srv.defense = newDefense(cfg.Defense, srv.m)
+	}
 	srv.m.SetSuspectThreshold(cfg.SuspectAfter)
 	for _, w := range workers {
 		srv.m.Add(w.name)
@@ -390,13 +477,17 @@ func Train(shards []*dataset.Dataset, arch gan.Arch, cfg Config, eval EvalFunc) 
 		retries = rc.Retries()
 	}
 
+	faults := srv.m.Faults(retries)
+	if srv.defense != nil {
+		faults.Defense = srv.defense.snapshots()
+	}
 	return &Result{
 		G:       g,
 		Discs:   discs,
 		Traffic: net.Snapshot(),
 		Live:    liveNames,
 		Iters:   iters,
-		Faults:  srv.m.Faults(retries),
+		Faults:  faults,
 	}, nil
 }
 

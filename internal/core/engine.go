@@ -85,6 +85,20 @@ type server struct {
 	// feedback clears the entry (reinstating the worker), an entry still
 	// present at the next tick is another miss.
 	probes map[string]bool
+	// defense is the cross-round feedback-quality scorer (nil = off).
+	defense *defense
+	// joinWarmup ramps a joiner's aggregation weight from 1/joinWarmup
+	// to 1 over its first joinWarmup rounds (0 = full weight at once);
+	// joinedRound records each tracked joiner's entry iteration.
+	joinWarmup  int
+	joinedRound map[string]int
+	// retireAt maps iteration → names of the workers whose Lifetime
+	// ends at its start (processed by prepare, before joins).
+	retireAt map[int][]string
+	// aggSc recycles the robust-aggregation scratch across rounds; wsSc
+	// recycles apply's per-group weight vector.
+	aggSc aggScratch
+	wsSc  []float64
 	// updates counts generator updates applied (the engine's Iters).
 	updates int
 	// rounds are the engine-owned per-stage buffers: slot 0 for strict
@@ -112,6 +126,14 @@ type round struct {
 	frames [][]byte
 
 	feedbacks map[string]*tensor.Tensor
+
+	// Apply-stage reusable buffers (flat path): member names and
+	// feedback tensors grouped per generated batch, the per-group
+	// pooled gradients, and — on weighted rounds — the group weights.
+	groupNames [][]string
+	groupFeeds [][]*tensor.Tensor
+	outGrads   []*tensor.Tensor
+	groupWs    []float64
 
 	// Tree-collect state, all nil/empty on the flat path (lazily
 	// allocated so a flat round's reset stays allocation-identical to
@@ -183,6 +205,7 @@ func (r *round) reset(it int) {
 // the k the pregenerate stage chose.
 func (s *server) prepare(r *round, clampK bool) error {
 	s.m.ApplyCrashes(r.it)
+	s.processRetirements(r.it)
 	if err := s.processJoins(r.it, s.spawn); err != nil {
 		return err
 	}
@@ -845,6 +868,17 @@ func (s *server) awaitRejoin() bool {
 // median/trimmed = §VII.3 robustness); the group result is weighted by
 // groupSize/received to keep the global 1/N scaling. A round with no
 // feedbacks (every dispatch failed) applies no update.
+//
+// When the defense or the joiner warm-up assigns non-unit weights
+// (roundWeights != nil), the head-count scaling generalises to weight
+// mass: each group aggregates as a weighted mean and contributes its
+// share of the total included weight. The nil-weights branch is the
+// byte-identical legacy path the bitwise pin replays.
+//
+// The grouping slices, group gradients and aggregation scratch are all
+// reused round over round, and the pooled per-group aggregates return
+// to the workspace pool right after their backward pass — a
+// steady-state apply allocates nothing.
 func (s *server) apply(r *round) {
 	if r.plan != nil {
 		s.applyTree(r)
@@ -853,39 +887,158 @@ func (s *server) apply(r *round) {
 	if len(r.feedbacks) == 0 {
 		return
 	}
-	groups := make([][]*tensor.Tensor, r.k)
+	if cap(r.groupNames) < r.k {
+		r.groupNames = make([][]string, r.k)
+		r.groupFeeds = make([][]*tensor.Tensor, r.k)
+	}
+	r.groupNames = r.groupNames[:r.k]
+	r.groupFeeds = r.groupFeeds[:r.k]
+	for j := range r.groupNames {
+		r.groupNames[j] = r.groupNames[j][:0]
+		r.groupFeeds[j] = r.groupFeeds[j][:0]
+	}
 	for _, name := range r.active {
 		f, ok := r.feedbacks[name]
 		if !ok {
 			continue // demoted mid-round
 		}
 		j := r.gIdx[name]
-		groups[j] = append(groups[j], f)
+		r.groupNames[j] = append(r.groupNames[j], name)
+		r.groupFeeds[j] = append(r.groupFeeds[j], f)
 	}
-	total := len(r.feedbacks)
-	outGrads := make([]*tensor.Tensor, r.k)
-	for j, fs := range groups {
-		if len(fs) == 0 {
-			continue
+	weights := s.roundWeights(r)
+	if cap(r.outGrads) < r.k {
+		r.outGrads = make([]*tensor.Tensor, r.k)
+	}
+	r.outGrads = r.outGrads[:r.k]
+	if weights == nil {
+		total := len(r.feedbacks)
+		for j, fs := range r.groupFeeds {
+			r.outGrads[j] = nil
+			if len(fs) == 0 {
+				continue
+			}
+			agg := aggregateFeedbacks(fs, s.aggregate, &s.aggSc)
+			r.outGrads[j] = agg.ScaleInPlace(float64(len(fs)) / float64(total))
 		}
-		agg := aggregateFeedbacks(fs, s.aggregate)
-		outGrads[j] = agg.ScaleInPlace(float64(len(fs)) / float64(total))
+	} else {
+		if cap(r.groupWs) < r.k {
+			r.groupWs = make([]float64, r.k)
+		}
+		r.groupWs = r.groupWs[:r.k]
+		total := 0.0
+		for j, fs := range r.groupFeeds {
+			r.outGrads[j] = nil
+			r.groupWs[j] = 0
+			if len(fs) == 0 {
+				continue
+			}
+			ws := s.wsSc[:0]
+			for _, name := range r.groupNames[j] {
+				ws = append(ws, feedbackWeight(weights, name))
+			}
+			s.wsSc = ws
+			agg, w := aggregateFeedbacksWeighted(fs, ws, s.aggregate, &s.aggSc)
+			if agg == nil {
+				continue
+			}
+			r.outGrads[j], r.groupWs[j] = agg, w
+			total += w
+		}
+		if total <= 0 {
+			return // every feedback excluded: no update this round
+		}
+		for j, g := range r.outGrads {
+			if g != nil {
+				g.ScaleInPlace(r.groupWs[j] / total)
+			}
+		}
 	}
 	s.g.ZeroGrads()
 	for j := 0; j < r.k; j++ {
-		if outGrads[j] == nil {
+		if r.outGrads[j] == nil {
 			continue
 		}
 		// Re-forward to restore layer caches for batch j (they were
 		// clobbered when batch j+1.. were generated).
 		s.g.Forward(r.zs[j], r.labs[j], true)
-		s.g.Backward(outGrads[j])
+		s.g.Backward(r.outGrads[j])
+		tensor.Put(r.outGrads[j])
+		r.outGrads[j] = nil
 	}
 	s.optG.Step(s.g.Params())
 	s.updates++
 
 	if s.eval != nil && s.evalEvery > 0 && r.it%s.evalEvery == 0 {
 		s.eval(r.it, s.g)
+	}
+}
+
+// roundWeights computes the per-worker aggregation weights for this
+// round: the defense's suspicion down-weights composed with the joiner
+// warm-up ramp. It returns nil when every weight is exactly 1, keeping
+// a defense-on fault-free round on the byte-identical legacy
+// arithmetic path (the strict bitwise pin).
+func (s *server) roundWeights(r *round) map[string]float64 {
+	var weights map[string]float64
+	if s.defense != nil {
+		weights = s.defense.observe(r)
+	}
+	if s.joinWarmup > 0 && len(s.joinedRound) > 0 {
+		for name, joined := range s.joinedRound {
+			if _, ok := r.feedbacks[name]; !ok {
+				continue
+			}
+			// Qu et al.'s generator-stability rule: a fresh
+			// discriminator's feedback is noise to the generator, so a
+			// joiner's weight ramps linearly over its first warm-up
+			// rounds instead of jolting the aggregate at full strength.
+			age := r.it - joined + 1
+			if age >= s.joinWarmup {
+				delete(s.joinedRound, name) // ramp complete
+				continue
+			}
+			w := float64(age) / float64(s.joinWarmup)
+			if weights == nil {
+				weights = make(map[string]float64, 1)
+			}
+			if cur, ok := weights[name]; ok {
+				weights[name] = cur * w
+			} else {
+				weights[name] = w // absent means 1: compose onto it
+			}
+		}
+	}
+	return weights
+}
+
+// feedbackWeight resolves a worker's aggregation weight (absent = 1).
+func feedbackWeight(weights map[string]float64, name string) float64 {
+	if w, ok := weights[name]; ok {
+		return w
+	}
+	return 1
+}
+
+// processRetirements retires the workers whose Lifetime ends at the
+// start of iteration it: a graceful protocol stop followed by removal
+// from the live set. Unlike a demotion no inbox is closed — the worker
+// drains its queue and exits through its own main loop — and because
+// retirement happens at a prepare boundary, its final round's feedback
+// was already counted and no swap rendezvous of its can be in flight
+// (workers ship swaps before feedbacks, and collect saw every
+// feedback). A worker that crashed or was demoted before its scheduled
+// exit is simply skipped.
+func (s *server) processRetirements(it int) {
+	for _, name := range s.retireAt[it] {
+		if !s.m.Alive(name) {
+			continue
+		}
+		_ = s.net.Send(simnet.Message{
+			From: serverName, To: name, Type: msgStop, Kind: simnet.CtoW,
+		})
+		s.m.Retire(name)
+		delete(s.joinedRound, name)
 	}
 }
 

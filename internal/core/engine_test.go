@@ -143,7 +143,7 @@ func serialReference(shards []*dataset.Dataset, arch gan.Arch, cfg Config) []flo
 			if len(fs) == 0 {
 				continue
 			}
-			agg := aggregateFeedbacks(fs, cfg.Aggregate)
+			agg := aggregateFeedbacks(fs, cfg.Aggregate, nil)
 			outGrads[j] = agg.ScaleInPlace(float64(len(fs)) / float64(len(active)))
 		}
 		g.ZeroGrads()

@@ -93,6 +93,12 @@ func (s *server) processJoins(it int, spawn func(shard *dataset.Dataset) (*worke
 			return fmt.Errorf("core: forward clone to %s: %w", w.name, err)
 		}
 		s.m.Add(w.name)
+		if s.joinWarmup > 0 {
+			if s.joinedRound == nil {
+				s.joinedRound = make(map[string]int)
+			}
+			s.joinedRound[w.name] = it
+		}
 	}
 	return nil
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled relaxes steady-state allocation budgets under the race
+// detector; see race_on_test.go.
+const raceEnabled = false

@@ -34,10 +34,15 @@ type worker struct {
 	// payloads (SwapFP32 by default).
 	swapPrec SwapPrecision
 	// byzantine, when non-zero, corrupts the feedback before sending
-	// (§VII.3 adversary model).
+	// (§VII.3 adversary model). Free-rider modes skip local training
+	// and fabricate the feedback outright.
 	byzantine ByzantineMode
-	// rng drives the ByzantineRandom attack.
+	// rng drives the ByzantineRandom attack and the free-rider
+	// fabrications.
 	rng *rand.Rand
+	// replay caches the FreeRiderReplay attacker's fabricated feedback:
+	// built once on its first round, re-sent verbatim ever after.
+	replay *tensor.Tensor
 
 	// pending buffers messages that arrive while the worker is blocked
 	// waiting for a swap (e.g. the next iteration's batches racing the
@@ -189,17 +194,35 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 		return true
 	}
 	w.lastRound = bm.Round
-	// Step 2 (§IV-A): L discriminator learning steps against the local
-	// shard. X^(r) is drawn once per global iteration (Algorithm 1
-	// line 4) and reused across the L steps.
-	xr, lr := w.sampler.Sample(w.batch)
-	for l := 0; l < w.discL; l++ {
-		gan.DiscStep(w.d, w.lc, w.optD, xr, lr, bm.Xd, bm.Ld)
-	}
-	// Step 3: error feedback on X^(g). A compromised worker lies here.
-	fn, _ := gan.Feedback(w.d, w.lc, bm.Xg, bm.Lg)
-	if w.byzantine != ByzantineNone {
-		corruptFeedback(fn, w.byzantine, w.rng)
+	var fn *tensor.Tensor
+	if w.byzantine.IsFreeRider() {
+		// Free-rider (Zhao et al.): the attack's whole point is to
+		// reap the generator's benefit while spending no compute, so
+		// it skips the L discriminator steps AND the feedback pass and
+		// fabricates a plausible frame from worker-visible data only.
+		fn = w.fabricateFeedback(bm.Xg)
+	} else {
+		// Step 2 (§IV-A): L discriminator learning steps against the
+		// local shard. X^(r) is drawn once per global iteration
+		// (Algorithm 1 line 4) and reused across the L steps.
+		xr, lr := w.sampler.Sample(w.batch)
+		for l := 0; l < w.discL; l++ {
+			gan.DiscStep(w.d, w.lc, w.optD, xr, lr, bm.Xd, bm.Ld)
+		}
+		// Step 3: error feedback on X^(g). A compromised worker lies
+		// here.
+		fn, _ = gan.Feedback(w.d, w.lc, bm.Xg, bm.Lg)
+		if w.byzantine != ByzantineNone {
+			if err := corruptFeedback(fn, w.byzantine, w.rng); err != nil {
+				// A misconfigured attack mode must not kill the worker
+				// goroutine mid-run (this used to panic): surface it
+				// through the corrupt-frame strike path instead — the
+				// deliberately-invalid frame below fails the server's
+				// decode, which strikes us per round until the budget
+				// demotes us.
+				fn = nil
+			}
+		}
 	}
 
 	// SWAP (§IV-C1): send D_n before the feedback so that once the
@@ -216,7 +239,25 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 			_ = err
 		}
 	}
-	if bm.Parent == "" {
+	if fn == nil {
+		// Unknown byzantine mode: ship an undecodable one-byte frame on
+		// the round's normal feedback channel. The server (or parent
+		// aggregator) rejects it like any corrupt frame — NoteCorrupt
+		// strikes accumulate until the budget demotes us — instead of
+		// the old panic tearing the goroutine down.
+		to, typ, kind := serverName, msgFeedback, simnet.WtoC
+		if bm.Parent != "" {
+			to, typ = bm.Parent, msgAgg
+			if bm.Parent != serverName {
+				kind = simnet.WtoW
+			}
+		}
+		if err := w.net.Send(simnet.Message{
+			From: w.name, To: to, Type: typ, Kind: kind, Payload: []byte{0xFF},
+		}); err != nil && to == serverName {
+			return false
+		}
+	} else if bm.Parent == "" {
 		// Flat star: the legacy direct feedback frame to the server.
 		if err := w.net.Send(simnet.Message{
 			From: w.name, To: serverName, Type: msgFeedback,
@@ -231,6 +272,24 @@ func (w *worker) handleBatches(msg simnet.Message) bool {
 		return w.awaitSwap(bm.Round)
 	}
 	return true
+}
+
+// fabricateFeedback is the free-rider's replacement for the honest
+// DiscStep + Feedback computation: plausible noise (or the cached
+// replay tensor) shaped like the generated batch, at zero training
+// cost. The replay cache holds the FIRST fabrication forever — the
+// identical tensor re-encodes to the identical wire frame each round,
+// which is exactly the stale-feedback signature the server-side
+// fingerprint detection looks for.
+func (w *worker) fabricateFeedback(xg *tensor.Tensor) *tensor.Tensor {
+	if w.byzantine == FreeRiderReplay && w.replay != nil {
+		return w.replay
+	}
+	f := fabricateFreeRiderFeedback(xg, w.byzantine, w.rng)
+	if w.byzantine == FreeRiderReplay {
+		w.replay = f
+	}
+	return f
 }
 
 // sendAggregate runs the worker's side of the round's aggregation plan:

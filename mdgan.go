@@ -66,6 +66,15 @@ type (
 	// payloads (SwapFP32 by default — half of Table III's W→W row on
 	// the float64 build).
 	SwapPrecision = core.SwapPrecision
+	// DefenseConfig tunes the server-side feedback-quality defense
+	// against free-riders (zero-valued knobs pick the defaults).
+	DefenseConfig = core.DefenseConfig
+	// Lifetime bounds one worker's participation window (temporary
+	// discriminators): a join round and a graceful retire round.
+	Lifetime = cluster.Lifetime
+	// DefenseScore is a worker's end-of-run feedback-quality snapshot
+	// (suspicion, average cosine, replay hits), under Faults.Defense.
+	DefenseScore = cluster.DefenseScore
 )
 
 // Fault-tolerance surface: transient-fault accounting and the seeded
@@ -104,6 +113,11 @@ const (
 	ByzantineRandom = core.ByzantineRandom
 	ByzantineInvert = core.ByzantineInvert
 	ByzantineScale  = core.ByzantineScale
+
+	// Free-rider attacks: fabricated feedback, no discriminator run.
+	FreeRiderRandom      = core.FreeRiderRandom
+	FreeRiderReplay      = core.FreeRiderReplay
+	FreeRiderScaledNoise = core.FreeRiderScaledNoise
 
 	AggMean        = core.AggMean
 	AggMedian      = core.AggMedian
@@ -313,6 +327,28 @@ type Options struct {
 	// corruption) — pair it with RoundTimeout to exercise the
 	// suspect/rejoin machinery deterministically.
 	Chaos *ChaosConfig
+
+	// Robustness (MD-GAN only).
+
+	// FreeRiders marks free-riding workers: index → one of the
+	// FreeRider* modes (fabricated feedback, no local training).
+	// Merged into Byzantine; the same index cannot appear in both.
+	FreeRiders map[int]ByzantineMode
+	// Defense enables the server-side feedback-quality defense
+	// (cross-round suspicion scoring → down-weighting → demotion).
+	// Synchronous flat-topology runs only.
+	Defense bool
+	// DefenseTuning overrides the defense's default thresholds (nil
+	// keeps them). Ignored unless Defense is set.
+	DefenseTuning *DefenseConfig
+	// Lifetimes bounds workers' participation windows (temporary
+	// discriminators): index → {Join, Retire}. Joining workers must
+	// match their JoinAt schedule; retirement is graceful (the final
+	// feedback counts, no fault is recorded). Synchronous only.
+	Lifetimes map[int]Lifetime
+	// JoinWarmup ramps a dynamic joiner's aggregation weight over its
+	// first JoinWarmup rounds (0 = full weight immediately).
+	JoinWarmup int
 }
 
 func (o Options) defaults() Options {
@@ -493,6 +529,15 @@ func (o Options) mdganConfig() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	byz, err := mergeFreeRiders(o.Byzantine, o.FreeRiders)
+	if err != nil {
+		return core.Config{}, err
+	}
+	defense := core.DefenseConfig{Enabled: o.Defense}
+	if o.Defense && o.DefenseTuning != nil {
+		defense = *o.DefenseTuning
+		defense.Enabled = true
+	}
 	return core.Config{
 		TrainConfig:    o.trainConfig(),
 		K:              o.K,
@@ -503,7 +548,7 @@ func (o Options) mdganConfig() (core.Config, error) {
 		Compress:       o.Compress,
 		SwapPrec:       o.SwapPrec,
 		ActivePerRound: o.ActivePerRound,
-		Byzantine:      o.Byzantine,
+		Byzantine:      byz,
 		Aggregate:      o.Aggregate,
 		JoinAt:         o.JoinAt,
 		RoundTimeout:   o.RoundTimeout,
@@ -511,6 +556,9 @@ func (o Options) mdganConfig() (core.Config, error) {
 		SuspectAfter:   o.SuspectAfter,
 		Topology:       topo,
 		SwapSched:      sched,
+		Defense:        defense,
+		Lifetimes:      o.Lifetimes,
+		JoinWarmup:     o.JoinWarmup,
 	}, nil
 }
 

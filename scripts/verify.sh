@@ -26,6 +26,12 @@
 #                                  # engine equivalence under
 #                                  # MDGAN_TOPOLOGY=tree:2 and the depth-2
 #                                  # tree chaos soak)
+#   MDGAN_DEFENSE=off scripts/verify.sh
+#                                  # skip the defense/robustness gates
+#                                  # (free-rider demotion soaks, the
+#                                  # defense-on strict pin, replay
+#                                  # fingerprints, temporary-
+#                                  # discriminator retirement)
 #   MDGAN_SERVE=off scripts/verify.sh
 #                                  # skip the serving smoke gate (train a
 #                                  # tiny checkpoint, boot mdgan-serve,
@@ -49,6 +55,7 @@ fi
 dtypes=${MDGAN_DTYPES:-both}
 kernels=${MDGAN_KERNELS:-both}
 chaos=${MDGAN_CHAOS:-on}
+defense=${MDGAN_DEFENSE:-on}
 serve=${MDGAN_SERVE:-on}
 topo=${MDGAN_TOPO:-on}
 
@@ -107,6 +114,8 @@ run_suite() { # $1 = dtype name, $2 = go build tags ("" for none)
 
     chaos_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
 
+    defense_gates "$name" ${tagargs[@]+"${tagargs[@]}"}
+
     serve_smoke "$name" ${tagargs[@]+"${tagargs[@]}"}
 
     echo "== [$name] bench smoke (1 iteration) =="
@@ -154,6 +163,26 @@ chaos_gates() { # $1 = label, $2.. = go test args
         -run 'TestChaosSoak|TestRoundDeadlineSuspectsStragglerAndRejoins|TestRoundDeadlineEscalatesToDemotion|TestCorruptFeedbackKeepsTraining|TestAsyncTimeoutDemotesUnresponsiveWorkers|TestAsyncCorruptFeedbackKeepsTraining|TestDeadlineFaultFreeKeepsStrictPin|TestTrainErrorPathStopsWorkers' \
         ./internal/core
     go test -race "$@" -count=1 -run 'TestChaos|TestTCP' ./internal/simnet
+}
+
+defense_gates() { # $1 = label, $2.. = go test args
+    local name=$1
+    shift
+    [ "$defense" = off ] && return 0
+    # Named robustness gates, under the race detector: the free-rider
+    # demotion soaks (2/8 attackers per variant over a seeded ChaosNet
+    # must be down-weighted then demoted while every honest worker
+    # survives), the defense-on strict pin (zero attackers → the
+    # weighted-aggregation path must stay dormant and replay Algorithm 1
+    # bitwise), the replay-fingerprint FP32 wire round-trip, the
+    # temporary-discriminator retirement paths (final feedback counted,
+    # swap rendezvous released, no goroutine leaks) and the joiner
+    # warm-up ramp.
+    echo "== [$name] defense & free-rider gates (-race) =="
+    go test -race "$@" -count=1 \
+        -run 'TestDefenseFaultFreeKeepsStrictPin|TestDefenseDemotesFreeRiders|TestReplayFingerprintSurvivesFP32|TestFreeRiderFeedback|TestUnknownByzantineModeTakesCorruptStrikePath|TestRetirement|TestJoinWarmup' \
+        ./internal/core
+    go test "$@" -count=1 -run 'TestLifetime|TestRetire|TestDefenseScore' ./internal/cluster
 }
 
 # serve_smoke scratch state, reaped by the EXIT trap if a smoke step
